@@ -1,0 +1,24 @@
+//! # aalign-baselines — comparator implementations
+//!
+//! The paper's evaluation compares AAlign against an optimized
+//! sequential baseline (Fig. 9), SWPS3 on CPU and SWAPHI on MIC
+//! (Fig. 11). Neither tool is redistributable here, so this crate
+//! reimplements their *algorithmic identity*:
+//!
+//! * [`naive`] — a textbook full-matrix scalar aligner (the
+//!   unoptimized reference point);
+//! * [`swps3_like`] — striped-iterate Smith-Waterman with **8-bit
+//!   saturating buffers and lazy overflow fallback to 16-bit** (and
+//!   32 as a last resort), SWPS3's distinguishing optimization and
+//!   the cause of its Fig. 11a long-query behaviour;
+//! * [`swaphi_like`] — intra-sequence 32-bit striped-iterate
+//!   Smith-Waterman pinned to the 512-bit ("MIC") engine shape, the
+//!   configuration the paper benchmarks SWAPHI in.
+
+pub mod naive;
+pub mod swaphi_like;
+pub mod swps3_like;
+
+pub use naive::naive_align;
+pub use swaphi_like::SwaphiLike;
+pub use swps3_like::Swps3Like;

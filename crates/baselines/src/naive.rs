@@ -1,0 +1,75 @@
+//! Textbook full-matrix scalar alignment.
+//!
+//! Deliberately unoptimized (three full `(n+1)×(m+1)` matrices,
+//! allocated per call): the reference point that shows what the
+//! optimized sequential baseline and the vector kernels improve on.
+
+use aalign_bio::Sequence;
+use aalign_core::config::{AlignConfig, AlignKind};
+use aalign_core::paradigm::NEG_INF;
+
+/// Align with full matrices; returns the score.
+#[allow(clippy::needless_range_loop)] // textbook DP, indices intentional
+pub fn naive_align(cfg: &AlignConfig, query: &Sequence, subject: &Sequence) -> i32 {
+    let t2 = cfg.table2();
+    let q = query.indices();
+    let s = subject.indices();
+    let (m, n) = (q.len(), s.len());
+
+    let mut t = vec![vec![0i32; m + 1]; n + 1];
+    let mut u = vec![vec![NEG_INF; m + 1]; n + 1];
+    let mut l = vec![vec![NEG_INF; m + 1]; n + 1];
+    for (i, row) in t.iter_mut().enumerate() {
+        row[0] = t2.init_t(i);
+    }
+    for j in 1..=m {
+        t[0][j] = t2.init_col(j - 1);
+    }
+
+    let mut best = 0i32;
+    for i in 1..=n {
+        for j in 1..=m {
+            u[i][j] = (u[i][j - 1] + t2.gap_up_ext).max(t[i][j - 1] + t2.gap_up);
+            l[i][j] = (l[i - 1][j] + t2.gap_left_ext).max(t[i - 1][j] + t2.gap_left);
+            let d = t[i - 1][j - 1] + cfg.matrix.score(s[i - 1], q[j - 1]);
+            let mut v = d.max(u[i][j]).max(l[i][j]);
+            if t2.local {
+                v = v.max(0);
+            }
+            t[i][j] = v;
+            best = best.max(v);
+        }
+    }
+    match cfg.kind {
+        AlignKind::Local => best.max(0),
+        AlignKind::Global => t[n][m],
+        AlignKind::SemiGlobal => (0..=n).map(|i| t[i][m]).max().unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng};
+    use aalign_core::config::GapModel;
+    use aalign_core::paradigm::paradigm_dp;
+
+    #[test]
+    fn matches_paradigm_dp() {
+        let mut rng = seeded_rng(17);
+        let q = named_query(&mut rng, 60);
+        let s = named_query(&mut rng, 45);
+        for kind in [AlignKind::Local, AlignKind::Global] {
+            for gap in [GapModel::affine(-10, -2), GapModel::linear(-4)] {
+                let cfg = AlignConfig::new(kind, gap, &BLOSUM62);
+                assert_eq!(
+                    naive_align(&cfg, &q, &s),
+                    paradigm_dp(&cfg, &q, &s).score,
+                    "{}",
+                    cfg.label()
+                );
+            }
+        }
+    }
+}

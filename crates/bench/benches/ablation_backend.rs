@@ -1,0 +1,71 @@
+//! Ablation: backend ISA × element width on a fixed workload.
+//!
+//! Runs the same SW-affine striped-iterate alignment across every
+//! engine the host offers (emulated, SSE4.1, AVX2, AVX-512) and the
+//! practical element widths, quantifying what each ISA/width step is
+//! worth — the portability claim of the vector-module design.
+//!
+//! All cases go through the `Aligner` dispatcher so hardware engines
+//! run inside their `#[target_feature]` wrappers (the fast path a
+//! real caller gets).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthPolicy};
+use aalign_vec::detect::Isa;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut rng = seeded_rng(77);
+    let query = named_query(&mut rng, 500);
+    let subject = PairSpec::new(Level::Md, Level::Md)
+        .generate(&mut rng, &query)
+        .subject;
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    let mut group = c.benchmark_group("ablation/backend");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let cases: &[(&str, Isa, WidthPolicy)] = &[
+        ("emu512/i32x16", Isa::Emulated, WidthPolicy::Fixed32),
+        ("emu512/i16x32", Isa::Emulated, WidthPolicy::Fixed16),
+        ("sse41/i32x4", Isa::Sse41, WidthPolicy::Fixed32),
+        ("sse41/i16x8", Isa::Sse41, WidthPolicy::Fixed16),
+        ("avx2/i32x8", Isa::Avx2, WidthPolicy::Fixed32),
+        ("avx2/i16x16", Isa::Avx2, WidthPolicy::Fixed16),
+        ("avx2/i8x32", Isa::Avx2, WidthPolicy::Fixed8),
+        ("avx512/i32x16", Isa::Avx512, WidthPolicy::Fixed32),
+        ("avx512bw/i16x32", Isa::Avx512, WidthPolicy::Fixed16),
+    ];
+    for &(name, isa, width) in cases {
+        let al = Aligner::new(cfg.clone())
+            .with_strategy(Strategy::StripedIterate)
+            .with_isa(isa)
+            .with_width(width);
+        let pq = al.prepare(&query).unwrap();
+        let mut scratch = AlignScratch::new();
+        // Record the backend actually used (pins may fall back to
+        // emulation on hosts lacking the ISA).
+        let actual = al
+            .align_prepared(&pq, &subject, &mut scratch)
+            .unwrap()
+            .backend;
+        group.bench_function(format!("{name} -> {actual}"), |b| {
+            b.iter(|| {
+                al.align_prepared(&pq, &subject, &mut scratch)
+                    .unwrap()
+                    .score
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

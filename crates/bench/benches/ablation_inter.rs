@@ -1,0 +1,75 @@
+//! Ablation: intra-sequence (striped hybrid) vs inter-sequence
+//! (lane-per-subject) database search, by subject length.
+//!
+//! Measured shape on the development host: intra wins at every
+//! subject length — the inter kernel's portable scalar gather costs
+//! more than the striped kernels' correction machinery saves. The
+//! bench exists to keep that trade-off visible; see
+//! `aalign_core::inter` docs for what a production inter engine does
+//! differently (byte lanes + SIMD-shuffled profiles).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, random_protein, seeded_rng};
+use aalign_bio::SeqDatabase;
+use aalign_core::{AlignConfig, Aligner, GapModel, Strategy};
+use aalign_par::{search_database, search_database_inter, SearchOptions};
+
+fn bench_inter(c: &mut Criterion) {
+    let mut rng = seeded_rng(7000);
+    let query = named_query(&mut rng, 200);
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    let mut group = c.benchmark_group("ablation/intra-vs-inter");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for &subject_len in &[30usize, 100, 400, 1600] {
+        // Constant total residues so the comparison is fair.
+        let count = (48_000 / subject_len).max(16);
+        let db = SeqDatabase::new(
+            (0..count)
+                .map(|i| random_protein(&mut rng, format!("s{i}"), subject_len))
+                .collect(),
+        );
+        let intra = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
+        group.bench_with_input(
+            BenchmarkId::new("intra-hybrid", subject_len),
+            &subject_len,
+            |b, _| {
+                b.iter(|| {
+                    search_database(&intra, &query, &db, SearchOptions { threads: 1, top_n: 5 })
+                        .unwrap()
+                        .hits
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inter-lanes", subject_len),
+            &subject_len,
+            |b, _| {
+                b.iter(|| {
+                    search_database_inter(
+                        &cfg,
+                        &query,
+                        &db,
+                        SearchOptions { threads: 1, top_n: 5 },
+                    )
+                    .unwrap()
+                    .hits
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inter);
+criterion_main!(benches);

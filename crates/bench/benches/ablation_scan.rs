@@ -1,0 +1,74 @@
+//! Ablation: the `wgt_max_scan` module itself.
+//!
+//! DESIGN.md calls out the scan decomposition (Fig. 8's 3-step
+//! striped orchestration) as a design choice; this bench compares it
+//! against the O(m) sequential recurrence across column lengths and
+//! engines, isolating the module the striped-scan strategy stands on.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aalign_vec::scan::{wgt_max_scan_scalar, wgt_max_scan_striped, ScanParams};
+use aalign_vec::{EmuEngine, SimdEngine, StripedLayout};
+
+fn input(m: usize) -> Vec<i32> {
+    (0..m)
+        .map(|i| ((i as i32).wrapping_mul(2_654_435_761u32 as i32) >> 20) % 100 - 30)
+        .collect()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let params = ScanParams {
+        init: 0,
+        open: -12,
+        ext: -2,
+    };
+    let mut group = c.benchmark_group("ablation/wgt_max_scan");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for m in [256usize, 1024, 4096, 16384] {
+        let linear = input(m);
+        let mut out = vec![0i32; m];
+        group.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
+            b.iter(|| wgt_max_scan_scalar(&linear, params, &mut out))
+        });
+
+        // Striped versions per engine.
+        macro_rules! striped_case {
+            ($name:literal, $eng:expr) => {{
+                let eng = $eng;
+                let layout = StripedLayout::new(m, engine_lanes(&eng));
+                let mut striped_in = Vec::new();
+                layout.stripe(&linear, i32::MIN / 4, &mut striped_in);
+                let mut striped_out = vec![0i32; layout.padded_len()];
+                group.bench_with_input(BenchmarkId::new($name, m), &m, |b, _| {
+                    b.iter(|| {
+                        wgt_max_scan_striped(eng, layout, &striped_in, &mut striped_out, params)
+                    })
+                });
+            }};
+        }
+        fn engine_lanes<E: SimdEngine>(_: &E) -> usize {
+            E::LANES
+        }
+
+        striped_case!("striped-emu16", EmuEngine::<i32, 16>::new());
+        #[cfg(target_arch = "x86_64")]
+        {
+            if let Some(eng) = aalign_vec::avx2::Avx2I32::new() {
+                striped_case!("striped-avx2", eng);
+            }
+            if let Some(eng) = aalign_vec::avx512::Avx512I32::new() {
+                striped_case!("striped-avx512", eng);
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion version of Fig. 10: the three strategies across the
+//! nine QC_MI similarity classes (SW-affine on the 512-bit platform
+//! — the panel with the sharpest crossover; the `fig10` binary runs
+//! all eight panels).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aalign_bench::harness::Platform;
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, nine_similarity_specs, seeded_rng};
+use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthPolicy};
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut rng = seeded_rng(10);
+    let query = named_query(&mut rng, 800);
+    let pairs: Vec<_> = nine_similarity_specs()
+        .iter()
+        .map(|spec| (spec.label(), spec.generate(&mut rng, &query).subject))
+        .collect();
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    let mut group = c.benchmark_group("fig10/sw-aff/mic(512b)");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for strat in [
+        Strategy::StripedIterate,
+        Strategy::StripedScan,
+        Strategy::Hybrid,
+    ] {
+        let al = Aligner::new(cfg.clone())
+            .with_strategy(strat)
+            .with_isa(Platform::Mic.isa())
+            .with_width(WidthPolicy::Fixed32);
+        let pq = al.prepare(&query).unwrap();
+        let mut scratch = AlignScratch::new();
+        for (label, subject) in &pairs {
+            group.bench_with_input(
+                BenchmarkId::new(strat.short(), label),
+                subject,
+                |b, s| b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

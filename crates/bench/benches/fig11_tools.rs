@@ -1,0 +1,90 @@
+//! Criterion version of Fig. 11: AAlign SW-affine database search vs
+//! the SWPS3-like and SWAPHI-like comparators (small database; the
+//! `fig11` binary runs the full-size sweep).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aalign_baselines::swps3_like::{Swps3Like, Swps3Scratch};
+use aalign_baselines::SwaphiLike;
+use aalign_bench::harness::Platform;
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthPolicy};
+use aalign_par::{search_database, SearchOptions};
+
+fn bench_fig11(c: &mut Criterion) {
+    let db = swissprot_like_db(11, 200);
+    let mut rng = seeded_rng(1111);
+    let queries: Vec<_> = [110usize, 500]
+        .iter()
+        .map(|&l| named_query(&mut rng, l))
+        .collect();
+    let gap = GapModel::affine(-10, -2);
+
+    let mut group = c.benchmark_group("fig11/db200");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for q in &queries {
+        // AAlign on the CPU platform (auto width, hybrid).
+        let cpu = Aligner::new(AlignConfig::local(gap, &BLOSUM62))
+            .with_strategy(Strategy::Hybrid)
+            .with_isa(Platform::Cpu.isa());
+        group.bench_with_input(BenchmarkId::new("aalign-cpu", q.id()), q, |b, q| {
+            b.iter(|| {
+                search_database(&cpu, q, &db, SearchOptions { threads: 1, top_n: 5 })
+                    .unwrap()
+                    .hits
+                    .len()
+            })
+        });
+
+        // SWPS3-like comparator.
+        let swps3 = Swps3Like::new(q, gap, &BLOSUM62);
+        group.bench_with_input(BenchmarkId::new("swps3-like", q.id()), q, |b, _| {
+            let mut scratch = Swps3Scratch::new();
+            b.iter(|| {
+                let mut sum = 0i64;
+                for s in db.sequences() {
+                    sum += i64::from(swps3.align(s, &mut scratch).score);
+                }
+                sum
+            })
+        });
+
+        // AAlign on the MIC platform (i32, hybrid).
+        let mic = Aligner::new(AlignConfig::local(gap, &BLOSUM62))
+            .with_strategy(Strategy::Hybrid)
+            .with_isa(Platform::Mic.isa())
+            .with_width(WidthPolicy::Fixed32);
+        group.bench_with_input(BenchmarkId::new("aalign-mic", q.id()), q, |b, q| {
+            b.iter(|| {
+                search_database(&mic, q, &db, SearchOptions { threads: 1, top_n: 5 })
+                    .unwrap()
+                    .hits
+                    .len()
+            })
+        });
+
+        // SWAPHI-like comparator.
+        let swaphi = SwaphiLike::new(q, gap, &BLOSUM62);
+        group.bench_with_input(BenchmarkId::new("swaphi-like", q.id()), q, |b, _| {
+            let mut ws = AlignScratch::new();
+            b.iter(|| {
+                let mut sum = 0i64;
+                for s in db.sequences() {
+                    sum += i64::from(swaphi.align(s, &mut ws).score);
+                }
+                sum
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

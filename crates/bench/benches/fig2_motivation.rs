@@ -1,0 +1,66 @@
+//! Criterion version of Fig. 2: the motivating iterate/scan flips on
+//! the 512-bit platform.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aalign_bench::harness::Platform;
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthPolicy};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let query = named_query(&mut rng, 600);
+    let similar = PairSpec::new(Level::Hi, Level::Hi)
+        .generate(&mut rng, &query)
+        .subject;
+    let dissimilar = named_query(&mut rng, 600);
+
+    let cases = [
+        (
+            "sw-aff/similar",
+            AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62),
+            &similar,
+        ),
+        (
+            "sw-aff/dissimilar",
+            AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62),
+            &dissimilar,
+        ),
+        (
+            "nw-aff/similar",
+            AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62),
+            &similar,
+        ),
+        (
+            "sw-lin/similar",
+            AlignConfig::local(GapModel::linear(-4), &BLOSUM62),
+            &similar,
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig2/mic(512b)");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for (label, cfg, subject) in cases {
+        for strat in [Strategy::StripedIterate, Strategy::StripedScan] {
+            let al = Aligner::new(cfg.clone())
+                .with_strategy(strat)
+                .with_isa(Platform::Mic.isa())
+                .with_width(WidthPolicy::Fixed32);
+            let pq = al.prepare(&query).unwrap();
+            let mut scratch = AlignScratch::new();
+            group.bench_with_input(BenchmarkId::new(strat.short(), label), subject, |b, s| {
+                b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion version of Fig. 9: sequential vs striped-iterate vs
+//! striped-scan, per paradigm configuration and platform.
+//!
+//! The `fig9` harness binary prints the paper-style table; this bench
+//! provides statistically grounded per-kernel timings.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use aalign_bench::harness::{four_configs, Platform};
+use aalign_bio::synth::{named_query, seeded_rng};
+use aalign_core::{AlignScratch, Aligner, Strategy, WidthPolicy};
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut rng = seeded_rng(9);
+    let subject = named_query(&mut rng, 282);
+    let queries: Vec<_> = [100usize, 282, 1000]
+        .iter()
+        .map(|&l| named_query(&mut rng, l))
+        .collect();
+
+    for cfg in four_configs() {
+        for platform in Platform::ALL {
+            let mut group =
+                c.benchmark_group(format!("fig9/{}/{}", cfg.label(), platform.label()));
+            group
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(200))
+                .measurement_time(Duration::from_millis(600));
+            for q in &queries {
+                let seq = Aligner::new(cfg.clone()).with_strategy(Strategy::Sequential);
+                group.bench_with_input(BenchmarkId::new("sequential", q.id()), q, |b, q| {
+                    b.iter(|| seq.align(q, &subject).unwrap().score)
+                });
+                for strat in [Strategy::StripedIterate, Strategy::StripedScan] {
+                    let al = Aligner::new(cfg.clone())
+                        .with_strategy(strat)
+                        .with_isa(platform.isa())
+                        .with_width(WidthPolicy::Fixed32);
+                    let pq = al.prepare(q).unwrap();
+                    let mut scratch = AlignScratch::new();
+                    group.bench_with_input(BenchmarkId::new(strat.short(), q.id()), q, |b, _| {
+                        b.iter(|| {
+                            al.align_prepared(&pq, &subject, &mut scratch)
+                                .unwrap()
+                                .score
+                        })
+                    });
+                }
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

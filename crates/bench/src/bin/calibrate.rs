@@ -1,0 +1,152 @@
+//! Sec. V-B calibration — where is the iterate/scan crossover?
+//!
+//! The paper measures that scan starts winning when iterate's
+//! re-computation count per column exceeds ≈1.5 (MIC) / ≈2.5 (CPU),
+//! and sets the hybrid thresholds to 2 and 3. This harness sweeps
+//! subjects of increasing similarity, reporting iterate's lazy
+//! sweeps per column next to the iterate/scan time ratio, then
+//! sweeps the hybrid threshold and probe stride to show the
+//! calibrated defaults are near-optimal.
+//!
+//! Usage: `cargo run --release -p aalign-bench --bin calibrate [--quick]`
+
+use aalign_bench::harness::{print_banner, time_min, Platform, Table};
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, PairSpec};
+use aalign_bio::Sequence;
+use aalign_core::{
+    AlignConfig, Aligner, GapModel, HybridPolicy, Strategy, WidthPolicy,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_banner("Sec. V-B calibration — iterate/scan crossover & hybrid tuning");
+
+    let mut rng = seeded_rng(55);
+    let qlen = if quick { 400 } else { 1200 };
+    let query = named_query(&mut rng, qlen);
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    // Subjects of increasing identity within full coverage.
+    let identities = [0.05f64, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95];
+    let subjects: Vec<(String, Sequence)> = identities
+        .iter()
+        .map(|&p| {
+            // Reuse the pair generator machinery at a fixed identity by
+            // mutating the query directly.
+            let mut idx = Vec::with_capacity(query.len());
+            use rand::RngExt;
+            for &r in query.indices() {
+                if rng.random_bool(p) {
+                    idx.push(r);
+                } else {
+                    idx.push(aalign_bio::synth::random_residue(&mut rng));
+                }
+            }
+            (
+                format!("id{:.0}%", p * 100.0),
+                Sequence::from_indices("subj", query.alphabet(), idx),
+            )
+        })
+        .collect();
+
+    for platform in Platform::ALL {
+        println!(
+            "## crossover on {} {}",
+            platform.label(),
+            if platform.native() { "" } else { "(emulated)" }
+        );
+        let make = |s: Strategy| {
+            Aligner::new(cfg.clone())
+                .with_strategy(s)
+                .with_isa(platform.isa())
+                .with_width(WidthPolicy::Fixed32)
+        };
+        let it = make(Strategy::StripedIterate);
+        let sc = make(Strategy::StripedScan);
+        let pq_it = it.prepare(&query).unwrap();
+        let pq_sc = sc.prepare(&query).unwrap();
+        let mut scratch = aalign_core::AlignScratch::new();
+        let reps = if quick { 2 } else { 4 };
+
+        let mut table = Table::new(vec![
+            "identity",
+            "sweeps/col",
+            "iterate ms",
+            "scan ms",
+            "scan/iterate",
+            "winner",
+        ]);
+        for (label, s) in &subjects {
+            let out = it.align_prepared(&pq_it, s, &mut scratch).unwrap();
+            let sweeps =
+                out.stats.lazy_sweeps as f64 / out.stats.iterate_columns.max(1) as f64;
+            let t_it = time_min(
+                || {
+                    let _ = it.align_prepared(&pq_it, s, &mut scratch).unwrap();
+                },
+                1,
+                reps,
+            );
+            let t_sc = time_min(
+                || {
+                    let _ = sc.align_prepared(&pq_sc, s, &mut scratch).unwrap();
+                },
+                1,
+                reps,
+            );
+            table.row(vec![
+                label.clone(),
+                format!("{sweeps:.2}"),
+                format!("{:.3}", t_it.as_secs_f64() * 1e3),
+                format!("{:.3}", t_sc.as_secs_f64() * 1e3),
+                format!("{:.2}", t_sc.as_secs_f64() / t_it.as_secs_f64()),
+                if t_it <= t_sc { "iterate" } else { "scan" }.to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    // Hybrid threshold/stride ablation on a mixed subject.
+    println!("## hybrid policy ablation (mixed head/middle/tail subject, 512-bit)");
+    let mixed = {
+        let mut idx = Vec::new();
+        idx.extend_from_slice(named_query(&mut rng, qlen).indices());
+        idx.extend_from_slice(
+            PairSpec::new(aalign_bio::synth::Level::Hi, aalign_bio::synth::Level::Hi)
+                .generate(&mut rng, &query)
+                .subject
+                .indices(),
+        );
+        idx.extend_from_slice(named_query(&mut rng, qlen).indices());
+        Sequence::from_indices("mixed", query.alphabet(), idx)
+    };
+    let mut table = Table::new(vec!["threshold", "stride", "ms"]);
+    for threshold in [0u32, 1, 2, 3, 5, 8] {
+        for stride in [16usize, 64, 128, 512] {
+            let al = Aligner::new(cfg.clone())
+                .with_strategy(Strategy::Hybrid)
+                .with_isa(Platform::Mic.isa())
+                .with_width(WidthPolicy::Fixed32)
+                .with_hybrid_policy(HybridPolicy {
+                    threshold,
+                    probe_stride: stride,
+                });
+            let pq = al.prepare(&query).unwrap();
+            let mut scratch = aalign_core::AlignScratch::new();
+            let t = time_min(
+                || {
+                    let _ = al.align_prepared(&pq, &mixed, &mut scratch).unwrap();
+                },
+                1,
+                if quick { 2 } else { 3 },
+            );
+            table.row(vec![
+                threshold.to_string(),
+                stride.to_string(),
+                format!("{:.3}", t.as_secs_f64() * 1e3),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,117 @@
+//! Fig. 10 — iterate vs. scan vs. hybrid across the nine QC_MI
+//! similarity classes.
+//!
+//! The paper aligns `Q2000` against nine BLAST-selected subjects, one
+//! per (query-coverage × max-identity) class; here the subjects come
+//! from the controlled pair generator. Eight panels: {SW, NW} ×
+//! {linear, affine} × {CPU, MIC}, 32-bit elements.
+//!
+//! Shape to reproduce (paper Sec. VI-B): with linear gaps iterate
+//! always wins and hybrid tracks it; with affine gaps scan wins on
+//! similar pairs (hi/md coverage × identity), iterate on dissimilar
+//! ones, and hybrid tracks the better of the two.
+//!
+//! Usage: `cargo run --release -p aalign-bench --bin fig10 [--quick]`
+
+use aalign_bench::harness::{four_configs, print_banner, time_min, Platform, Table};
+use aalign_bio::synth::{named_query, nine_similarity_specs, seeded_rng};
+use aalign_core::{Aligner, Strategy, WidthPolicy};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_banner("Fig. 10 — strategies across QC_MI similarity classes (i32)");
+
+    let mut rng = seeded_rng(10);
+    let qlen = if quick { 500 } else { 2000 };
+    let query = named_query(&mut rng, qlen);
+    let pairs: Vec<_> = nine_similarity_specs()
+        .iter()
+        .map(|spec| (spec.label(), spec.generate(&mut rng, &query)))
+        .collect();
+    let (warmup, reps) = if quick { (1, 2) } else { (1, 3) };
+
+    for cfg in four_configs() {
+        for platform in Platform::ALL {
+            println!(
+                "## {} on {} {}",
+                cfg.label(),
+                platform.label(),
+                if platform.native() { "" } else { "(emulated)" }
+            );
+            let mut table = Table::new(vec![
+                "QC_MI",
+                "iterate ms",
+                "scan ms",
+                "hybrid ms",
+                "winner",
+                "hybrid≈winner",
+                "lazy sweeps/col",
+            ]);
+            let make = |s: Strategy| {
+                Aligner::new(cfg.clone())
+                    .with_strategy(s)
+                    .with_isa(platform.isa())
+                    .with_width(WidthPolicy::Fixed32)
+            };
+            let it = make(Strategy::StripedIterate);
+            let sc = make(Strategy::StripedScan);
+            let hy = make(Strategy::Hybrid);
+            let pq_it = it.prepare(&query).unwrap();
+            let pq_sc = sc.prepare(&query).unwrap();
+            let pq_hy = hy.prepare(&query).unwrap();
+            let mut scratch = aalign_core::AlignScratch::new();
+
+            for (label, pair) in &pairs {
+                let s = &pair.subject;
+                let want = it.align_prepared(&pq_it, s, &mut scratch).unwrap();
+                assert_eq!(
+                    sc.align_prepared(&pq_sc, s, &mut scratch).unwrap().score,
+                    want.score
+                );
+                assert_eq!(
+                    hy.align_prepared(&pq_hy, s, &mut scratch).unwrap().score,
+                    want.score
+                );
+                let sweeps_per_col =
+                    want.stats.lazy_sweeps as f64 / want.stats.iterate_columns.max(1) as f64;
+
+                let t_it = time_min(
+                    || {
+                        let _ = it.align_prepared(&pq_it, s, &mut scratch).unwrap();
+                    },
+                    warmup,
+                    reps,
+                );
+                let t_sc = time_min(
+                    || {
+                        let _ = sc.align_prepared(&pq_sc, s, &mut scratch).unwrap();
+                    },
+                    warmup,
+                    reps,
+                );
+                let t_hy = time_min(
+                    || {
+                        let _ = hy.align_prepared(&pq_hy, s, &mut scratch).unwrap();
+                    },
+                    warmup,
+                    reps,
+                );
+                let winner = if t_it <= t_sc { "iterate" } else { "scan" };
+                let best = t_it.min(t_sc);
+                // "Hybrid approximates the better solution" (paper):
+                // within 25 % of the winner, or faster.
+                let tracks = t_hy.as_secs_f64() <= best.as_secs_f64() * 1.25;
+                table.row(vec![
+                    (*label).clone(),
+                    format!("{:.3}", t_it.as_secs_f64() * 1e3),
+                    format!("{:.3}", t_sc.as_secs_f64() * 1e3),
+                    format!("{:.3}", t_hy.as_secs_f64() * 1e3),
+                    winner.to_string(),
+                    if tracks { "yes" } else { "NO" }.to_string(),
+                    format!("{sweeps_per_col:.2}"),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Fig. 2 — the motivating example: neither strategy always wins.
+//!
+//! The paper shows four MIC cases mixing algorithm, gap system and
+//! input similarity where the iterate/scan winner flips. This
+//! harness reproduces the flip on the 512-bit platform: similar
+//! inputs under affine gaps favour scan; dissimilar inputs (and all
+//! linear-gap runs) favour iterate.
+//!
+//! Usage: `cargo run --release -p aalign-bench --bin fig2 [--quick]`
+
+use aalign_bench::harness::{print_banner, time_min, Platform, Table};
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+use aalign_core::{AlignConfig, Aligner, GapModel, Strategy, WidthPolicy};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_banner("Fig. 2 — iterate vs scan under various conditions (512-bit)");
+
+    let mut rng = seeded_rng(2);
+    let qlen = if quick { 400 } else { 1500 };
+    let query = named_query(&mut rng, qlen);
+    let similar = PairSpec::new(Level::Hi, Level::Hi)
+        .generate(&mut rng, &query)
+        .subject;
+    let dissimilar = named_query(&mut rng, qlen);
+
+    // The paper's four cases (SW/NW × lin/aff × similar/dissimilar).
+    let cases = [
+        ("sw-aff similar", AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62), &similar),
+        ("sw-aff dissimilar", AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62), &dissimilar),
+        ("nw-aff similar", AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62), &similar),
+        ("sw-lin similar", AlignConfig::local(GapModel::linear(-4), &BLOSUM62), &similar),
+    ];
+
+    let mut table = Table::new(vec!["case", "iterate ms", "scan ms", "winner"]);
+    for (label, cfg, subject) in cases {
+        let make = |s: Strategy| {
+            Aligner::new(cfg.clone())
+                .with_strategy(s)
+                .with_isa(Platform::Mic.isa())
+                .with_width(WidthPolicy::Fixed32)
+        };
+        let it = make(Strategy::StripedIterate);
+        let sc = make(Strategy::StripedScan);
+        let pq_it = it.prepare(&query).unwrap();
+        let pq_sc = sc.prepare(&query).unwrap();
+        let mut scratch = aalign_core::AlignScratch::new();
+        assert_eq!(
+            it.align_prepared(&pq_it, subject, &mut scratch).unwrap().score,
+            sc.align_prepared(&pq_sc, subject, &mut scratch).unwrap().score,
+        );
+        let reps = if quick { 2 } else { 5 };
+        let t_it = time_min(
+            || {
+                let _ = it.align_prepared(&pq_it, subject, &mut scratch).unwrap();
+            },
+            1,
+            reps,
+        );
+        let t_sc = time_min(
+            || {
+                let _ = sc.align_prepared(&pq_sc, subject, &mut scratch).unwrap();
+            },
+            1,
+            reps,
+        );
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3}", t_it.as_secs_f64() * 1e3),
+            format!("{:.3}", t_sc.as_secs_f64() * 1e3),
+            if t_it <= t_sc { "iterate" } else { "scan" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected shape: scan wins the affine+similar cases; iterate wins dissimilar and linear.");
+}

@@ -1,0 +1,103 @@
+//! Fig. 9 — AAlign vector kernels vs. the optimized sequential
+//! baseline.
+//!
+//! Panels (a–d) of the paper: {SW, NW} × {linear, affine} on CPU and
+//! MIC; queries of growing length against the fixed subject `Q282`;
+//! 32-bit elements everywhere (the paper's configuration). Reported:
+//! wall time per alignment, GCUPS, and the speedup of
+//! striped-iterate and striped-scan over the sequential kernel.
+//!
+//! Usage: `cargo run --release -p aalign-bench --bin fig9 [--quick]`
+
+use aalign_bench::harness::{four_configs, gcups, print_banner, time_min, Platform, Table};
+use aalign_bio::synth::{named_query, seeded_rng};
+use aalign_core::{Aligner, Strategy, WidthPolicy};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_banner("Fig. 9 — AAlign vs optimized sequential (subject Q282, i32)");
+
+    let mut rng = seeded_rng(9);
+    let subject = named_query(&mut rng, 282);
+    let query_lens: &[usize] = if quick {
+        &[100, 282, 1000]
+    } else {
+        &[100, 200, 282, 500, 1000, 2000, 4000]
+    };
+    let queries: Vec<_> = query_lens.iter().map(|&l| named_query(&mut rng, l)).collect();
+    let (warmup, reps) = if quick { (1, 3) } else { (2, 5) };
+
+    for cfg in four_configs() {
+        for platform in Platform::ALL {
+            println!(
+                "## {} on {} {}",
+                cfg.label(),
+                platform.label(),
+                if platform.native() { "" } else { "(emulated)" }
+            );
+            let mut table = Table::new(vec![
+                "query",
+                "seq ms",
+                "iterate ms",
+                "scan ms",
+                "iterate GCUPS",
+                "scan GCUPS",
+                "iterate speedup",
+                "scan speedup",
+            ]);
+            for q in &queries {
+                let seq = Aligner::new(cfg.clone()).with_strategy(Strategy::Sequential);
+                let make = |s: Strategy| {
+                    Aligner::new(cfg.clone())
+                        .with_strategy(s)
+                        .with_isa(platform.isa())
+                        .with_width(WidthPolicy::Fixed32)
+                };
+                let it = make(Strategy::StripedIterate);
+                let sc = make(Strategy::StripedScan);
+
+                // Sanity: identical scores before timing.
+                let want = seq.align(q, &subject).unwrap().score;
+                assert_eq!(it.align(q, &subject).unwrap().score, want);
+                assert_eq!(sc.align(q, &subject).unwrap().score, want);
+
+                let t_seq = time_min(
+                    || {
+                        let _ = seq.align(q, &subject).unwrap();
+                    },
+                    warmup,
+                    reps,
+                );
+                let pq_it = it.prepare(q).unwrap();
+                let pq_sc = sc.prepare(q).unwrap();
+                let mut scratch = aalign_core::AlignScratch::new();
+                let t_it = time_min(
+                    || {
+                        let _ = it.align_prepared(&pq_it, &subject, &mut scratch).unwrap();
+                    },
+                    warmup,
+                    reps,
+                );
+                let t_sc = time_min(
+                    || {
+                        let _ = sc.align_prepared(&pq_sc, &subject, &mut scratch).unwrap();
+                    },
+                    warmup,
+                    reps,
+                );
+
+                table.row(vec![
+                    q.id().to_string(),
+                    format!("{:.3}", t_seq.as_secs_f64() * 1e3),
+                    format!("{:.3}", t_it.as_secs_f64() * 1e3),
+                    format!("{:.3}", t_sc.as_secs_f64() * 1e3),
+                    format!("{:.2}", gcups(q.len(), subject.len(), t_it)),
+                    format!("{:.2}", gcups(q.len(), subject.len(), t_sc)),
+                    format!("{:.2}x", t_seq.as_secs_f64() / t_it.as_secs_f64()),
+                    format!("{:.2}x", t_seq.as_secs_f64() / t_sc.as_secs_f64()),
+                ]);
+            }
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Thread-scaling sweep for the database-search driver (paper
+//! Sec. V-E's multithreading claim).
+//!
+//! The paper ran 24 CPU cores / 60 MIC cores; this harness sweeps
+//! 1..=available threads and prints throughput per count, plus the
+//! dynamic-binding load balance (per-thread subject counts would be
+//! equalized by length sorting; we report wall time only). On a
+//! single-core host the sweep degenerates to one row — the point of
+//! the binary is portability of the experiment, as EXPERIMENTS.md
+//! notes.
+//!
+//! Usage: `cargo run --release -p aalign-bench --bin scaling [--quick]`
+
+use aalign_bench::harness::{print_banner, time_min, Table};
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+use aalign_core::{AlignConfig, Aligner, GapModel, Strategy};
+use aalign_par::{search_database, search_database_inter, SearchOptions};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print_banner("Thread scaling — database search driver (Sec. V-E)");
+
+    let db = swissprot_like_db(42, if quick { 300 } else { 1500 });
+    let stats = db.stats();
+    let mut rng = seeded_rng(43);
+    let query = named_query(&mut rng, 300);
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+    let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "database: {} seqs / {} residues; query {}; host threads: {max_threads}",
+        stats.count,
+        stats.total_residues,
+        query.id()
+    );
+
+    let mut table = Table::new(vec!["threads", "intra s", "inter s", "intra GCUPS", "speedup"]);
+    let mut t1 = None;
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let t_intra = time_min(
+            || {
+                let _ = search_database(
+                    &aligner,
+                    &query,
+                    &db,
+                    SearchOptions { threads, top_n: 5 },
+                )
+                .unwrap();
+            },
+            1,
+            if quick { 1 } else { 3 },
+        );
+        let t_inter = time_min(
+            || {
+                let _ = search_database_inter(
+                    &cfg,
+                    &query,
+                    &db,
+                    SearchOptions { threads, top_n: 5 },
+                )
+                .unwrap();
+            },
+            1,
+            if quick { 1 } else { 3 },
+        );
+        let base = *t1.get_or_insert(t_intra);
+        table.row(vec![
+            threads.to_string(),
+            format!("{:.3}", t_intra.as_secs_f64()),
+            format!("{:.3}", t_inter.as_secs_f64()),
+            format!(
+                "{:.2}",
+                query.len() as f64 * stats.total_residues as f64
+                    / t_intra.as_secs_f64()
+                    / 1e9
+            ),
+            format!("{:.2}x", base.as_secs_f64() / t_intra.as_secs_f64()),
+        ]);
+        threads *= 2;
+    }
+    println!("{}", table.render());
+    println!("expected shape on multi-core hosts: near-linear speedup until memory bandwidth saturates.");
+}

@@ -1,0 +1,57 @@
+//! Quick GCUPS throughput report across backends and strategies.
+//!
+//! Not a paper figure — a development tool for eyeballing the
+//! dispatcher's fast paths on the current host.
+//!
+//! Usage: `cargo run --release -p aalign-bench --bin throughput`
+
+use aalign_bench::harness::{gcups, print_banner, time_min, Table};
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng};
+use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthPolicy};
+use aalign_vec::detect::Isa;
+
+fn main() {
+    print_banner("throughput — SW-affine GCUPS per backend/strategy");
+    let mut rng = seeded_rng(1);
+    let q = named_query(&mut rng, 1000);
+    let s = named_query(&mut rng, 1000);
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    let mut table = Table::new(vec!["backend", "strategy", "GCUPS"]);
+
+    // Sequential reference.
+    let seq = Aligner::new(cfg.clone()).with_strategy(Strategy::Sequential);
+    let t = time_min(|| { let _ = seq.align(&q, &s).unwrap(); }, 1, 3);
+    table.row(vec!["scalar".to_string(), "seq".to_string(), format!("{:.2}", gcups(1000, 1000, t))]);
+
+    for (isa, width) in [
+        (Isa::Emulated, WidthPolicy::Fixed32),
+        (Isa::Sse41, WidthPolicy::Fixed32),
+        (Isa::Avx2, WidthPolicy::Fixed32),
+        (Isa::Avx2, WidthPolicy::Fixed16),
+        (Isa::Avx512, WidthPolicy::Fixed32),
+        (Isa::Avx512, WidthPolicy::Fixed16),
+    ] {
+        for strat in [Strategy::StripedIterate, Strategy::StripedScan] {
+            let al = Aligner::new(cfg.clone())
+                .with_strategy(strat)
+                .with_isa(isa)
+                .with_width(width);
+            let pq = al.prepare(&q).unwrap();
+            let mut scratch = AlignScratch::new();
+            let out = al.align_prepared(&pq, &s, &mut scratch).unwrap();
+            let t = time_min(
+                || { let _ = al.align_prepared(&pq, &s, &mut scratch).unwrap(); },
+                1,
+                3,
+            );
+            table.row(vec![
+                out.backend.clone(),
+                strat.short().to_string(),
+                format!("{:.2}", gcups(1000, 1000, t)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,2 @@
+//! # aalign-bench — paper-figure harness library (bins use this).
+pub mod harness;

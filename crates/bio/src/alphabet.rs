@@ -1,0 +1,171 @@
+//! Residue alphabets and the `ctoi` character→index mapping.
+//!
+//! The paper's kernels index the substitution matrix through a
+//! user-supplied `ctoi` function; here that mapping is owned by an
+//! [`Alphabet`], which also validates input sequences.
+
+/// A residue alphabet: the ordered set of admissible letters and the
+/// mapping from ASCII bytes to matrix indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    name: &'static str,
+    letters: &'static [u8],
+    /// `ctoi[b]` = index of byte `b`, or `u8::MAX` if not in the
+    /// alphabet. Lowercase letters map like their uppercase forms.
+    ctoi: [u8; 256],
+}
+
+/// Sentinel for "byte not in alphabet".
+const INVALID: u8 = u8::MAX;
+
+impl Alphabet {
+    const fn build(name: &'static str, letters: &'static [u8]) -> Self {
+        let mut ctoi = [INVALID; 256];
+        let mut i = 0;
+        while i < letters.len() {
+            let b = letters[i];
+            ctoi[b as usize] = i as u8;
+            if b.is_ascii_uppercase() {
+                ctoi[b.to_ascii_lowercase() as usize] = i as u8;
+            }
+            i += 1;
+        }
+        Self {
+            name,
+            letters,
+            ctoi,
+        }
+    }
+
+    /// The 24-letter protein alphabet used by NCBI matrices
+    /// (20 amino acids + B, Z ambiguity codes + X unknown + `*` stop).
+    pub const fn protein() -> Self {
+        Self::build("protein", b"ARNDCQEGHILKMFPSTWYVBZX*")
+    }
+
+    /// The 5-letter nucleotide alphabet (ACGT + N).
+    pub const fn dna() -> Self {
+        Self::build("dna", b"ACGTN")
+    }
+
+    /// Alphabet name (`"protein"` / `"dna"`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of letters (and dimension of compatible matrices).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// True if the alphabet has no letters (never, for built-ins).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The paper's `ctoi`: map an ASCII byte to its matrix index.
+    #[inline]
+    pub fn ctoi(&self, b: u8) -> Option<u8> {
+        let i = self.ctoi[b as usize];
+        (i != INVALID).then_some(i)
+    }
+
+    /// Inverse mapping: index → canonical (uppercase) letter.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn itoc(&self, i: u8) -> u8 {
+        self.letters[i as usize]
+    }
+
+    /// Encode a byte string into indices; reports the first offending
+    /// byte and its offset on failure.
+    pub fn encode(&self, text: &[u8]) -> Result<Vec<u8>, EncodeError> {
+        text.iter()
+            .enumerate()
+            .map(|(pos, &b)| self.ctoi(b).ok_or(EncodeError { byte: b, pos }))
+            .collect()
+    }
+
+    /// Decode indices back into letters.
+    pub fn decode(&self, indices: &[u8]) -> Vec<u8> {
+        indices.iter().map(|&i| self.itoc(i)).collect()
+    }
+}
+
+/// A byte that does not belong to the alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The offending byte.
+    pub byte: u8,
+    /// Offset within the input.
+    pub pos: usize,
+}
+
+impl core::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid residue {:?} (0x{:02x}) at position {}",
+            self.byte as char, self.byte, self.pos
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// The protein alphabet (matching [`crate::matrices::BLOSUM62`] order).
+pub static PROTEIN: Alphabet = Alphabet::protein();
+/// The DNA alphabet.
+pub static DNA: Alphabet = Alphabet::dna();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_has_24_letters_in_ncbi_order() {
+        assert_eq!(PROTEIN.len(), 24);
+        assert_eq!(PROTEIN.ctoi(b'A'), Some(0));
+        assert_eq!(PROTEIN.ctoi(b'R'), Some(1));
+        assert_eq!(PROTEIN.ctoi(b'V'), Some(19));
+        assert_eq!(PROTEIN.ctoi(b'*'), Some(23));
+    }
+
+    #[test]
+    fn lowercase_maps_like_uppercase() {
+        assert_eq!(PROTEIN.ctoi(b'a'), PROTEIN.ctoi(b'A'));
+        assert_eq!(PROTEIN.ctoi(b'w'), PROTEIN.ctoi(b'W'));
+        assert_eq!(DNA.ctoi(b't'), DNA.ctoi(b'T'));
+    }
+
+    #[test]
+    fn invalid_bytes_rejected() {
+        assert_eq!(PROTEIN.ctoi(b'1'), None);
+        assert_eq!(PROTEIN.ctoi(b' '), None);
+        assert_eq!(DNA.ctoi(b'E'), None);
+        let err = PROTEIN.encode(b"ACDEF GHI").unwrap_err();
+        assert_eq!(err.pos, 5);
+        assert_eq!(err.byte, b' ');
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let text = b"MKVLAARNDW";
+        let idx = PROTEIN.encode(text).unwrap();
+        assert_eq!(PROTEIN.decode(&idx), text);
+    }
+
+    #[test]
+    fn itoc_inverts_ctoi_for_all_letters() {
+        for alpha in [&PROTEIN, &DNA] {
+            for i in 0..alpha.len() as u8 {
+                let c = alpha.itoc(i);
+                assert_eq!(alpha.ctoi(c), Some(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Sequence databases.
+//!
+//! The multi-threaded driver (paper Sec. V-E) aligns one query against
+//! every subject in a database, sorted by length so the dynamic
+//! work-binding stays balanced. [`SeqDatabase`] owns the subjects and
+//! provides the sorted view plus summary statistics.
+
+use std::io::BufRead;
+
+use crate::alphabet::Alphabet;
+use crate::fasta::{read_fasta, FastaError};
+use crate::seq::Sequence;
+
+/// An in-memory database of subject sequences.
+#[derive(Debug, Clone, Default)]
+pub struct SeqDatabase {
+    seqs: Vec<Sequence>,
+}
+
+/// Summary statistics of a database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbStats {
+    pub count: usize,
+    pub total_residues: usize,
+    pub min_len: usize,
+    pub max_len: usize,
+    pub mean_len: f64,
+    pub median_len: usize,
+}
+
+impl SeqDatabase {
+    /// Build from a vector of sequences.
+    pub fn new(seqs: Vec<Sequence>) -> Self {
+        Self { seqs }
+    }
+
+    /// Load from FASTA.
+    pub fn from_fasta<R: BufRead>(
+        reader: R,
+        alphabet: &'static Alphabet,
+    ) -> Result<Self, FastaError> {
+        Ok(Self::new(read_fasta(reader, alphabet)?))
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// True when the database holds no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// All sequences in insertion order.
+    pub fn sequences(&self) -> &[Sequence] {
+        &self.seqs
+    }
+
+    /// Sequence by position.
+    pub fn get(&self, i: usize) -> &Sequence {
+        &self.seqs[i]
+    }
+
+    /// Indices of all sequences sorted by descending length — the
+    /// paper's processing order (longest first keeps the tail of a
+    /// dynamic schedule short).
+    pub fn sorted_by_length_desc(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.seqs.len()).collect();
+        idx.sort_by_key(|&i| core::cmp::Reverse(self.seqs[i].len()));
+        idx
+    }
+
+    /// Summary statistics.
+    ///
+    /// # Panics
+    /// Panics on an empty database.
+    pub fn stats(&self) -> DbStats {
+        assert!(!self.is_empty(), "stats of empty database");
+        let mut lens: Vec<usize> = self.seqs.iter().map(Sequence::len).collect();
+        lens.sort_unstable();
+        let total: usize = lens.iter().sum();
+        DbStats {
+            count: lens.len(),
+            total_residues: total,
+            min_len: lens[0],
+            max_len: *lens.last().unwrap(),
+            mean_len: total as f64 / lens.len() as f64,
+            median_len: lens[lens.len() / 2],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> SeqDatabase {
+        SeqDatabase::new(vec![
+            Sequence::protein("a", b"HE").unwrap(),
+            Sequence::protein("b", b"HEAGAWGHEE").unwrap(),
+            Sequence::protein("c", b"PAWHEAE").unwrap(),
+        ])
+    }
+
+    #[test]
+    fn sorted_by_length_desc_orders_longest_first() {
+        let d = db();
+        let order = d.sorted_by_length_desc();
+        let lens: Vec<usize> = order.iter().map(|&i| d.get(i).len()).collect();
+        assert_eq!(lens, vec![10, 7, 2]);
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let s = db().stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_residues, 19);
+        assert_eq!(s.min_len, 2);
+        assert_eq!(s.max_len, 10);
+        assert_eq!(s.median_len, 7);
+        assert!((s.mean_len - 19.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_fasta_loads_records() {
+        let d = SeqDatabase::from_fasta(
+            ">x\nHEAG\n>y\nPAW\n".as_bytes(),
+            &crate::alphabet::PROTEIN,
+        )
+        .unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(1).id(), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn stats_of_empty_panics() {
+        let _ = SeqDatabase::default().stats();
+    }
+}

@@ -1,0 +1,215 @@
+//! FASTA reading and writing.
+//!
+//! Minimal but robust: multi-record, multi-line bodies, CRLF-tolerant,
+//! precise error positions. The paper aligns queries against the
+//! NCBI/UniProt databases distributed in this format.
+
+use std::io::{self, BufRead, Write};
+
+use crate::alphabet::Alphabet;
+use crate::seq::Sequence;
+
+/// Errors from FASTA parsing.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// First non-empty line does not start with `>`.
+    MissingHeader { line: usize },
+    /// A record had a header but no residues.
+    EmptyRecord { id: String, line: usize },
+    /// A residue failed alphabet validation.
+    BadResidue {
+        id: String,
+        line: usize,
+        err: crate::alphabet::EncodeError,
+    },
+}
+
+impl core::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::MissingHeader { line } => {
+                write!(f, "line {line}: expected '>' header")
+            }
+            Self::EmptyRecord { id, line } => {
+                write!(f, "line {line}: record {id:?} has no residues")
+            }
+            Self::BadResidue { id, line, err } => {
+                write!(f, "line {line}: record {id:?}: {err}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parse all records from a reader against `alphabet`.
+pub fn read_fasta<R: BufRead>(
+    reader: R,
+    alphabet: &'static Alphabet,
+) -> Result<Vec<Sequence>, FastaError> {
+    let mut out = Vec::new();
+    let mut cur_id: Option<(String, usize)> = None;
+    let mut cur_body: Vec<u8> = Vec::new();
+    let mut line_no = 0usize;
+
+    let flush = |cur_id: &mut Option<(String, usize)>,
+                     cur_body: &mut Vec<u8>,
+                     out: &mut Vec<Sequence>|
+     -> Result<(), FastaError> {
+        if let Some((id, hline)) = cur_id.take() {
+            if cur_body.is_empty() {
+                return Err(FastaError::EmptyRecord {
+                    id,
+                    line: hline,
+                });
+            }
+            let seq = Sequence::new(&id, alphabet, cur_body).map_err(|err| {
+                FastaError::BadResidue {
+                    id: id.clone(),
+                    line: hline,
+                    err,
+                }
+            })?;
+            out.push(seq);
+            cur_body.clear();
+        }
+        Ok(())
+    };
+
+    for line in reader.lines() {
+        line_no += 1;
+        let line = line?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(hdr) = line.strip_prefix('>') {
+            flush(&mut cur_id, &mut cur_body, &mut out)?;
+            let id = hdr
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_string();
+            cur_id = Some((id, line_no));
+        } else {
+            if cur_id.is_none() {
+                return Err(FastaError::MissingHeader { line: line_no });
+            }
+            cur_body.extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    flush(&mut cur_id, &mut cur_body, &mut out)?;
+    Ok(out)
+}
+
+/// Parse records from an in-memory string.
+///
+/// ```
+/// use aalign_bio::fasta::parse_fasta;
+/// use aalign_bio::alphabet::PROTEIN;
+/// let seqs = parse_fasta(">a first\nHEAG\nAW\n>b\nPAW\n", &PROTEIN).unwrap();
+/// assert_eq!(seqs.len(), 2);
+/// assert_eq!(seqs[0].text(), b"HEAGAW");
+/// ```
+pub fn parse_fasta(
+    text: &str,
+    alphabet: &'static Alphabet,
+) -> Result<Vec<Sequence>, FastaError> {
+    read_fasta(text.as_bytes(), alphabet)
+}
+
+/// Write records in FASTA format, wrapping bodies at `width` columns.
+pub fn write_fasta<W: Write>(
+    mut w: W,
+    seqs: &[Sequence],
+    width: usize,
+) -> io::Result<()> {
+    let width = width.max(1);
+    for s in seqs {
+        writeln!(w, ">{}", s.id())?;
+        let text = s.text();
+        for chunk in text.chunks(width) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::PROTEIN;
+
+    #[test]
+    fn parses_multi_record_multi_line() {
+        let text = ">one first record\nHEAG\nAWGH\n\n>two\nPAWHEAE\n";
+        let seqs = parse_fasta(text, &PROTEIN).unwrap();
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id(), "one");
+        assert_eq!(seqs[0].text(), b"HEAGAWGH");
+        assert_eq!(seqs[1].id(), "two");
+        assert_eq!(seqs[1].len(), 7);
+    }
+
+    #[test]
+    fn tolerates_crlf_and_inner_whitespace() {
+        let text = ">x\r\nHE AG\r\nAW\r\n";
+        let seqs = parse_fasta(text, &PROTEIN).unwrap();
+        assert_eq!(seqs[0].text(), b"HEAGAW");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse_fasta("HEAG\n", &PROTEIN).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn empty_record_is_an_error() {
+        let err = parse_fasta(">a\n>b\nHE\n", &PROTEIN).unwrap_err();
+        assert!(matches!(err, FastaError::EmptyRecord { .. }));
+    }
+
+    #[test]
+    fn bad_residue_reports_record() {
+        let err = parse_fasta(">a\nHE1G\n", &PROTEIN).unwrap_err();
+        match err {
+            FastaError::BadResidue { id, err, .. } => {
+                assert_eq!(id, "a");
+                assert_eq!(err.byte, b'1');
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let seqs = vec![
+            Sequence::protein("alpha", b"HEAGAWGHEE").unwrap(),
+            Sequence::protein("beta", b"PAWHEAE").unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &seqs, 4).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_fasta(&text, &PROTEIN).unwrap();
+        assert_eq!(parsed, seqs);
+        // wrapped at 4 columns
+        assert!(text.contains("HEAG\nAWGH\nEE\n"));
+    }
+
+    #[test]
+    fn empty_input_gives_no_records() {
+        assert!(parse_fasta("", &PROTEIN).unwrap().is_empty());
+        assert!(parse_fasta("\n\n", &PROTEIN).unwrap().is_empty());
+    }
+}

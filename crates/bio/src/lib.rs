@@ -1,0 +1,31 @@
+//! # aalign-bio — bioinformatics substrate for AAlign
+//!
+//! Everything the alignment kernels need that is *about sequences*
+//! rather than about vectorization:
+//!
+//! * [`alphabet`] — residue alphabets and the paper's `ctoi` mapping;
+//! * [`seq`] — validated sequences;
+//! * [`fasta`] — FASTA reading and writing;
+//! * [`matrices`] — substitution matrices ([`matrices::BLOSUM62`] and
+//!   friends, plus an NCBI-format parser and simple constructors);
+//! * [`profile`] — the striped query profile (`prof` in Alg. 2/3);
+//! * [`db`] — sequence databases (load, sort by length, stats);
+//! * [`synth`] — seeded synthetic data: background-frequency proteins,
+//!   swiss-prot-like databases, and query/subject pairs with
+//!   controlled query coverage (QC) and max identity (MI) — the
+//!   independent variables of the paper's Fig. 10.
+
+pub mod alphabet;
+pub mod db;
+pub mod fasta;
+pub mod matrices;
+pub mod profile;
+pub mod seq;
+pub mod stats;
+pub mod synth;
+
+pub use alphabet::Alphabet;
+pub use db::SeqDatabase;
+pub use matrices::SubstMatrix;
+pub use profile::StripedProfile;
+pub use seq::Sequence;

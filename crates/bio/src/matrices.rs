@@ -1,0 +1,329 @@
+//! Substitution matrices.
+//!
+//! [`SubstMatrix`] is a square score table over an alphabet. The
+//! standard NCBI **BLOSUM62** table is built in (it is the matrix the
+//! paper evaluates with); other NCBI-format matrices can be loaded
+//! with [`SubstMatrix::parse_ncbi`], and simple match/mismatch
+//! matrices can be constructed for DNA work.
+
+use crate::alphabet::{Alphabet, DNA, PROTEIN};
+
+/// A substitution matrix: `score(a, b)` for alphabet indices `a`, `b`.
+///
+/// ```
+/// use aalign_bio::matrices::BLOSUM62;
+/// use aalign_bio::alphabet::PROTEIN;
+/// let w = PROTEIN.ctoi(b'W').unwrap();
+/// let a = PROTEIN.ctoi(b'A').unwrap();
+/// assert_eq!(BLOSUM62.score(w, w), 11);
+/// assert_eq!(BLOSUM62.score(w, a), -3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubstMatrix {
+    name: String,
+    alphabet: &'static Alphabet,
+    n: usize,
+    /// Row-major `n × n` scores.
+    scores: Vec<i32>,
+}
+
+impl SubstMatrix {
+    /// Build from a row-major table.
+    ///
+    /// # Panics
+    /// Panics if `scores.len() != alphabet.len()²`.
+    pub fn new(name: impl Into<String>, alphabet: &'static Alphabet, scores: Vec<i32>) -> Self {
+        let n = alphabet.len();
+        assert_eq!(scores.len(), n * n, "matrix must be {n}×{n}");
+        Self {
+            name: name.into(),
+            alphabet,
+            n,
+            scores,
+        }
+    }
+
+    /// A DNA match/mismatch matrix (e.g. `dna(2, -3)`); `N` scores the
+    /// mismatch value against everything including itself.
+    pub fn dna(match_score: i32, mismatch: i32) -> Self {
+        let n = DNA.len();
+        let mut scores = vec![mismatch; n * n];
+        for i in 0..n - 1 {
+            // exclude N from matching itself
+            scores[i * n + i] = match_score;
+        }
+        Self::new(
+            format!("dna({match_score},{mismatch})"),
+            &DNA,
+            scores,
+        )
+    }
+
+    /// Matrix name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The alphabet the matrix indexes.
+    pub fn alphabet(&self) -> &'static Alphabet {
+        self.alphabet
+    }
+
+    /// Alphabet size `n`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Score of aligning indices `a` and `b`.
+    #[inline]
+    pub fn score(&self, a: u8, b: u8) -> i32 {
+        self.scores[a as usize * self.n + b as usize]
+    }
+
+    /// One full row (all scores against index `a`).
+    #[inline]
+    pub fn row(&self, a: u8) -> &[i32] {
+        &self.scores[a as usize * self.n..(a as usize + 1) * self.n]
+    }
+
+    /// Largest score in the matrix (used for overflow-headroom math).
+    pub fn max_score(&self) -> i32 {
+        self.scores.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest score in the matrix.
+    pub fn min_score(&self) -> i32 {
+        self.scores.iter().copied().min().unwrap_or(0)
+    }
+
+    /// True if `score(a,b) == score(b,a)` for all pairs.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.n as u8)
+            .all(|a| (0..self.n as u8).all(|b| self.score(a, b) == self.score(b, a)))
+    }
+
+    /// Parse an NCBI-format matrix file (the format of `BLOSUM62.txt`
+    /// shipped with BLAST: `#` comments, a header row of letters, then
+    /// one labelled row per letter).
+    pub fn parse_ncbi(
+        name: impl Into<String>,
+        alphabet: &'static Alphabet,
+        text: &str,
+    ) -> Result<Self, MatrixParseError> {
+        use MatrixParseError as E;
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = lines.next().ok_or(E::MissingHeader)?;
+        let cols: Vec<u8> = header
+            .split_whitespace()
+            .map(|tok| {
+                let b = tok.bytes().next().ok_or(E::MissingHeader)?;
+                alphabet.ctoi(b).ok_or(E::UnknownLetter(b as char))
+            })
+            .collect::<Result<_, _>>()?;
+        let n = alphabet.len();
+        if cols.len() != n {
+            return Err(E::WrongDimension {
+                got: cols.len(),
+                want: n,
+            });
+        }
+        let mut scores = vec![i32::MIN; n * n];
+        let mut rows_seen = 0usize;
+        for line in lines {
+            let mut toks = line.split_whitespace();
+            let row_letter = toks
+                .next()
+                .and_then(|t| t.bytes().next())
+                .ok_or(E::MalformedRow(rows_seen))?;
+            let r = alphabet
+                .ctoi(row_letter)
+                .ok_or(E::UnknownLetter(row_letter as char))?;
+            let vals: Vec<i32> = toks
+                .map(|t| t.parse::<i32>().map_err(|_| E::MalformedRow(rows_seen)))
+                .collect::<Result<_, _>>()?;
+            if vals.len() != n {
+                return Err(E::WrongDimension {
+                    got: vals.len(),
+                    want: n,
+                });
+            }
+            for (c, v) in cols.iter().zip(vals) {
+                scores[r as usize * n + *c as usize] = v;
+            }
+            rows_seen += 1;
+        }
+        if rows_seen != n {
+            return Err(E::WrongDimension {
+                got: rows_seen,
+                want: n,
+            });
+        }
+        Ok(Self::new(name, alphabet, scores))
+    }
+}
+
+/// Errors from [`SubstMatrix::parse_ncbi`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixParseError {
+    /// No header row found.
+    MissingHeader,
+    /// A letter not in the alphabet.
+    UnknownLetter(char),
+    /// Row/column count mismatch.
+    WrongDimension { got: usize, want: usize },
+    /// A row failed to parse (0-based data-row index).
+    MalformedRow(usize),
+}
+
+impl core::fmt::Display for MatrixParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::MissingHeader => write!(f, "missing matrix header row"),
+            Self::UnknownLetter(c) => write!(f, "letter {c:?} not in alphabet"),
+            Self::WrongDimension { got, want } => {
+                write!(f, "expected {want} entries, got {got}")
+            }
+            Self::MalformedRow(i) => write!(f, "malformed matrix row {i}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixParseError {}
+
+/// The standard NCBI BLOSUM62 table over
+/// [`PROTEIN`](crate::alphabet::PROTEIN)'s `ARNDCQEGHILKMFPSTWYVBZX*`
+/// order — the matrix used throughout the paper's evaluation.
+#[rustfmt::skip]
+static BLOSUM62_SCORES: [i32; 24 * 24] = [
+//   A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+     4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -2, -1,  0, -4, // A
+    -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  0, -1, -4, // R
+    -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  3,  0, -1, -4, // N
+    -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  4,  1, -1, -4, // D
+     0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4, // C
+    -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  0,  3, -1, -4, // Q
+    -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4, // E
+     0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1, -2, -1, -4, // G
+    -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  0,  0, -1, -4, // H
+    -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -3, -3, -1, -4, // I
+    -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4, -3, -1, -4, // L
+    -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  0,  1, -1, -4, // K
+    -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -3, -1, -1, -4, // M
+    -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -3, -3, -1, -4, // F
+    -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2, -1, -2, -4, // P
+     1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0,  0,  0, -4, // S
+     0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1, -1,  0, -4, // T
+    -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4, -3, -2, -4, // W
+    -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -3, -2, -1, -4, // Y
+     0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -3, -2, -1, -4, // V
+    -2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0, -1, -4, -3, -3,  4,  1, -1, -4, // B
+    -1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4, // Z
+     0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1, -1, -1, -4, // X
+    -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1, // *
+];
+
+/// Lazily constructed BLOSUM62 (stable address, cheap to share).
+pub static BLOSUM62: std::sync::LazyLock<SubstMatrix> = std::sync::LazyLock::new(|| {
+    SubstMatrix::new("BLOSUM62", &PROTEIN, BLOSUM62_SCORES.to_vec())
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_known_entries() {
+        let m = &*BLOSUM62;
+        let s = |a: u8, b: u8| {
+            m.score(
+                PROTEIN.ctoi(a).unwrap(),
+                PROTEIN.ctoi(b).unwrap(),
+            )
+        };
+        assert_eq!(s(b'W', b'W'), 11);
+        assert_eq!(s(b'A', b'A'), 4);
+        assert_eq!(s(b'C', b'C'), 9);
+        assert_eq!(s(b'E', b'Q'), 2);
+        assert_eq!(s(b'L', b'I'), 2);
+        assert_eq!(s(b'G', b'W'), -2);
+        assert_eq!(s(b'*', b'*'), 1);
+        assert_eq!(s(b'A', b'*'), -4);
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        assert!(BLOSUM62.is_symmetric());
+    }
+
+    #[test]
+    fn blosum62_extrema() {
+        assert_eq!(BLOSUM62.max_score(), 11);
+        assert_eq!(BLOSUM62.min_score(), -4);
+    }
+
+    #[test]
+    fn dna_matrix_scores() {
+        let m = SubstMatrix::dna(2, -3);
+        let a = DNA.ctoi(b'A').unwrap();
+        let c = DNA.ctoi(b'C').unwrap();
+        let n = DNA.ctoi(b'N').unwrap();
+        assert_eq!(m.score(a, a), 2);
+        assert_eq!(m.score(a, c), -3);
+        assert_eq!(m.score(n, n), -3, "N never matches");
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn parse_ncbi_round_trips_blosum62() {
+        // Render BLOSUM62 in NCBI format and re-parse it.
+        let letters = b"ARNDCQEGHILKMFPSTWYVBZX*";
+        let mut text = String::from("# comment line\n");
+        text.push_str(
+            &letters
+                .iter()
+                .map(|&b| (b as char).to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        text.push('\n');
+        for (r, &row_letter) in letters.iter().enumerate() {
+            text.push(row_letter as char);
+            for c in 0..24 {
+                text.push_str(&format!(" {}", BLOSUM62_SCORES[r * 24 + c]));
+            }
+            text.push('\n');
+        }
+        let parsed = SubstMatrix::parse_ncbi("reparsed", &PROTEIN, &text).unwrap();
+        assert_eq!(parsed.row(0), BLOSUM62.row(0));
+        for a in 0..24u8 {
+            for b in 0..24u8 {
+                assert_eq!(parsed.score(a, b), BLOSUM62.score(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_ncbi_rejects_bad_input() {
+        assert_eq!(
+            SubstMatrix::parse_ncbi("x", &PROTEIN, ""),
+            Err(MatrixParseError::MissingHeader)
+        );
+        let r = SubstMatrix::parse_ncbi("x", &PROTEIN, "A R\nA 1 2\nR 3 4\n");
+        assert!(matches!(r, Err(MatrixParseError::WrongDimension { .. })));
+    }
+
+    #[test]
+    fn row_matches_score() {
+        let m = &*BLOSUM62;
+        for a in 0..24u8 {
+            let row = m.row(a);
+            for b in 0..24u8 {
+                assert_eq!(row[b as usize], m.score(a, b));
+            }
+        }
+    }
+}

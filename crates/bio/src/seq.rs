@@ -1,0 +1,197 @@
+//! Validated sequences.
+//!
+//! A [`Sequence`] stores residues already encoded as matrix indices
+//! (the paper's `ctoi` applied once, up front), so the kernels' inner
+//! loops do plain array indexing.
+
+use crate::alphabet::{Alphabet, EncodeError, DNA, PROTEIN};
+
+/// A named, validated, index-encoded sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    id: String,
+    alphabet: &'static Alphabet,
+    residues: Vec<u8>,
+}
+
+impl Sequence {
+    /// Build from raw ASCII text against the given alphabet.
+    pub fn new(
+        id: impl Into<String>,
+        alphabet: &'static Alphabet,
+        text: &[u8],
+    ) -> Result<Self, EncodeError> {
+        Ok(Self {
+            id: id.into(),
+            alphabet,
+            residues: alphabet.encode(text)?,
+        })
+    }
+
+    /// Protein sequence from ASCII text.
+    pub fn protein(id: impl Into<String>, text: &[u8]) -> Result<Self, EncodeError> {
+        Self::new(id, &PROTEIN, text)
+    }
+
+    /// DNA sequence from ASCII text.
+    pub fn dna(id: impl Into<String>, text: &[u8]) -> Result<Self, EncodeError> {
+        Self::new(id, &DNA, text)
+    }
+
+    /// Build directly from pre-encoded indices (used by generators).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range for the alphabet.
+    pub fn from_indices(
+        id: impl Into<String>,
+        alphabet: &'static Alphabet,
+        residues: Vec<u8>,
+    ) -> Self {
+        assert!(
+            residues.iter().all(|&r| (r as usize) < alphabet.len()),
+            "residue index out of range"
+        );
+        Self {
+            id: id.into(),
+            alphabet,
+            residues,
+        }
+    }
+
+    /// Sequence identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The alphabet this sequence was validated against.
+    pub fn alphabet(&self) -> &'static Alphabet {
+        self.alphabet
+    }
+
+    /// Residues as matrix indices.
+    #[inline]
+    pub fn indices(&self) -> &[u8] {
+        &self.residues
+    }
+
+    /// Number of residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True for an empty sequence.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Decode back to ASCII letters.
+    pub fn text(&self) -> Vec<u8> {
+        self.alphabet.decode(&self.residues)
+    }
+
+    /// Reverse complement (DNA sequences only): A↔T, C↔G, N↔N,
+    /// reading order reversed — the opposite strand.
+    ///
+    /// ```
+    /// use aalign_bio::Sequence;
+    /// let s = Sequence::dna("s", b"ACGTN").unwrap();
+    /// assert_eq!(s.reverse_complement().text(), b"NACGT");
+    /// ```
+    ///
+    /// # Panics
+    /// Panics for non-DNA sequences.
+    pub fn reverse_complement(&self) -> Sequence {
+        assert_eq!(
+            self.alphabet.name(),
+            "dna",
+            "reverse_complement is defined for DNA sequences"
+        );
+        // DNA indices: A=0 C=1 G=2 T=3 N=4; complement swaps 0↔3, 1↔2.
+        let residues = self
+            .residues
+            .iter()
+            .rev()
+            .map(|&r| match r {
+                0 => 3,
+                1 => 2,
+                2 => 1,
+                3 => 0,
+                other => other,
+            })
+            .collect();
+        Sequence {
+            id: format!("{}_rc", self.id),
+            alphabet: self.alphabet,
+            residues,
+        }
+    }
+}
+
+impl core::fmt::Display for Sequence {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            ">{} ({} aa) {}",
+            self.id,
+            self.len(),
+            String::from_utf8_lossy(&self.text())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protein_round_trip() {
+        let s = Sequence::protein("p1", b"HEAGAWGHEE").unwrap();
+        assert_eq!(s.id(), "p1");
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.text(), b"HEAGAWGHEE");
+    }
+
+    #[test]
+    fn rejects_bad_residue() {
+        let err = Sequence::protein("p", b"ACDJ").unwrap_err();
+        assert_eq!(err.byte, b'J');
+    }
+
+    #[test]
+    fn lowercase_input_normalizes() {
+        let s = Sequence::protein("p", b"acdef").unwrap();
+        assert_eq!(s.text(), b"ACDEF");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_indices_validates_range() {
+        let _ = Sequence::from_indices("x", &PROTEIN, vec![200]);
+    }
+
+    #[test]
+    fn reverse_complement_round_trips() {
+        let s = Sequence::dna("x", b"AACGTGNT").unwrap();
+        let rc = s.reverse_complement();
+        assert_eq!(rc.text(), b"ANCACGTT");
+        assert_eq!(rc.reverse_complement().text(), s.text());
+        assert_eq!(rc.id(), "x_rc");
+    }
+
+    #[test]
+    #[should_panic(expected = "DNA")]
+    fn reverse_complement_rejects_protein() {
+        let s = Sequence::protein("p", b"HEAG").unwrap();
+        let _ = s.reverse_complement();
+    }
+
+    #[test]
+    fn display_contains_id_and_length() {
+        let s = Sequence::dna("chr", b"ACGT").unwrap();
+        let d = s.to_string();
+        assert!(d.contains("chr"));
+        assert!(d.contains("4 aa"));
+    }
+}

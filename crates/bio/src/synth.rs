@@ -1,0 +1,377 @@
+//! Seeded synthetic sequence generation.
+//!
+//! The paper evaluates on NCBI-protein queries, BLAST-selected
+//! subjects in nine query-coverage/max-identity (QC/MI) classes, and
+//! the swiss-prot database. None of those are redistributable inside
+//! a test suite, so this module builds statistical equivalents:
+//!
+//! * [`random_protein`] — residues drawn from the Robinson–Robinson
+//!   background frequencies (what BLAST assumes for random protein);
+//! * [`named_query`] — a random protein named like the paper's
+//!   queries (`Q282`, `Q2000`, …);
+//! * [`PairSpec::generate`] — a subject with controlled QC and MI
+//!   against a given query (the independent variables of Fig. 10);
+//! * [`swissprot_like_db`] — a database whose length distribution
+//!   matches swiss-prot's (gamma-ish, mean ≈ 360 aa).
+//!
+//! Everything is driven by a caller-provided seeded RNG, so data sets
+//! are reproducible bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::alphabet::PROTEIN;
+use crate::db::SeqDatabase;
+use crate::seq::Sequence;
+
+/// Robinson–Robinson amino-acid background frequencies (per mille),
+/// in PROTEIN order for the 20 standard residues.
+const BACKGROUND_PERMILLE: [u32; 20] = [
+    78, // A
+    51, // R
+    45, // N
+    54, // D
+    19, // C
+    43, // Q
+    63, // E
+    74, // G
+    22, // H
+    51, // I
+    90, // L
+    57, // K
+    22, // M
+    39, // F
+    52, // P
+    71, // S
+    58, // T
+    13, // W
+    32, // Y
+    64, // V
+];
+
+/// Deterministic RNG from a seed (StdRng is stable within a rand
+/// major version, which is all reproducibility here needs).
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draw one residue index from the background distribution.
+pub fn random_residue<R: Rng>(rng: &mut R) -> u8 {
+    let total: u32 = BACKGROUND_PERMILLE.iter().sum();
+    let mut ticket = rng.random_range(0..total);
+    for (i, &w) in BACKGROUND_PERMILLE.iter().enumerate() {
+        if ticket < w {
+            return i as u8;
+        }
+        ticket -= w;
+    }
+    unreachable!("ticket exceeds total weight")
+}
+
+/// A random protein of `len` residues with background composition.
+pub fn random_protein<R: Rng>(rng: &mut R, id: impl Into<String>, len: usize) -> Sequence {
+    let residues = (0..len).map(|_| random_residue(rng)).collect();
+    Sequence::from_indices(id, &PROTEIN, residues)
+}
+
+/// A random protein named after its length, paper-style (`Q282`).
+pub fn named_query<R: Rng>(rng: &mut R, len: usize) -> Sequence {
+    random_protein(rng, format!("Q{len}"), len)
+}
+
+/// The three similarity levels of the paper's Fig. 10 axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// > 70 %
+    Hi,
+    /// 30 – 70 %
+    Md,
+    /// < 30 %
+    Lo,
+}
+
+impl Level {
+    /// Sample a concrete fraction inside the level's band.
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = match self {
+            Level::Hi => (0.75, 0.95),
+            Level::Md => (0.35, 0.65),
+            Level::Lo => (0.05, 0.25),
+        };
+        rng.random_range(lo..hi)
+    }
+
+    /// Short label used in figure axes (`hi`/`md`/`lo`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Hi => "hi",
+            Level::Md => "md",
+            Level::Lo => "lo",
+        }
+    }
+
+    /// All three levels, high to low.
+    pub const ALL: [Level; 3] = [Level::Hi, Level::Md, Level::Lo];
+}
+
+/// Specification of a query/subject pair: query coverage × max
+/// identity, plus an optional indel rate inside the covered region.
+///
+/// ```
+/// use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+/// let mut rng = seeded_rng(1);
+/// let q = named_query(&mut rng, 200);
+/// let pair = PairSpec::new(Level::Hi, Level::Md).generate(&mut rng, &q);
+/// assert!(pair.realized_qc > 0.7);
+/// assert!(pair.realized_mi < 0.72);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PairSpec {
+    /// Fraction of the query covered by the subject (QC).
+    pub qc: Level,
+    /// Identity within the covered region (MI).
+    pub mi: Level,
+    /// Per-position probability of a 1-residue indel in the covered
+    /// region (0 disables; the paper's BLAST-selected subjects have
+    /// scattered short indels).
+    pub indel_rate: f64,
+}
+
+impl PairSpec {
+    /// A pair spec with the default light indel rate.
+    pub fn new(qc: Level, mi: Level) -> Self {
+        Self {
+            qc,
+            mi,
+            indel_rate: 0.01,
+        }
+    }
+
+    /// Paper-style label, e.g. `hi_md`.
+    pub fn label(&self) -> String {
+        format!("{}_{}", self.qc.label(), self.mi.label())
+    }
+
+    /// Generate a subject realizing this spec against `query`.
+    ///
+    /// The subject consists of a random prefix, a mutated copy of a
+    /// query window of length `QC·|query|` (each kept position is
+    /// identical with probability `MI`), and a random suffix. Flank
+    /// lengths are chosen so the subject length is close to the
+    /// query's. The realized QC/MI fractions are reported in the
+    /// returned [`GeneratedPair`].
+    pub fn generate<R: Rng>(&self, rng: &mut R, query: &Sequence) -> GeneratedPair {
+        let m = query.len();
+        assert!(m >= 4, "query too short to derive a pair");
+        let qc = self.qc.sample(rng);
+        let mi = self.mi.sample(rng);
+        let overlap = ((m as f64 * qc) as usize).clamp(1, m);
+        let start = rng.random_range(0..=m - overlap);
+
+        let mut core: Vec<u8> = Vec::with_capacity(overlap + 8);
+        let mut identical = 0usize;
+        for &res in &query.indices()[start..start + overlap] {
+            if self.indel_rate > 0.0 && rng.random_bool(self.indel_rate / 2.0) {
+                continue; // deletion
+            }
+            if rng.random_bool(mi) {
+                core.push(res);
+                identical += 1;
+            } else {
+                // substitute with a different residue
+                loop {
+                    let r = random_residue(rng);
+                    if r != res {
+                        core.push(r);
+                        break;
+                    }
+                }
+            }
+            if self.indel_rate > 0.0 && rng.random_bool(self.indel_rate / 2.0) {
+                core.push(random_residue(rng)); // insertion
+            }
+        }
+
+        // Flanks: pad the subject back up to ≈ query length.
+        let flank_total = m.saturating_sub(core.len()).max(2);
+        let prefix_len = rng.random_range(0..=flank_total);
+        let suffix_len = flank_total - prefix_len;
+        let mut residues = Vec::with_capacity(prefix_len + core.len() + suffix_len);
+        residues.extend((0..prefix_len).map(|_| random_residue(rng)));
+        residues.extend(core);
+        residues.extend((0..suffix_len).map(|_| random_residue(rng)));
+
+        GeneratedPair {
+            subject: Sequence::from_indices(
+                format!("{}_{}", query.id(), self.label()),
+                &PROTEIN,
+                residues,
+            ),
+            realized_qc: overlap as f64 / m as f64,
+            realized_mi: identical as f64 / overlap as f64,
+            query_window: (start, start + overlap),
+        }
+    }
+}
+
+/// A generated subject plus the similarity it actually realizes.
+#[derive(Debug, Clone)]
+pub struct GeneratedPair {
+    /// The subject sequence.
+    pub subject: Sequence,
+    /// Realized query coverage (window / query length).
+    pub realized_qc: f64,
+    /// Realized identity within the covered window.
+    pub realized_mi: f64,
+    /// The covered query window `[start, end)`.
+    pub query_window: (usize, usize),
+}
+
+/// All nine QC×MI combinations, in the paper's axis order
+/// (`hi_hi, hi_md, hi_lo, md_hi, …, lo_lo`).
+pub fn nine_similarity_specs() -> Vec<PairSpec> {
+    let mut out = Vec::with_capacity(9);
+    for qc in Level::ALL {
+        for mi in Level::ALL {
+            out.push(PairSpec::new(qc, mi));
+        }
+    }
+    out
+}
+
+/// Sample a swiss-prot-like sequence length: gamma(shape=2) with mean
+/// `mean_len`, floored at `min_len`.
+pub fn swissprot_like_len<R: Rng>(rng: &mut R, mean_len: f64, min_len: usize) -> usize {
+    // Gamma(2, θ) = sum of two exponentials with scale θ = mean/2.
+    let theta = mean_len / 2.0;
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(f64::EPSILON..1.0);
+    let len = (-(u1.ln()) - u2.ln()) * theta;
+    (len as usize).max(min_len)
+}
+
+/// A synthetic database with swiss-prot-like length statistics
+/// (gamma-distributed lengths, mean ≈ 360 aa — swiss-prot's mean).
+pub fn swissprot_like_db(seed: u64, count: usize) -> SeqDatabase {
+    let mut rng = seeded_rng(seed);
+    let seqs = (0..count)
+        .map(|i| {
+            let len = swissprot_like_len(&mut rng, 360.0, 20);
+            random_protein(&mut rng, format!("sp{i:06}"), len)
+        })
+        .collect();
+    SeqDatabase::new(seqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_protein_is_reproducible() {
+        let a = random_protein(&mut seeded_rng(42), "a", 100);
+        let b = random_protein(&mut seeded_rng(42), "b", 100);
+        assert_eq!(a.indices(), b.indices());
+        let c = random_protein(&mut seeded_rng(43), "c", 100);
+        assert_ne!(a.indices(), c.indices());
+    }
+
+    #[test]
+    fn random_protein_uses_only_standard_residues() {
+        let s = random_protein(&mut seeded_rng(7), "s", 5000);
+        assert!(s.indices().iter().all(|&r| r < 20));
+    }
+
+    #[test]
+    fn background_composition_roughly_matches() {
+        let s = random_protein(&mut seeded_rng(1), "s", 200_000);
+        let mut counts = [0usize; 20];
+        for &r in s.indices() {
+            counts[r as usize] += 1;
+        }
+        // Leucine (index 10) should be the most common (~9 %).
+        let leu = counts[10] as f64 / 200_000.0;
+        assert!((0.08..0.10).contains(&leu), "leu fraction {leu}");
+        // Tryptophan (17) the rarest (~1.3 %).
+        let trp = counts[17] as f64 / 200_000.0;
+        assert!((0.008..0.018).contains(&trp), "trp fraction {trp}");
+    }
+
+    #[test]
+    fn named_query_id_matches_length() {
+        let q = named_query(&mut seeded_rng(3), 282);
+        assert_eq!(q.id(), "Q282");
+        assert_eq!(q.len(), 282);
+    }
+
+    #[test]
+    fn pair_spec_hits_its_similarity_band() {
+        let mut rng = seeded_rng(11);
+        let query = named_query(&mut rng, 400);
+        for (qc, want_qc) in [
+            (Level::Hi, 0.70..1.01),
+            (Level::Md, 0.30..0.70),
+            (Level::Lo, 0.0..0.30),
+        ] {
+            for (mi, want_mi) in [
+                (Level::Hi, 0.70..1.01),
+                (Level::Md, 0.28..0.72),
+                (Level::Lo, 0.0..0.32),
+            ] {
+                for trial in 0..5 {
+                    let spec = PairSpec::new(qc, mi);
+                    let pair = spec.generate(&mut rng, &query);
+                    assert!(
+                        want_qc.contains(&pair.realized_qc),
+                        "{} trial {trial}: qc={}",
+                        spec.label(),
+                        pair.realized_qc
+                    );
+                    assert!(
+                        want_mi.contains(&pair.realized_mi),
+                        "{} trial {trial}: mi={}",
+                        spec.label(),
+                        pair.realized_mi
+                    );
+                    let (ws, we) = pair.query_window;
+                    assert!(ws < we && we <= query.len());
+                    assert!(!pair.subject.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nine_specs_cover_all_combinations() {
+        let specs = nine_similarity_specs();
+        assert_eq!(specs.len(), 9);
+        let labels: std::collections::HashSet<String> =
+            specs.iter().map(PairSpec::label).collect();
+        assert_eq!(labels.len(), 9);
+        assert!(labels.contains("hi_hi"));
+        assert!(labels.contains("lo_lo"));
+        assert!(labels.contains("md_hi"));
+    }
+
+    #[test]
+    fn swissprot_like_db_statistics() {
+        let db = swissprot_like_db(5, 2000);
+        let stats = db.stats();
+        assert_eq!(stats.count, 2000);
+        assert!(
+            (250.0..470.0).contains(&stats.mean_len),
+            "mean {}",
+            stats.mean_len
+        );
+        assert!(stats.min_len >= 20);
+    }
+
+    #[test]
+    fn swissprot_like_db_is_reproducible() {
+        let a = swissprot_like_db(9, 50);
+        let b = swissprot_like_db(9, 50);
+        for (x, y) in a.sequences().iter().zip(b.sequences()) {
+            assert_eq!(x, y);
+        }
+    }
+}

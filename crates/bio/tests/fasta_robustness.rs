@@ -1,0 +1,71 @@
+//! Robustness: FASTA parsing never panics and the writer/parser pair
+//! round-trips arbitrary valid sequences.
+
+use aalign_bio::alphabet::PROTEIN;
+use aalign_bio::fasta::{parse_fasta, write_fasta};
+use aalign_bio::Sequence;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_fasta(&input, &PROTEIN);
+    }
+
+    #[test]
+    fn fasta_like_soup_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just(">id desc".to_string()),
+                Just("HEAGAWGHEE".to_string()),
+                Just("".to_string()),
+                Just(">".to_string()),
+                Just("NOT!VALID".to_string()),
+                Just("   ".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let _ = parse_fasta(&lines.join("\n"), &PROTEIN);
+    }
+
+    #[test]
+    fn round_trip_arbitrary_records(
+        seqs in proptest::collection::vec(
+            (
+                "[A-Za-z0-9_.-]{1,12}",
+                proptest::collection::vec(0u8..24, 1..120),
+            ),
+            1..8,
+        ),
+        width in 1usize..100,
+    ) {
+        let records: Vec<Sequence> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (id, idx))| {
+                Sequence::from_indices(format!("{id}_{i}"), &PROTEIN, idx)
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, width).unwrap();
+        let parsed = parse_fasta(std::str::from_utf8(&buf).unwrap(), &PROTEIN).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+}
+
+/// The shipped example matrix file parses to exactly the embedded,
+/// verified BLOSUM62 table.
+#[test]
+fn shipped_blosum62_file_matches_embedded_table() {
+    use aalign_bio::matrices::{SubstMatrix, BLOSUM62};
+    let text = include_str!("../../../assets/BLOSUM62.txt");
+    let parsed = SubstMatrix::parse_ncbi("file", &PROTEIN, text).unwrap();
+    for a in 0..24u8 {
+        for b in 0..24u8 {
+            assert_eq!(parsed.score(a, b), BLOSUM62.score(a, b), "({a},{b})");
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! AST for the sequential-paradigm input language.
+//!
+//! The language is the minimal C-like subset needed to write Alg. 1
+//! style kernels: `for` loops with `i = lo; i < hi; i = i + 1`
+//! headers, assignments to subscripted tables, and integer
+//! expressions with `max(...)` and `ctoi(...)` calls.
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Plain identifier (`GAP_EXT`, `i`, `n`).
+    Ident(String),
+    /// Subscripted table access: `T[i-1][j]`.
+    Index {
+        /// Table name.
+        base: String,
+        /// One entry per `[...]`.
+        subs: Vec<Expr>,
+    },
+    /// Function call: `max(a, b, …)`, `ctoi(c)`.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target = value;` where target is a subscripted table.
+    Assign {
+        /// Table name being assigned.
+        table: String,
+        /// Subscript expressions.
+        subs: Vec<Expr>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `for (var = lo; var < hi; var = var + 1) body`.
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        body: Vec<Stmt>,
+    },
+}
+
+impl Expr {
+    /// True if this expression is the integer literal `v`.
+    pub fn is_int(&self, v: i64) -> bool {
+        matches!(self, Expr::Int(x) if *x == v)
+    }
+
+    /// If this is `Ident`, its name.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            Expr::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Flatten nested `max(...)` calls into their argument list, or
+    /// `None` if this is not a max call.
+    pub fn max_args(&self) -> Option<Vec<&Expr>> {
+        match self {
+            Expr::Call { name, args } if name == "max" => {
+                let mut out = Vec::new();
+                for a in args {
+                    if let Some(inner) = a.max_args() {
+                        out.extend(inner);
+                    } else {
+                        out.push(a);
+                    }
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Decompose `base_expr + const_name` (in either order) into
+    /// `(base, constant_name)`. Used to spot `T[i-1][j] + GAP_OPEN`.
+    pub fn as_plus_const(&self) -> Option<(&Expr, &str)> {
+        if let Expr::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } = self
+        {
+            if let Some(name) = rhs.as_ident() {
+                if name.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+                    return Some((lhs, name));
+                }
+            }
+            if let Some(name) = lhs.as_ident() {
+                if name.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+                    return Some((rhs, name));
+                }
+            }
+        }
+        None
+    }
+
+    /// For a table subscript like `i`, `i-1`, `j-1`: return the offset
+    /// relative to the loop variable, or `None` if it is not of that
+    /// shape.
+    pub fn index_offset(&self, var: &str) -> Option<i64> {
+        match self {
+            Expr::Ident(s) if s == var => Some(0),
+            Expr::Bin { op, lhs, rhs } => {
+                let base = lhs.as_ident()?;
+                if base != var {
+                    return None;
+                }
+                if let Expr::Int(k) = **rhs {
+                    match op {
+                        BinOp::Sub => Some(-k),
+                        BinOp::Add => Some(k),
+                        BinOp::Mul => None,
+                    }
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ident(s: &str) -> Expr {
+        Expr::Ident(s.to_string())
+    }
+
+    #[test]
+    fn max_args_flattens_nesting() {
+        let inner = Expr::Call {
+            name: "max".into(),
+            args: vec![Expr::Int(1), Expr::Int(2)],
+        };
+        let outer = Expr::Call {
+            name: "max".into(),
+            args: vec![Expr::Int(0), inner],
+        };
+        let args = outer.max_args().unwrap();
+        assert_eq!(args.len(), 3);
+        assert!(args[0].is_int(0));
+        assert!(args[2].is_int(2));
+    }
+
+    #[test]
+    fn as_plus_const_both_orders() {
+        let t = Expr::Index {
+            base: "T".into(),
+            subs: vec![ident("i"), ident("j")],
+        };
+        let e1 = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(t.clone()),
+            rhs: Box::new(ident("GAP_OPEN")),
+        };
+        let (base, name) = e1.as_plus_const().unwrap();
+        assert_eq!(name, "GAP_OPEN");
+        assert!(matches!(base, Expr::Index { .. }));
+
+        let e2 = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(ident("GAP_EXT")),
+            rhs: Box::new(t),
+        };
+        assert_eq!(e2.as_plus_const().unwrap().1, "GAP_EXT");
+    }
+
+    #[test]
+    fn lowercase_ident_is_not_a_constant() {
+        let e = Expr::Bin {
+            op: BinOp::Add,
+            lhs: Box::new(ident("x")),
+            rhs: Box::new(ident("y")),
+        };
+        assert!(e.as_plus_const().is_none());
+    }
+
+    #[test]
+    fn index_offset_shapes() {
+        let i = ident("i");
+        assert_eq!(i.index_offset("i"), Some(0));
+        assert_eq!(i.index_offset("j"), None);
+        let im1 = Expr::Bin {
+            op: BinOp::Sub,
+            lhs: Box::new(ident("i")),
+            rhs: Box::new(Expr::Int(1)),
+        };
+        assert_eq!(im1.index_offset("i"), Some(-1));
+        assert_eq!(Expr::Int(0).index_offset("i"), None);
+    }
+}

@@ -1,0 +1,152 @@
+//! Numeric interpretation of a [`KernelSpec`].
+//!
+//! Binding the spec's symbolic gap constants yields an
+//! [`AlignConfig`], which runs through the same runtime kernels the
+//! emitter specializes. This closes the loop for testing: sequential
+//! text in → analysis → config → vector kernels → scores that must
+//! match a directly constructed configuration.
+
+use aalign_bio::SubstMatrix;
+use aalign_core::config::{AlignConfig, AlignKind, GapModel};
+
+use crate::emit::GapBindings;
+use crate::spec::KernelSpec;
+
+/// Errors binding a spec to a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// β must be negative.
+    NonNegativeExtension(i32),
+    /// θ (= open − ext) must be ≤ 0 under the paper's convention
+    /// that `GAP_OPEN` already includes one extension.
+    PositiveTheta(i32),
+}
+
+impl core::fmt::Display for BindError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NonNegativeExtension(v) => {
+                write!(f, "gap extension must be negative, got {v}")
+            }
+            Self::PositiveTheta(v) => write!(f, "derived θ must be ≤ 0, got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// Bind constants and produce the runnable configuration.
+pub fn spec_to_config(
+    spec: &KernelSpec,
+    bind: GapBindings,
+    matrix: &SubstMatrix,
+) -> Result<AlignConfig, BindError> {
+    if bind.gap_ext >= 0 {
+        return Err(BindError::NonNegativeExtension(bind.gap_ext));
+    }
+    let gap = if spec.affine {
+        let theta = bind.gap_open - bind.gap_ext;
+        if theta > 0 {
+            return Err(BindError::PositiveTheta(theta));
+        }
+        GapModel::affine(theta, bind.gap_ext)
+    } else {
+        GapModel::linear(bind.gap_ext)
+    };
+    let kind = if spec.local {
+        AlignKind::Local
+    } else {
+        AlignKind::Global
+    };
+    Ok(AlignConfig::new(kind, gap, matrix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, parse_program};
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+    use aalign_core::paradigm::paradigm_dp;
+    use aalign_core::{Aligner, Strategy};
+
+    fn bind() -> GapBindings {
+        GapBindings {
+            gap_open: -12,
+            gap_ext: -2,
+        }
+    }
+
+    /// The end-to-end property: analyzing Alg. 1 and running the
+    /// extracted config through the vector kernels gives the same
+    /// scores as a hand-built SW-affine configuration.
+    #[test]
+    fn alg1_pipeline_matches_handwritten_config() {
+        let spec = analyze(&parse_program(crate::ALG1_SMITH_WATERMAN_AFFINE).unwrap()).unwrap();
+        let cfg = spec_to_config(&spec, bind(), &BLOSUM62).unwrap();
+        let hand = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+        let mut rng = seeded_rng(404);
+        let q = named_query(&mut rng, 90);
+        for spec_pair in [
+            PairSpec::new(Level::Hi, Level::Hi),
+            PairSpec::new(Level::Lo, Level::Lo),
+        ] {
+            let s = spec_pair.generate(&mut rng, &q).subject;
+            let want = paradigm_dp(&hand, &q, &s).score;
+            for strat in [Strategy::StripedIterate, Strategy::StripedScan, Strategy::Hybrid] {
+                let got = Aligner::new(cfg.clone())
+                    .with_strategy(strat)
+                    .align(&q, &s)
+                    .unwrap()
+                    .score;
+                assert_eq!(got, want, "{strat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_builtin_kernels_produce_correct_configs() {
+        let cases = [
+            (crate::ALG1_SMITH_WATERMAN_AFFINE, "sw-aff"),
+            (crate::NEEDLEMAN_WUNSCH_AFFINE, "nw-aff"),
+            (crate::SMITH_WATERMAN_LINEAR, "sw-lin"),
+            (crate::NEEDLEMAN_WUNSCH_LINEAR, "nw-lin"),
+        ];
+        for (src, label) in cases {
+            let spec = analyze(&parse_program(src).unwrap()).unwrap();
+            assert_eq!(spec.label(), label);
+            let cfg = spec_to_config(&spec, bind(), &BLOSUM62).unwrap();
+            assert_eq!(cfg.label(), label);
+        }
+    }
+
+    #[test]
+    fn bad_bindings_rejected() {
+        let spec = analyze(&parse_program(crate::ALG1_SMITH_WATERMAN_AFFINE).unwrap()).unwrap();
+        assert_eq!(
+            spec_to_config(
+                &spec,
+                GapBindings {
+                    gap_open: -12,
+                    gap_ext: 1
+                },
+                &BLOSUM62
+            )
+            .unwrap_err(),
+            BindError::NonNegativeExtension(1)
+        );
+        assert_eq!(
+            spec_to_config(
+                &spec,
+                GapBindings {
+                    gap_open: -1,
+                    gap_ext: -5
+                },
+                &BLOSUM62
+            )
+            .unwrap_err(),
+            BindError::PositiveTheta(4)
+        );
+    }
+}

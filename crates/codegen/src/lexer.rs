@@ -1,0 +1,176 @@
+//! Tokenizer for the sequential-paradigm language.
+
+/// A token with its source position (byte offset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    Ident(String),
+    Int(i64),
+    /// `for`
+    KwFor,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    Lt,
+    Plus,
+    Minus,
+    Star,
+    Eof,
+}
+
+/// Lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Offending byte.
+    pub byte: u8,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+impl core::fmt::Display for LexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unexpected byte {:?} at offset {}",
+            self.byte as char, self.pos
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize the input. `#` and `//` start line comments.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => push(&mut out, TokKind::LParen, &mut i),
+            b')' => push(&mut out, TokKind::RParen, &mut i),
+            b'{' => push(&mut out, TokKind::LBrace, &mut i),
+            b'}' => push(&mut out, TokKind::RBrace, &mut i),
+            b'[' => push(&mut out, TokKind::LBracket, &mut i),
+            b']' => push(&mut out, TokKind::RBracket, &mut i),
+            b';' => push(&mut out, TokKind::Semi, &mut i),
+            b',' => push(&mut out, TokKind::Comma, &mut i),
+            b'=' => push(&mut out, TokKind::Assign, &mut i),
+            b'<' => push(&mut out, TokKind::Lt, &mut i),
+            b'+' => push(&mut out, TokKind::Plus, &mut i),
+            b'-' => push(&mut out, TokKind::Minus, &mut i),
+            b'*' => push(&mut out, TokKind::Star, &mut i),
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: i64 = src[start..i].parse().expect("digits parse");
+                out.push(Token {
+                    kind: TokKind::Int(v),
+                    pos: start,
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = if word == "for" {
+                    TokKind::KwFor
+                } else {
+                    TokKind::Ident(word.to_string())
+                };
+                out.push(Token { kind, pos: start });
+            }
+            other => {
+                return Err(LexError {
+                    byte: other,
+                    pos: i,
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokKind::Eof,
+        pos: bytes.len(),
+    });
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Token>, kind: TokKind, i: &mut usize) {
+    out.push(Token { kind, pos: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_assignment() {
+        let toks = lex("T[i][j] = max(0, D[i][j]);").unwrap();
+        let kinds: Vec<&TokKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokKind::Ident(s) if s == "T"));
+        assert_eq!(kinds[1], &TokKind::LBracket);
+        assert!(kinds.contains(&&TokKind::Comma));
+        assert_eq!(kinds.last().unwrap(), &&TokKind::Eof);
+    }
+
+    #[test]
+    fn skips_comments_and_whitespace() {
+        let toks = lex("# comment\n  x = 1; // trailing\n").unwrap();
+        assert!(matches!(&toks[0].kind, TokKind::Ident(s) if s == "x"));
+        assert_eq!(toks.len(), 5); // x = 1 ; EOF
+    }
+
+    #[test]
+    fn keyword_for_is_recognized() {
+        let toks = lex("for (i = 0; i < n; i = i + 1) {}").unwrap();
+        assert_eq!(toks[0].kind, TokKind::KwFor);
+        // `fortune` is an identifier, not the keyword.
+        let toks = lex("fortune").unwrap();
+        assert!(matches!(&toks[0].kind, TokKind::Ident(s) if s == "fortune"));
+    }
+
+    #[test]
+    fn rejects_unknown_bytes() {
+        let err = lex("x = @;").unwrap_err();
+        assert_eq!(err.byte, b'@');
+        assert_eq!(err.pos, 4);
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab = 12;").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+        assert_eq!(toks[2].pos, 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! # aalign-codegen — the AAlign code-translation front end
+//!
+//! The paper's framework ingests *sequential* alignment code that
+//! follows the generalized paradigm, analyzes its AST (with Clang in
+//! the original), extracts the Table II configuration, and rewrites
+//! vector code constructs into a specialized kernel (Sec. V-D).
+//!
+//! This crate is that pipeline in Rust, for a small C-like sequential
+//! language sufficient to express Alg. 1-style kernels:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — the front end;
+//! * [`mod@analyze`] — the four-step extraction of Sec. V-D
+//!   (local/global, linear/affine, boundary inits, gap constants);
+//! * [`spec`] — the extracted [`spec::KernelSpec`];
+//! * [`emit`] — renders specialized Rust kernel source from a spec;
+//! * [`interpret`] — binds constants and runs the spec through the
+//!   runtime kernels, so tests can verify the analysis numerically.
+
+pub mod analyze;
+pub mod ast;
+pub mod emit;
+pub mod interpret;
+pub mod lexer;
+pub mod parser;
+pub mod spec;
+
+pub use analyze::{analyze, AnalyzeError};
+pub use emit::emit_rust_kernel;
+pub use interpret::spec_to_config;
+pub use parser::{parse_program, ParseError};
+pub use spec::KernelSpec;
+
+/// The canonical Smith-Waterman (affine) sequential kernel — the
+/// paper's Alg. 1 in this crate's input language. Useful as a demo
+/// input and in tests.
+pub const ALG1_SMITH_WATERMAN_AFFINE: &str = r#"
+# Sequential Smith-Waterman with affine gaps (paper Alg. 1).
+for (i = 0; i < n + 1; i = i + 1) {
+    T[0][i] = 0; U[0][i] = 0; L[0][i] = 0;
+}
+for (j = 0; j < m + 1; j = j + 1) {
+    T[j][0] = 0; U[j][0] = 0; L[j][0] = 0;
+}
+for (i = 1; i < n + 1; i = i + 1) {
+    for (j = 1; j < m + 1; j = j + 1) {
+        L[i][j] = max(L[i-1][j] + GAP_EXT, T[i-1][j] + GAP_OPEN);
+        U[i][j] = max(U[i][j-1] + GAP_EXT, T[i][j-1] + GAP_OPEN);
+        D[i][j] = T[i-1][j-1] + BLOSUM62[ctoi(S[i-1])][ctoi(Q[j-1])];
+        T[i][j] = max(0, L[i][j], U[i][j], D[i][j]);
+    }
+}
+"#;
+
+/// Needleman-Wunsch (affine): global boundaries, no 0 operand.
+pub const NEEDLEMAN_WUNSCH_AFFINE: &str = r#"
+for (i = 1; i < n + 1; i = i + 1) {
+    T[i][0] = GAP_OPEN + (i - 1) * GAP_EXT;
+}
+for (j = 1; j < m + 1; j = j + 1) {
+    T[0][j] = GAP_OPEN + (j - 1) * GAP_EXT;
+}
+for (i = 1; i < n + 1; i = i + 1) {
+    for (j = 1; j < m + 1; j = j + 1) {
+        L[i][j] = max(L[i-1][j] + GAP_EXT, T[i-1][j] + GAP_OPEN);
+        U[i][j] = max(U[i][j-1] + GAP_EXT, T[i][j-1] + GAP_OPEN);
+        D[i][j] = T[i-1][j-1] + BLOSUM62[ctoi(S[i-1])][ctoi(Q[j-1])];
+        T[i][j] = max(L[i][j], U[i][j], D[i][j]);
+    }
+}
+"#;
+
+/// Smith-Waterman with a linear gap system (no U/L tables).
+pub const SMITH_WATERMAN_LINEAR: &str = r#"
+for (i = 0; i < n + 1; i = i + 1) { T[0][i] = 0; }
+for (j = 0; j < m + 1; j = j + 1) { T[j][0] = 0; }
+for (i = 1; i < n + 1; i = i + 1) {
+    for (j = 1; j < m + 1; j = j + 1) {
+        D[i][j] = T[i-1][j-1] + BLOSUM62[ctoi(S[i-1])][ctoi(Q[j-1])];
+        T[i][j] = max(0, T[i-1][j] + GAP_EXT, T[i][j-1] + GAP_EXT, D[i][j]);
+    }
+}
+"#;
+
+/// Needleman-Wunsch with a linear gap system.
+pub const NEEDLEMAN_WUNSCH_LINEAR: &str = r#"
+for (i = 1; i < n + 1; i = i + 1) { T[i][0] = i * GAP_EXT; }
+for (j = 1; j < m + 1; j = j + 1) { T[0][j] = j * GAP_EXT; }
+for (i = 1; i < n + 1; i = i + 1) {
+    for (j = 1; j < m + 1; j = j + 1) {
+        D[i][j] = T[i-1][j-1] + BLOSUM62[ctoi(S[i-1])][ctoi(Q[j-1])];
+        T[i][j] = max(T[i-1][j] + GAP_EXT, T[i][j-1] + GAP_EXT, D[i][j]);
+    }
+}
+"#;

@@ -1,0 +1,321 @@
+//! Recursive-descent parser for the sequential-paradigm language.
+
+use crate::ast::{BinOp, Expr, Stmt};
+use crate::lexer::{lex, LexError, TokKind, Token};
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// What was found (debug form).
+        found: String,
+        /// What was expected.
+        expected: &'static str,
+        /// Byte offset.
+        pos: usize,
+    },
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Lex(e) => write!(f, "{e}"),
+            Self::Unexpected {
+                found,
+                expected,
+                pos,
+            } => write!(f, "expected {expected}, found {found} at offset {pos}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        Self::Lex(e)
+    }
+}
+
+/// Parse a whole program (a list of statements).
+pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, at: 0 };
+    let mut out = Vec::new();
+    while p.peek() != &TokKind::Eof {
+        out.push(p.stmt()?);
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.at].kind
+    }
+
+    fn pos(&self) -> usize {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.toks[self.at].kind.clone();
+        self.at += 1;
+        k
+    }
+
+    fn expect(&mut self, want: TokKind, what: &'static str) -> Result<(), ParseError> {
+        if *self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &'static str) -> ParseError {
+        ParseError::Unexpected {
+            found: format!("{:?}", self.peek()),
+            expected,
+            pos: self.pos(),
+        }
+    }
+
+    fn ident(&mut self, what: &'static str) -> Result<String, ParseError> {
+        match self.peek() {
+            TokKind::Ident(_) => {
+                if let TokKind::Ident(s) = self.bump() {
+                    Ok(s)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => Err(self.unexpected(what)),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if *self.peek() == TokKind::KwFor {
+            return self.for_stmt();
+        }
+        // assignment: ident subs* = expr ;
+        let table = self.ident("table name")?;
+        let mut subs = Vec::new();
+        while *self.peek() == TokKind::LBracket {
+            self.bump();
+            subs.push(self.expr()?);
+            self.expect(TokKind::RBracket, "]")?;
+        }
+        self.expect(TokKind::Assign, "=")?;
+        let value = self.expr()?;
+        self.expect(TokKind::Semi, ";")?;
+        Ok(Stmt::Assign { table, subs, value })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokKind::KwFor, "for")?;
+        self.expect(TokKind::LParen, "(")?;
+        let var = self.ident("loop variable")?;
+        self.expect(TokKind::Assign, "=")?;
+        let lo = self.expr()?;
+        self.expect(TokKind::Semi, ";")?;
+        let var2 = self.ident("loop variable")?;
+        if var2 != var {
+            return Err(self.unexpected("same loop variable in condition"));
+        }
+        self.expect(TokKind::Lt, "<")?;
+        let hi = self.expr()?;
+        self.expect(TokKind::Semi, ";")?;
+        // increment: either `i = i + 1` or `i++` is not lexable; accept
+        // `i = i + 1` only.
+        let var3 = self.ident("loop variable")?;
+        if var3 != var {
+            return Err(self.unexpected("same loop variable in increment"));
+        }
+        self.expect(TokKind::Assign, "=")?;
+        let _inc = self.expr()?; // shape-checked by the analyzer if needed
+        self.expect(TokKind::RParen, ")")?;
+
+        let mut body = Vec::new();
+        if *self.peek() == TokKind::LBrace {
+            self.bump();
+            while *self.peek() != TokKind::RBrace {
+                body.push(self.stmt()?);
+            }
+            self.bump();
+        } else {
+            body.push(self.stmt()?);
+        }
+        Ok(Stmt::For { var, lo, hi, body })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => BinOp::Add,
+                TokKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        while *self.peek() == TokKind::Star {
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::Bin {
+                op: BinOp::Mul,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokKind::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokKind::Ident(_) => {
+                let name = self.ident("identifier")?;
+                match self.peek() {
+                    TokKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if *self.peek() != TokKind::RParen {
+                            args.push(self.expr()?);
+                            while *self.peek() == TokKind::Comma {
+                                self.bump();
+                                args.push(self.expr()?);
+                            }
+                        }
+                        self.expect(TokKind::RParen, ")")?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    TokKind::LBracket => {
+                        let mut subs = Vec::new();
+                        while *self.peek() == TokKind::LBracket {
+                            self.bump();
+                            subs.push(self.expr()?);
+                            self.expect(TokKind::RBracket, "]")?;
+                        }
+                        Ok(Expr::Index { base: name, subs })
+                    }
+                    _ => Ok(Expr::Ident(name)),
+                }
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Stmt};
+
+    #[test]
+    fn parses_alg1() {
+        let prog = parse_program(crate::ALG1_SMITH_WATERMAN_AFFINE).unwrap();
+        assert_eq!(prog.len(), 3, "two init loops + main loop nest");
+        let Stmt::For { var, body, .. } = &prog[2] else {
+            panic!("main loop expected")
+        };
+        assert_eq!(var, "i");
+        let Stmt::For { var, body, .. } = &body[0] else {
+            panic!("inner loop expected")
+        };
+        assert_eq!(var, "j");
+        assert_eq!(body.len(), 4, "L, U, D, T assignments");
+    }
+
+    #[test]
+    fn parses_max_with_many_args() {
+        let prog = parse_program("T[i][j] = max(0, A[i][j], B[i][j], C[i][j]);").unwrap();
+        let Stmt::Assign { value, .. } = &prog[0] else {
+            panic!()
+        };
+        assert_eq!(value.max_args().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let prog = parse_program("x = 1 + 2 * 3;").unwrap();
+        let Stmt::Assign { value, .. } = &prog[0] else {
+            panic!()
+        };
+        // (1 + (2*3)) — Add at the root.
+        assert!(matches!(
+            value,
+            Expr::Bin {
+                op: crate::ast::BinOp::Add,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let prog = parse_program("x = -12;").unwrap();
+        let Stmt::Assign { value, .. } = &prog[0] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("T[i][j] = ;").unwrap_err();
+        match err {
+            ParseError::Unexpected { pos, .. } => assert_eq!(pos, 10),
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn loop_variable_must_match() {
+        let err = parse_program("for (i = 0; j < n; i = i + 1) { x = 1; }").unwrap_err();
+        assert!(matches!(err, ParseError::Unexpected { .. }));
+    }
+
+    #[test]
+    fn all_builtin_kernels_parse() {
+        for src in [
+            crate::ALG1_SMITH_WATERMAN_AFFINE,
+            crate::NEEDLEMAN_WUNSCH_AFFINE,
+            crate::SMITH_WATERMAN_LINEAR,
+            crate::NEEDLEMAN_WUNSCH_LINEAR,
+        ] {
+            parse_program(src).unwrap();
+        }
+    }
+}

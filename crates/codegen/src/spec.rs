@@ -1,0 +1,72 @@
+//! The extracted kernel specification.
+//!
+//! [`KernelSpec`] is what the analyzer recovers from a sequential
+//! kernel — the information Table II's configurable expressions are
+//! rewritten from. Gap penalties stay *symbolic* (constant names from
+//! the source); [`crate::interpret::spec_to_config`] binds them to
+//! values.
+
+/// The configuration extracted from a sequential paradigm kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSpec {
+    /// Local (`max` includes the literal 0) or global.
+    pub local: bool,
+    /// Affine (separate U/L recurrences) or linear.
+    pub affine: bool,
+    /// Result table name (`T`).
+    pub t_table: String,
+    /// Query-direction helper table (`U`), affine only.
+    pub u_table: Option<String>,
+    /// Subject-direction helper table (`L`), affine only.
+    pub l_table: Option<String>,
+    /// Substitution matrix name (`BLOSUM62`).
+    pub matrix_name: String,
+    /// Query array name (`Q`).
+    pub query_name: String,
+    /// Subject array name (`S`).
+    pub subject_name: String,
+    /// Combined open constant (θ+β, the paper's `GAP_OPEN`); `None`
+    /// for linear systems.
+    pub gap_open_name: Option<String>,
+    /// Extension constant (β, the paper's `GAP_EXT`).
+    pub gap_ext_name: String,
+}
+
+impl KernelSpec {
+    /// Paper-style label, e.g. `sw-aff`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}-{}",
+            if self.local { "sw" } else { "nw" },
+            if self.affine { "aff" } else { "lin" }
+        )
+    }
+
+    /// A Rust-identifier-safe name for generated items.
+    pub fn fn_stem(&self) -> String {
+        self.label().replace('-', "_")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_stems() {
+        let spec = KernelSpec {
+            local: true,
+            affine: true,
+            t_table: "T".into(),
+            u_table: Some("U".into()),
+            l_table: Some("L".into()),
+            matrix_name: "BLOSUM62".into(),
+            query_name: "Q".into(),
+            subject_name: "S".into(),
+            gap_open_name: Some("GAP_OPEN".into()),
+            gap_ext_name: "GAP_EXT".into(),
+        };
+        assert_eq!(spec.label(), "sw-aff");
+        assert_eq!(spec.fn_stem(), "sw_aff");
+    }
+}

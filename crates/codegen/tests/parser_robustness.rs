@@ -1,0 +1,58 @@
+//! Robustness: the front end must never panic — arbitrary input
+//! produces `Ok` or a structured error.
+
+use aalign_codegen::{analyze, parse_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes-as-text never panic the lexer/parser.
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_program(&input);
+    }
+
+    /// Arbitrary strings from the language's own token alphabet —
+    /// much likelier to reach deep parser states.
+    #[test]
+    fn tokenish_soup_never_panics(
+        input in proptest::collection::vec(
+            prop_oneof![
+                Just("for".to_string()),
+                Just("(".to_string()), Just(")".to_string()),
+                Just("{".to_string()), Just("}".to_string()),
+                Just("[".to_string()), Just("]".to_string()),
+                Just(";".to_string()), Just(",".to_string()),
+                Just("=".to_string()), Just("<".to_string()),
+                Just("+".to_string()), Just("-".to_string()),
+                Just("*".to_string()),
+                Just("T".to_string()), Just("i".to_string()),
+                Just("max".to_string()), Just("ctoi".to_string()),
+                Just("42".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let text = input.join(" ");
+        if let Ok(ast) = parse_program(&text) {
+            // Whatever parses must analyze without panicking too.
+            let _ = analyze(&ast);
+        }
+    }
+
+    /// Mutating the canonical kernel (truncation) never panics.
+    #[test]
+    fn truncated_alg1_never_panics(cut in 0usize..600) {
+        let src = aalign_codegen::ALG1_SMITH_WATERMAN_AFFINE;
+        let cut = cut.min(src.len());
+        // Cut at a char boundary.
+        let mut end = cut;
+        while !src.is_char_boundary(end) {
+            end -= 1;
+        }
+        if let Ok(ast) = parse_program(&src[..end]) {
+            let _ = analyze(&ast);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Banded alignment (extension).
+//!
+//! When two sequences are known to be similar — e.g. re-scoring the
+//! top hits of a database search, or verifying a mapping — the
+//! optimal path stays near the main diagonal, and restricting the DP
+//! to a diagonal band of half-width `w` cuts the cost from `O(m·n)`
+//! to `O(w·(m+n))`.
+//!
+//! The band is exact when it covers the optimal path; with half-width
+//! `w ≥ |m − n| + g` where `g` bounds the total gap length of the
+//! optimal alignment, the banded score **equals** the full DP score
+//! (tested). A too-narrow band yields a *lower bound* — still useful
+//! for filtering — and the caller can widen and retry
+//! ([`banded_align_auto`] doubles the band until the score stops
+//! improving).
+//!
+//! Scalar implementation: the band is a per-row interval, which does
+//! not fit the striped layout; vectorizing banded DP needs the
+//! anti-diagonal scheme the paper explicitly avoids. It complements
+//! the SIMD kernels rather than replacing them.
+
+use aalign_bio::Sequence;
+
+use crate::config::{AlignConfig, AlignKind};
+use crate::paradigm::NEG_INF;
+
+/// Result of a banded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandedScore {
+    /// The score found inside the band (≤ the unrestricted score).
+    pub score: i32,
+    /// Half-width used.
+    pub half_width: usize,
+    /// DP cells actually computed.
+    pub cells: usize,
+}
+
+/// Banded alignment with a fixed half-width `w`: cell `(i, j)` is
+/// computed iff `|j − i·m/n̂| ≤ w` around the rescaled main diagonal.
+///
+/// # Panics
+/// Panics if the query is empty.
+#[allow(clippy::needless_range_loop)] // DP boundary rows, indices intentional
+pub fn banded_align(
+    cfg: &AlignConfig,
+    query: &Sequence,
+    subject: &Sequence,
+    half_width: usize,
+) -> BandedScore {
+    let t2 = cfg.table2();
+    let q = query.indices();
+    let s = subject.indices();
+    let (m, n) = (q.len(), s.len());
+    assert!(m > 0, "query must be non-empty");
+    let w = half_width.max(1);
+
+    // Band centre for row i: the rescaled diagonal.
+    let centre = |i: usize| -> isize {
+        if n == 0 {
+            0
+        } else {
+            ((i as f64) * (m as f64) / (n as f64)).round() as isize
+        }
+    };
+    let lo = |i: usize| -> usize { (centre(i) - w as isize).max(1) as usize };
+    let hi = |i: usize| -> usize { usize::min((centre(i) + w as isize).max(0) as usize, m) };
+
+    // Rows as (m+1)-wide vectors; out-of-band cells stay NEG_INF so
+    // in-band neighbours read "impossible" rather than garbage.
+    let mut t_prev = vec![NEG_INF; m + 1];
+    let mut t_cur = vec![NEG_INF; m + 1];
+    let mut e = vec![NEG_INF; m + 1];
+    let mut cells = 0usize;
+
+    // Boundary row 0 (restricted to the band around row 0).
+    t_prev[0] = t2.init_t(0);
+    for j in 1..=hi(0) {
+        t_prev[j] = t2.init_col(j - 1);
+    }
+
+    let mut best = i32::MIN; // local max / semi-global last-row max
+    let mut semi_best = t_prev[m];
+    for i in 1..=n {
+        t_cur.fill(NEG_INF);
+        let (l, h) = (lo(i), hi(i));
+        if l == 1 || t2.kind != AlignKind::Global || centre(i) - (w as isize) <= 0 {
+            t_cur[0] = t2.init_t(i);
+        }
+        let mut f = NEG_INF;
+        let row = cfg.matrix.row(s[i - 1]);
+        for j in l..=h {
+            cells += 1;
+            let ej = (e[j].max(NEG_INF) + t2.gap_left_ext)
+                .max(t_prev[j].max(NEG_INF) + t2.gap_left)
+                .max(NEG_INF);
+            e[j] = ej;
+            f = (f + t2.gap_up_ext)
+                .max(t_cur[j - 1].max(NEG_INF) + t2.gap_up)
+                .max(NEG_INF);
+            let d = t_prev[j - 1].max(NEG_INF) + row[q[j - 1] as usize];
+            let mut v = d.max(ej).max(f);
+            if t2.local {
+                v = v.max(0);
+            }
+            v = v.max(NEG_INF);
+            t_cur[j] = v;
+            if v > best {
+                best = v;
+            }
+        }
+        // Clear E outside the band so stale values don't leak back in
+        // as the band drifts.
+        for j in (1..l).chain(h + 1..=m) {
+            e[j] = NEG_INF;
+        }
+        if h == m {
+            semi_best = semi_best.max(t_cur[m]);
+        }
+        core::mem::swap(&mut t_prev, &mut t_cur);
+    }
+
+    let score = match cfg.kind {
+        AlignKind::Local => best.max(0),
+        AlignKind::Global => t_prev[m],
+        AlignKind::SemiGlobal => semi_best,
+    };
+    BandedScore {
+        score,
+        half_width: w,
+        cells,
+    }
+}
+
+/// Adaptive banding heuristic: start at `start_width`, double until
+/// the score stops improving (or the band covers everything). Fast
+/// and usually exact on near-diagonal alignments, but a score plateau
+/// does not *prove* convergence — use [`banded_align_certified`] when
+/// exactness must be guaranteed.
+pub fn banded_align_auto(
+    cfg: &AlignConfig,
+    query: &Sequence,
+    subject: &Sequence,
+    start_width: usize,
+) -> BandedScore {
+    let m = query.len();
+    let n = subject.len();
+    let mut w = start_width.max(1).max(m.abs_diff(n));
+    let mut last = banded_align(cfg, query, subject, w);
+    loop {
+        if w >= m + n {
+            return last;
+        }
+        let wider = banded_align(cfg, query, subject, w * 2);
+        if wider.score == last.score {
+            return BandedScore {
+                cells: last.cells + wider.cells,
+                ..wider
+            };
+        }
+        w *= 2;
+        last = BandedScore {
+            cells: last.cells + wider.cells,
+            ..wider
+        };
+    }
+}
+
+/// Certified banding: runs [`banded_align_auto`], then derives a
+/// provably sufficient half-width from the score found and verifies
+/// with one final run.
+///
+/// ```
+/// use aalign_core::{banded_align_certified, AlignConfig, GapModel};
+/// use aalign_bio::{matrices::BLOSUM62, Sequence};
+/// let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+/// let s = Sequence::protein("s", b"HEAGAWGHE").unwrap();
+/// let cfg = AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62);
+/// let r = banded_align_certified(&cfg, &q, &s, 2);
+/// assert_eq!(r.score, 45); // nine matches (57) minus one 1-long end gap (−12)
+/// ```
+///
+/// Any alignment scoring better than a known `S` can contain at most
+/// `g = (min(m,n)·γmax + θ − S) / |β|` gapped positions (its ungapped
+/// part cannot exceed `min(m,n)·γmax`), so its path deviates from the
+/// rescaled diagonal by at most `g + |m−n|`. A band of that width
+/// therefore contains every better-scoring path; if the final run
+/// finds no improvement, its score is exactly the unrestricted one.
+pub fn banded_align_certified(
+    cfg: &AlignConfig,
+    query: &Sequence,
+    subject: &Sequence,
+    start_width: usize,
+) -> BandedScore {
+    let m = query.len();
+    let n = subject.len();
+    let first = banded_align_auto(cfg, query, subject, start_width);
+    let gamma_max = cfg.matrix.max_score().max(1) as i64;
+    let theta = cfg.gap.theta() as i64;
+    let beta = cfg.gap.beta().abs().max(1) as i64;
+    let ungapped_cap = m.min(n) as i64 * gamma_max;
+    let g = ((ungapped_cap + theta - first.score as i64) / beta).max(0) as usize;
+    let w_cert = g + m.abs_diff(n) + 1;
+    if w_cert <= first.half_width {
+        return first;
+    }
+    let certified = banded_align(cfg, query, subject, w_cert);
+    BandedScore {
+        cells: first.cells + certified.cells,
+        ..certified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GapModel;
+    use crate::paradigm::paradigm_dp;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng};
+
+    fn all_kinds(gap: GapModel) -> Vec<AlignConfig> {
+        vec![
+            AlignConfig::local(gap, &BLOSUM62),
+            AlignConfig::global(gap, &BLOSUM62),
+            AlignConfig::semi_global(gap, &BLOSUM62),
+        ]
+    }
+
+    #[test]
+    fn full_width_band_equals_full_dp() {
+        let mut rng = seeded_rng(900);
+        let q = named_query(&mut rng, 50);
+        let s = named_query(&mut rng, 60);
+        for gap in [GapModel::affine(-10, -2), GapModel::linear(-3)] {
+            for cfg in all_kinds(gap) {
+                let want = paradigm_dp(&cfg, &q, &s).score;
+                let got = banded_align(&cfg, &q, &s, 200);
+                assert_eq!(got.score, want, "{}", cfg.label());
+            }
+        }
+    }
+
+    #[test]
+    fn similar_pairs_need_only_narrow_bands() {
+        // A high-identity, on-diagonal pair (point mutations, no
+        // flanks): a modest band is exact and computes far fewer
+        // cells. (Banding assumes near-diagonal paths; flanked pairs
+        // shift the diagonal and genuinely need wider bands.)
+        use rand::RngExt;
+        let mut rng = seeded_rng(901);
+        let q = named_query(&mut rng, 400);
+        let mutated: Vec<u8> = q
+            .indices()
+            .iter()
+            .map(|&r| {
+                if rng.random_bool(0.9) {
+                    r
+                } else {
+                    aalign_bio::synth::random_residue(&mut rng)
+                }
+            })
+            .collect();
+        let s = aalign_bio::Sequence::from_indices("mut", q.alphabet(), mutated);
+        let cfg = AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62);
+        let want = paradigm_dp(&cfg, &q, &s).score;
+        let got = banded_align_auto(&cfg, &q, &s, 8);
+        assert_eq!(got.score, want);
+        assert!(
+            got.cells < q.len() * s.len() / 4,
+            "band computed {} of {} cells",
+            got.cells,
+            q.len() * s.len()
+        );
+    }
+
+    #[test]
+    fn narrow_band_is_a_lower_bound() {
+        let mut rng = seeded_rng(902);
+        let q = named_query(&mut rng, 80);
+        let s = named_query(&mut rng, 120); // dissimilar, very gappy path
+        for cfg in all_kinds(GapModel::affine(-10, -2)) {
+            let full = paradigm_dp(&cfg, &q, &s).score;
+            for w in [1usize, 2, 4, 8, 16, 64, 300] {
+                let banded = banded_align(&cfg, &q, &s, w).score;
+                assert!(
+                    banded <= full,
+                    "{} w={w}: banded {banded} > full {full}",
+                    cfg.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_band_is_exact_on_arbitrary_pairs() {
+        let mut rng = seeded_rng(903);
+        for trial in 0..5 {
+            let q = named_query(&mut rng, 40 + trial * 20);
+            let s = named_query(&mut rng, 30 + trial * 25);
+            for gap in [GapModel::affine(-8, -1), GapModel::linear(-3)] {
+                for cfg in all_kinds(gap) {
+                    let want = paradigm_dp(&cfg, &q, &s).score;
+                    let got = banded_align_certified(&cfg, &q, &s, 2);
+                    assert_eq!(got.score, want, "{} trial {trial}", cfg.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_band_centres_on_rescaled_diagonal() {
+        // Global alignment of very different lengths still converges.
+        let mut rng = seeded_rng(904);
+        let q = named_query(&mut rng, 30);
+        let s = named_query(&mut rng, 90);
+        let cfg = AlignConfig::global(GapModel::linear(-2), &BLOSUM62);
+        let want = paradigm_dp(&cfg, &q, &s).score;
+        assert_eq!(banded_align_certified(&cfg, &q, &s, 4).score, want);
+    }
+}

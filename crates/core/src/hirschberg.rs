@@ -1,0 +1,264 @@
+//! Hirschberg linear-space alignment (extension).
+//!
+//! [`crate::traceback`] reconstructs paths from full `O(m·n)`
+//! matrices — fine for re-aligning database hits, prohibitive for two
+//! chromosome-scale sequences. Hirschberg's divide-and-conquer
+//! (CACM 1975) produces the same optimal **global, linear-gap**
+//! alignment in `O(m+n)` space: compute the last DP row of the left
+//! half forwards and of the right half backwards, join at the best
+//! split point, recurse.
+//!
+//! Scope: global alignment with linear gaps (the classic algorithm).
+//! The affine extension (Myers–Miller) needs gap-state bookkeeping at
+//! every join and is left out; for affine paths use
+//! [`crate::traceback`] (full matrices) or band the problem first
+//! ([`crate::banded`]).
+
+use aalign_bio::Sequence;
+
+use crate::config::{AlignConfig, AlignKind, GapModel};
+use crate::traceback::{traceback_align, Alignment};
+
+/// Linear-space optimal global alignment with linear gaps.
+///
+/// Produces an [`Alignment`] identical in score (and equivalent in
+/// path quality) to [`traceback_align`], using `O(m+n)` working
+/// memory for the scoring phase.
+///
+/// ```
+/// use aalign_core::{hirschberg_align, AlignConfig, GapModel};
+/// use aalign_bio::{matrices::BLOSUM62, Sequence};
+/// let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+/// let s = Sequence::protein("s", b"HEAGAWGHE").unwrap();
+/// let cfg = AlignConfig::global(GapModel::linear(-4), &BLOSUM62);
+/// let aln = hirschberg_align(&cfg, &q, &s);
+/// assert_eq!(aln.score, 57 - 4); // nine matches minus one gap column
+/// ```
+///
+/// # Panics
+/// Panics unless `cfg` is global with a linear gap model, or if the
+/// query is empty.
+pub fn hirschberg_align(cfg: &AlignConfig, query: &Sequence, subject: &Sequence) -> Alignment {
+    assert_eq!(cfg.kind, AlignKind::Global, "hirschberg_align is global-only");
+    assert!(
+        matches!(cfg.gap, GapModel::Linear { .. }),
+        "hirschberg_align requires linear gaps (use traceback_align for affine)"
+    );
+    assert!(!query.is_empty(), "query must be non-empty");
+
+    let ext = cfg.gap.beta();
+    let q = query.indices();
+    let s = subject.indices();
+    let alpha = query.alphabet();
+
+    let mut qr: Vec<u8> = Vec::with_capacity(q.len() + s.len());
+    let mut sr: Vec<u8> = Vec::with_capacity(q.len() + s.len());
+    rec(cfg, q, s, ext, &mut qr, &mut sr);
+
+    // Marker row + identity from the assembled rows.
+    let mut mk = Vec::with_capacity(qr.len());
+    let mut matches = 0usize;
+    for (&qc, &sc) in qr.iter().zip(&sr) {
+        if qc == b'-' || sc == b'-' {
+            mk.push(b' ');
+        } else if qc == sc {
+            mk.push(b'|');
+            matches += 1;
+        } else if cfg
+            .matrix
+            .score(alpha.ctoi(sc).unwrap(), alpha.ctoi(qc).unwrap())
+            > 0
+        {
+            mk.push(b'+');
+        } else {
+            mk.push(b' ');
+        }
+    }
+
+    // Re-score the assembled path (cheap, and the score every test
+    // compares against the DP).
+    let mut score = 0i32;
+    for (&qc, &sc) in qr.iter().zip(&sr) {
+        score += if qc == b'-' || sc == b'-' {
+            ext
+        } else {
+            cfg.matrix
+                .score(alpha.ctoi(sc).unwrap(), alpha.ctoi(qc).unwrap())
+        };
+    }
+
+    let cols = qr.len().max(1);
+    Alignment {
+        score,
+        identity: matches as f64 / cols as f64,
+        query_row: qr,
+        subject_row: sr,
+        marker_row: mk,
+        query_span: (0, q.len()),
+        subject_span: (0, s.len()),
+    }
+}
+
+/// Recursive worker: append the alignment of `q` vs `s` to the rows.
+fn rec(
+    cfg: &AlignConfig,
+    q: &[u8],
+    s: &[u8],
+    ext: i32,
+    qr: &mut Vec<u8>,
+    sr: &mut Vec<u8>,
+) {
+    let alpha = cfg.matrix.alphabet();
+    if q.is_empty() {
+        for &c in s {
+            qr.push(b'-');
+            sr.push(alpha.itoc(c));
+        }
+        return;
+    }
+    if s.is_empty() {
+        for &c in q {
+            qr.push(alpha.itoc(c));
+            sr.push(b'-');
+        }
+        return;
+    }
+    if q.len() == 1 || s.len() == 1 {
+        // Base case: full DP on a 1×n or m×1 strip is already linear
+        // space; reuse the standard traceback.
+        let sub_q = Sequence::from_indices("hq", alpha, q.to_vec());
+        let sub_s = Sequence::from_indices("hs", alpha, s.to_vec());
+        let aln = traceback_align(cfg, &sub_q, &sub_s);
+        qr.extend_from_slice(&aln.query_row);
+        sr.extend_from_slice(&aln.subject_row);
+        return;
+    }
+
+    // Split the query; find the best subject split point.
+    let mid = q.len() / 2;
+    let left = last_row(cfg, &q[..mid], s, ext, false);
+    let right = last_row(cfg, &q[mid..], s, ext, true);
+    let n = s.len();
+    let mut best_j = 0usize;
+    let mut best = i32::MIN;
+    for j in 0..=n {
+        let v = left[j].saturating_add(right[n - j]);
+        if v > best {
+            best = v;
+            best_j = j;
+        }
+    }
+    rec(cfg, &q[..mid], &s[..best_j], ext, qr, sr);
+    rec(cfg, &q[mid..], &s[best_j..], ext, qr, sr);
+}
+
+/// Last row of the global linear-gap DP of `q` against every prefix
+/// of `s` (suffixes of both when `reversed`). `O(|s|)` space.
+fn last_row(cfg: &AlignConfig, q: &[u8], s: &[u8], ext: i32, reversed: bool) -> Vec<i32> {
+    let n = s.len();
+    let mut prev: Vec<i32> = (0..=n as i32).map(|j| j * ext).collect();
+    let mut cur = vec![0i32; n + 1];
+    let q_iter: Box<dyn Iterator<Item = &u8>> = if reversed {
+        Box::new(q.iter().rev())
+    } else {
+        Box::new(q.iter())
+    };
+    for (i, &qc) in q_iter.enumerate() {
+        cur[0] = (i as i32 + 1) * ext;
+        let row = cfg.matrix.row(qc);
+        for j in 1..=n {
+            let sc = if reversed { s[n - j] } else { s[j - 1] };
+            let d = prev[j - 1] + row[sc as usize];
+            let up = prev[j] + ext;
+            let lf = cur[j - 1] + ext;
+            cur[j] = d.max(up).max(lf);
+        }
+        core::mem::swap(&mut prev, &mut cur);
+    }
+    prev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paradigm::paradigm_dp;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+
+    fn cfg(ext: i32) -> AlignConfig {
+        AlignConfig::global(GapModel::linear(ext), &BLOSUM62)
+    }
+
+    #[test]
+    fn matches_full_dp_scores() {
+        let mut rng = seeded_rng(1111);
+        for trial in 0..8 {
+            let q = named_query(&mut rng, 10 + trial * 13);
+            let s = named_query(&mut rng, 8 + trial * 17);
+            for ext in [-1, -3, -6] {
+                let c = cfg(ext);
+                let want = paradigm_dp(&c, &q, &s).score;
+                let aln = hirschberg_align(&c, &q, &s);
+                assert_eq!(aln.score, want, "trial {trial} ext {ext}");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_consume_both_sequences_fully() {
+        let mut rng = seeded_rng(1112);
+        let q = named_query(&mut rng, 90);
+        let s = PairSpec::new(Level::Md, Level::Md)
+            .generate(&mut rng, &q)
+            .subject;
+        let c = cfg(-4);
+        let aln = hirschberg_align(&c, &q, &s);
+        let q_res = aln.query_row.iter().filter(|&&c| c != b'-').count();
+        let s_res = aln.subject_row.iter().filter(|&&c| c != b'-').count();
+        assert_eq!(q_res, q.len());
+        assert_eq!(s_res, s.len());
+        assert_eq!(aln.query_row.len(), aln.subject_row.len());
+        assert_eq!(aln.score, paradigm_dp(&c, &q, &s).score);
+    }
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let mut rng = seeded_rng(1113);
+        let q = named_query(&mut rng, 64);
+        let aln = hirschberg_align(&cfg(-2), &q, &q);
+        assert!((aln.identity - 1.0).abs() < 1e-12);
+        assert!(!aln.query_row.contains(&b'-'));
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let mut rng = seeded_rng(1114);
+        let q = named_query(&mut rng, 25);
+        let one = named_query(&mut rng, 1);
+        let empty = Sequence::from_indices("e", q.alphabet(), Vec::new());
+        for (a, b) in [(&q, &one), (&one, &q), (&q, &empty)] {
+            let c = cfg(-3);
+            let aln = hirschberg_align(&c, a, b);
+            assert_eq!(aln.score, paradigm_dp(&c, a, b).score);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "linear gaps")]
+    fn affine_rejected() {
+        let q = Sequence::protein("q", b"HEAG").unwrap();
+        let c = AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62);
+        let _ = hirschberg_align(&c, &q, &q);
+    }
+
+    #[test]
+    fn agrees_with_full_traceback_rescoring() {
+        let mut rng = seeded_rng(1115);
+        let q = named_query(&mut rng, 120);
+        let s = named_query(&mut rng, 100);
+        let c = cfg(-2);
+        let full = traceback_align(&c, &q, &s);
+        let lin = hirschberg_align(&c, &q, &s);
+        assert_eq!(lin.score, full.score, "same optimum, different memory");
+    }
+}

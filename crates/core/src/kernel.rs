@@ -1,0 +1,1155 @@
+//! Strategy/backend/width dispatch and the public [`Aligner`] API.
+//!
+//! This is AAlign's "re-link against the platform's vector modules"
+//! step done at runtime: the aligner resolves an ISA (AVX-512 →
+//! AVX2 → SSE4.1 → emulated), an element width (with automatic
+//! i16 → i32 overflow fallback, the SWPS3 escape hatch), and a
+//! strategy (sequential / striped-iterate / striped-scan / hybrid),
+//! then runs the monomorphized kernel for that combination.
+
+use aalign_bio::{Sequence, StripedProfile};
+use aalign_vec::detect::{Isa, IsaSupport};
+use aalign_vec::{EmuEngine, SimdEngine};
+
+use crate::config::{AlignConfig, TableII};
+use crate::scalar::scalar_column_align;
+use crate::striped::{
+    hybrid_align, iterate_align, scan_align, HybridPolicy, KernelResult, Workspace,
+};
+
+/// Vectorization strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Optimized sequential kernel (the Fig. 9 baseline).
+    Sequential,
+    /// Paper Alg. 2.
+    StripedIterate,
+    /// Paper Alg. 3.
+    StripedScan,
+    /// Paper Sec. V-B runtime switcher (the default, as in the paper).
+    #[default]
+    Hybrid,
+}
+
+impl Strategy {
+    /// Short name used in reports.
+    pub fn short(self) -> &'static str {
+        match self {
+            Strategy::Sequential => "seq",
+            Strategy::StripedIterate => "iterate",
+            Strategy::StripedScan => "scan",
+            Strategy::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Score element width selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WidthPolicy {
+    /// Try i16 first (when the score bound allows), retry i32 on
+    /// saturation — the standard production configuration.
+    #[default]
+    Auto,
+    /// Force 8-bit lanes (no fallback; output may report saturation).
+    Fixed8,
+    /// Force 16-bit lanes.
+    Fixed16,
+    /// Force 32-bit lanes (the paper's Fig. 9/10 configuration).
+    Fixed32,
+}
+
+/// Errors surfaced by [`Aligner`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// The query has no residues (profiles require ≥ 1).
+    EmptyQuery,
+    /// Query or subject alphabet differs from the matrix's.
+    AlphabetMismatch {
+        /// Offending sequence id.
+        id: String,
+    },
+}
+
+impl core::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyQuery => write!(f, "query sequence is empty"),
+            Self::AlphabetMismatch { id } => {
+                write!(f, "sequence {id:?} uses a different alphabet than the matrix")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+/// Per-run statistics (zeroed where not applicable).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Lazy-loop segment re-computations (iterate columns).
+    pub lazy_iters: u64,
+    /// Lazy-loop whole-column sweeps.
+    pub lazy_sweeps: u64,
+    /// Columns processed by iterate.
+    pub iterate_columns: usize,
+    /// Columns processed by scan.
+    pub scan_columns: usize,
+    /// Hybrid: iterate→scan switches.
+    pub switches_to_scan: usize,
+    /// Hybrid: probes that stayed in iterate.
+    pub probes_stayed: usize,
+}
+
+/// Result of an alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignOutput {
+    /// The alignment score.
+    pub score: i32,
+    /// Strategy that produced it.
+    pub strategy: Strategy,
+    /// Backend description, e.g. `"avx2/i16x16"`.
+    pub backend: String,
+    /// Element width the final (non-saturated) run used.
+    pub elem_bits: u32,
+    /// Number of width retries taken (0 = first width sufficed).
+    pub width_retries: u32,
+    /// True if even the widest attempt saturated (score unreliable).
+    pub saturated: bool,
+    /// Kernel statistics.
+    pub stats: RunStats,
+}
+
+/// A resolved (ISA, element width, lane count) choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BackendChoice {
+    isa: Isa,
+    bits: u32,
+    lanes: usize,
+}
+
+impl BackendChoice {
+    fn name(&self) -> String {
+        format!("{}/i{}x{}", self.isa.name(), self.bits, self.lanes)
+    }
+}
+
+/// Resolve the backend for a width: the preferred ISA if it supports
+/// the width and is present, otherwise falling back to the widest
+/// available, otherwise to the emulated engine *with the preferred
+/// register shape* (so "MIC" experiments keep 512-bit geometry on
+/// hosts without AVX-512).
+fn resolve_backend(pref: Option<Isa>, bits: u32) -> BackendChoice {
+    let sup = IsaSupport::detect();
+    let native = |isa: Isa| BackendChoice {
+        isa,
+        bits,
+        lanes: (isa.bits() / bits) as usize,
+    };
+    let emulate_shape = |shape_bits: u32| BackendChoice {
+        isa: Isa::Emulated,
+        bits,
+        lanes: (shape_bits / bits) as usize,
+    };
+    match pref {
+        Some(Isa::Avx512) => {
+            // 32-bit needs avx512f; 16-bit additionally avx512bw
+            // (beyond IMCI, which had no narrow lanes).
+            let native_ok = (bits == 32 && sup.avx512f)
+                || (bits == 16 && sup.avx512f && sup.avx512bw);
+            if native_ok {
+                native(Isa::Avx512)
+            } else {
+                // No native engine for this width; emulate the
+                // 512-bit shape.
+                emulate_shape(512)
+            }
+        }
+        Some(Isa::Avx2) => {
+            if sup.avx2 {
+                native(Isa::Avx2)
+            } else {
+                emulate_shape(256)
+            }
+        }
+        Some(Isa::Sse41) => {
+            if sup.sse41 && bits >= 16 {
+                native(Isa::Sse41)
+            } else {
+                emulate_shape(128)
+            }
+        }
+        Some(Isa::Emulated) => emulate_shape(512),
+        None => {
+            let avx512_ok = (bits == 32 && sup.avx512f)
+                || (bits == 16 && sup.avx512f && sup.avx512bw);
+            if avx512_ok {
+                native(Isa::Avx512)
+            } else if sup.avx2 {
+                native(Isa::Avx2)
+            } else if sup.sse41 && bits >= 16 {
+                native(Isa::Sse41)
+            } else {
+                emulate_shape(256)
+            }
+        }
+    }
+}
+
+/// Outcome of one striped run at one width.
+struct StrategyOutcome {
+    result: KernelResult,
+    switches_to_scan: usize,
+    probes_stayed: usize,
+}
+
+#[inline(always)]
+fn run_generic<E: SimdEngine, const L: bool, const A: bool>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    strategy: Strategy,
+    policy: HybridPolicy,
+    ws: &mut Workspace<E::Elem>,
+) -> StrategyOutcome {
+    match strategy {
+        Strategy::StripedIterate => StrategyOutcome {
+            result: iterate_align::<E, L, A>(eng, prof, subject, t2, ws),
+            switches_to_scan: 0,
+            probes_stayed: 0,
+        },
+        Strategy::StripedScan => StrategyOutcome {
+            result: scan_align::<E, L, A>(eng, prof, subject, t2, ws),
+            switches_to_scan: 0,
+            probes_stayed: 0,
+        },
+        Strategy::Hybrid => {
+            let rep = hybrid_align::<E, L, A>(eng, prof, subject, t2, policy, ws, false);
+            StrategyOutcome {
+                result: rep.result,
+                switches_to_scan: rep.switches_to_scan,
+                probes_stayed: rep.probes_stayed,
+            }
+        }
+        Strategy::Sequential => unreachable!("sequential handled before dispatch"),
+    }
+}
+
+/// Dispatch the `LOCAL`/`AFFINE` const parameters from runtime flags.
+#[inline(always)]
+fn run_bools<E: SimdEngine>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    strategy: Strategy,
+    policy: HybridPolicy,
+    ws: &mut Workspace<E::Elem>,
+) -> StrategyOutcome {
+    match (t2.local, t2.affine) {
+        (true, true) => run_generic::<E, true, true>(eng, prof, subject, t2, strategy, policy, ws),
+        (true, false) => {
+            run_generic::<E, true, false>(eng, prof, subject, t2, strategy, policy, ws)
+        }
+        (false, true) => {
+            run_generic::<E, false, true>(eng, prof, subject, t2, strategy, policy, ws)
+        }
+        (false, false) => {
+            run_generic::<E, false, false>(eng, prof, subject, t2, strategy, policy, ws)
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod tf_wrappers {
+    //! `#[target_feature]` wrappers: compiling the whole column loop
+    //! with the feature enabled lets the engine's intrinsics inline.
+    //! Soundness: callers only reach these after constructing the
+    //! engine token, which proves the feature was detected.
+    use super::*;
+    use aalign_vec::avx2::{Avx2I16, Avx2I32, Avx2I8};
+    use aalign_vec::avx512::Avx512I32;
+    use aalign_vec::sse41::{Sse41I16, Sse41I32};
+
+    macro_rules! tf_wrapper {
+        ($name:ident, $feature:literal, $engine:ty, $elem:ty) => {
+            #[target_feature(enable = $feature)]
+            pub unsafe fn $name(
+                eng: $engine,
+                prof: &StripedProfile<$elem>,
+                subject: &[u8],
+                t2: TableII,
+                strategy: Strategy,
+                policy: HybridPolicy,
+                ws: &mut Workspace<$elem>,
+            ) -> StrategyOutcome {
+                run_bools(eng, prof, subject, t2, strategy, policy, ws)
+            }
+        };
+    }
+
+    tf_wrapper!(run_avx512_i32, "avx512f", Avx512I32, i32);
+
+    #[target_feature(enable = "avx512f")]
+    #[target_feature(enable = "avx512bw")]
+    pub unsafe fn run_avx512_i16(
+        eng: aalign_vec::avx512::Avx512I16,
+        prof: &StripedProfile<i16>,
+        subject: &[u8],
+        t2: TableII,
+        strategy: Strategy,
+        policy: HybridPolicy,
+        ws: &mut Workspace<i16>,
+    ) -> StrategyOutcome {
+        run_bools(eng, prof, subject, t2, strategy, policy, ws)
+    }
+    tf_wrapper!(run_avx2_i32, "avx2", Avx2I32, i32);
+    tf_wrapper!(run_avx2_i16, "avx2", Avx2I16, i16);
+    tf_wrapper!(run_avx2_i8, "avx2", Avx2I8, i8);
+    tf_wrapper!(run_sse41_i32, "sse4.1", Sse41I32, i32);
+    tf_wrapper!(run_sse41_i16, "sse4.1", Sse41I16, i16);
+}
+
+/// Scratch buffers reusable across alignments (one per thread).
+#[derive(Debug, Default)]
+pub struct AlignScratch {
+    ws8: Workspace<i8>,
+    ws16: Workspace<i16>,
+    ws32: Workspace<i32>,
+}
+
+impl AlignScratch {
+    /// Fresh scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn run_width_i32(
+    choice: BackendChoice,
+    prof: &StripedProfile<i32>,
+    subject: &[u8],
+    t2: TableII,
+    strategy: Strategy,
+    policy: HybridPolicy,
+    ws: &mut Workspace<i32>,
+) -> StrategyOutcome {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use aalign_vec::avx2::Avx2I32;
+        use aalign_vec::avx512::Avx512I32;
+        use aalign_vec::sse41::Sse41I32;
+        match choice.isa {
+            Isa::Avx512 => {
+                if let Some(eng) = Avx512I32::new() {
+                    // SAFETY: engine construction proves avx512f.
+                    return unsafe {
+                        tf_wrappers::run_avx512_i32(eng, prof, subject, t2, strategy, policy, ws)
+                    };
+                }
+            }
+            Isa::Avx2 => {
+                if let Some(eng) = Avx2I32::new() {
+                    // SAFETY: engine construction proves avx2.
+                    return unsafe {
+                        tf_wrappers::run_avx2_i32(eng, prof, subject, t2, strategy, policy, ws)
+                    };
+                }
+            }
+            Isa::Sse41 => {
+                if let Some(eng) = Sse41I32::new() {
+                    // SAFETY: engine construction proves sse4.1.
+                    return unsafe {
+                        tf_wrappers::run_sse41_i32(eng, prof, subject, t2, strategy, policy, ws)
+                    };
+                }
+            }
+            Isa::Emulated => {}
+        }
+    }
+    match choice.lanes {
+        4 => run_bools(
+            EmuEngine::<i32, 4>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+        8 => run_bools(
+            EmuEngine::<i32, 8>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+        _ => run_bools(
+            EmuEngine::<i32, 16>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+    }
+}
+
+fn run_width_i16(
+    choice: BackendChoice,
+    prof: &StripedProfile<i16>,
+    subject: &[u8],
+    t2: TableII,
+    strategy: Strategy,
+    policy: HybridPolicy,
+    ws: &mut Workspace<i16>,
+) -> StrategyOutcome {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use aalign_vec::avx2::Avx2I16;
+        use aalign_vec::avx512::Avx512I16;
+        use aalign_vec::sse41::Sse41I16;
+        match choice.isa {
+            Isa::Avx512 => {
+                if let Some(eng) = Avx512I16::new() {
+                    // SAFETY: engine construction proves avx512f+bw.
+                    return unsafe {
+                        tf_wrappers::run_avx512_i16(eng, prof, subject, t2, strategy, policy, ws)
+                    };
+                }
+            }
+            Isa::Avx2 => {
+                if let Some(eng) = Avx2I16::new() {
+                    // SAFETY: engine construction proves avx2.
+                    return unsafe {
+                        tf_wrappers::run_avx2_i16(eng, prof, subject, t2, strategy, policy, ws)
+                    };
+                }
+            }
+            Isa::Sse41 => {
+                if let Some(eng) = Sse41I16::new() {
+                    // SAFETY: engine construction proves sse4.1.
+                    return unsafe {
+                        tf_wrappers::run_sse41_i16(eng, prof, subject, t2, strategy, policy, ws)
+                    };
+                }
+            }
+            _ => {}
+        }
+    }
+    match choice.lanes {
+        8 => run_bools(
+            EmuEngine::<i16, 8>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+        32 => run_bools(
+            EmuEngine::<i16, 32>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+        _ => run_bools(
+            EmuEngine::<i16, 16>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+    }
+}
+
+fn run_width_i8(
+    choice: BackendChoice,
+    prof: &StripedProfile<i8>,
+    subject: &[u8],
+    t2: TableII,
+    strategy: Strategy,
+    policy: HybridPolicy,
+    ws: &mut Workspace<i8>,
+) -> StrategyOutcome {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use aalign_vec::avx2::Avx2I8;
+        if choice.isa == Isa::Avx2 {
+            if let Some(eng) = Avx2I8::new() {
+                // SAFETY: engine construction proves avx2.
+                return unsafe {
+                    tf_wrappers::run_avx2_i8(eng, prof, subject, t2, strategy, policy, ws)
+                };
+            }
+        }
+    }
+    match choice.lanes {
+        64 => run_bools(
+            EmuEngine::<i8, 64>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+        _ => run_bools(
+            EmuEngine::<i8, 32>::new(),
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+        ),
+    }
+}
+
+/// A query prepared for repeated alignment: striped profiles built
+/// once per width, shareable across threads (paper Sec. V-E).
+#[derive(Debug)]
+pub struct PreparedQuery {
+    query_id: String,
+    query_len: usize,
+    p8: Option<(BackendChoice, StripedProfile<i8>)>,
+    p16: Option<(BackendChoice, StripedProfile<i16>)>,
+    p32: Option<(BackendChoice, StripedProfile<i32>)>,
+}
+
+impl PreparedQuery {
+    /// Query id.
+    pub fn query_id(&self) -> &str {
+        &self.query_id
+    }
+
+    /// Query length in residues.
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+}
+
+/// The high-level pairwise aligner.
+///
+/// ```
+/// use aalign_core::{AlignConfig, Aligner, GapModel, Strategy};
+/// use aalign_bio::{matrices::BLOSUM62, Sequence};
+///
+/// let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+/// let aligner = Aligner::new(cfg).with_strategy(Strategy::StripedScan);
+/// let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+/// let s = Sequence::protein("s", b"PAWHEAE").unwrap();
+/// let out = aligner.align(&q, &s).unwrap();
+/// assert!(out.score > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aligner {
+    cfg: AlignConfig,
+    strategy: Strategy,
+    width: WidthPolicy,
+    isa: Option<Isa>,
+    hybrid: Option<HybridPolicy>,
+}
+
+impl Aligner {
+    /// Aligner with default strategy (hybrid) and width policy (auto).
+    pub fn new(cfg: AlignConfig) -> Self {
+        Self {
+            cfg,
+            strategy: Strategy::default(),
+            width: WidthPolicy::default(),
+            isa: None,
+            hybrid: None,
+        }
+    }
+
+    /// Select the vectorization strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Select the element-width policy.
+    pub fn with_width(mut self, width: WidthPolicy) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Pin an ISA (e.g. [`Isa::Avx2`] for "CPU", [`Isa::Avx512`] for
+    /// the paper's "MIC" shape). Unavailable ISAs fall back to the
+    /// emulated engine with the same register geometry.
+    pub fn with_isa(mut self, isa: Isa) -> Self {
+        self.isa = Some(isa);
+        self
+    }
+
+    /// Override the hybrid switching policy.
+    pub fn with_hybrid_policy(mut self, policy: HybridPolicy) -> Self {
+        self.hybrid = Some(policy);
+        self
+    }
+
+    /// The configuration this aligner runs.
+    pub fn config(&self) -> &AlignConfig {
+        &self.cfg
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    fn check_seq(&self, s: &Sequence) -> Result<(), AlignError> {
+        if core::ptr::eq(s.alphabet(), self.cfg.matrix.alphabet()) {
+            Ok(())
+        } else {
+            Err(AlignError::AlphabetMismatch {
+                id: s.id().to_string(),
+            })
+        }
+    }
+
+    /// Can a `bits`-wide element provably hold every intermediate
+    /// value of aligning an `m`-long query to an `n`-long subject?
+    ///
+    /// Local scores are bounded by `min(m,n)·max_match` regardless of
+    /// total lengths; global magnitudes grow with `m + n` (boundary
+    /// gap ramps and all-mismatch paths).
+    fn narrow_ok(&self, bits: u32, m: usize, n: usize) -> bool {
+        let cap: i64 = match bits {
+            8 => i8::MAX as i64,
+            16 => i16::MAX as i64,
+            _ => return true,
+        };
+        let gamma_pos = self.cfg.matrix.max_score().max(1) as i64;
+        let theta = self.cfg.gap.theta().abs() as i64;
+        let beta = self.cfg.gap.beta().abs() as i64;
+        let head = 2 * (gamma_pos + theta + beta + 2);
+        match self.cfg.kind {
+            crate::config::AlignKind::Local => {
+                gamma_pos * (m.min(n) as i64 + 1) + head < cap
+            }
+            crate::config::AlignKind::Global | crate::config::AlignKind::SemiGlobal => {
+                let step = (self.cfg.matrix.min_score().abs() as i64)
+                    .max(gamma_pos)
+                    .max(beta);
+                (m + n + 2) as i64 * step + theta + head < cap
+            }
+        }
+    }
+
+    /// Widths the policy wants, in attempt order, given the query.
+    /// (Auto's i16 entry is additionally checked per subject.)
+    fn width_plan(&self, query_len: usize) -> Vec<u32> {
+        match self.width {
+            WidthPolicy::Fixed8 => vec![8],
+            WidthPolicy::Fixed16 => vec![16],
+            WidthPolicy::Fixed32 => vec![32],
+            WidthPolicy::Auto => {
+                // Local scores are bounded by the *shorter* sequence,
+                // so i16 stays useful for long queries against typical
+                // database subjects — always build it and let the
+                // per-subject check choose. Global magnitudes grow
+                // with m+n; prune i16 when the query alone rules it
+                // out.
+                let try_narrow = match self.cfg.kind {
+                    crate::config::AlignKind::Local => true,
+                    crate::config::AlignKind::Global
+                    | crate::config::AlignKind::SemiGlobal => {
+                        self.narrow_ok(16, query_len, query_len)
+                    }
+                };
+                if try_narrow {
+                    vec![16, 32]
+                } else {
+                    vec![32]
+                }
+            }
+        }
+    }
+
+    /// Build the profiles for repeated alignment against many
+    /// subjects. Share the result across threads; it is immutable.
+    pub fn prepare(&self, query: &Sequence) -> Result<PreparedQuery, AlignError> {
+        if query.is_empty() {
+            return Err(AlignError::EmptyQuery);
+        }
+        self.check_seq(query)?;
+        let mut pq = PreparedQuery {
+            query_id: query.id().to_string(),
+            query_len: query.len(),
+            p8: None,
+            p16: None,
+            p32: None,
+        };
+        if self.strategy == Strategy::Sequential {
+            return Ok(pq);
+        }
+        for bits in self.width_plan(query.len()) {
+            let choice = resolve_backend(self.isa, bits);
+            match bits {
+                8 => {
+                    pq.p8 = Some((
+                        choice,
+                        StripedProfile::build(query, &self.cfg.matrix, choice.lanes),
+                    ))
+                }
+                16 => {
+                    pq.p16 = Some((
+                        choice,
+                        StripedProfile::build(query, &self.cfg.matrix, choice.lanes),
+                    ))
+                }
+                _ => {
+                    pq.p32 = Some((
+                        choice,
+                        StripedProfile::build(query, &self.cfg.matrix, choice.lanes),
+                    ))
+                }
+            }
+        }
+        Ok(pq)
+    }
+
+    /// Align a prepared query against one subject, reusing `scratch`.
+    pub fn align_prepared(
+        &self,
+        pq: &PreparedQuery,
+        subject: &Sequence,
+        scratch: &mut AlignScratch,
+    ) -> Result<AlignOutput, AlignError> {
+        self.check_seq(subject)?;
+        assert_ne!(
+            self.strategy,
+            Strategy::Sequential,
+            "Strategy::Sequential has no prepared form; use align()"
+        );
+
+        let t2 = self.cfg.table2();
+        let mut retries = 0u32;
+        let mut last: Option<(StrategyOutcome, BackendChoice, u32)> = None;
+
+        let attempts: Vec<u32> = [
+            pq.p16.as_ref().map(|_| 16u32),
+            pq.p32.as_ref().map(|_| 32u32),
+            pq.p8.as_ref().map(|_| 8u32),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        // Attempt order: narrow before wide (8 only when explicitly
+        // requested, in which case it is the only entry).
+        let mut order = attempts;
+        order.sort_unstable();
+
+        for bits in order {
+            // Auto policy: don't waste a narrow attempt that the
+            // per-subject bound already rules out.
+            if self.width == WidthPolicy::Auto
+                && bits < 32
+                && !self.narrow_ok(bits, pq.query_len, subject.len())
+            {
+                continue;
+            }
+            let policy = self
+                .hybrid
+                .unwrap_or_else(|| HybridPolicy::for_lanes(self.lanes_for(pq, bits)));
+            let (outcome, choice) = match bits {
+                8 => {
+                    let (choice, prof) = pq.p8.as_ref().unwrap();
+                    (
+                        run_width_i8(
+                            *choice,
+                            prof,
+                            subject.indices(),
+                            t2,
+                            self.strategy,
+                            policy,
+                            &mut scratch.ws8,
+                        ),
+                        *choice,
+                    )
+                }
+                16 => {
+                    let (choice, prof) = pq.p16.as_ref().unwrap();
+                    (
+                        run_width_i16(
+                            *choice,
+                            prof,
+                            subject.indices(),
+                            t2,
+                            self.strategy,
+                            policy,
+                            &mut scratch.ws16,
+                        ),
+                        *choice,
+                    )
+                }
+                _ => {
+                    let (choice, prof) = pq.p32.as_ref().unwrap();
+                    (
+                        run_width_i32(
+                            *choice,
+                            prof,
+                            subject.indices(),
+                            t2,
+                            self.strategy,
+                            policy,
+                            &mut scratch.ws32,
+                        ),
+                        *choice,
+                    )
+                }
+            };
+            let saturated = outcome.result.saturated;
+            last = Some((outcome, choice, bits));
+            if !saturated {
+                break;
+            }
+            retries += 1;
+        }
+
+        let (outcome, choice, bits) = last.expect("width plan is never empty");
+        Ok(AlignOutput {
+            score: outcome.result.score,
+            strategy: self.strategy,
+            backend: choice.name(),
+            elem_bits: bits,
+            width_retries: retries.saturating_sub(u32::from(outcome.result.saturated)),
+            saturated: outcome.result.saturated,
+            stats: RunStats {
+                lazy_iters: outcome.result.lazy_iters,
+                lazy_sweeps: outcome.result.lazy_sweeps,
+                iterate_columns: outcome.result.iterate_columns,
+                scan_columns: outcome.result.scan_columns,
+                switches_to_scan: outcome.switches_to_scan,
+                probes_stayed: outcome.probes_stayed,
+            },
+        })
+    }
+
+    fn lanes_for(&self, pq: &PreparedQuery, bits: u32) -> usize {
+        match bits {
+            8 => pq.p8.as_ref().map(|(c, _)| c.lanes).unwrap_or(32),
+            16 => pq.p16.as_ref().map(|(c, _)| c.lanes).unwrap_or(16),
+            _ => pq.p32.as_ref().map(|(c, _)| c.lanes).unwrap_or(8),
+        }
+    }
+
+    /// Align one query against many subjects, preparing the query
+    /// once and reusing scratch buffers — the right call shape for
+    /// anything beyond a handful of subjects (see also
+    /// [`aalign-par`'s `search_database`](https://docs.rs/aalign-par)
+    /// for the multithreaded version).
+    pub fn align_many(
+        &self,
+        query: &Sequence,
+        subjects: &[Sequence],
+    ) -> Result<Vec<AlignOutput>, AlignError> {
+        if self.strategy == Strategy::Sequential {
+            return subjects.iter().map(|s| self.align(query, s)).collect();
+        }
+        let pq = self.prepare(query)?;
+        let mut scratch = AlignScratch::new();
+        subjects
+            .iter()
+            .map(|s| self.align_prepared(&pq, s, &mut scratch))
+            .collect()
+    }
+
+    /// One-shot alignment (prepares the query internally).
+    pub fn align(&self, query: &Sequence, subject: &Sequence) -> Result<AlignOutput, AlignError> {
+        if query.is_empty() {
+            return Err(AlignError::EmptyQuery);
+        }
+        self.check_seq(query)?;
+        self.check_seq(subject)?;
+        if self.strategy == Strategy::Sequential {
+            let r = scalar_column_align(&self.cfg, query, subject);
+            return Ok(AlignOutput {
+                score: r.score,
+                strategy: Strategy::Sequential,
+                backend: "scalar".to_string(),
+                elem_bits: 32,
+                width_retries: 0,
+                saturated: false,
+                stats: RunStats::default(),
+            });
+        }
+        let pq = self.prepare(query)?;
+        let mut scratch = AlignScratch::new();
+        self.align_prepared(&pq, subject, &mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlignKind, GapModel};
+    use crate::paradigm::paradigm_dp;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, nine_similarity_specs, seeded_rng};
+
+    fn cfgs() -> Vec<AlignConfig> {
+        let mut v = Vec::new();
+        for kind in [AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal] {
+            for gap in [GapModel::affine(-10, -2), GapModel::linear(-3)] {
+                v.push(AlignConfig::new(kind, gap, &BLOSUM62));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn all_strategies_match_reference_through_public_api() {
+        let mut rng = seeded_rng(5150);
+        let q = named_query(&mut rng, 130);
+        for spec in nine_similarity_specs().into_iter().take(5) {
+            let s = spec.generate(&mut rng, &q).subject;
+            for cfg in cfgs() {
+                let want = paradigm_dp(&cfg, &q, &s).score;
+                for strat in [
+                    Strategy::Sequential,
+                    Strategy::StripedIterate,
+                    Strategy::StripedScan,
+                    Strategy::Hybrid,
+                ] {
+                    let out = Aligner::new(cfg.clone())
+                        .with_strategy(strat)
+                        .align(&q, &s)
+                        .unwrap();
+                    assert_eq!(out.score, want, "{} {:?}", cfg.label(), strat);
+                    assert!(!out.saturated);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isa_pinning_produces_identical_scores() {
+        let mut rng = seeded_rng(808);
+        let q = named_query(&mut rng, 100);
+        let s = named_query(&mut rng, 90);
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let want = paradigm_dp(&cfg, &q, &s).score;
+        for isa in [Isa::Emulated, Isa::Sse41, Isa::Avx2, Isa::Avx512] {
+            let out = Aligner::new(cfg.clone())
+                .with_isa(isa)
+                .with_width(WidthPolicy::Fixed32)
+                .align(&q, &s)
+                .unwrap();
+            assert_eq!(out.score, want, "isa {isa:?} ({})", out.backend);
+        }
+    }
+
+    #[test]
+    fn auto_width_falls_back_on_saturation() {
+        // Long identical sequences: score ~ 11 * 4000 = 44000 > i16.
+        let text: Vec<u8> = std::iter::repeat_n(b"WAGHE".to_vec(), 800)
+            .flatten()
+            .collect();
+        let q = Sequence::protein("big", &text).unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg.clone())
+            .with_width(WidthPolicy::Auto)
+            .align(&q, &q)
+            .unwrap();
+        assert!(!out.saturated);
+        assert_eq!(out.elem_bits, 32, "must have escalated ({})", out.backend);
+        let want = crate::scalar::scalar_column_align(&cfg, &q, &q).score;
+        assert_eq!(out.score, want);
+    }
+
+    #[test]
+    fn auto_width_uses_i16_when_safe() {
+        let mut rng = seeded_rng(2);
+        let q = named_query(&mut rng, 80);
+        let s = named_query(&mut rng, 60);
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg).align(&q, &s).unwrap();
+        assert_eq!(out.elem_bits, 16, "short queries stay narrow");
+        assert_eq!(out.width_retries, 0);
+    }
+
+    #[test]
+    fn fixed16_reports_saturation_without_fallback() {
+        let text: Vec<u8> = std::iter::repeat_n(b'W', 4000).collect();
+        let q = Sequence::protein("big", &text).unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg)
+            .with_width(WidthPolicy::Fixed16)
+            .align(&q, &q)
+            .unwrap();
+        assert!(out.saturated);
+        assert_eq!(out.elem_bits, 16);
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let q = Sequence::protein("e", b"").unwrap();
+        let s = Sequence::protein("s", b"WW").unwrap();
+        let cfg = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        assert_eq!(
+            Aligner::new(cfg).align(&q, &s).unwrap_err(),
+            AlignError::EmptyQuery
+        );
+    }
+
+    #[test]
+    fn alphabet_mismatch_is_an_error() {
+        let q = Sequence::dna("d", b"ACGT").unwrap();
+        let s = Sequence::protein("p", b"WW").unwrap();
+        let cfg = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        let err = Aligner::new(cfg).align(&q, &s).unwrap_err();
+        assert!(matches!(err, AlignError::AlphabetMismatch { .. }));
+    }
+
+    #[test]
+    fn prepared_query_reuse_matches_one_shot() {
+        let mut rng = seeded_rng(99);
+        let q = named_query(&mut rng, 120);
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let aligner = Aligner::new(cfg).with_strategy(Strategy::Hybrid);
+        let pq = aligner.prepare(&q).unwrap();
+        let mut scratch = AlignScratch::new();
+        for i in 0..8 {
+            let s = named_query(&mut rng, 40 + i * 13);
+            let a = aligner.align_prepared(&pq, &s, &mut scratch).unwrap();
+            let b = aligner.align(&q, &s).unwrap();
+            assert_eq!(a.score, b.score);
+        }
+        assert_eq!(pq.query_id(), q.id());
+        assert_eq!(pq.query_len(), 120);
+    }
+
+    #[test]
+    fn hybrid_stats_report_strategy_mix() {
+        let mut rng = seeded_rng(71);
+        let q = named_query(&mut rng, 200);
+        // Very similar subject forces switches to scan.
+        let s = aalign_bio::synth::PairSpec::new(
+            aalign_bio::synth::Level::Hi,
+            aalign_bio::synth::Level::Hi,
+        )
+        .generate(&mut rng, &q)
+        .subject;
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg)
+            .with_strategy(Strategy::Hybrid)
+            .with_width(WidthPolicy::Fixed32)
+            .with_hybrid_policy(HybridPolicy {
+                threshold: 1,
+                probe_stride: 16,
+            })
+            .align(&q, &s)
+            .unwrap();
+        assert!(out.stats.switches_to_scan > 0, "{:?}", out.stats);
+        assert!(out.stats.scan_columns > 0);
+        assert_eq!(
+            out.stats.scan_columns + out.stats.iterate_columns,
+            s.len()
+        );
+    }
+
+    #[test]
+    fn align_many_matches_one_shot() {
+        let mut rng = seeded_rng(4);
+        let q = named_query(&mut rng, 70);
+        let subjects: Vec<_> = (0..6).map(|i| named_query(&mut rng, 30 + i * 15)).collect();
+        for strat in [Strategy::Sequential, Strategy::Hybrid] {
+            let al = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62))
+                .with_strategy(strat);
+            let many = al.align_many(&q, &subjects).unwrap();
+            for (s, out) in subjects.iter().zip(&many) {
+                assert_eq!(out.score, al.align(&q, s).unwrap().score);
+            }
+        }
+    }
+
+    #[test]
+    fn dna_alignment_works_end_to_end() {
+        let m = aalign_bio::SubstMatrix::dna(2, -3);
+        let q = Sequence::dna("q", b"ACGTACGTAC").unwrap();
+        let s = Sequence::dna("s", b"TTACGTACGTACTT").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-5, -2), &m);
+        let out = Aligner::new(cfg.clone()).align(&q, &s).unwrap();
+        assert_eq!(out.score, 20); // perfect 10-residue match
+        assert_eq!(out.score, paradigm_dp(&cfg, &q, &s).score);
+    }
+}
+
+#[cfg(test)]
+mod avx512bw_dispatch_tests {
+    use super::*;
+    use crate::config::GapModel;
+    use crate::paradigm::paradigm_dp;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng};
+
+    #[test]
+    fn i16_on_512bit_platform_uses_bw_engine_when_present() {
+        let mut rng = seeded_rng(600);
+        let q = named_query(&mut rng, 90);
+        let s = named_query(&mut rng, 80);
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg.clone())
+            .with_isa(Isa::Avx512)
+            .with_width(WidthPolicy::Fixed16)
+            .align(&q, &s)
+            .unwrap();
+        assert_eq!(out.score, paradigm_dp(&cfg, &q, &s).score);
+        assert_eq!(out.elem_bits, 16);
+        let sup = IsaSupport::detect();
+        if sup.avx512f && sup.avx512bw {
+            assert_eq!(out.backend, "avx512/i16x32", "native BW engine expected");
+        } else {
+            assert!(out.backend.starts_with("emu/"), "{}", out.backend);
+        }
+        // 32 lanes either way: the 512-bit geometry is preserved.
+        assert!(out.backend.ends_with("x32"), "{}", out.backend);
+    }
+
+    #[test]
+    fn extreme_hybrid_policies_stay_exact() {
+        let mut rng = seeded_rng(601);
+        let q = named_query(&mut rng, 70);
+        let s = named_query(&mut rng, 90);
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let want = paradigm_dp(&cfg, &q, &s).score;
+        for policy in [
+            HybridPolicy { threshold: 0, probe_stride: 1 },
+            HybridPolicy { threshold: 0, probe_stride: 10_000 },
+            HybridPolicy { threshold: u32::MAX, probe_stride: 1 },
+        ] {
+            let out = Aligner::new(cfg.clone())
+                .with_hybrid_policy(policy)
+                .with_width(WidthPolicy::Fixed32)
+                .align(&q, &s)
+                .unwrap();
+            assert_eq!(out.score, want, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn global_auto_escalates_for_long_dissimilar_pairs() {
+        // Global score of dissimilar 3000-residue pairs sinks far
+        // below i16::MIN; Auto must detect and use i32.
+        let mut rng = seeded_rng(602);
+        let q = named_query(&mut rng, 3000);
+        let s = named_query(&mut rng, 2500);
+        let cfg = AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg.clone()).align(&q, &s).unwrap();
+        assert!(!out.saturated);
+        assert_eq!(out.elem_bits, 32);
+        let seq = crate::scalar::scalar_column_align(&cfg, &q, &s);
+        assert_eq!(out.score, seq.score);
+    }
+}

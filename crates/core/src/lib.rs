@@ -1,0 +1,45 @@
+//! # aalign-core — the AAlign alignment kernels
+//!
+//! A Rust reproduction of the AAlign framework (Hou, Wang, Feng,
+//! IPDPS 2016): pairwise sequence alignment under the generalized
+//! paradigm (local/global × linear/affine gaps) with two SIMD
+//! vectorization strategies over the striped layout —
+//! **striped-iterate** (Alg. 2) and **striped-scan** (Alg. 3) — and
+//! the runtime **hybrid** switcher (Sec. V-B).
+//!
+//! Layers, bottom up:
+//!
+//! * [`config`] — the paradigm's parameters and the Table II
+//!   derivation.
+//! * [`paradigm`] — executable ground truth: Eq. (2) literally, and
+//!   the Eq. (3–6) dynamic program.
+//! * [`scalar`] — the optimized sequential baseline (Fig. 9).
+//! * [`striped`] — the vector kernels, generic over any
+//!   [`aalign_vec::SimdEngine`].
+//! * [`inter`] — inter-sequence vectorization (one lane per subject;
+//!   extension).
+//! * [`kernel`] — runtime dispatch (ISA × element width × strategy)
+//!   and the public [`Aligner`] API.
+//! * [`traceback`] — scalar alignment-path reconstruction (an
+//!   extension; the paper reports scores only).
+
+pub mod banded;
+pub mod config;
+pub mod hirschberg;
+pub mod inter;
+pub mod kernel;
+pub mod paradigm;
+pub mod scalar;
+pub mod striped;
+pub mod traceback;
+
+pub use config::{AlignConfig, AlignKind, GapModel, TableII};
+pub use traceback::{traceback_align, Alignment};
+pub use kernel::{
+    AlignError, AlignOutput, AlignScratch, Aligner, PreparedQuery, RunStats, Strategy,
+    WidthPolicy,
+};
+pub use banded::{banded_align, banded_align_auto, banded_align_certified, BandedScore};
+pub use hirschberg::hirschberg_align;
+pub use inter::{inter_align_all, inter_align_batch, InterBatchResult, InterWorkspace};
+pub use striped::{HybridPolicy, HybridReport, KernelResult, StrategyChoice, Workspace};

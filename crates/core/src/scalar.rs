@@ -1,0 +1,184 @@
+//! Optimized sequential kernels — the paper's Fig. 9 baselines.
+//!
+//! Column-major, double-buffered (O(m) space), structured exactly like
+//! the vector kernels so the comparison measures vectorization, not
+//! algorithmic differences. Linear configurations skip the `E` buffer
+//! the same way the generated vector code drops the asterisked lines.
+
+use aalign_bio::{Sequence, SubstMatrix};
+
+use crate::config::{AlignConfig, AlignKind};
+use crate::paradigm::{RefScore, NEG_INF};
+
+/// Sequential alignment with column double-buffering.
+///
+/// ```
+/// use aalign_core::scalar::scalar_column_align;
+/// use aalign_core::{AlignConfig, GapModel};
+/// use aalign_bio::{matrices::BLOSUM62, Sequence};
+/// let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+/// let s = Sequence::protein("s", b"PAWHEAE").unwrap();
+/// let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+/// let r = scalar_column_align(&cfg, &q, &s);
+/// assert_eq!(r.score, 17);
+/// assert_eq!(r.end, (6, 3)); // subject pos 6, query pos 3 (1-based)
+/// ```
+pub fn scalar_column_align(
+    cfg: &AlignConfig,
+    query: &Sequence,
+    subject: &Sequence,
+) -> RefScore {
+    let t2 = cfg.table2();
+    if t2.affine {
+        if t2.local {
+            scalar_impl::<true, true>(cfg, query, subject)
+        } else {
+            scalar_impl::<false, true>(cfg, query, subject)
+        }
+    } else if t2.local {
+        scalar_impl::<true, false>(cfg, query, subject)
+    } else {
+        scalar_impl::<false, false>(cfg, query, subject)
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // column DP, indices intentional
+fn scalar_impl<const LOCAL: bool, const AFFINE: bool>(
+    cfg: &AlignConfig,
+    query: &Sequence,
+    subject: &Sequence,
+) -> RefScore {
+    let t2 = cfg.table2();
+    let matrix: &SubstMatrix = &cfg.matrix;
+    let q = query.indices();
+    let s = subject.indices();
+    let (m, n) = (q.len(), s.len());
+
+    // Double-buffered T columns (index 0 = boundary row).
+    let mut t_prev: Vec<i32> = (0..=m)
+        .map(|j| if j == 0 { t2.init_t(0) } else { t2.init_col(j - 1) })
+        .collect();
+    let mut t_cur = vec![0i32; m + 1];
+    let mut e = vec![NEG_INF; m + 1];
+
+    let mut best = i32::MIN;
+    let mut best_end = (0usize, 0usize);
+    // Semi-global: best value ever seen at the last query row.
+    let mut semi_best = t_prev[m];
+    let mut semi_end = 0usize;
+    for (i, &sc) in s.iter().enumerate() {
+        let row = matrix.row(sc);
+        t_cur[0] = t2.init_t(i + 1);
+        let mut f = NEG_INF;
+        for j in 1..=m {
+            let ej = if AFFINE {
+                let v = (e[j] + t2.gap_left_ext).max(t_prev[j] + t2.gap_left);
+                e[j] = v;
+                v
+            } else {
+                t_prev[j] + t2.gap_left
+            };
+            f = if AFFINE {
+                (f + t2.gap_up_ext).max(t_cur[j - 1] + t2.gap_up)
+            } else {
+                f.max(t_cur[j - 1]) + t2.gap_up_ext
+            };
+            let d = t_prev[j - 1] + row[q[j - 1] as usize];
+            let mut v = d.max(ej).max(f);
+            if LOCAL {
+                v = v.max(0);
+                if v > best {
+                    best = v;
+                    best_end = (i + 1, j);
+                }
+            }
+            t_cur[j] = v;
+        }
+        if t_cur[m] > semi_best {
+            semi_best = t_cur[m];
+            semi_end = i + 1;
+        }
+        core::mem::swap(&mut t_prev, &mut t_cur);
+    }
+
+    match cfg.kind {
+        AlignKind::Local => {
+            if best <= 0 {
+                RefScore {
+                    score: 0,
+                    end: (0, 0),
+                }
+            } else {
+                RefScore {
+                    score: best,
+                    end: best_end,
+                }
+            }
+        }
+        AlignKind::Global => RefScore {
+            score: t_prev[m],
+            end: (n, m),
+        },
+        AlignKind::SemiGlobal => RefScore {
+            score: semi_best,
+            end: (semi_end, m),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GapModel;
+    use crate::paradigm::paradigm_dp;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, nine_similarity_specs, seeded_rng};
+
+    #[test]
+    fn matches_paradigm_dp_on_all_configs() {
+        let mut rng = seeded_rng(21);
+        let q = named_query(&mut rng, 83);
+        let subjects: Vec<_> = nine_similarity_specs()
+            .iter()
+            .map(|spec| spec.generate(&mut rng, &q).subject)
+            .collect();
+        for kind in [AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal] {
+            for gap in [GapModel::affine(-10, -2), GapModel::linear(-3)] {
+                let cfg = AlignConfig::new(kind, gap, &BLOSUM62);
+                for s in &subjects {
+                    let want = paradigm_dp(&cfg, &q, s);
+                    let got = scalar_column_align(&cfg, &q, s);
+                    assert_eq!(got.score, want.score, "{} vs {}", cfg.label(), s.id());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_end_position_matches_dp() {
+        let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+        let s = Sequence::protein("s", b"PAWHEAE").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = paradigm_dp(&cfg, &q, &s);
+        let b = scalar_column_align(&cfg, &q, &s);
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.end, b.end);
+    }
+
+    #[test]
+    fn empty_subject_global_pays_gap_ramp() {
+        let q = Sequence::protein("q", b"HEAG").unwrap();
+        let s = Sequence::protein("s", b"").unwrap();
+        let cfg = AlignConfig::global(GapModel::affine(-5, -1), &BLOSUM62);
+        let r = scalar_column_align(&cfg, &q, &s);
+        assert_eq!(r.score, -5 - 4); // θ + 4β
+    }
+
+    #[test]
+    fn empty_subject_local_scores_zero() {
+        let q = Sequence::protein("q", b"HEAG").unwrap();
+        let s = Sequence::protein("s", b"").unwrap();
+        let cfg = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        assert_eq!(scalar_column_align(&cfg, &q, &s).score, 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The shared column engine.
+//!
+//! [`ColumnEngine`] owns the per-column state of a striped alignment
+//! (the `arr_T1`/`arr_T2`/`arr_L`/`arr_scan` buffers of Alg. 2/3, the
+//! running maximum, and the boundary trackers) and advances it one
+//! subject character at a time with either vectorization strategy.
+//! The iterate/scan/hybrid entry points are thin loops over it.
+//!
+//! Type parameters `LOCAL` and `AFFINE` compile the four paradigm
+//! configurations separately — the moral equivalent of the paper's
+//! code generator dropping or keeping the asterisked statements.
+
+use aalign_bio::StripedProfile;
+use aalign_vec::scan::{wgt_max_scan_striped, ScanParams};
+use aalign_vec::{ScoreElem, SimdEngine, StripedLayout};
+
+use crate::config::TableII;
+
+/// Reusable buffer set; keep one per thread and feed it to successive
+/// alignments to avoid reallocating in database-search loops.
+#[derive(Debug, Default)]
+pub struct Workspace<T> {
+    arr_t1: Vec<T>,
+    arr_t2: Vec<T>,
+    arr_e: Vec<T>,
+    arr_scan: Vec<T>,
+}
+
+impl<T: ScoreElem> Workspace<T> {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self {
+            arr_t1: Vec::new(),
+            arr_t2: Vec::new(),
+            arr_e: Vec::new(),
+            arr_scan: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, padded: usize) {
+        for buf in [
+            &mut self.arr_t1,
+            &mut self.arr_t2,
+            &mut self.arr_e,
+            &mut self.arr_scan,
+        ] {
+            buf.clear();
+            buf.resize(padded, T::ZERO);
+        }
+    }
+}
+
+/// Result of a full striped alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResult {
+    /// Alignment score, widened to i32.
+    pub score: i32,
+    /// True if the score is too close to the element type's
+    /// saturation limits to be trusted (retry at a wider type).
+    pub saturated: bool,
+    /// Total lazy-loop segment re-computations (iterate columns only).
+    pub lazy_iters: u64,
+    /// Total lazy-loop sweeps over the column (iterate columns only).
+    pub lazy_sweeps: u64,
+    /// Columns processed with the iterate strategy.
+    pub iterate_columns: usize,
+    /// Columns processed with the scan strategy.
+    pub scan_columns: usize,
+}
+
+/// Per-column state for one alignment.
+pub struct ColumnEngine<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool> {
+    eng: E,
+    prof: &'a StripedProfile<E::Elem>,
+    ws: &'a mut Workspace<E::Elem>,
+    layout: StripedLayout,
+    t2: TableII,
+
+    // Splatted Table II constants.
+    v_gap_left: E::Vec,
+    v_gap_left_ext: E::Vec,
+    v_gap_up: E::Vec,
+    v_gap_up_ext: E::Vec,
+    /// θ = GAP_UP − GAP_UP_EXT, the lazy-loop influence margin.
+    v_theta: E::Vec,
+    v_zero: E::Vec,
+    /// k·β, the per-lane chunk weight of the striped layout.
+    chunk_ext: E::Elem,
+
+    // Running state.
+    v_max: E::Vec,
+    /// Semi-global: running lane-wise max of the segment holding the
+    /// last query position, across all columns (only the lane of
+    /// `m-1` is read at the end).
+    v_semi: E::Vec,
+    semi: bool,
+    /// Buffer offset of the segment containing query position `m-1`.
+    last_seg_off: usize,
+    /// Lane of query position `m-1` within that segment.
+    last_lane: usize,
+    /// Subject characters consumed so far.
+    col: usize,
+    /// Lazy-loop statistics.
+    lazy_iters: u64,
+    lazy_sweeps: u64,
+    iterate_columns: usize,
+    scan_columns: usize,
+}
+
+impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool>
+    ColumnEngine<'a, E, LOCAL, AFFINE>
+{
+    /// Set up the engine: splat constants and write the column-0
+    /// boundary into the buffers.
+    #[inline(always)]
+    pub fn new(
+        eng: E,
+        prof: &'a StripedProfile<E::Elem>,
+        t2: TableII,
+        ws: &'a mut Workspace<E::Elem>,
+    ) -> Self {
+        debug_assert_eq!(t2.local, LOCAL, "kind/constant mismatch");
+        debug_assert_eq!(t2.affine, AFFINE, "gap/constant mismatch");
+        let layout = prof.layout();
+        assert_eq!(layout.lanes, E::LANES, "profile built for another width");
+        ws.ensure(layout.padded_len());
+
+        // Column-0 boundary: T_{0,q} ramp (zero for local), no gaps yet.
+        for slot in 0..layout.padded_len() {
+            let q = layout.query_pos_of(slot);
+            ws.arr_t1[slot] = E::Elem::from_i32_sat(t2.init_col(q));
+            ws.arr_e[slot] = E::Elem::NEG_INF;
+        }
+
+        let splat_i32 = |x: i32| eng.splat(E::Elem::from_i32_sat(x));
+        let chunk_ext = E::Elem::from_i32_sat(
+            t2.gap_up_ext.saturating_mul(layout.segments as i32),
+        );
+        let last_slot = layout.slot_of(layout.len - 1);
+        let last_seg_off = (last_slot / E::LANES) * E::LANES;
+        let last_lane = last_slot % E::LANES;
+        let semi = t2.kind == crate::config::AlignKind::SemiGlobal;
+        let v_semi = if semi {
+            // The boundary column participates (subject may be
+            // consumed entirely by the free prefix).
+            eng.load(&ws.arr_t1[last_seg_off..])
+        } else {
+            eng.splat(E::Elem::NEG_INF)
+        };
+        Self {
+            eng,
+            prof,
+            ws,
+            layout,
+            t2,
+            v_gap_left: splat_i32(t2.gap_left),
+            v_gap_left_ext: splat_i32(t2.gap_left_ext),
+            v_gap_up: splat_i32(t2.gap_up),
+            v_gap_up_ext: splat_i32(t2.gap_up_ext),
+            v_theta: splat_i32(t2.gap_up - t2.gap_up_ext),
+            v_zero: eng.splat(E::Elem::ZERO),
+            chunk_ext,
+            v_max: eng.splat(E::Elem::NEG_INF),
+            v_semi,
+            semi,
+            last_seg_off,
+            last_lane,
+            col: 0,
+            lazy_iters: 0,
+            lazy_sweeps: 0,
+            iterate_columns: 0,
+            scan_columns: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn init_t_elem(&self, i: usize) -> E::Elem {
+        E::Elem::from_i32_sat(self.t2.init_t(i))
+    }
+
+    /// Shared first pass: compute `D` and `E` (`L` in the paper) for
+    /// every segment and store the partial `T`. When `WITH_F_BOUND`
+    /// (iterate), a running lower-bound `F` vector is folded in and
+    /// carried segment to segment; the final carry is returned for the
+    /// lazy loop. When not (scan), `F` is ignored entirely.
+    #[inline(always)]
+    fn first_pass<const WITH_F_BOUND: bool>(&mut self, s_char: u8) -> E::Vec {
+        let eng = self.eng;
+        let lanes = E::LANES;
+        let k = self.layout.segments;
+        let prof = self.prof.stripe(s_char);
+
+        // Diagonal carry: previous column's last segment, lanes moved
+        // up one, boundary value T_{col,0} entering lane 0.
+        let mut v_dia = eng.shift_insert_low(
+            eng.load(&self.ws.arr_t1[(k - 1) * lanes..]),
+            self.init_t_elem(self.col),
+        );
+
+        // F lower bound at each lane's first position: F(q=0) exactly,
+        // plus a pure-extension ramp for higher lanes.
+        let init_t_cur = self.init_t_elem(self.col + 1);
+        let mut v_f = if WITH_F_BOUND {
+            let f0 = init_t_cur.sat_add(E::Elem::from_i32_sat(self.t2.gap_up));
+            eng.lower_bound(f0, self.chunk_ext)
+        } else {
+            eng.splat(E::Elem::NEG_INF)
+        };
+
+        for j in 0..k {
+            let off = j * lanes;
+            let t_prev = eng.load(&self.ws.arr_t1[off..]);
+            v_dia = eng.add(v_dia, eng.load(&prof[off..]));
+
+            // E (arr_L): horizontal gap from the previous column.
+            let v_e = if AFFINE {
+                let e_prev = eng.load(&self.ws.arr_e[off..]);
+                let e = eng.max(
+                    eng.add(e_prev, self.v_gap_left_ext),
+                    eng.add(t_prev, self.v_gap_left),
+                );
+                eng.store(&mut self.ws.arr_e[off..], e);
+                e
+            } else {
+                // Linear: E = T_prev + β' (T ≥ E makes the E chain
+                // redundant — the paper's dropped asterisked lines).
+                eng.add(t_prev, self.v_gap_left)
+            };
+
+            let mut v_t = eng.max(v_dia, v_e);
+            if WITH_F_BOUND {
+                v_t = eng.max(v_t, v_f);
+            }
+            if LOCAL {
+                v_t = eng.max(v_t, self.v_zero);
+            }
+            eng.store(&mut self.ws.arr_t2[off..], v_t);
+            if LOCAL {
+                self.v_max = eng.max(self.v_max, v_t);
+            }
+
+            if WITH_F_BOUND {
+                // F carry to the next query position (next segment).
+                v_f = eng.max(
+                    eng.add(v_f, self.v_gap_up_ext),
+                    eng.add(v_t, self.v_gap_up),
+                );
+            }
+            v_dia = t_prev;
+        }
+        v_f
+    }
+
+    /// Advance one column with the **striped-iterate** strategy
+    /// (Alg. 2). Returns the number of lazy sweeps this column needed
+    /// — the hybrid's re-computation counter.
+    #[inline(always)]
+    pub fn iterate_column(&mut self, s_char: u8) -> u32 {
+        let eng = self.eng;
+        let lanes = E::LANES;
+        let k = self.layout.segments;
+
+        let mut v_f = self.first_pass::<true>(s_char);
+
+        // Lazy correction loop: propagate the end-of-lane F carries
+        // across the lane boundary until they stop influencing
+        // (`influence_test`, Alg. 2 ln. 33).
+        let mut iters = 0u64;
+        v_f = eng.shift_insert_low(v_f, E::Elem::NEG_INF);
+        let mut j = 0usize;
+        loop {
+            let off = j * lanes;
+            let v_t = eng.load(&self.ws.arr_t2[off..]);
+            // Influence iff vF > T + θ (covers both "improves T" and
+            // "improves the next F beyond the open path").
+            if !eng.any_gt(v_f, eng.add(v_t, self.v_theta)) {
+                break;
+            }
+            let v_t = eng.max(v_t, v_f);
+            eng.store(&mut self.ws.arr_t2[off..], v_t);
+            if LOCAL {
+                self.v_max = eng.max(self.v_max, v_t);
+            }
+            v_f = eng.add(v_f, self.v_gap_up_ext);
+            iters += 1;
+            j += 1;
+            if j == k {
+                j = 0;
+                v_f = eng.shift_insert_low(v_f, E::Elem::NEG_INF);
+            }
+        }
+        // The hybrid's re-computation counter: whole-column sweeps
+        // this column's correction amounted to.
+        let sweeps = iters.div_ceil(k as u64) as u32;
+        self.lazy_iters += iters;
+        self.lazy_sweeps += u64::from(sweeps);
+        self.iterate_columns += 1;
+        self.finish_column();
+        sweeps
+    }
+
+    /// Advance one column with the **striped-scan** strategy (Alg. 3):
+    /// tentative pass, weighted max-scan, correction pass.
+    #[inline(always)]
+    pub fn scan_column(&mut self, s_char: u8) {
+        let eng = self.eng;
+        let lanes = E::LANES;
+        let k = self.layout.segments;
+
+        let _ = self.first_pass::<false>(s_char);
+
+        // Weighted max-scan turns the tentative column into the exact
+        // up-gap table U (Alg. 3 ln. 18).
+        let params = ScanParams {
+            init: self.init_t_elem(self.col + 1),
+            open: E::Elem::from_i32_sat(self.t2.gap_up),
+            ext: E::Elem::from_i32_sat(self.t2.gap_up_ext),
+        };
+        wgt_max_scan_striped(
+            eng,
+            self.layout,
+            &self.ws.arr_t2,
+            &mut self.ws.arr_scan,
+            params,
+        );
+
+        // Correction pass (Alg. 3 ln. 19–24).
+        for j in 0..k {
+            let off = j * lanes;
+            let v_t = eng.max(
+                eng.load(&self.ws.arr_t2[off..]),
+                eng.load(&self.ws.arr_scan[off..]),
+            );
+            eng.store(&mut self.ws.arr_t2[off..], v_t);
+            if LOCAL {
+                self.v_max = eng.max(self.v_max, v_t);
+            }
+        }
+        self.scan_columns += 1;
+        self.finish_column();
+    }
+
+    #[inline(always)]
+    fn finish_column(&mut self) {
+        core::mem::swap(&mut self.ws.arr_t1, &mut self.ws.arr_t2);
+        self.col += 1;
+        if self.semi {
+            let last = self.eng.load(&self.ws.arr_t1[self.last_seg_off..]);
+            self.v_semi = self.eng.max(self.v_semi, last);
+        }
+    }
+
+    /// Finish the alignment and extract the score.
+    #[inline(always)]
+    pub fn finish(self) -> KernelResult {
+        let headroom = self
+            .prof
+            .max_matrix_score()
+            .abs()
+            .max(self.t2.gap_up.abs())
+            .max(self.t2.gap_left.abs())
+            + 1;
+        let (score_elem, saturated) = if LOCAL {
+            let best = self.eng.reduce_max(self.v_max).max2(E::Elem::ZERO);
+            let sat = aalign_vec::elem::near_saturation(best, headroom);
+            (best, sat)
+        } else if self.semi {
+            // Semi-global: the lane of query position m-1 in the
+            // running cross-column max.
+            let mut buf = [E::Elem::ZERO; 64];
+            self.eng.store(&mut buf[..E::LANES], self.v_semi);
+            let fin = buf[self.last_lane];
+            let sat = aalign_vec::elem::near_saturation(fin, headroom)
+                || fin.to_i32() <= E::Elem::NEG_INF.to_i32() + headroom;
+            (fin, sat)
+        } else {
+            // Global: the score sits at query position m-1 of the last
+            // column (arr_t1 after the final swap).
+            let slot = self.layout.slot_of(self.layout.len - 1);
+            let fin = self.ws.arr_t1[slot];
+            // Saturation on either end invalidates a global score.
+            let sat = aalign_vec::elem::near_saturation(fin, headroom)
+                || fin.to_i32() <= E::Elem::NEG_INF.to_i32() + headroom;
+            (fin, sat)
+        };
+        KernelResult {
+            score: score_elem.to_i32(),
+            saturated,
+            lazy_iters: self.lazy_iters,
+            lazy_sweeps: self.lazy_sweeps,
+            iterate_columns: self.iterate_columns,
+            scan_columns: self.scan_columns,
+        }
+    }
+
+    /// Subject characters consumed so far.
+    pub fn columns_done(&self) -> usize {
+        self.col
+    }
+}

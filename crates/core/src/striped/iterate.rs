@@ -1,0 +1,25 @@
+//! Striped-iterate alignment (paper Alg. 2): the whole subject via
+//! [`ColumnEngine::iterate_column`].
+
+use aalign_bio::StripedProfile;
+use aalign_vec::SimdEngine;
+
+use crate::config::TableII;
+use crate::striped::columns::{ColumnEngine, KernelResult, Workspace};
+
+/// Align `subject` (as alphabet indices) against a striped profile
+/// using the striped-iterate strategy.
+#[inline(always)]
+pub fn iterate_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    ws: &mut Workspace<E::Elem>,
+) -> KernelResult {
+    let mut cols = ColumnEngine::<E, LOCAL, AFFINE>::new(eng, prof, t2, ws);
+    for &s in subject {
+        cols.iterate_column(s);
+    }
+    cols.finish()
+}

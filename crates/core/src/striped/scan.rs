@@ -1,0 +1,25 @@
+//! Striped-scan alignment (paper Alg. 3): the whole subject via
+//! [`ColumnEngine::scan_column`].
+
+use aalign_bio::StripedProfile;
+use aalign_vec::SimdEngine;
+
+use crate::config::TableII;
+use crate::striped::columns::{ColumnEngine, KernelResult, Workspace};
+
+/// Align `subject` (as alphabet indices) against a striped profile
+/// using the striped-scan strategy.
+#[inline(always)]
+pub fn scan_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    ws: &mut Workspace<E::Elem>,
+) -> KernelResult {
+    let mut cols = ColumnEngine::<E, LOCAL, AFFINE>::new(eng, prof, t2, ws);
+    for &s in subject {
+        cols.scan_column(s);
+    }
+    cols.finish()
+}

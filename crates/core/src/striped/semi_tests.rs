@@ -1,0 +1,137 @@
+//! Semantic tests specific to semi-global alignment (the extension
+//! beyond the paper's local/global pair).
+
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, random_protein, seeded_rng};
+use aalign_bio::Sequence;
+
+use crate::config::{AlignConfig, GapModel};
+use crate::kernel::{Aligner, Strategy, WidthPolicy};
+use crate::paradigm::paradigm_dp;
+use crate::traceback::traceback_align;
+
+fn sg(gap: GapModel) -> AlignConfig {
+    AlignConfig::semi_global(gap, &BLOSUM62)
+}
+
+#[test]
+fn embedded_query_scores_like_self_alignment() {
+    // Subject = noise + exact copy of query + noise: the free subject
+    // ends mean the score equals the query's self-alignment score.
+    let mut rng = seeded_rng(42);
+    let q = named_query(&mut rng, 120);
+    let head = random_protein(&mut rng, "h", 80);
+    let tail = random_protein(&mut rng, "t", 60);
+    let mut idx = Vec::new();
+    idx.extend_from_slice(head.indices());
+    idx.extend_from_slice(q.indices());
+    idx.extend_from_slice(tail.indices());
+    let s = Sequence::from_indices("embed", q.alphabet(), idx);
+
+    let self_score: i32 = q.indices().iter().map(|&r| BLOSUM62.score(r, r)).sum();
+    let cfg = sg(GapModel::affine(-10, -2));
+    let out = Aligner::new(cfg.clone()).align(&q, &s).unwrap();
+    assert!(
+        out.score >= self_score,
+        "embedded copy must reach self-score: {} < {self_score}",
+        out.score
+    );
+    // And exactly equals unless flank residues extend the match.
+    assert!(out.score <= self_score + 50);
+    assert_eq!(out.score, paradigm_dp(&cfg, &q, &s).score);
+}
+
+#[test]
+fn kind_ordering_local_ge_semi_ge_global() {
+    let mut rng = seeded_rng(7);
+    for trial in 0..10 {
+        let q = named_query(&mut rng, 40 + trial * 11);
+        let s = named_query(&mut rng, 30 + trial * 17);
+        for gap in [GapModel::affine(-10, -2), GapModel::linear(-3)] {
+            let local = Aligner::new(AlignConfig::local(gap, &BLOSUM62))
+                .align(&q, &s)
+                .unwrap()
+                .score;
+            let semi = Aligner::new(sg(gap)).align(&q, &s).unwrap().score;
+            let global = Aligner::new(AlignConfig::global(gap, &BLOSUM62))
+                .align(&q, &s)
+                .unwrap()
+                .score;
+            assert!(local >= semi, "local {local} < semi {semi} (trial {trial})");
+            assert!(semi >= global, "semi {semi} < global {global} (trial {trial})");
+        }
+    }
+}
+
+#[test]
+fn empty_subject_pays_full_query_ramp() {
+    let mut rng = seeded_rng(3);
+    let q = named_query(&mut rng, 25);
+    let s = Sequence::from_indices("e", q.alphabet(), Vec::new());
+    let gap = GapModel::affine(-6, -2);
+    let out = Aligner::new(sg(gap)).align(&q, &s).unwrap();
+    assert_eq!(out.score, gap.gap_score(25));
+}
+
+#[test]
+fn all_strategies_agree_on_semiglobal() {
+    let mut rng = seeded_rng(11);
+    let q = named_query(&mut rng, 90);
+    let head = random_protein(&mut rng, "h", 40);
+    let mut idx = head.indices().to_vec();
+    idx.extend_from_slice(q.indices());
+    let s = Sequence::from_indices("hs", q.alphabet(), idx);
+    for gap in [GapModel::affine(-10, -2), GapModel::linear(-4)] {
+        let cfg = sg(gap);
+        let want = paradigm_dp(&cfg, &q, &s).score;
+        for strat in [
+            Strategy::Sequential,
+            Strategy::StripedIterate,
+            Strategy::StripedScan,
+            Strategy::Hybrid,
+        ] {
+            let out = Aligner::new(cfg.clone())
+                .with_strategy(strat)
+                .with_width(WidthPolicy::Fixed32)
+                .align(&q, &s)
+                .unwrap();
+            assert_eq!(out.score, want, "{strat:?}");
+        }
+    }
+}
+
+#[test]
+fn traceback_spans_full_query_and_partial_subject() {
+    let mut rng = seeded_rng(21);
+    let q = named_query(&mut rng, 50);
+    let head = random_protein(&mut rng, "h", 30);
+    let tail = random_protein(&mut rng, "t", 20);
+    let mut idx = Vec::new();
+    idx.extend_from_slice(head.indices());
+    idx.extend_from_slice(q.indices());
+    idx.extend_from_slice(tail.indices());
+    let s = Sequence::from_indices("hqt", q.alphabet(), idx);
+
+    let cfg = sg(GapModel::affine(-10, -2));
+    let aln = traceback_align(&cfg, &q, &s);
+    assert_eq!(aln.score, paradigm_dp(&cfg, &q, &s).score);
+    // The whole query is consumed...
+    assert_eq!(aln.query_span, (0, 50));
+    let q_residues = aln.query_row.iter().filter(|&&c| c != b'-').count();
+    assert_eq!(q_residues, 50);
+    // ...but the subject is entered mid-way (free prefix) and left
+    // before its end (free suffix).
+    assert!(aln.subject_span.0 >= 20, "span {:?}", aln.subject_span);
+    assert!(aln.subject_span.1 <= 90, "span {:?}", aln.subject_span);
+}
+
+#[test]
+fn auto_width_works_for_semiglobal() {
+    let mut rng = seeded_rng(31);
+    let q = named_query(&mut rng, 60);
+    let s = named_query(&mut rng, 80);
+    let cfg = sg(GapModel::affine(-10, -2));
+    let out = Aligner::new(cfg.clone()).align(&q, &s).unwrap();
+    assert!(!out.saturated);
+    assert_eq!(out.score, paradigm_dp(&cfg, &q, &s).score);
+}

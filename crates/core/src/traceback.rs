@@ -1,0 +1,507 @@
+//! Alignment-path reconstruction (extension).
+//!
+//! The paper's kernels — like most database-search inner loops —
+//! report scores only; a full traceback is then run on the few best
+//! hits. This module provides that second stage: a scalar
+//! full-matrix DP with direction tracking, O(m·n) space, producing a
+//! printable [`Alignment`].
+
+use aalign_bio::Sequence;
+
+use crate::config::{AlignConfig, AlignKind};
+use crate::paradigm::NEG_INF;
+
+/// A reconstructed pairwise alignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    /// Score of the alignment (equals the kernels' score).
+    pub score: i32,
+    /// Query row with `-` for gaps (ASCII).
+    pub query_row: Vec<u8>,
+    /// Subject row with `-` for gaps (ASCII).
+    pub subject_row: Vec<u8>,
+    /// `|` exact match, `+` positive substitution, ` ` otherwise.
+    pub marker_row: Vec<u8>,
+    /// 0-based [start, end) of the aligned region in the query.
+    pub query_span: (usize, usize),
+    /// 0-based [start, end) of the aligned region in the subject.
+    pub subject_span: (usize, usize),
+    /// Identical positions / alignment columns.
+    pub identity: f64,
+}
+
+impl Alignment {
+    /// Multi-line display block, BLAST-style.
+    pub fn pretty(&self) -> String {
+        format!(
+            "Query {:>5} {} {}\n            {}\nSbjct {:>5} {} {}\n(score {score}, identity {ident:.1}%)\n",
+            self.query_span.0 + 1,
+            String::from_utf8_lossy(&self.query_row),
+            self.query_span.1,
+            String::from_utf8_lossy(&self.marker_row),
+            self.subject_span.0 + 1,
+            String::from_utf8_lossy(&self.subject_row),
+            self.subject_span.1,
+            score = self.score,
+            ident = self.identity * 100.0
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tb {
+    Stop,
+    Diag,
+    /// Came from `U` (gap in the subject row, consuming query).
+    Up,
+    /// Came from `L` (gap in the query row, consuming subject).
+    Left,
+}
+
+/// Align and reconstruct the path. Suitable for moderate sequence
+/// lengths (full matrices); run the SIMD kernels for scores and this
+/// on the top hits for database-scale work.
+///
+/// ```
+/// use aalign_core::{traceback_align, AlignConfig, GapModel};
+/// use aalign_bio::{matrices::BLOSUM62, Sequence};
+/// let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+/// let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+/// let aln = traceback_align(&cfg, &q, &q);
+/// assert_eq!(aln.cigar(), "10=");
+/// assert_eq!(aln.identity, 1.0);
+/// ```
+#[allow(clippy::needless_range_loop)] // DP recurrences read clearest with indices
+pub fn traceback_align(cfg: &AlignConfig, query: &Sequence, subject: &Sequence) -> Alignment {
+    let t2 = cfg.table2();
+    let q = query.indices();
+    let s = subject.indices();
+    let (m, n) = (q.len(), s.len());
+    let local = t2.local;
+
+    let mut t = vec![vec![0i32; m + 1]; n + 1];
+    let mut up = vec![vec![NEG_INF; m + 1]; n + 1];
+    let mut left = vec![vec![NEG_INF; m + 1]; n + 1];
+    let mut dir = vec![vec![Tb::Stop; m + 1]; n + 1];
+    // Whether the U/L value at a cell extends an existing gap run.
+    let mut up_ext = vec![vec![false; m + 1]; n + 1];
+    let mut left_ext = vec![vec![false; m + 1]; n + 1];
+
+    for (i, row) in t.iter_mut().enumerate() {
+        row[0] = t2.init_t(i);
+    }
+    for j in 1..=m {
+        t[0][j] = t2.init_col(j - 1);
+        if !local {
+            // Global and semi-global both pay the query boundary ramp.
+            dir[0][j] = Tb::Up;
+            up_ext[0][j] = j > 1; // the boundary ramp is one gap run
+        }
+    }
+    for i in 1..=n {
+        if cfg.kind == AlignKind::Global {
+            dir[i][0] = Tb::Left;
+            left_ext[i][0] = i > 1;
+        }
+        // Local and semi-global: the subject prefix is free (Stop).
+    }
+
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=n {
+        for j in 1..=m {
+            let u_open = t[i][j - 1] + t2.gap_up;
+            let u_ext = up[i][j - 1] + t2.gap_up_ext;
+            up[i][j] = u_open.max(u_ext);
+            up_ext[i][j] = u_ext > u_open;
+
+            let l_open = t[i - 1][j] + t2.gap_left;
+            let l_ext = left[i - 1][j] + t2.gap_left_ext;
+            left[i][j] = l_open.max(l_ext);
+            left_ext[i][j] = l_ext > l_open;
+
+            let d = t[i - 1][j - 1] + cfg.matrix.score(s[i - 1], q[j - 1]);
+            let mut v = d;
+            let mut tb = Tb::Diag;
+            if up[i][j] > v {
+                v = up[i][j];
+                tb = Tb::Up;
+            }
+            if left[i][j] > v {
+                v = left[i][j];
+                tb = Tb::Left;
+            }
+            if local && v <= 0 {
+                v = 0;
+                tb = Tb::Stop;
+            }
+            t[i][j] = v;
+            dir[i][j] = tb;
+            if v > best.0 {
+                best = (v, i, j);
+            }
+        }
+    }
+
+    // Start of the walk.
+    let (score, mut i, mut j) = match cfg.kind {
+        AlignKind::Local => {
+            if best.0 <= 0 {
+                return Alignment {
+                    score: 0,
+                    query_row: Vec::new(),
+                    subject_row: Vec::new(),
+                    marker_row: Vec::new(),
+                    query_span: (0, 0),
+                    subject_span: (0, 0),
+                    identity: 0.0,
+                };
+            }
+            best
+        }
+        AlignKind::Global => (t[n][m], n, m),
+        AlignKind::SemiGlobal => {
+            // Free subject suffix: best cell of the last query row.
+            let mut bi = 0usize;
+            for i in 0..=n {
+                if t[i][m] > t[bi][m] {
+                    bi = i;
+                }
+            }
+            (t[bi][m], bi, m)
+        }
+    };
+
+    let alpha = query.alphabet();
+    let mut qr = Vec::new();
+    let mut sr = Vec::new();
+    let mut mk = Vec::new();
+    let (q_end, s_end) = (j, i);
+    let mut matches = 0usize;
+    while i > 0 || j > 0 {
+        match dir[i][j] {
+            Tb::Stop => break,
+            Tb::Diag => {
+                let (qc, sc) = (alpha.itoc(q[j - 1]), alpha.itoc(s[i - 1]));
+                qr.push(qc);
+                sr.push(sc);
+                if qc == sc {
+                    mk.push(b'|');
+                    matches += 1;
+                } else if cfg.matrix.score(s[i - 1], q[j - 1]) > 0 {
+                    mk.push(b'+');
+                } else {
+                    mk.push(b' ');
+                }
+                i -= 1;
+                j -= 1;
+            }
+            Tb::Up => loop {
+                qr.push(alpha.itoc(q[j - 1]));
+                sr.push(b'-');
+                mk.push(b' ');
+                let ext = up_ext[i][j];
+                j -= 1;
+                if !ext {
+                    break;
+                }
+            },
+            Tb::Left => loop {
+                qr.push(b'-');
+                sr.push(alpha.itoc(s[i - 1]));
+                mk.push(b' ');
+                let ext = left_ext[i][j];
+                i -= 1;
+                if !ext {
+                    break;
+                }
+            },
+        }
+    }
+    qr.reverse();
+    sr.reverse();
+    mk.reverse();
+    let cols = qr.len().max(1);
+    Alignment {
+        score,
+        identity: matches as f64 / cols as f64,
+        query_row: qr,
+        subject_row: sr,
+        marker_row: mk,
+        query_span: (j, q_end),
+        subject_span: (i, s_end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GapModel;
+    use crate::paradigm::paradigm_dp;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+
+    /// Re-score the emitted rows independently of the DP.
+    fn rescore(a: &Alignment, cfg: &AlignConfig) -> i32 {
+        let alpha = cfg.matrix.alphabet();
+        let mut score = 0i32;
+        let mut in_q_gap = false;
+        let mut in_s_gap = false;
+        for (&qc, &sc) in a.query_row.iter().zip(&a.subject_row) {
+            if qc == b'-' {
+                score += if in_q_gap {
+                    cfg.gap.beta()
+                } else {
+                    cfg.gap.theta() + cfg.gap.beta()
+                };
+                in_q_gap = true;
+                in_s_gap = false;
+            } else if sc == b'-' {
+                score += if in_s_gap {
+                    cfg.gap.beta()
+                } else {
+                    cfg.gap.theta() + cfg.gap.beta()
+                };
+                in_s_gap = true;
+                in_q_gap = false;
+            } else {
+                score += cfg
+                    .matrix
+                    .score(alpha.ctoi(sc).unwrap(), alpha.ctoi(qc).unwrap());
+                in_q_gap = false;
+                in_s_gap = false;
+            }
+        }
+        score
+    }
+
+    #[test]
+    fn local_path_rescores_to_dp_score() {
+        let mut rng = seeded_rng(3);
+        let q = named_query(&mut rng, 70);
+        let s = PairSpec::new(Level::Md, Level::Hi)
+            .generate(&mut rng, &q)
+            .subject;
+        for gap in [GapModel::affine(-10, -2), GapModel::linear(-4)] {
+            let cfg = AlignConfig::local(gap, &BLOSUM62);
+            let want = paradigm_dp(&cfg, &q, &s).score;
+            let a = traceback_align(&cfg, &q, &s);
+            assert_eq!(a.score, want);
+            assert_eq!(rescore(&a, &cfg), want, "emitted path must rescore");
+        }
+    }
+
+    #[test]
+    fn global_path_rescores_and_consumes_everything() {
+        let mut rng = seeded_rng(5);
+        let q = named_query(&mut rng, 40);
+        let s = named_query(&mut rng, 55);
+        for gap in [GapModel::affine(-8, -1), GapModel::linear(-2)] {
+            let cfg = AlignConfig::global(gap, &BLOSUM62);
+            let want = paradigm_dp(&cfg, &q, &s).score;
+            let a = traceback_align(&cfg, &q, &s);
+            assert_eq!(a.score, want);
+            assert_eq!(rescore(&a, &cfg), want);
+            assert_eq!(a.query_span, (0, 40));
+            assert_eq!(a.subject_span, (0, 55));
+            let q_residues = a.query_row.iter().filter(|&&c| c != b'-').count();
+            let s_residues = a.subject_row.iter().filter(|&&c| c != b'-').count();
+            assert_eq!(q_residues, 40);
+            assert_eq!(s_residues, 55);
+        }
+    }
+
+    #[test]
+    fn global_boundary_ramp_is_one_gap_run() {
+        // Aligning WWWW against W: the 3 surplus query chars must be
+        // one affine run, not three opens.
+        let q = Sequence::protein("q", b"WWWW").unwrap();
+        let s = Sequence::protein("s", b"W").unwrap();
+        let cfg = AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &s);
+        assert_eq!(rescore(&a, &cfg), a.score);
+        assert_eq!(a.score, 11 - 10 - 3 * 2);
+    }
+
+    #[test]
+    fn identical_sequences_give_identity_one() {
+        let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &q);
+        assert!((a.identity - 1.0).abs() < 1e-12);
+        assert_eq!(a.marker_row, vec![b'|'; 10]);
+    }
+
+    #[test]
+    fn all_negative_local_gives_empty_alignment() {
+        let q = Sequence::protein("q", b"GGG").unwrap();
+        let s = Sequence::protein("s", b"WWW").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &s);
+        assert_eq!(a.score, 0);
+        assert!(a.query_row.is_empty());
+    }
+
+    #[test]
+    fn pretty_output_contains_rows() {
+        let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+        let s = Sequence::protein("s", b"PAWHEAE").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &s);
+        let p = a.pretty();
+        assert!(p.contains("Query"));
+        assert!(p.contains("Sbjct"));
+        assert!(p.contains("identity"));
+    }
+}
+
+impl Alignment {
+    /// Extended CIGAR string (SAM spec): `=` match, `X` mismatch,
+    /// `I` insertion (consumes query only), `D` deletion (consumes
+    /// subject only), treating the query as the read and the subject
+    /// as the reference.
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut run_op = 0u8;
+        let mut run_len = 0usize;
+        let flush = |out: &mut String, op: u8, len: usize| {
+            if len > 0 {
+                out.push_str(&len.to_string());
+                out.push(op as char);
+            }
+        };
+        for (&qc, &sc) in self.query_row.iter().zip(&self.subject_row) {
+            let op = if qc == b'-' {
+                b'D'
+            } else if sc == b'-' {
+                b'I'
+            } else if qc == sc {
+                b'='
+            } else {
+                b'X'
+            };
+            if op == run_op {
+                run_len += 1;
+            } else {
+                flush(&mut out, run_op, run_len);
+                run_op = op;
+                run_len = 1;
+            }
+        }
+        flush(&mut out, run_op, run_len);
+        out
+    }
+
+    /// Classic CIGAR (`M`/`I`/`D` only): `=`/`X` runs merge into `M`.
+    pub fn cigar_classic(&self) -> String {
+        let ext = self.cigar();
+        let mut out = String::new();
+        let mut m_run = 0usize;
+        let mut num = 0usize;
+        for c in ext.chars() {
+            if let Some(d) = c.to_digit(10) {
+                num = num * 10 + d as usize;
+                continue;
+            }
+            match c {
+                '=' | 'X' => m_run += num,
+                other => {
+                    if m_run > 0 {
+                        out.push_str(&m_run.to_string());
+                        out.push('M');
+                        m_run = 0;
+                    }
+                    out.push_str(&num.to_string());
+                    out.push(other);
+                }
+            }
+            num = 0;
+        }
+        if m_run > 0 {
+            out.push_str(&m_run.to_string());
+            out.push('M');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod cigar_tests {
+    use super::*;
+    use crate::config::{AlignConfig, GapModel};
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+    use aalign_bio::Sequence;
+
+    #[test]
+    fn identical_sequences_are_one_match_run() {
+        let q = Sequence::protein("q", b"HEAGAWGHEE").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &q);
+        assert_eq!(a.cigar(), "10=");
+        assert_eq!(a.cigar_classic(), "10M");
+    }
+
+    #[test]
+    fn known_gap_produces_i_and_d_runs() {
+        // Global: q = WWWW vs s = WW → two query-only columns (I).
+        let q = Sequence::protein("q", b"WWWW").unwrap();
+        let s = Sequence::protein("s", b"WW").unwrap();
+        let cfg = AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &s);
+        let cig = a.cigar();
+        let i_total: usize = count_op(&cig, 'I');
+        let eq_total: usize = count_op(&cig, '=');
+        assert_eq!(i_total, 2, "{cig}");
+        assert_eq!(eq_total, 2, "{cig}");
+        // And the mirror direction gives D.
+        let b = traceback_align(&cfg, &s, &q);
+        assert_eq!(count_op(&b.cigar(), 'D'), 2, "{}", b.cigar());
+    }
+
+    #[test]
+    fn cigar_lengths_account_for_both_sequences() {
+        let mut rng = seeded_rng(77);
+        let q = named_query(&mut rng, 60);
+        let s = PairSpec::new(Level::Md, Level::Md)
+            .generate(&mut rng, &q)
+            .subject;
+        for cfg in [
+            AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62),
+            AlignConfig::global(GapModel::linear(-3), &BLOSUM62),
+            AlignConfig::semi_global(GapModel::affine(-8, -1), &BLOSUM62),
+        ] {
+            let a = traceback_align(&cfg, &q, &s);
+            let cig = a.cigar();
+            let q_consumed = count_op(&cig, '=') + count_op(&cig, 'X') + count_op(&cig, 'I');
+            let s_consumed = count_op(&cig, '=') + count_op(&cig, 'X') + count_op(&cig, 'D');
+            assert_eq!(q_consumed, a.query_span.1 - a.query_span.0, "{cig}");
+            assert_eq!(s_consumed, a.subject_span.1 - a.subject_span.0, "{cig}");
+        }
+    }
+
+    fn count_op(cigar: &str, want: char) -> usize {
+        let mut total = 0usize;
+        let mut num = 0usize;
+        for c in cigar.chars() {
+            if let Some(d) = c.to_digit(10) {
+                num = num * 10 + d as usize;
+            } else {
+                if c == want {
+                    total += num;
+                }
+                num = 0;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn empty_alignment_has_empty_cigar() {
+        let q = Sequence::protein("q", b"GGG").unwrap();
+        let s = Sequence::protein("s", b"WWW").unwrap();
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let a = traceback_align(&cfg, &q, &s);
+        assert_eq!(a.cigar(), "");
+        assert_eq!(a.cigar_classic(), "");
+    }
+}

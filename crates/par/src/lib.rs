@@ -1,0 +1,14 @@
+//! # aalign-par — multi-threaded database search
+//!
+//! The paper's Sec. V-E driver: to align one query against a whole
+//! database, sort the database by sequence length (descending), build
+//! the query profile **once**, share it read-only across threads, and
+//! let each thread dynamically pull the next unprocessed subject —
+//! an atomic work index, so long subjects never straggle at the end
+//! of a static partition.
+
+pub mod pipeline;
+pub mod search;
+
+pub use pipeline::{search_pipeline, PipelineHit, PipelineOptions, PipelineReport};
+pub use search::{search_database, search_database_inter, Hit, SearchOptions, SearchReport};

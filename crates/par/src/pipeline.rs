@@ -1,0 +1,261 @@
+//! A complete homology-search pipeline — the application the paper's
+//! introduction motivates, assembled from the workspace's pieces.
+//!
+//! Stages:
+//!
+//! 1. **Score sweep** — every subject scored with the SIMD kernels,
+//!    multithreaded: the hybrid intra-sequence kernels by default,
+//!    or the inter-sequence engine when explicitly enabled via
+//!    [`PipelineOptions::inter_threshold`].
+//! 2. **Statistics** — bit scores and E-values (Karlin–Altschul) for
+//!    the survivors of an E-value cutoff.
+//! 3. **Traceback** — full alignments (rows + CIGAR) for the top
+//!    hits only, the expensive part amortized over a handful of
+//!    subjects.
+
+use aalign_bio::stats::{bit_score, evalue, KarlinParams};
+use aalign_bio::{SeqDatabase, Sequence};
+use aalign_core::traceback::{traceback_align, Alignment};
+use aalign_core::{AlignConfig, AlignError, Aligner, Strategy};
+
+use crate::search::{search_database, search_database_inter, SearchOptions};
+
+/// Pipeline tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Keep hits with E-value at or below this cutoff.
+    pub max_evalue: f64,
+    /// Reconstruct alignments for at most this many top hits.
+    pub traceback_top: usize,
+    /// Statistics parameters (λ, K) for bit scores / E-values.
+    pub stats: KarlinParams,
+    /// Mean subject length below which the inter-sequence engine is
+    /// used for the sweep. Defaults to 0 (always intra): with the
+    /// current scalar-gather inter kernel, intra is faster at every
+    /// length (see the `ablation_inter` bench); raise this if you
+    /// swap in a SIMD-gather inter engine.
+    pub inter_threshold: f64,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            max_evalue: 10.0,
+            traceback_top: 5,
+            stats: aalign_bio::stats::BLOSUM62_GAPPED_11_1,
+            inter_threshold: 0.0,
+        }
+    }
+}
+
+/// One significant hit.
+#[derive(Debug, Clone)]
+pub struct PipelineHit {
+    /// Database index of the subject.
+    pub db_index: usize,
+    /// Subject id.
+    pub id: String,
+    /// Raw alignment score.
+    pub score: i32,
+    /// Normalized bit score.
+    pub bits: f64,
+    /// Expectation value against this database.
+    pub evalue: f64,
+    /// Full alignment (top hits only).
+    pub alignment: Option<Alignment>,
+}
+
+/// Pipeline result.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Significant hits, best first.
+    pub hits: Vec<PipelineHit>,
+    /// Subjects scored in stage 1.
+    pub subjects_scored: usize,
+    /// Which sweep engine stage 1 used (`"inter"` / `"intra"`).
+    pub sweep_mode: &'static str,
+}
+
+/// Run the full pipeline.
+pub fn search_pipeline(
+    cfg: &AlignConfig,
+    query: &Sequence,
+    db: &SeqDatabase,
+    opts: PipelineOptions,
+) -> Result<PipelineReport, AlignError> {
+    // Stage 1: sweep.
+    let search_opts = SearchOptions {
+        threads: opts.threads,
+        top_n: 0,
+    };
+    let (report, sweep_mode) = if !db.is_empty()
+        && db.stats().mean_len < opts.inter_threshold
+    {
+        (
+            search_database_inter(cfg, query, db, search_opts)?,
+            "inter",
+        )
+    } else {
+        let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
+        (search_database(&aligner, query, db, search_opts)?, "intra")
+    };
+
+    // Stage 2: statistics + cutoff.
+    let db_residues: usize = report.total_residues;
+    let mut hits: Vec<PipelineHit> = report
+        .hits
+        .into_iter()
+        .filter_map(|h| {
+            let bits = bit_score(h.score, opts.stats);
+            let ev = evalue(bits, query.len(), db_residues.max(1));
+            (ev <= opts.max_evalue).then_some(PipelineHit {
+                db_index: h.db_index,
+                id: h.id,
+                score: h.score,
+                bits,
+                evalue: ev,
+                alignment: None,
+            })
+        })
+        .collect();
+
+    // Stage 3: traceback for the top hits.
+    for hit in hits.iter_mut().take(opts.traceback_top) {
+        hit.alignment = Some(traceback_align(cfg, query, db.get(hit.db_index)));
+    }
+
+    Ok(PipelineReport {
+        hits,
+        subjects_scored: report.subjects,
+        sweep_mode,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{
+        named_query, random_protein, seeded_rng, swissprot_like_db, Level, PairSpec,
+    };
+    use aalign_core::GapModel;
+
+    fn cfg() -> AlignConfig {
+        AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62)
+    }
+
+    #[test]
+    fn finds_planted_homolog_with_significant_evalue() {
+        let mut rng = seeded_rng(777);
+        let q = named_query(&mut rng, 150);
+        let mut seqs = swissprot_like_db(778, 120).sequences().to_vec();
+        let planted = PairSpec::new(Level::Hi, Level::Hi)
+            .generate(&mut rng, &q)
+            .subject;
+        let planted_id = planted.id().to_string();
+        seqs.push(planted);
+        let db = SeqDatabase::new(seqs);
+
+        let report = search_pipeline(
+            &cfg(),
+            &q,
+            &db,
+            PipelineOptions {
+                max_evalue: 1e-3,
+                traceback_top: 2,
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sweep_mode, "intra");
+        assert!(!report.hits.is_empty());
+        assert_eq!(report.hits[0].id, planted_id);
+        assert!(report.hits[0].evalue < 1e-10);
+        let aln = report.hits[0].alignment.as_ref().unwrap();
+        assert_eq!(aln.score, report.hits[0].score);
+        assert!(!aln.cigar().is_empty());
+        // Noise must not pass a strict cutoff.
+        for h in &report.hits {
+            assert!(h.evalue <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn short_subject_database_takes_the_inter_path() {
+        let mut rng = seeded_rng(779);
+        let q = named_query(&mut rng, 60);
+        let db = SeqDatabase::new(
+            (0..64)
+                .map(|i| random_protein(&mut rng, format!("s{i}"), 40 + i % 20))
+                .collect(),
+        );
+        let report = search_pipeline(
+            &cfg(),
+            &q,
+            &db,
+            PipelineOptions {
+                max_evalue: 1e6, // keep everything; we compare scores
+                traceback_top: 0,
+                inter_threshold: 200.0, // opt in to the inter sweep
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sweep_mode, "inter");
+        assert_eq!(report.hits.len(), 64);
+        // Scores identical to the intra path.
+        let intra = crate::search::search_database(
+            &Aligner::new(cfg()),
+            &q,
+            &db,
+            SearchOptions::default(),
+        )
+        .unwrap();
+        for (a, b) in report.hits.iter().zip(&intra.hits) {
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.db_index, b.db_index);
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_empty_report() {
+        let mut rng = seeded_rng(780);
+        let q = named_query(&mut rng, 30);
+        let report =
+            search_pipeline(&cfg(), &q, &SeqDatabase::default(), PipelineOptions::default())
+                .unwrap();
+        assert!(report.hits.is_empty());
+        assert_eq!(report.subjects_scored, 0);
+    }
+
+    #[test]
+    fn traceback_limit_is_respected() {
+        let mut rng = seeded_rng(781);
+        let q = named_query(&mut rng, 100);
+        let mut seqs = Vec::new();
+        for _ in 0..6 {
+            seqs.push(
+                PairSpec::new(Level::Md, Level::Hi)
+                    .generate(&mut rng, &q)
+                    .subject,
+            );
+        }
+        let db = SeqDatabase::new(seqs);
+        let report = search_pipeline(
+            &cfg(),
+            &q,
+            &db,
+            PipelineOptions {
+                max_evalue: 1e9,
+                traceback_top: 3,
+                ..PipelineOptions::default()
+            },
+        )
+        .unwrap();
+        let with_aln = report.hits.iter().filter(|h| h.alignment.is_some()).count();
+        assert_eq!(with_aln, 3);
+    }
+}

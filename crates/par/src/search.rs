@@ -1,0 +1,378 @@
+//! The dynamic-binding database search.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use aalign_bio::SeqDatabase;
+use aalign_bio::Sequence;
+use aalign_core::{AlignError, AlignScratch, Aligner};
+
+/// One database hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the subject in the database.
+    pub db_index: usize,
+    /// Subject id.
+    pub id: String,
+    /// Subject length.
+    pub len: usize,
+    /// Alignment score.
+    pub score: i32,
+}
+
+/// Search tuning.
+#[derive(Debug, Clone, Copy)]
+#[derive(Default)]
+pub struct SearchOptions {
+    /// Worker thread count (0 = available parallelism).
+    pub threads: usize,
+    /// Keep only the best `top_n` hits (0 = keep every hit).
+    pub top_n: usize,
+}
+
+
+/// Search result: ranked hits plus counters.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// Hits sorted by descending score (ties: ascending db index).
+    pub hits: Vec<Hit>,
+    /// Threads actually used.
+    pub threads_used: usize,
+    /// Total subjects aligned.
+    pub subjects: usize,
+    /// Total residues aligned (cell count / query length).
+    pub total_residues: usize,
+}
+
+/// Align `query` against every subject in `db` with `aligner`'s
+/// configuration and strategy.
+///
+/// ```
+/// use aalign_par::{search_database, SearchOptions};
+/// use aalign_core::{AlignConfig, Aligner, GapModel};
+/// use aalign_bio::matrices::BLOSUM62;
+/// use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+///
+/// let mut rng = seeded_rng(1);
+/// let query = named_query(&mut rng, 60);
+/// let db = swissprot_like_db(2, 20);
+/// let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62));
+/// let report = search_database(&aligner, &query, &db,
+///     SearchOptions { threads: 2, top_n: 5 }).unwrap();
+/// assert_eq!(report.hits.len(), 5);
+/// ```
+///
+/// The query profile is built once ([`Aligner::prepare`]) and shared;
+/// subjects are processed longest-first via an atomic work index
+/// (the paper's dynamic binding); each worker owns one scratch
+/// buffer set, so the hot loop does not allocate.
+pub fn search_database(
+    aligner: &Aligner,
+    query: &Sequence,
+    db: &SeqDatabase,
+    opts: SearchOptions,
+) -> Result<SearchReport, AlignError> {
+    let prepared = aligner.prepare(query)?;
+    let order = db.sorted_by_length_desc();
+    let next = AtomicUsize::new(0);
+
+    let threads_used = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .max(1)
+    .min(order.len().max(1));
+
+    let mut all_hits: Vec<Hit> = Vec::with_capacity(db.len());
+    let mut total_residues = 0usize;
+
+    std::thread::scope(|scope| -> Result<(), AlignError> {
+        let mut handles = Vec::with_capacity(threads_used);
+        for _ in 0..threads_used {
+            let next = &next;
+            let order = &order;
+            let prepared = &prepared;
+            handles.push(scope.spawn(move || {
+                let mut scratch = AlignScratch::new();
+                let mut hits = Vec::new();
+                let mut residues = 0usize;
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= order.len() {
+                        break;
+                    }
+                    let db_index = order[slot];
+                    let subject = db.get(db_index);
+                    let out = aligner.align_prepared(prepared, subject, &mut scratch)?;
+                    residues += subject.len();
+                    hits.push(Hit {
+                        db_index,
+                        id: subject.id().to_string(),
+                        len: subject.len(),
+                        score: out.score,
+                    });
+                }
+                Ok::<(Vec<Hit>, usize), AlignError>((hits, residues))
+            }));
+        }
+        for h in handles {
+            let (hits, residues) = h.join().expect("worker panicked")?;
+            all_hits.extend(hits);
+            total_residues += residues;
+        }
+        Ok(())
+    })?;
+
+    all_hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    if opts.top_n > 0 {
+        all_hits.truncate(opts.top_n);
+    }
+    Ok(SearchReport {
+        subjects: db.len(),
+        threads_used,
+        total_residues,
+        hits: all_hits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db, Level, PairSpec};
+    use aalign_core::{AlignConfig, GapModel, Strategy};
+
+    fn aligner() -> Aligner {
+        Aligner::new(AlignConfig::local(
+            GapModel::affine(-10, -2),
+            &BLOSUM62,
+        ))
+        .with_strategy(Strategy::Hybrid)
+    }
+
+    #[test]
+    fn multithreaded_equals_single_threaded() {
+        let mut rng = seeded_rng(50);
+        let q = named_query(&mut rng, 80);
+        let db = swissprot_like_db(51, 60);
+        let a = aligner();
+        let one = search_database(&a, &q, &db, SearchOptions { threads: 1, top_n: 0 }).unwrap();
+        let four = search_database(&a, &q, &db, SearchOptions { threads: 4, top_n: 0 }).unwrap();
+        assert_eq!(one.hits, four.hits, "thread count must not change results");
+        assert_eq!(one.subjects, 60);
+        assert_eq!(four.threads_used, 4);
+    }
+
+    #[test]
+    fn planted_similar_subject_ranks_first() {
+        let mut rng = seeded_rng(60);
+        let q = named_query(&mut rng, 120);
+        let mut seqs = swissprot_like_db(61, 40).sequences().to_vec();
+        let planted = PairSpec::new(Level::Hi, Level::Hi)
+            .generate(&mut rng, &q)
+            .subject;
+        let planted_id = planted.id().to_string();
+        seqs.push(planted);
+        let db = SeqDatabase::new(seqs);
+        let report =
+            search_database(&aligner(), &q, &db, SearchOptions { threads: 2, top_n: 5 })
+                .unwrap();
+        assert_eq!(report.hits.len(), 5);
+        assert_eq!(report.hits[0].id, planted_id, "planted hit must win");
+        assert!(report.hits[0].score > report.hits[1].score);
+    }
+
+    #[test]
+    fn top_n_zero_keeps_everything() {
+        let mut rng = seeded_rng(70);
+        let q = named_query(&mut rng, 50);
+        let db = swissprot_like_db(71, 25);
+        let report = search_database(&aligner(), &q, &db, SearchOptions::default()).unwrap();
+        assert_eq!(report.hits.len(), 25);
+        // Sorted by score descending.
+        for w in report.hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn scores_match_direct_alignment() {
+        let mut rng = seeded_rng(80);
+        let q = named_query(&mut rng, 64);
+        let db = swissprot_like_db(81, 10);
+        let a = aligner();
+        let report =
+            search_database(&a, &q, &db, SearchOptions { threads: 3, top_n: 0 }).unwrap();
+        for hit in &report.hits {
+            let direct = a.align(&q, db.get(hit.db_index)).unwrap();
+            assert_eq!(hit.score, direct.score, "{}", hit.id);
+        }
+    }
+
+    #[test]
+    fn empty_query_propagates_error() {
+        let q = Sequence::protein("e", b"").unwrap();
+        let db = swissprot_like_db(91, 5);
+        let err = search_database(&aligner(), &q, &db, SearchOptions::default()).unwrap_err();
+        assert_eq!(err, AlignError::EmptyQuery);
+    }
+
+    #[test]
+    fn empty_database_gives_empty_report() {
+        let mut rng = seeded_rng(100);
+        let q = named_query(&mut rng, 30);
+        let db = SeqDatabase::default();
+        let report = search_database(&aligner(), &q, &db, SearchOptions::default()).unwrap();
+        assert!(report.hits.is_empty());
+        assert_eq!(report.subjects, 0);
+    }
+}
+
+/// Inter-sequence database search (extension): batches of
+/// `LANES` subjects aligned simultaneously, one lane each — the mode
+/// that wins for databases of short sequences. Results are identical
+/// to [`search_database`]; only the vectorization axis differs.
+pub fn search_database_inter(
+    cfg: &aalign_core::AlignConfig,
+    query: &Sequence,
+    db: &SeqDatabase,
+    opts: SearchOptions,
+) -> Result<SearchReport, AlignError> {
+    if query.is_empty() {
+        return Err(AlignError::EmptyQuery);
+    }
+    let check = |s: &Sequence| -> Result<(), AlignError> {
+        if core::ptr::eq(s.alphabet(), cfg.matrix.alphabet()) {
+            Ok(())
+        } else {
+            Err(AlignError::AlphabetMismatch {
+                id: s.id().to_string(),
+            })
+        }
+    };
+    check(query)?;
+    for s in db.sequences() {
+        check(s)?;
+    }
+
+    let t2 = cfg.table2();
+    let order = db.sorted_by_length_desc();
+    // Batch size: one vector's worth of subjects; length-sorted order
+    // keeps batches dense (idle-lane waste is bounded by the length
+    // spread inside a batch).
+    const BATCH: usize = 16;
+    let batches: Vec<&[usize]> = order.chunks(BATCH).collect();
+    let next = AtomicUsize::new(0);
+
+    let threads_used = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .max(1)
+    .min(batches.len().max(1));
+
+    let mut all_hits: Vec<Hit> = Vec::with_capacity(db.len());
+    let mut total_residues = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads_used);
+        for _ in 0..threads_used {
+            let next = &next;
+            let batches = &batches;
+            handles.push(scope.spawn(move || {
+                let mut hits = Vec::new();
+                let mut residues = 0usize;
+                loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= batches.len() {
+                        break;
+                    }
+                    let batch = batches[b];
+                    let subjects: Vec<&Sequence> =
+                        batch.iter().map(|&i| db.get(i)).collect();
+                    let scores = aalign_core::inter_align_all(
+                        t2,
+                        &cfg.matrix,
+                        query,
+                        &subjects,
+                    );
+                    for (&db_index, score) in batch.iter().zip(scores) {
+                        let subject = db.get(db_index);
+                        residues += subject.len();
+                        hits.push(Hit {
+                            db_index,
+                            id: subject.id().to_string(),
+                            len: subject.len(),
+                            score,
+                        });
+                    }
+                }
+                (hits, residues)
+            }));
+        }
+        for h in handles {
+            let (hits, residues) = h.join().expect("worker panicked");
+            all_hits.extend(hits);
+            total_residues += residues;
+        }
+    });
+
+    all_hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    if opts.top_n > 0 {
+        all_hits.truncate(opts.top_n);
+    }
+    Ok(SearchReport {
+        subjects: db.len(),
+        threads_used,
+        total_residues,
+        hits: all_hits,
+    })
+}
+
+#[cfg(test)]
+mod inter_tests {
+    use super::*;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+    use aalign_core::{AlignConfig, AlignKind, GapModel, Strategy};
+
+    #[test]
+    fn inter_search_equals_intra_search() {
+        let mut rng = seeded_rng(600);
+        let q = named_query(&mut rng, 70);
+        let db = swissprot_like_db(601, 50);
+        for kind in [AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal] {
+            let cfg = AlignConfig::new(kind, GapModel::affine(-10, -2), &BLOSUM62);
+            let intra = search_database(
+                &Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid),
+                &q,
+                &db,
+                SearchOptions { threads: 2, top_n: 0 },
+            )
+            .unwrap();
+            let inter = search_database_inter(
+                &cfg,
+                &q,
+                &db,
+                SearchOptions { threads: 2, top_n: 0 },
+            )
+            .unwrap();
+            assert_eq!(intra.hits, inter.hits, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn inter_search_empty_db() {
+        let mut rng = seeded_rng(602);
+        let q = named_query(&mut rng, 30);
+        let cfg = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        let report =
+            search_database_inter(&cfg, &q, &SeqDatabase::default(), SearchOptions::default())
+                .unwrap();
+        assert!(report.hits.is_empty());
+    }
+}

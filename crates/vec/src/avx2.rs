@@ -1,0 +1,357 @@
+//! 256-bit AVX2 backends (`i32x8`, `i16x16`, `i8x32`) — the paper's
+//! multi-core CPU platform.
+//!
+//! AVX2 registers are two 128-bit lanes, so the element-wise
+//! `rshift_x_fill` module cannot be a single byte-shift: exactly as the
+//! paper's Fig. 7 describes, it is composed from a cross-lane
+//! `permute2x128`, a per-lane `alignr`, and an insert/blend of the fill
+//! value. The `influence_test` uses `cmpgt` + `movemask` (AVX2 has no
+//! compare-into-mask-register; the paper notes the same workaround).
+//!
+//! # Safety
+//! Constructors check `is_x86_feature_detected!("avx2")`; an engine
+//! value is a proof the ISA is present.
+
+#![allow(unsafe_code)]
+
+use core::arch::x86_64::*;
+
+#[cfg(test)]
+use crate::elem::ScoreElem;
+use crate::engine::SimdEngine;
+
+/// AVX2 engine with 8 × i32 lanes.
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2I32 {
+    _priv: (),
+}
+
+/// AVX2 engine with 16 × i16 lanes.
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2I16 {
+    _priv: (),
+}
+
+/// AVX2 engine with 32 × i8 lanes (used by the SWPS3-like baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2I8 {
+    _priv: (),
+}
+
+macro_rules! avx2_ctor {
+    ($t:ty) => {
+        impl $t {
+            /// Returns the engine if the CPU supports AVX2.
+            pub fn new() -> Option<Self> {
+                std::arch::is_x86_feature_detected!("avx2").then_some(Self { _priv: () })
+            }
+        }
+    };
+}
+avx2_ctor!(Avx2I32);
+avx2_ctor!(Avx2I16);
+avx2_ctor!(Avx2I8);
+
+/// `[0…0, v.low]` — the cross-lane half of the element shift
+/// (paper Fig. 7's `permutevar` step).
+#[inline(always)]
+unsafe fn swap_low_to_high(v: __m256i) -> __m256i {
+    unsafe { _mm256_permute2x128_si256::<0x08>(v, v) }
+}
+
+impl SimdEngine for Avx2I32 {
+    type Elem = i32;
+    type Vec = __m256i;
+
+    const LANES: usize = 8;
+    const NAME: &'static str = "avx2/i32x8";
+
+    #[inline(always)]
+    fn splat(self, x: i32) -> __m256i {
+        unsafe { _mm256_set1_epi32(x) }
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[i32]) -> __m256i {
+        assert!(src.len() >= 8);
+        unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32], v: __m256i) {
+        assert!(dst.len() >= 8);
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
+    }
+
+    #[inline(always)]
+    fn add(self, a: __m256i, b: __m256i) -> __m256i {
+        unsafe { _mm256_add_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn max(self, a: __m256i, b: __m256i) -> __m256i {
+        unsafe { _mm256_max_epi32(a, b) }
+    }
+
+    #[inline(always)]
+    fn any_gt(self, a: __m256i, b: __m256i) -> bool {
+        unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi32(a, b)) != 0 }
+    }
+
+    #[inline(always)]
+    fn shift_insert_low(self, v: __m256i, fill: i32) -> __m256i {
+        unsafe {
+            let swap = swap_low_to_high(v);
+            let shifted = _mm256_alignr_epi8::<12>(v, swap);
+            _mm256_blend_epi32::<0x01>(shifted, _mm256_set1_epi32(fill))
+        }
+    }
+
+    #[inline(always)]
+    fn extract_high(self, v: __m256i) -> i32 {
+        unsafe { _mm256_extract_epi32::<7>(v) }
+    }
+}
+
+impl SimdEngine for Avx2I16 {
+    type Elem = i16;
+    type Vec = __m256i;
+
+    const LANES: usize = 16;
+    const NAME: &'static str = "avx2/i16x16";
+
+    #[inline(always)]
+    fn splat(self, x: i16) -> __m256i {
+        unsafe { _mm256_set1_epi16(x) }
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[i16]) -> __m256i {
+        assert!(src.len() >= 16);
+        unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i16], v: __m256i) {
+        assert!(dst.len() >= 16);
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
+    }
+
+    #[inline(always)]
+    fn add(self, a: __m256i, b: __m256i) -> __m256i {
+        unsafe { _mm256_adds_epi16(a, b) }
+    }
+
+    #[inline(always)]
+    fn max(self, a: __m256i, b: __m256i) -> __m256i {
+        unsafe { _mm256_max_epi16(a, b) }
+    }
+
+    #[inline(always)]
+    fn any_gt(self, a: __m256i, b: __m256i) -> bool {
+        unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi16(a, b)) != 0 }
+    }
+
+    #[inline(always)]
+    fn shift_insert_low(self, v: __m256i, fill: i16) -> __m256i {
+        unsafe {
+            let swap = swap_low_to_high(v);
+            let shifted = _mm256_alignr_epi8::<14>(v, swap);
+            _mm256_insert_epi16::<0>(shifted, fill)
+        }
+    }
+
+    #[inline(always)]
+    fn extract_high(self, v: __m256i) -> i16 {
+        unsafe { _mm256_extract_epi16::<15>(v) as i16 }
+    }
+}
+
+impl SimdEngine for Avx2I8 {
+    type Elem = i8;
+    type Vec = __m256i;
+
+    const LANES: usize = 32;
+    const NAME: &'static str = "avx2/i8x32";
+
+    #[inline(always)]
+    fn splat(self, x: i8) -> __m256i {
+        unsafe { _mm256_set1_epi8(x) }
+    }
+
+    #[inline(always)]
+    fn load(self, src: &[i8]) -> __m256i {
+        assert!(src.len() >= 32);
+        unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i8], v: __m256i) {
+        assert!(dst.len() >= 32);
+        unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
+    }
+
+    #[inline(always)]
+    fn add(self, a: __m256i, b: __m256i) -> __m256i {
+        unsafe { _mm256_adds_epi8(a, b) }
+    }
+
+    #[inline(always)]
+    fn max(self, a: __m256i, b: __m256i) -> __m256i {
+        unsafe { _mm256_max_epi8(a, b) }
+    }
+
+    #[inline(always)]
+    fn any_gt(self, a: __m256i, b: __m256i) -> bool {
+        unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi8(a, b)) != 0 }
+    }
+
+    #[inline(always)]
+    fn shift_insert_low(self, v: __m256i, fill: i8) -> __m256i {
+        unsafe {
+            let swap = swap_low_to_high(v);
+            let shifted = _mm256_alignr_epi8::<15>(v, swap);
+            _mm256_insert_epi8::<0>(shifted, fill)
+        }
+    }
+
+    #[inline(always)]
+    fn extract_high(self, v: __m256i) -> i8 {
+        unsafe { _mm256_extract_epi8::<31>(v) as i8 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::EmuEngine;
+
+    fn pattern<T: ScoreElem>(seed: i32, n: usize) -> Vec<T> {
+        (0..n as i32)
+            .map(|i| {
+                T::from_i32_sat(
+                    (seed.wrapping_mul(31).wrapping_add(i * 17)) % 120 - 40,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn i32_matches_emulated_oracle() {
+        let Some(eng) = Avx2I32::new() else {
+            eprintln!("skipping: no avx2");
+            return;
+        };
+        let emu = EmuEngine::<i32, 8>::new();
+        for seed in 0..20 {
+            let a: Vec<i32> = pattern(seed, 8);
+            let b: Vec<i32> = pattern(seed + 100, 8);
+            let (va, vb) = (eng.load(&a), eng.load(&b));
+            let (ea, eb) = (emu.load(&a), emu.load(&b));
+            let mut got = [0i32; 8];
+            let mut want = [0i32; 8];
+
+            eng.store(&mut got, eng.add(va, vb));
+            emu.store(&mut want, emu.add(ea, eb));
+            assert_eq!(got, want, "add seed={seed}");
+
+            eng.store(&mut got, eng.max(va, vb));
+            emu.store(&mut want, emu.max(ea, eb));
+            assert_eq!(got, want, "max");
+
+            assert_eq!(eng.any_gt(va, vb), emu.any_gt(ea, eb), "any_gt");
+            assert_eq!(eng.reduce_max(va), emu.reduce_max(ea), "reduce");
+            assert_eq!(eng.extract_high(va), emu.extract_high(ea));
+
+            eng.store(&mut got, eng.shift_insert_low(va, -99));
+            emu.store(&mut want, emu.shift_insert_low(ea, -99));
+            assert_eq!(got, want, "shift crosses the 128-bit boundary");
+
+            for d in 0..=8 {
+                eng.store(&mut got, eng.shift_insert_low_n(va, d, 3));
+                emu.store(&mut want, emu.shift_insert_low_n(ea, d, 3));
+                assert_eq!(got, want, "shift_n d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn i16_matches_emulated_oracle() {
+        let Some(eng) = Avx2I16::new() else {
+            eprintln!("skipping: no avx2");
+            return;
+        };
+        let emu = EmuEngine::<i16, 16>::new();
+        for seed in 0..20 {
+            let a: Vec<i16> = pattern(seed, 16);
+            let b: Vec<i16> = pattern(seed + 7, 16);
+            let (va, vb) = (eng.load(&a), eng.load(&b));
+            let (ea, eb) = (emu.load(&a), emu.load(&b));
+            let mut got = [0i16; 16];
+            let mut want = [0i16; 16];
+
+            eng.store(&mut got, eng.add(va, vb));
+            emu.store(&mut want, emu.add(ea, eb));
+            assert_eq!(got, want, "adds saturate identically");
+
+            eng.store(&mut got, eng.shift_insert_low(va, i16::MIN));
+            emu.store(&mut want, emu.shift_insert_low(ea, i16::MIN));
+            assert_eq!(got, want, "16-bit shift uses alignr+insert (Fig 7)");
+
+            assert_eq!(eng.any_gt(va, vb), emu.any_gt(ea, eb));
+            assert_eq!(eng.reduce_max(va), emu.reduce_max(ea));
+        }
+    }
+
+    #[test]
+    fn i16_saturating_add_boundaries() {
+        let Some(eng) = Avx2I16::new() else {
+            return;
+        };
+        let a = [i16::MAX; 16];
+        let b = [1i16; 16];
+        let mut out = [0i16; 16];
+        eng.store(&mut out, eng.add(eng.load(&a), eng.load(&b)));
+        assert_eq!(out, [i16::MAX; 16]);
+    }
+
+    #[test]
+    fn i8_matches_emulated_oracle() {
+        let Some(eng) = Avx2I8::new() else {
+            eprintln!("skipping: no avx2");
+            return;
+        };
+        let emu = EmuEngine::<i8, 32>::new();
+        for seed in 0..20 {
+            let a: Vec<i8> = pattern(seed, 32);
+            let b: Vec<i8> = pattern(seed + 3, 32);
+            let (va, vb) = (eng.load(&a), eng.load(&b));
+            let (ea, eb) = (emu.load(&a), emu.load(&b));
+            let mut got = [0i8; 32];
+            let mut want = [0i8; 32];
+
+            eng.store(&mut got, eng.add(va, vb));
+            emu.store(&mut want, emu.add(ea, eb));
+            assert_eq!(got, want);
+
+            eng.store(&mut got, eng.shift_insert_low(va, -128));
+            emu.store(&mut want, emu.shift_insert_low(ea, -128));
+            assert_eq!(got, want);
+
+            assert_eq!(eng.any_gt(va, vb), emu.any_gt(ea, eb));
+            assert_eq!(eng.reduce_max(va), emu.reduce_max(ea));
+            assert_eq!(eng.extract_high(va), emu.extract_high(ea));
+        }
+    }
+
+    #[test]
+    fn lower_bound_ramp_on_hardware() {
+        let Some(eng) = Avx2I32::new() else {
+            return;
+        };
+        let v = eng.lower_bound(10, -5);
+        let mut out = [0i32; 8];
+        eng.store(&mut out, v);
+        assert_eq!(out, [10, 5, 0, -5, -10, -15, -20, -25]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Runtime ISA detection and backend selection.
+//!
+//! The paper re-links kernels against a platform-specific module set
+//! at build time; we do the equivalent at runtime. [`IsaSupport`]
+//! reports what the host offers, [`Backend`] names a concrete
+//! (ISA, element-width) engine, and [`best_backend`] picks the widest
+//! available engine for a requested element width — preferring the
+//! 512-bit engine (the paper's "many-core" shape) when present.
+
+/// Vector ISAs an engine can be built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Isa {
+    /// Portable array emulation — always available.
+    Emulated,
+    /// 128-bit SSE4.1.
+    Sse41,
+    /// 256-bit AVX2 (the paper's Haswell platform).
+    Avx2,
+    /// 512-bit AVX-512F/BW (standing in for the paper's IMCI).
+    Avx512,
+}
+
+impl Isa {
+    /// Register width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Isa::Emulated => 0,
+            Isa::Sse41 => 128,
+            Isa::Avx2 => 256,
+            Isa::Avx512 => 512,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Emulated => "emu",
+            Isa::Sse41 => "sse4.1",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+}
+
+/// What the running host supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsaSupport {
+    pub sse41: bool,
+    pub avx2: bool,
+    /// AVX-512 Foundation (i32 ops).
+    pub avx512f: bool,
+    /// AVX-512 Byte/Word (i8/i16 ops) — not required by any kernel
+    /// here (IMCI had no sub-32-bit lanes either) but reported.
+    pub avx512bw: bool,
+}
+
+impl IsaSupport {
+    /// Probe the current CPU.
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Self {
+                sse41: std::arch::is_x86_feature_detected!("sse4.1"),
+                avx2: std::arch::is_x86_feature_detected!("avx2"),
+                avx512f: std::arch::is_x86_feature_detected!("avx512f"),
+                avx512bw: std::arch::is_x86_feature_detected!("avx512bw"),
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self {
+                sse41: false,
+                avx2: false,
+                avx512f: false,
+                avx512bw: false,
+            }
+        }
+    }
+
+    /// Best available ISA, widest first.
+    pub fn best(self) -> Isa {
+        if self.avx512f {
+            Isa::Avx512
+        } else if self.avx2 {
+            Isa::Avx2
+        } else if self.sse41 {
+            Isa::Sse41
+        } else {
+            Isa::Emulated
+        }
+    }
+}
+
+/// A concrete engine choice: ISA plus score element width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Backend {
+    pub isa: Isa,
+    /// Element width in bits (8, 16 or 32).
+    pub elem_bits: u32,
+}
+
+impl Backend {
+    /// Lane count this backend runs.
+    pub fn lanes(self) -> usize {
+        match self.isa {
+            // The emulated engine mirrors the 512-bit shape so that it
+            // exercises the same segment geometry as the widest ISA.
+            Isa::Emulated => (512 / self.elem_bits) as usize,
+            isa => (isa.bits() / self.elem_bits) as usize,
+        }
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}/i{}x{}", self.isa.name(), self.elem_bits, self.lanes())
+    }
+}
+
+/// Pick the best backend for the requested element width on this host.
+///
+/// 32-bit elements prefer AVX-512 (the "many-core" 512-bit shape);
+/// 8/16-bit elements prefer AVX2, since IMCI-style 512-bit engines do
+/// not offer narrow lanes (and the paper only uses i32 on MIC).
+pub fn best_backend(elem_bits: u32) -> Backend {
+    let sup = IsaSupport::detect();
+    let isa = match elem_bits {
+        32 => sup.best(),
+        16 => {
+            if sup.avx512f && sup.avx512bw {
+                Isa::Avx512
+            } else if sup.avx2 {
+                Isa::Avx2
+            } else if sup.sse41 {
+                Isa::Sse41
+            } else {
+                Isa::Emulated
+            }
+        }
+        8 => {
+            if sup.avx2 {
+                Isa::Avx2
+            } else if sup.sse41 {
+                Isa::Sse41
+            } else {
+                Isa::Emulated
+            }
+        }
+        other => panic!("unsupported element width: {other} bits"),
+    };
+    Backend { isa, elem_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_does_not_panic_and_is_consistent() {
+        let sup = IsaSupport::detect();
+        // AVX2 implies SSE4.1 on any real x86-64.
+        if sup.avx2 {
+            assert!(sup.sse41);
+        }
+        let _ = sup.best();
+    }
+
+    #[test]
+    fn backend_lane_math() {
+        let b = Backend {
+            isa: Isa::Avx2,
+            elem_bits: 16,
+        };
+        assert_eq!(b.lanes(), 16);
+        let b = Backend {
+            isa: Isa::Avx512,
+            elem_bits: 32,
+        };
+        assert_eq!(b.lanes(), 16);
+        let b = Backend {
+            isa: Isa::Sse41,
+            elem_bits: 32,
+        };
+        assert_eq!(b.lanes(), 4);
+    }
+
+    #[test]
+    fn best_backend_returns_usable_widths() {
+        for bits in [8, 16, 32] {
+            let b = best_backend(bits);
+            assert!(b.lanes().is_power_of_two());
+            assert!(b.lanes() >= 4);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let b = Backend {
+            isa: Isa::Avx2,
+            elem_bits: 32,
+        };
+        assert_eq!(b.to_string(), "avx2/i32x8");
+    }
+}

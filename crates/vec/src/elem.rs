@@ -1,0 +1,204 @@
+//! Score element types.
+//!
+//! Alignment scores are small signed integers. The paper's kernels run
+//! on 8-, 16- (AVX2) and 32-bit (AVX2 + IMCI) lanes; narrower lanes
+//! give more parallelism but can overflow, which the kernels detect and
+//! recover from by retrying at a wider type (the SWPS3 trick of
+//! Sec. VI-C).
+//!
+//! All arithmetic on narrow types is *saturating*, matching the
+//! `adds_epi8/16` instructions the paper's AVX2 modules use. 32-bit
+//! lanes have no saturating add on AVX2/AVX-512 (nor on IMCI), so i32
+//! uses wrapping adds and keeps its "minus infinity" sentinel far from
+//! `i32::MIN` — exactly the headroom argument the original C kernels
+//! rely on.
+
+/// An integer type usable as an alignment score lane.
+///
+/// Implementations: [`i8`], [`i16`], [`i32`].
+pub trait ScoreElem:
+    Copy
+    + Clone
+    + PartialOrd
+    + Ord
+    + PartialEq
+    + Eq
+    + core::fmt::Debug
+    + core::fmt::Display
+    + Send
+    + Sync
+    + 'static
+{
+    /// The "minus infinity" sentinel. Adding any plausible penalty to
+    /// it must not wrap past the representable minimum.
+    const NEG_INF: Self;
+    /// Additive zero.
+    const ZERO: Self;
+    /// Largest representable score (saturation ceiling).
+    const MAX_SCORE: Self;
+    /// Bits in the element (8, 16 or 32) — used for layout decisions.
+    const BITS: u32;
+
+    /// Scalar saturating add (wrapping for i32; see module docs).
+    fn sat_add(self, rhs: Self) -> Self;
+    /// Scalar max.
+    fn max2(self, rhs: Self) -> Self;
+    /// Widening conversion to i32 (always exact).
+    fn to_i32(self) -> i32;
+    /// Saturating conversion from i32.
+    fn from_i32_sat(v: i32) -> Self;
+    /// Exact conversion from i32; panics in debug if out of range.
+    fn from_i32(v: i32) -> Self;
+}
+
+impl ScoreElem for i8 {
+    const NEG_INF: Self = i8::MIN;
+    const ZERO: Self = 0;
+    const MAX_SCORE: Self = i8::MAX;
+    const BITS: u32 = 8;
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+    #[inline(always)]
+    fn max2(self, rhs: Self) -> Self {
+        Ord::max(self, rhs)
+    }
+    #[inline(always)]
+    fn to_i32(self) -> i32 {
+        self as i32
+    }
+    #[inline(always)]
+    fn from_i32_sat(v: i32) -> Self {
+        v.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+    }
+    #[inline(always)]
+    fn from_i32(v: i32) -> Self {
+        debug_assert!(
+            (i8::MIN as i32..=i8::MAX as i32).contains(&v),
+            "score {v} out of i8 range"
+        );
+        v as i8
+    }
+}
+
+impl ScoreElem for i16 {
+    const NEG_INF: Self = i16::MIN;
+    const ZERO: Self = 0;
+    const MAX_SCORE: Self = i16::MAX;
+    const BITS: u32 = 16;
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        self.saturating_add(rhs)
+    }
+    #[inline(always)]
+    fn max2(self, rhs: Self) -> Self {
+        Ord::max(self, rhs)
+    }
+    #[inline(always)]
+    fn to_i32(self) -> i32 {
+        self as i32
+    }
+    #[inline(always)]
+    fn from_i32_sat(v: i32) -> Self {
+        v.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+    }
+    #[inline(always)]
+    fn from_i32(v: i32) -> Self {
+        debug_assert!(
+            (i16::MIN as i32..=i16::MAX as i32).contains(&v),
+            "score {v} out of i16 range"
+        );
+        v as i16
+    }
+}
+
+impl ScoreElem for i32 {
+    /// `i32::MIN / 4` leaves ≈1.6e9 of headroom below and can absorb
+    /// any realistic accumulation of gap penalties without wrapping
+    /// (wrapping adds are used for i32 — there is no 32-bit saturating
+    /// vector add on AVX2, AVX-512 or IMCI).
+    const NEG_INF: Self = i32::MIN / 4;
+    const ZERO: Self = 0;
+    const MAX_SCORE: Self = i32::MAX / 4;
+    const BITS: u32 = 32;
+
+    #[inline(always)]
+    fn sat_add(self, rhs: Self) -> Self {
+        self.wrapping_add(rhs)
+    }
+    #[inline(always)]
+    fn max2(self, rhs: Self) -> Self {
+        Ord::max(self, rhs)
+    }
+    #[inline(always)]
+    fn to_i32(self) -> i32 {
+        self
+    }
+    #[inline(always)]
+    fn from_i32_sat(v: i32) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn from_i32(v: i32) -> Self {
+        v
+    }
+}
+
+/// Returns true when a score computed at element type `E` is too close
+/// to the saturation ceiling to be trusted: any single further add of
+/// magnitude ≤ `headroom` could have saturated.
+///
+/// Used by the width-fallback logic (narrow kernel → retry wider),
+/// mirroring SWPS3's char→short overflow escape.
+#[inline]
+pub fn near_saturation<E: ScoreElem>(score: E, headroom: i32) -> bool {
+    score.to_i32() >= E::MAX_SCORE.to_i32() - headroom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_add_clamps_i8() {
+        assert_eq!(100i8.sat_add(100), i8::MAX);
+        assert_eq!((-100i8).sat_add(-100), i8::MIN);
+        assert_eq!(5i8.sat_add(-3), 2);
+    }
+
+    #[test]
+    fn saturating_add_clamps_i16() {
+        assert_eq!(30_000i16.sat_add(30_000), i16::MAX);
+        assert_eq!((-30_000i16).sat_add(-30_000), i16::MIN);
+    }
+
+    #[test]
+    fn i32_neg_inf_has_headroom() {
+        // Adding a large negative penalty many times must not wrap.
+        let mut v = <i32 as ScoreElem>::NEG_INF;
+        for _ in 0..1_000_000 {
+            v = v.sat_add(-100);
+        }
+        assert!(v < 0, "stayed negative: {v}");
+        assert!(v > i32::MIN / 2 - 200_000_000);
+    }
+
+    #[test]
+    fn near_saturation_detects_i8_ceiling() {
+        assert!(near_saturation(120i8, 11));
+        assert!(!near_saturation(50i8, 11));
+        assert!(near_saturation(i16::MAX - 1, 11));
+    }
+
+    #[test]
+    fn from_i32_sat_round_trips_in_range() {
+        for v in [-128, -1, 0, 1, 127] {
+            assert_eq!(<i8 as ScoreElem>::from_i32_sat(v).to_i32(), v);
+        }
+        assert_eq!(<i8 as ScoreElem>::from_i32_sat(1000), 127);
+        assert_eq!(<i16 as ScoreElem>::from_i32_sat(-1_000_000), i16::MIN);
+    }
+}

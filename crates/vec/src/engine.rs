@@ -1,0 +1,218 @@
+//! The [`SimdEngine`] trait — AAlign's vector-module interface.
+//!
+//! Table I of the paper defines two groups of modules:
+//!
+//! | paper module       | trait method                          |
+//! |--------------------|---------------------------------------|
+//! | `load_vector`      | [`SimdEngine::load`]                  |
+//! | `store_vector`     | [`SimdEngine::store`]                 |
+//! | `add_vector`/`add_array` | [`SimdEngine::add`] (+ a `load`)|
+//! | `max_vector`       | [`SimdEngine::max`]                   |
+//! | `set_vector`       | [`SimdEngine::lower_bound`]           |
+//! | `rshift_x_fill`    | [`SimdEngine::shift_insert_low`]      |
+//! | `influence_test`   | [`SimdEngine::any_gt`]                |
+//! | `wgt_max_scan`     | [`crate::scan::wgt_max_scan_striped`] |
+//!
+//! Engines are zero-sized `Copy` tokens. Constructing a token for an
+//! optional ISA (AVX2, AVX-512, SSE4.1) requires a runtime feature
+//! check, so methods can be safe even though they call `unsafe`
+//! intrinsics internally.
+
+use crate::elem::ScoreElem;
+
+/// A SIMD backend operating on vectors of [`ScoreElem`] lanes.
+///
+/// # Semantics contract
+///
+/// Every backend must be observationally identical to
+/// [`crate::emu::EmuEngine`] with the same element type and lane
+/// count; this is enforced by property tests. In particular:
+///
+/// * [`add`](Self::add) saturates for i8/i16 lanes and wraps for i32.
+/// * [`shift_insert_low`](Self::shift_insert_low) moves every lane up
+///   one index (lane `i` receives old lane `i-1`) and writes `fill`
+///   into lane 0. In the striped layout this realigns a vector so
+///   each lane's value meets the *next* query position of the lane
+///   below — the paper's `rshift_x_fill` with `n = 1`.
+/// * [`any_gt`](Self::any_gt) is the paper's `influence_test`: true
+///   iff `a[i] > b[i]` for at least one lane.
+pub trait SimdEngine: Copy + Send + Sync + 'static {
+    /// Lane element type.
+    type Elem: ScoreElem;
+    /// Opaque vector register type.
+    type Vec: Copy;
+
+    /// Number of lanes in [`Self::Vec`].
+    const LANES: usize;
+
+    /// Human-readable backend name (e.g. `"avx2/i16x16"`).
+    const NAME: &'static str;
+
+    /// Broadcast a scalar to every lane.
+    fn splat(self, x: Self::Elem) -> Self::Vec;
+
+    /// Load `LANES` elements from the start of `src`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds at minimum) if `src.len() < LANES`.
+    fn load(self, src: &[Self::Elem]) -> Self::Vec;
+
+    /// Store `LANES` elements to the start of `dst`.
+    fn store(self, dst: &mut [Self::Elem], v: Self::Vec);
+
+    /// Lane-wise add; saturating for narrow elements (see trait docs).
+    fn add(self, a: Self::Vec, b: Self::Vec) -> Self::Vec;
+
+    /// Lane-wise maximum.
+    fn max(self, a: Self::Vec, b: Self::Vec) -> Self::Vec;
+
+    /// `influence_test`: does any lane of `a` exceed the same lane of `b`?
+    fn any_gt(self, a: Self::Vec, b: Self::Vec) -> bool;
+
+    /// `rshift_x_fill(v, 1, fill)`: lane 0 ← `fill`, lane i ← lane i−1.
+    fn shift_insert_low(self, v: Self::Vec, fill: Self::Elem) -> Self::Vec;
+
+    /// Extract the value in the highest lane.
+    fn extract_high(self, v: Self::Vec) -> Self::Elem;
+
+    /// Horizontal maximum across lanes. The default is allocation-free
+    /// (log₂ LANES shift/max rounds, answer lands in the high lane).
+    #[inline(always)]
+    fn reduce_max(self, v: Self::Vec) -> Self::Elem {
+        let mut m = v;
+        let mut d = 1usize;
+        while d < Self::LANES {
+            let shifted = self.shift_insert_low_n(m, d, Self::Elem::NEG_INF);
+            m = self.max(m, shifted);
+            d *= 2;
+        }
+        self.extract_high(m)
+    }
+
+    /// Shift lanes up by `n` indices, filling the vacated low lanes:
+    /// `rshift_x_fill(v, n, fill)`. Backends may override with native
+    /// shuffles; the default iterates [`Self::shift_insert_low`].
+    #[inline(always)]
+    fn shift_insert_low_n(self, v: Self::Vec, n: usize, fill: Self::Elem) -> Self::Vec {
+        let mut v = v;
+        for _ in 0..n.min(Self::LANES) {
+            v = self.shift_insert_low(v, fill);
+        }
+        v
+    }
+
+    /// The paper's `set_vector(m, i, g)` (Fig. 6): build the striped
+    /// lower-bound vector whose lane `l` holds `init + l * step`
+    /// (saturating). `step` is typically `k * gap_ext`, the weight of
+    /// one whole lane-chunk of the striped layout.
+    #[inline(always)]
+    fn lower_bound(self, init: Self::Elem, step: Self::Elem) -> Self::Vec {
+        // Stack buffer sized for the widest supported engine (i8×64);
+        // only the first LANES slots are read. Keeps the per-column
+        // hot path allocation-free.
+        debug_assert!(Self::LANES <= 64);
+        let mut buf = [Self::Elem::ZERO; 64];
+        let mut acc = init;
+        for slot in buf.iter_mut().take(Self::LANES) {
+            *slot = acc;
+            acc = acc.sat_add(step);
+        }
+        self.load(&buf)
+    }
+
+    /// Inclusive per-vector weighted max-scan across lanes
+    /// (Kogge–Stone): returns `s` with
+    /// `s[l] = max_{l' ≤ l} ( v[l'] + (l - l') * w )`.
+    ///
+    /// This is step 2 of the paper's `wgt_max_scan` orchestration
+    /// (Fig. 8), where the distance weight per lane is `k * β`.
+    #[inline(always)]
+    fn weighted_scan_max(self, v: Self::Vec, w: Self::Elem) -> Self::Vec {
+        let mut s = v;
+        let mut d = 1usize;
+        let mut wd = w;
+        while d < Self::LANES {
+            let shifted = self.shift_insert_low_n(s, d, Self::Elem::NEG_INF);
+            s = self.max(s, self.add(shifted, self.splat(wd)));
+            d *= 2;
+            // wd for the next round is 2 * current distance weight.
+            wd = wd.sat_add(wd);
+        }
+        s
+    }
+}
+
+/// Convenience: load-add in one call (the paper's `add_array`).
+#[inline(always)]
+pub fn add_array<E: SimdEngine>(eng: E, src: &[E::Elem], v: E::Vec) -> E::Vec {
+    let a = eng.load(src);
+    eng.add(a, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::EmuEngine;
+
+    type E8 = EmuEngine<i32, 8>;
+
+    #[test]
+    fn lower_bound_matches_fig6() {
+        // Fig. 6: lane l = init + l * (k*g).
+        let eng = E8::new();
+        let v = eng.lower_bound(5, -3);
+        let mut out = [0i32; 8];
+        eng.store(&mut out, v);
+        assert_eq!(out, [5, 2, -1, -4, -7, -10, -13, -16]);
+    }
+
+    #[test]
+    fn shift_insert_low_n_zero_is_identity() {
+        let eng = E8::new();
+        let v = eng.lower_bound(0, 1);
+        let s = eng.shift_insert_low_n(v, 0, -99);
+        let (mut a, mut b) = ([0i32; 8], [0i32; 8]);
+        eng.store(&mut a, v);
+        eng.store(&mut b, s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shift_insert_low_n_saturates_at_lanes() {
+        let eng = E8::new();
+        let v = eng.lower_bound(1, 1);
+        let s = eng.shift_insert_low_n(v, 100, -7);
+        let mut out = [0i32; 8];
+        eng.store(&mut out, s);
+        assert_eq!(out, [-7; 8]);
+    }
+
+    #[test]
+    fn weighted_scan_max_matches_scalar_model() {
+        let eng = E8::new();
+        let input = [3, -1, 10, 2, 2, 2, 40, -5];
+        let w = -4;
+        let v = eng.load(&input);
+        let s = eng.weighted_scan_max(v, w);
+        let mut got = [0i32; 8];
+        eng.store(&mut got, s);
+        for (l, &got_l) in got.iter().enumerate() {
+            let want = (0..=l)
+                .map(|lp| input[lp] + ((l - lp) as i32) * w)
+                .max()
+                .unwrap();
+            assert_eq!(got_l, want, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn add_array_loads_then_adds() {
+        let eng = E8::new();
+        let src = [1, 2, 3, 4, 5, 6, 7, 8];
+        let v = eng.splat(10);
+        let r = add_array(eng, &src, v);
+        let mut out = [0i32; 8];
+        eng.store(&mut out, r);
+        assert_eq!(out, [11, 12, 13, 14, 15, 16, 17, 18]);
+    }
+}

@@ -1,0 +1,207 @@
+//! The striped (Farrar) data layout used by every AAlign kernel.
+//!
+//! AAlign computes the DP table column by column along the subject,
+//! holding one column (length = query length `m`) in buffers. A
+//! column is stored *striped* (paper Fig. 4): with `v` vector lanes
+//! and `k = ceil(m / v)` segments, segment `j` is one vector whose
+//! lane `l` holds query position `q = l·k + j`.
+//!
+//! Key consequences the kernels rely on:
+//!
+//! * Moving from segment `j` to `j+1` advances every lane to its next
+//!   query position — within-lane dependencies become *between-vector*
+//!   dependencies, which is what makes the column vectorizable.
+//! * Moving across the lane boundary (segment `k-1` of lane `l` to
+//!   segment `0` of lane `l+1`) is done by
+//!   [`SimdEngine::shift_insert_low`](crate::SimdEngine::shift_insert_low).
+//! * Padding slots (`q ≥ m`) occupy the *suffix* of the column in
+//!   query order: within each lane they are a suffix of the lane's
+//!   chunk, and whenever a lane's chunk *end* is padding, every lane
+//!   above it is entirely padding. Since values only flow toward
+//!   higher query positions within a column, padding garbage can
+//!   never reach a real position.
+
+/// Geometry of a striped column: query length, lane count, segment
+/// count and padded length.
+///
+/// ```
+/// use aalign_vec::StripedLayout;
+/// // Paper Fig. 4: 20 elements on 4 lanes → 5 segments; vector j
+/// // holds query positions {j, j+5, j+10, j+15}.
+/// let l = StripedLayout::new(20, 4);
+/// assert_eq!(l.segments, 5);
+/// assert_eq!(l.query_pos_of(0), 0);  // segment 0, lane 0
+/// assert_eq!(l.query_pos_of(1), 5);  // segment 0, lane 1
+/// assert_eq!(l.slot_of(5), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripedLayout {
+    /// Real query length `m` (> 0).
+    pub len: usize,
+    /// Vector lane count `v`.
+    pub lanes: usize,
+    /// Segments per column: `k = ceil(m / v)`.
+    pub segments: usize,
+}
+
+impl StripedLayout {
+    /// Compute the layout for a query of `len` residues on `lanes`-wide
+    /// vectors.
+    ///
+    /// # Panics
+    /// Panics if `len == 0` or `lanes == 0`.
+    pub fn new(len: usize, lanes: usize) -> Self {
+        assert!(len > 0, "query must be non-empty");
+        assert!(lanes > 0, "lane count must be positive");
+        let segments = len.div_ceil(lanes);
+        Self {
+            len,
+            lanes,
+            segments,
+        }
+    }
+
+    /// Padded column length `k · v` (number of slots in each buffer).
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.segments * self.lanes
+    }
+
+    /// Number of padding slots (`padded_len - len`), always `< k`.
+    #[inline]
+    pub fn padding(&self) -> usize {
+        self.padded_len() - self.len
+    }
+
+    /// Buffer slot of query position `q`: segment `q % k`, lane `q / k`
+    /// → index `(q % k) · v + q / k`.
+    #[inline]
+    pub fn slot_of(&self, q: usize) -> usize {
+        debug_assert!(q < self.padded_len());
+        let seg = q % self.segments;
+        let lane = q / self.segments;
+        seg * self.lanes + lane
+    }
+
+    /// Query position stored in buffer slot `idx` (may be `≥ len` for
+    /// padding slots).
+    #[inline]
+    pub fn query_pos_of(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.padded_len());
+        let seg = idx / self.lanes;
+        let lane = idx % self.lanes;
+        lane * self.segments + seg
+    }
+
+    /// Scatter a linear column into striped order. Padding slots are
+    /// filled with `pad`.
+    pub fn stripe<T: Copy>(&self, linear: &[T], pad: T, out: &mut Vec<T>) {
+        assert_eq!(linear.len(), self.len, "column length mismatch");
+        out.clear();
+        out.resize(self.padded_len(), pad);
+        for (q, &x) in linear.iter().enumerate() {
+            out[self.slot_of(q)] = x;
+        }
+    }
+
+    /// Gather a striped buffer back into linear order (padding dropped).
+    pub fn unstripe<T: Copy + Default>(&self, striped: &[T]) -> Vec<T> {
+        assert_eq!(striped.len(), self.padded_len(), "striped length mismatch");
+        let mut out = vec![T::default(); self.len];
+        for q in 0..self.len {
+            out[q] = striped[self.slot_of(q)];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_example_20_elements_5_vectors() {
+        // Paper Fig. 4: 20 elements, 4 lanes → 5 segments; vector j
+        // holds positions {j, j+5, j+10, j+15}.
+        let l = StripedLayout::new(20, 4);
+        assert_eq!(l.segments, 5);
+        assert_eq!(l.padded_len(), 20);
+        assert_eq!(l.padding(), 0);
+        for j in 0..5 {
+            for lane in 0..4 {
+                assert_eq!(l.query_pos_of(j * 4 + lane), lane * 5 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_and_query_pos_are_inverse() {
+        for (m, v) in [(1, 4), (7, 4), (20, 4), (33, 8), (100, 16), (5, 8)] {
+            let l = StripedLayout::new(m, v);
+            for q in 0..l.padded_len() {
+                assert_eq!(l.query_pos_of(l.slot_of(q)), q, "m={m} v={v} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_never_feeds_real_positions() {
+        // Padding count is < lanes; within a lane padding is a suffix
+        // of the chunk; and if a lane's chunk END is padding, every
+        // higher lane is entirely padding (so cross-lane shifts only
+        // ever move padding into padding).
+        for (m, v) in [(7, 4), (9, 8), (33, 8), (17, 16), (250, 8), (1, 4)] {
+            let l = StripedLayout::new(m, v);
+            assert!(l.padding() < v, "m={m} v={v}");
+            let k = l.segments;
+            for lane in 0..v {
+                let chunk: Vec<bool> = (0..k).map(|j| lane * k + j >= m).collect();
+                // padding is a suffix within the chunk
+                let first_pad = chunk.iter().position(|&p| p).unwrap_or(k);
+                assert!(
+                    chunk[first_pad..].iter().all(|&p| p),
+                    "m={m} v={v} lane={lane}: padding not a suffix"
+                );
+                // chunk end padded => all higher lanes fully padded
+                if *chunk.last().unwrap() && first_pad == 0 {
+                    // (chunk entirely padding — nothing more to check)
+                }
+                if *chunk.last().unwrap() {
+                    for hl in lane + 1..v {
+                        assert!(
+                            hl * k >= m,
+                            "m={m} v={v}: lane {hl} has real data after padded chunk end"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_unstripe_round_trip() {
+        let l = StripedLayout::new(13, 4);
+        let col: Vec<i32> = (0..13).collect();
+        let mut striped = Vec::new();
+        l.stripe(&col, -1, &mut striped);
+        assert_eq!(striped.len(), l.padded_len());
+        assert_eq!(l.unstripe(&striped), col);
+        // Padding slots hold the pad value.
+        let pad_slots = striped.iter().filter(|&&x| x == -1).count();
+        assert_eq!(pad_slots, l.padding());
+    }
+
+    #[test]
+    fn single_element_query() {
+        let l = StripedLayout::new(1, 8);
+        assert_eq!(l.segments, 1);
+        assert_eq!(l.slot_of(0), 0);
+        assert_eq!(l.padding(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_length_rejected() {
+        let _ = StripedLayout::new(0, 8);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests: every hardware engine is observationally identical
+//! to the emulated oracle, and the striped weighted max-scan equals
+//! its scalar recurrence on arbitrary inputs and geometries.
+
+use aalign_vec::scan::{wgt_max_scan_naive, wgt_max_scan_scalar, wgt_max_scan_striped, ScanParams};
+use aalign_vec::{EmuEngine, SimdEngine, StripedLayout};
+use proptest::prelude::*;
+
+/// Compare one binary op across engines for all lanes.
+macro_rules! cross_check {
+    ($eng:expr, $emu:expr, $a:expr, $b:expr, $lanes:expr) => {{
+        let (eng, emu) = ($eng, $emu);
+        let (va, vb) = (eng.load(&$a), eng.load(&$b));
+        let (ea, eb) = (emu.load(&$a), emu.load(&$b));
+        let mut got = vec![0; $lanes];
+        let mut want = vec![0; $lanes];
+
+        eng.store(&mut got, eng.add(va, vb));
+        emu.store(&mut want, emu.add(ea, eb));
+        prop_assert_eq!(&got, &want, "add");
+
+        eng.store(&mut got, eng.max(va, vb));
+        emu.store(&mut want, emu.max(ea, eb));
+        prop_assert_eq!(&got, &want, "max");
+
+        prop_assert_eq!(eng.any_gt(va, vb), emu.any_gt(ea, eb), "any_gt");
+        prop_assert_eq!(eng.reduce_max(va), emu.reduce_max(ea), "reduce_max");
+        prop_assert_eq!(eng.extract_high(va), emu.extract_high(ea), "extract_high");
+
+        eng.store(&mut got, eng.shift_insert_low(va, $b[0]));
+        emu.store(&mut want, emu.shift_insert_low(ea, $b[0]));
+        prop_assert_eq!(&got, &want, "shift_insert_low");
+
+        eng.store(&mut got, eng.weighted_scan_max(va, $b[0] % 8 - 7));
+        emu.store(&mut want, emu.weighted_scan_max(ea, $b[0] % 8 - 7));
+        prop_assert_eq!(&got, &want, "weighted_scan_max");
+    }};
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_i32_matches_oracle(
+        a in proptest::collection::vec(-100_000i32..100_000, 8),
+        b in proptest::collection::vec(-100_000i32..100_000, 8),
+    ) {
+        if let Some(eng) = aalign_vec::avx2::Avx2I32::new() {
+            cross_check!(eng, EmuEngine::<i32, 8>::new(), a, b, 8);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_i16_matches_oracle(
+        a in proptest::collection::vec(any::<i16>(), 16),
+        b in proptest::collection::vec(any::<i16>(), 16),
+    ) {
+        if let Some(eng) = aalign_vec::avx2::Avx2I16::new() {
+            cross_check!(eng, EmuEngine::<i16, 16>::new(), a, b, 16);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_i8_matches_oracle(
+        a in proptest::collection::vec(any::<i8>(), 32),
+        b in proptest::collection::vec(any::<i8>(), 32),
+    ) {
+        if let Some(eng) = aalign_vec::avx2::Avx2I8::new() {
+            cross_check!(eng, EmuEngine::<i8, 32>::new(), a, b, 32);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_i32_matches_oracle(
+        a in proptest::collection::vec(-100_000i32..100_000, 16),
+        b in proptest::collection::vec(-100_000i32..100_000, 16),
+    ) {
+        if let Some(eng) = aalign_vec::avx512::Avx512I32::new() {
+            cross_check!(eng, EmuEngine::<i32, 16>::new(), a, b, 16);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512bw_i16_matches_oracle(
+        a in proptest::collection::vec(any::<i16>(), 32),
+        b in proptest::collection::vec(any::<i16>(), 32),
+    ) {
+        if let Some(eng) = aalign_vec::avx512::Avx512I16::new() {
+            cross_check!(eng, EmuEngine::<i16, 32>::new(), a, b, 32);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse41_i32_matches_oracle(
+        a in proptest::collection::vec(-100_000i32..100_000, 4),
+        b in proptest::collection::vec(-100_000i32..100_000, 4),
+    ) {
+        if let Some(eng) = aalign_vec::sse41::Sse41I32::new() {
+            cross_check!(eng, EmuEngine::<i32, 4>::new(), a, b, 4);
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse41_i16_matches_oracle(
+        a in proptest::collection::vec(any::<i16>(), 8),
+        b in proptest::collection::vec(any::<i16>(), 8),
+    ) {
+        if let Some(eng) = aalign_vec::sse41::Sse41I16::new() {
+            cross_check!(eng, EmuEngine::<i16, 8>::new(), a, b, 8);
+        }
+    }
+
+    /// Scalar recurrence equals the O(m²) definition.
+    #[test]
+    fn scan_scalar_equals_naive(
+        input in proptest::collection::vec(-1000i32..1000, 0..48),
+        init in -1000i32..1000,
+        open in -40i32..0,
+        ext in -10i32..0,
+    ) {
+        let p = ScanParams { init, open, ext };
+        let mut a = vec![0; input.len()];
+        let mut b = vec![0; input.len()];
+        wgt_max_scan_naive(&input, p, &mut a);
+        wgt_max_scan_scalar(&input, p, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Striped scan equals the scalar recurrence on every engine and
+    /// geometry (including padding).
+    #[test]
+    fn scan_striped_equals_scalar(
+        input in proptest::collection::vec(-100_000i32..100_000, 1..200),
+        init in -1000i32..1000,
+        open in -40i32..0,
+        ext in -10i32..-1,
+    ) {
+        let p = ScanParams { init, open, ext };
+        let m = input.len();
+        let mut expect = vec![0; m];
+        wgt_max_scan_scalar(&input, p, &mut expect);
+
+        macro_rules! check_engine {
+            ($eng:expr, $lanes:expr) => {{
+                let eng = $eng;
+                let layout = StripedLayout::new(m, $lanes);
+                let mut sin = Vec::new();
+                layout.stripe(&input, <i32 as aalign_vec::ScoreElem>::NEG_INF, &mut sin);
+                let mut sout = vec![0; layout.padded_len()];
+                wgt_max_scan_striped(eng, layout, &sin, &mut sout, p);
+                for q in 0..m {
+                    prop_assert_eq!(sout[layout.slot_of(q)], expect[q], "q={} m={}", q, m);
+                }
+            }};
+        }
+        check_engine!(EmuEngine::<i32, 4>::new(), 4);
+        check_engine!(EmuEngine::<i32, 16>::new(), 16);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if let Some(eng) = aalign_vec::avx2::Avx2I32::new() {
+                check_engine!(eng, 8);
+            }
+            if let Some(eng) = aalign_vec::avx512::Avx512I32::new() {
+                check_engine!(eng, 16);
+            }
+        }
+    }
+
+    /// Striped layout round-trips arbitrary data for arbitrary shapes.
+    #[test]
+    fn layout_round_trip(
+        data in proptest::collection::vec(any::<i32>(), 1..300),
+        lanes_pow in 2u32..7,
+    ) {
+        let lanes = 1usize << lanes_pow;
+        let layout = StripedLayout::new(data.len(), lanes);
+        let mut striped = Vec::new();
+        layout.stripe(&data, 0, &mut striped);
+        prop_assert_eq!(layout.unstripe(&striped), data);
+    }
+}

@@ -1,0 +1,74 @@
+//! Code-translation demo: the AAlign framework pipeline end to end.
+//!
+//! Takes the paper's Alg. 1 (sequential Smith-Waterman, affine gaps)
+//! as *text*, parses it, analyzes the AST per Sec. V-D, prints the
+//! extracted configuration, emits the specialized Rust kernel
+//! source, and finally runs the extracted configuration through the
+//! vector kernels to show it scores identically to a hand-built one.
+//!
+//! Run: `cargo run --release --example codegen_demo`
+
+use aalign::bio::matrices::BLOSUM62;
+use aalign::bio::synth::{named_query, seeded_rng};
+use aalign::codegen::emit::GapBindings;
+use aalign::codegen::{
+    analyze, emit_rust_kernel, parse_program, spec_to_config, ALG1_SMITH_WATERMAN_AFFINE,
+};
+use aalign::{AlignConfig, Aligner, GapModel, Strategy};
+
+fn main() {
+    println!("== input sequential kernel (paper Alg. 1) ==");
+    println!("{ALG1_SMITH_WATERMAN_AFFINE}");
+
+    // 1. Parse.
+    let ast = parse_program(ALG1_SMITH_WATERMAN_AFFINE).expect("parses");
+    println!("parsed {} top-level statements\n", ast.len());
+
+    // 2. Analyze (the paper's four extraction steps).
+    let spec = analyze(&ast).expect("follows the generalized paradigm");
+    println!("== extracted kernel spec ==");
+    println!("  kind        : {}", if spec.local { "local (SW)" } else { "global (NW)" });
+    println!("  gap system  : {}", if spec.affine { "affine" } else { "linear" });
+    println!("  matrix      : {}", spec.matrix_name);
+    println!("  sequences   : query={} subject={}", spec.query_name, spec.subject_name);
+    println!(
+        "  constants   : open={:?} ext={}",
+        spec.gap_open_name, spec.gap_ext_name
+    );
+    println!();
+
+    // 3. Emit the specialized Rust kernel.
+    let bindings = GapBindings {
+        gap_open: -12, // the paper's GAP_OPEN = θ+β
+        gap_ext: -2,   // GAP_EXT = β
+    };
+    let rust_src = emit_rust_kernel(&spec, bindings);
+    println!("== generated Rust kernel ({} lines) ==", rust_src.lines().count());
+    for line in rust_src.lines().take(28) {
+        println!("{line}");
+    }
+    println!("  ... (truncated)\n");
+
+    // 4. Bind constants and run through the runtime kernels.
+    let cfg = spec_to_config(&spec, bindings, &BLOSUM62).expect("valid bindings");
+    let hand = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    let mut rng = seeded_rng(123);
+    let q = named_query(&mut rng, 120);
+    let s = named_query(&mut rng, 140);
+    let from_text = Aligner::new(cfg)
+        .with_strategy(Strategy::Hybrid)
+        .align(&q, &s)
+        .unwrap()
+        .score;
+    let from_hand = Aligner::new(hand)
+        .with_strategy(Strategy::Hybrid)
+        .align(&q, &s)
+        .unwrap()
+        .score;
+    println!("== verification ==");
+    println!("score via analyzed sequential text : {from_text}");
+    println!("score via hand-built configuration: {from_hand}");
+    assert_eq!(from_text, from_hand);
+    println!("identical — the pipeline preserved the kernel's semantics.");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: align two protein sequences with every strategy and
+//! show the reconstructed alignment.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use aalign::bio::{matrices::BLOSUM62, Sequence};
+use aalign::core::traceback::traceback_align;
+use aalign::{AlignConfig, Aligner, GapModel, Strategy};
+
+fn main() {
+    // The classic textbook pair (Durbin et al.).
+    let query = Sequence::protein("query", b"HEAGAWGHEE").unwrap();
+    let subject = Sequence::protein("subject", b"PAWHEAE").unwrap();
+
+    // Local (Smith-Waterman) alignment, affine gaps: opening a gap
+    // costs 10, each gapped residue another 2, scores from BLOSUM62.
+    let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+
+    println!("aligning {} vs {}\n", query.id(), subject.id());
+    for strategy in [
+        Strategy::Sequential,
+        Strategy::StripedIterate,
+        Strategy::StripedScan,
+        Strategy::Hybrid,
+    ] {
+        let aligner = Aligner::new(cfg.clone()).with_strategy(strategy);
+        let out = aligner.align(&query, &subject).unwrap();
+        println!(
+            "{:<10} score {:>3}   backend {:<14} width i{}",
+            strategy.short(),
+            out.score,
+            out.backend,
+            out.elem_bits
+        );
+    }
+
+    // All strategies agree; reconstruct the path for display.
+    println!("\n{}", traceback_align(&cfg, &query, &subject).pretty());
+
+    // Global (Needleman-Wunsch) with linear gaps on the same pair.
+    let nw = AlignConfig::global(GapModel::linear(-4), &BLOSUM62);
+    let out = Aligner::new(nw.clone()).align(&query, &subject).unwrap();
+    println!("global/linear score: {}", out.score);
+    println!("{}", traceback_align(&nw, &query, &subject).pretty());
+}

@@ -1,0 +1,131 @@
+//! Integration tests driving the `aalign` CLI binary end to end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn aalign() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_aalign"))
+}
+
+fn write_fasta(path: &std::path::Path, records: &[(&str, &str)]) {
+    let mut f = std::fs::File::create(path).unwrap();
+    for (id, body) in records {
+        writeln!(f, ">{id}\n{body}").unwrap();
+    }
+}
+
+#[test]
+fn info_reports_isa_support() {
+    let out = aalign().arg("info").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("vector ISA support"));
+    assert!(text.contains("best backend for i32"));
+}
+
+#[test]
+fn pair_alignment_with_traceback() {
+    let dir = std::env::temp_dir().join("aalign_cli_pair");
+    std::fs::create_dir_all(&dir).unwrap();
+    write_fasta(&dir.join("q.fa"), &[("q", "HEAGAWGHEE")]);
+    write_fasta(&dir.join("s.fa"), &[("s", "PAWHEAE")]);
+    let out = aalign()
+        .args([
+            "pair",
+            "--query",
+            dir.join("q.fa").to_str().unwrap(),
+            "--subject",
+            dir.join("s.fa").to_str().unwrap(),
+            "--traceback",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("score 17"), "{text}");
+    assert!(text.contains("Query"), "{text}");
+}
+
+#[test]
+fn gen_db_then_search_pipeline() {
+    let dir = std::env::temp_dir().join("aalign_cli_search");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    let status = aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "40",
+            "--seed",
+            "9",
+            "--out",
+            db.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    write_fasta(&dir.join("q.fa"), &[("q", "MKVLAARNDWHEAGAWGHEE")]);
+    for mode in [&["--strategy", "hybrid"][..], &["--inter"][..]] {
+        let out = aalign()
+            .args([
+                "search",
+                "--query",
+                dir.join("q.fa").to_str().unwrap(),
+                "--db",
+                db.to_str().unwrap(),
+                "--top",
+                "3",
+            ])
+            .args(mode)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("searched 40 subjects"), "{text}");
+        assert_eq!(text.matches(" bits ").count(), 3, "{text}");
+    }
+}
+
+#[test]
+fn codegen_emits_rust_module() {
+    let dir = std::env::temp_dir().join("aalign_cli_codegen");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("kernel.seq");
+    std::fs::write(
+        &input,
+        r#"
+for (i = 1; i < n + 1; i = i + 1) {
+    for (j = 1; j < m + 1; j = j + 1) {
+        L[i][j] = max(L[i-1][j] + GAP_EXT, T[i-1][j] + GAP_OPEN);
+        U[i][j] = max(U[i][j-1] + GAP_EXT, T[i][j-1] + GAP_OPEN);
+        D[i][j] = T[i-1][j-1] + BLOSUM62[ctoi(S[i-1])][ctoi(Q[j-1])];
+        T[i][j] = max(0, L[i][j], U[i][j], D[i][j]);
+    }
+}
+"#,
+    )
+    .unwrap();
+    let out = aalign()
+        .args(["codegen", "--input", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("pub const LOCAL: bool = true;"), "{text}");
+    assert!(text.contains("fn sw_aff_iterate"), "{text}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = aalign().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = aalign().args(["pair", "--query"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of alignment-theoretic invariants, exercised
+//! through the full SIMD stack (default dispatch).
+
+use aalign::bio::matrices::BLOSUM62;
+use aalign::bio::alphabet::PROTEIN;
+use aalign::bio::Sequence;
+use aalign::core::traceback::traceback_align;
+use aalign::{AlignConfig, AlignKind, Aligner, GapModel};
+use proptest::prelude::*;
+
+fn protein_seq(min: usize, max: usize) -> impl Strategy<Value = Sequence> {
+    proptest::collection::vec(0u8..20, min..=max)
+        .prop_map(|idx| Sequence::from_indices("prop", &PROTEIN, idx))
+}
+
+fn gap_model() -> impl Strategy<Value = GapModel> {
+    prop_oneof![
+        (-15i32..=0, -6i32..-1).prop_map(|(open, ext)| GapModel::affine(open, ext)),
+        (-6i32..-1).prop_map(GapModel::linear),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Local scores are never negative.
+    #[test]
+    fn local_scores_are_non_negative(
+        q in protein_seq(1, 60),
+        s in protein_seq(0, 60),
+        gap in gap_model(),
+    ) {
+        let cfg = AlignConfig::local(gap, &BLOSUM62);
+        let out = Aligner::new(cfg).align(&q, &s).unwrap();
+        prop_assert!(out.score >= 0);
+    }
+
+    /// With a symmetric matrix, local and global alignment are
+    /// symmetric in their inputs. (Semi-global is deliberately NOT:
+    /// the query must be consumed but the subject's ends are free.)
+    #[test]
+    fn alignment_is_symmetric(
+        q in protein_seq(1, 50),
+        s in protein_seq(1, 50),
+        gap in gap_model(),
+        kind in prop_oneof![Just(AlignKind::Local), Just(AlignKind::Global)],
+    ) {
+        let cfg = AlignConfig::new(kind, gap, &BLOSUM62);
+        let a = Aligner::new(cfg.clone()).align(&q, &s).unwrap().score;
+        let b = Aligner::new(cfg).align(&s, &q).unwrap().score;
+        prop_assert_eq!(a, b);
+    }
+
+    /// Extending the subject can only improve (or keep) a local score.
+    #[test]
+    fn local_score_monotone_in_subject_extension(
+        q in protein_seq(1, 40),
+        s in protein_seq(1, 40),
+        extra in protein_seq(1, 20),
+        gap in gap_model(),
+    ) {
+        let cfg = AlignConfig::local(gap, &BLOSUM62);
+        let short = Aligner::new(cfg.clone()).align(&q, &s).unwrap().score;
+        let mut extended = s.indices().to_vec();
+        extended.extend_from_slice(extra.indices());
+        let s2 = Sequence::from_indices("ext", &PROTEIN, extended);
+        let long = Aligner::new(cfg).align(&q, &s2).unwrap().score;
+        prop_assert!(long >= short, "extending subject lowered score {short} -> {long}");
+    }
+
+    /// Self-alignment (local) equals the sum of diagonal self-scores.
+    #[test]
+    fn local_self_alignment_is_diagonal_sum(q in protein_seq(1, 80)) {
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let out = Aligner::new(cfg).align(&q, &q).unwrap();
+        let want: i32 = q.indices().iter().map(|&r| BLOSUM62.score(r, r)).sum();
+        prop_assert_eq!(out.score, want);
+    }
+
+    /// Relaxing constraints can only help:
+    /// local ≥ semi-global ≥ global on every pair.
+    #[test]
+    fn kind_relaxation_ordering(
+        q in protein_seq(1, 50),
+        s in protein_seq(1, 50),
+        gap in gap_model(),
+    ) {
+        let local = Aligner::new(AlignConfig::local(gap, &BLOSUM62))
+            .align(&q, &s).unwrap().score;
+        let semi = Aligner::new(AlignConfig::semi_global(gap, &BLOSUM62))
+            .align(&q, &s).unwrap().score;
+        let global = Aligner::new(AlignConfig::global(gap, &BLOSUM62))
+            .align(&q, &s).unwrap().score;
+        prop_assert!(local >= semi, "local {local} < semi {semi}");
+        prop_assert!(semi >= global, "semi {semi} < global {global}");
+    }
+
+    /// The traceback path re-scores to the reported score, for both
+    /// kinds and all gap systems.
+    #[test]
+    fn traceback_rescoring_matches(
+        q in protein_seq(1, 40),
+        s in protein_seq(1, 40),
+        gap in gap_model(),
+        kind in prop_oneof![Just(AlignKind::Local), Just(AlignKind::Global), Just(AlignKind::SemiGlobal)],
+    ) {
+        let cfg = AlignConfig::new(kind, gap, &BLOSUM62);
+        let aln = traceback_align(&cfg, &q, &s);
+        let kernel = Aligner::new(cfg.clone()).align(&q, &s).unwrap().score;
+        prop_assert_eq!(aln.score, kernel);
+
+        // Independent re-score of the emitted rows.
+        let mut score = 0i32;
+        let mut in_q_gap = false;
+        let mut in_s_gap = false;
+        for (&qc, &sc) in aln.query_row.iter().zip(&aln.subject_row) {
+            if qc == b'-' {
+                score += if in_q_gap { cfg.gap.beta() } else { cfg.gap.theta() + cfg.gap.beta() };
+                in_q_gap = true; in_s_gap = false;
+            } else if sc == b'-' {
+                score += if in_s_gap { cfg.gap.beta() } else { cfg.gap.theta() + cfg.gap.beta() };
+                in_s_gap = true; in_q_gap = false;
+            } else {
+                score += cfg.matrix.score(
+                    PROTEIN.ctoi(sc).unwrap(),
+                    PROTEIN.ctoi(qc).unwrap(),
+                );
+                in_q_gap = false; in_s_gap = false;
+            }
+        }
+        if kind == AlignKind::Local && aln.query_row.is_empty() {
+            prop_assert_eq!(aln.score, 0);
+        } else {
+            prop_assert_eq!(score, aln.score, "rescore mismatch");
+        }
+    }
+
+    /// Global and semi-global alignments against an empty subject are
+    /// exactly the boundary gap ramp.
+    #[test]
+    fn empty_subject_is_gap_ramp(q in protein_seq(1, 60), gap in gap_model()) {
+        let s = Sequence::from_indices("empty", &PROTEIN, Vec::new());
+        for cfg in [
+            AlignConfig::global(gap, &BLOSUM62),
+            AlignConfig::semi_global(gap, &BLOSUM62),
+        ] {
+            let out = Aligner::new(cfg).align(&q, &s).unwrap();
+            prop_assert_eq!(out.score, gap.gap_score(q.len()));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests with *random substitution matrices*, not just
+//! BLOSUM62: the kernels' correctness must not depend on any property
+//! of a particular score table beyond what the paradigm requires.
+
+use aalign::bio::alphabet::PROTEIN;
+use aalign::bio::{Sequence, SubstMatrix};
+use aalign::core::paradigm::paradigm_dp;
+use aalign::core::{inter_align_all, traceback_align};
+use aalign::{AlignConfig, AlignKind, Aligner, GapModel, Strategy as AlignStrategy, WidthPolicy};
+use proptest::prelude::*;
+
+/// A random symmetric 24×24 matrix with scores in the i8-friendly
+/// range BLAST-style matrices live in.
+fn random_matrix() -> impl Strategy<Value = SubstMatrix> {
+    proptest::collection::vec(-8i32..=12, 24 * 25 / 2).prop_map(|tri| {
+        let mut scores = vec![0i32; 24 * 24];
+        let mut it = tri.into_iter();
+        for a in 0..24 {
+            for b in a..24 {
+                let v = it.next().unwrap();
+                scores[a * 24 + b] = v;
+                scores[b * 24 + a] = v;
+            }
+        }
+        SubstMatrix::new("random", &PROTEIN, scores)
+    })
+}
+
+fn protein_seq(min: usize, max: usize) -> impl Strategy<Value = Sequence> {
+    proptest::collection::vec(0u8..24, min..=max)
+        .prop_map(|idx| Sequence::from_indices("prop", &PROTEIN, idx))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every striped strategy on the default dispatch equals the
+    /// scalar DP under an arbitrary matrix.
+    #[test]
+    fn striped_kernels_handle_arbitrary_matrices(
+        matrix in random_matrix(),
+        q in protein_seq(1, 50),
+        s in protein_seq(0, 50),
+        open in -12i32..=0,
+        ext in -5i32..-1,
+        kind in prop_oneof![
+            Just(AlignKind::Local),
+            Just(AlignKind::Global),
+            Just(AlignKind::SemiGlobal),
+        ],
+    ) {
+        let cfg = AlignConfig::new(kind, GapModel::affine(open, ext), &matrix);
+        let want = paradigm_dp(&cfg, &q, &s).score;
+        for strat in [AlignStrategy::StripedIterate, AlignStrategy::StripedScan, AlignStrategy::Hybrid] {
+            let got = Aligner::new(cfg.clone())
+                .with_strategy(strat)
+                .with_width(WidthPolicy::Fixed32)
+                .align(&q, &s)
+                .unwrap();
+            prop_assert_eq!(got.score, want, "{:?} {:?}", strat, kind);
+        }
+    }
+
+    /// The inter-sequence kernel under arbitrary matrices.
+    #[test]
+    fn inter_kernel_handles_arbitrary_matrices(
+        matrix in random_matrix(),
+        q in protein_seq(1, 30),
+        subjects in proptest::collection::vec(protein_seq(0, 30), 1..6),
+        ext in -5i32..-1,
+        kind in prop_oneof![
+            Just(AlignKind::Local),
+            Just(AlignKind::Global),
+            Just(AlignKind::SemiGlobal),
+        ],
+    ) {
+        let cfg = AlignConfig::new(kind, GapModel::linear(ext), &matrix);
+        let refs: Vec<&Sequence> = subjects.iter().collect();
+        let got = inter_align_all(cfg.table2(), &matrix, &q, &refs);
+        for (l, s) in subjects.iter().enumerate() {
+            prop_assert_eq!(got[l], paradigm_dp(&cfg, &q, s).score, "lane {}", l);
+        }
+    }
+
+    /// Traceback rescoring under arbitrary matrices.
+    #[test]
+    fn traceback_handles_arbitrary_matrices(
+        matrix in random_matrix(),
+        q in protein_seq(1, 25),
+        s in protein_seq(1, 25),
+        open in -12i32..=0,
+        ext in -5i32..-1,
+    ) {
+        let cfg = AlignConfig::local(GapModel::affine(open, ext), &matrix);
+        let aln = traceback_align(&cfg, &q, &s);
+        prop_assert_eq!(aln.score, paradigm_dp(&cfg, &q, &s).score);
+    }
+}
