@@ -1,0 +1,36 @@
+//! # aalign-analyzer — static verification for AAlign kernels
+//!
+//! Three passes that check properties *before* anything runs:
+//!
+//! * [`range`] — interval arithmetic over the generalized recurrences
+//!   (Eq. 2–6): given a [`KernelSpec`](aalign_codegen::KernelSpec),
+//!   gap bindings, a substitution matrix and maximum sequence
+//!   lengths, derive conservative bounds on every T/U/L cell, select
+//!   the minimal safe lane width (i8/i16/i32), reject configurations
+//!   where even i32 wraps, and report the bias/saturation constants
+//!   the biased-unsigned kernels need. The same
+//!   [`ScoreBounds`](aalign_core::ScoreBounds) analysis backs the
+//!   runtime `Aligner` width policy, so what the analyzer predicts is
+//!   what the kernels do.
+//! * [`dataflow`] — a dependency-direction pass over the parsed AST
+//!   proving the recurrences only read `(i-1, j)`, `(i, j-1)`,
+//!   `(i-1, j-1)` — the legality condition for the paper's striped
+//!   vectorizations (Sec. IV). Violations come back as span-carrying
+//!   diagnostics pointing at the offending subscript.
+//! * [`audit`] — an offline, text-level lint over the hand-written
+//!   SIMD backends: every `unsafe` needs a `// SAFETY:` comment,
+//!   intrinsic-using functions need a matching `#[target_feature]`
+//!   (or the engine-method `#[inline(always)]` pattern), and
+//!   per-backend unsafe counts are pinned to a checked-in baseline.
+//!
+//! The `aalign-analyzer` binary exposes the passes as `check`,
+//! `range` and `audit` subcommands; each pass is also exercised as
+//! ordinary `#[test]`s so `cargo test` runs the whole suite.
+
+pub mod audit;
+pub mod dataflow;
+pub mod range;
+
+pub use audit::{audit_dir, audit_source, AuditReport};
+pub use dataflow::{verify_dataflow, DataflowReport, Diagnostic};
+pub use range::{analyze_range, RangeReport};

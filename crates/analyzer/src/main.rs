@@ -1,0 +1,317 @@
+//! `aalign-analyzer` — static kernel verification CLI.
+//!
+//! ```text
+//! aalign-analyzer check  [FILE | --builtin NAME | --builtin all]
+//! aalign-analyzer range  [FILE | --builtin NAME] --matrix blosum62|dna
+//!                        --open N --ext N --max-query N --max-subject N
+//! aalign-analyzer audit  [DIR] [--offline] [--print-baseline]
+//! ```
+//!
+//! Exit codes: 0 = all checks pass, 1 = a pass rejected something,
+//! 2 = usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
+use aalign_analyzer::range::analyze_range;
+use aalign_analyzer::verify_dataflow;
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::SubstMatrix;
+use aalign_codegen::emit::GapBindings;
+use aalign_codegen::{analyze, parse_program};
+
+const USAGE: &str = "\
+aalign-analyzer — static verification for AAlign kernels
+
+USAGE:
+    aalign-analyzer check  [FILE | --builtin NAME | --builtin all]
+    aalign-analyzer range  [FILE | --builtin NAME] [--matrix blosum62|dna]
+                           [--open N] [--ext N]
+                           [--max-query N] [--max-subject N]
+    aalign-analyzer audit  [DIR] [--offline] [--print-baseline]
+
+BUILTINS: sw-affine (alg1), nw-affine, sw-linear, nw-linear
+
+`check` parses a kernel description, classifies it against the
+generalized paradigm, and proves its dependency directions legal for
+striped vectorization. `range` additionally binds gap penalties and a
+matrix and reports score intervals and the minimal safe lane width.
+`audit` lints the SIMD backends (SAFETY comments, target_feature
+contracts, unsafe-count baseline); it reads only the local tree, so
+--offline is accepted for CI clarity but changes nothing.";
+
+fn builtin(name: &str) -> Option<(&'static str, &'static str)> {
+    match name {
+        "sw-affine" | "alg1" => Some(("sw-affine", aalign_codegen::ALG1_SMITH_WATERMAN_AFFINE)),
+        "nw-affine" => Some(("nw-affine", aalign_codegen::NEEDLEMAN_WUNSCH_AFFINE)),
+        "sw-linear" => Some(("sw-linear", aalign_codegen::SMITH_WATERMAN_LINEAR)),
+        "nw-linear" => Some(("nw-linear", aalign_codegen::NEEDLEMAN_WUNSCH_LINEAR)),
+        _ => None,
+    }
+}
+
+const ALL_BUILTINS: [&str; 4] = ["sw-affine", "nw-affine", "sw-linear", "nw-linear"];
+
+/// Resolve the common `[FILE | --builtin NAME]` source selector.
+/// Returns (display name, source text) pairs.
+fn resolve_sources(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < args.len() {
+        match args[i].as_str() {
+            "--builtin" => {
+                let name = args.get(i + 1).ok_or("--builtin needs a name (or `all`)")?;
+                if name == "all" {
+                    for b in ALL_BUILTINS {
+                        let (label, src) = builtin(b).unwrap();
+                        out.push((label.to_string(), src.to_string()));
+                    }
+                } else {
+                    let (label, src) = builtin(name)
+                        .ok_or_else(|| format!("unknown builtin `{name}` (try `all`)"))?;
+                    out.push((label.to_string(), src.to_string()));
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            file => {
+                let src = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                out.push((file.to_string(), src));
+                i += 1;
+            }
+        }
+    }
+    if out.is_empty() {
+        // Default: verify every builtin.
+        for b in ALL_BUILTINS {
+            let (label, src) = builtin(b).unwrap();
+            out.push((label.to_string(), src.to_string()));
+        }
+    }
+    Ok(out)
+}
+
+/// Parse + classify + dataflow-verify one kernel source. Prints
+/// span-carrying diagnostics on failure.
+fn check_one(name: &str, src: &str) -> bool {
+    let prog = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            let span = e.span();
+            let (line, col) = span.line_col(src);
+            eprintln!("{name}: parse error: {e}\n  --> {line}:{col}");
+            return false;
+        }
+    };
+    let spec = match analyze(&prog) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{name}: paradigm classification failed:");
+            eprintln!("{}", e.render(src));
+            return false;
+        }
+    };
+    match verify_dataflow(&prog) {
+        Ok(report) => {
+            println!(
+                "{name}: OK — {} ({} tables, {} dependencies, all within the \
+                 anti-diagonal wavefront)",
+                spec.label(),
+                report.tables.len(),
+                report.deps.len()
+            );
+            true
+        }
+        Err(diags) => {
+            eprintln!("{name}: dataflow verification FAILED:");
+            for d in &diags {
+                eprintln!("{}", d.render(src));
+            }
+            false
+        }
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let sources = resolve_sources(args)?;
+    let mut ok = true;
+    for (name, src) in &sources {
+        ok &= check_one(name, src);
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_range(args: &[String]) -> Result<ExitCode, String> {
+    let mut matrix_name = "blosum62".to_string();
+    let mut open = -12i32;
+    let mut ext = -2i32;
+    let mut max_query = 1024usize;
+    let mut max_subject = 1024usize;
+    let mut rest = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |j: usize| -> Result<&String, String> {
+            args.get(j)
+                .ok_or_else(|| format!("{} needs a value", args[j - 1]))
+        };
+        match args[i].as_str() {
+            "--matrix" => {
+                matrix_name = take(i + 1)?.clone();
+                i += 2;
+            }
+            "--open" => {
+                open = take(i + 1)?.parse().map_err(|_| "--open: not an integer")?;
+                i += 2;
+            }
+            "--ext" => {
+                ext = take(i + 1)?.parse().map_err(|_| "--ext: not an integer")?;
+                i += 2;
+            }
+            "--max-query" => {
+                max_query = take(i + 1)?
+                    .parse()
+                    .map_err(|_| "--max-query: not a length")?;
+                i += 2;
+            }
+            "--max-subject" => {
+                max_subject = take(i + 1)?
+                    .parse()
+                    .map_err(|_| "--max-subject: not a length")?;
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+
+    let dna;
+    let matrix: &SubstMatrix = match matrix_name.as_str() {
+        "blosum62" => &BLOSUM62,
+        "dna" => {
+            dna = SubstMatrix::dna(2, -3);
+            &dna
+        }
+        other => return Err(format!("unknown matrix `{other}` (blosum62|dna)")),
+    };
+
+    let sources = resolve_sources(&rest)?;
+    let mut ok = true;
+    for (name, src) in &sources {
+        if !check_one(name, src) {
+            ok = false;
+            continue;
+        }
+        let prog = parse_program(src).expect("checked above");
+        let spec = analyze(&prog).expect("checked above");
+        let bind = GapBindings {
+            gap_open: open,
+            gap_ext: ext,
+        };
+        match analyze_range(&spec, bind, matrix, max_query, max_subject) {
+            Ok(report) => {
+                println!("{report}");
+                if report.overflows_i32() {
+                    ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("{name}: cannot bind gap constants: {e}");
+                ok = false;
+            }
+        }
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut print_baseline = false;
+    for a in args {
+        match a.as_str() {
+            "--offline" => {} // the audit never touches the network; accepted for CI clarity
+            "--print-baseline" => print_baseline = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => dir = Some(PathBuf::from(path)),
+        }
+    }
+    let is_default = dir.is_none();
+    let dir = dir.unwrap_or_else(default_vec_src_dir);
+    let report = audit_dir(&dir).map_err(|e| format!("cannot audit {}: {e}", dir.display()))?;
+
+    if print_baseline {
+        print!("{}", report.baseline_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    for f in &report.files {
+        println!("{:14} {:3} unsafe", f.file, f.unsafe_count);
+    }
+    let mut ok = true;
+    if !report.is_clean() {
+        ok = false;
+        eprintln!("\n{} finding(s):", report.findings.len());
+        for f in &report.findings {
+            eprintln!("  {f}");
+        }
+    }
+    if is_default {
+        let problems = report.check_baseline(VEC_BASELINE);
+        if problems.is_empty() {
+            println!("baseline: OK");
+        } else {
+            ok = false;
+            eprintln!("\nbaseline violations:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+        }
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "check" => cmd_check(rest),
+        "range" => cmd_range(rest),
+        "audit" => cmd_audit(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

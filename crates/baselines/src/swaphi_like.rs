@@ -11,8 +11,8 @@
 
 use aalign_bio::{Sequence, SubstMatrix};
 use aalign_core::{
-    AlignConfig, AlignError, AlignOutput, AlignScratch, Aligner, GapModel, PreparedQuery,
-    Strategy, WidthPolicy,
+    AlignConfig, AlignError, AlignOutput, AlignScratch, Aligner, GapModel, PreparedQuery, Strategy,
+    WidthPolicy,
 };
 use aalign_vec::detect::Isa;
 

@@ -13,8 +13,7 @@
 
 use aalign_bio::{Sequence, SubstMatrix};
 use aalign_core::{
-    AlignConfig, AlignError, AlignScratch, Aligner, GapModel, PreparedQuery, Strategy,
-    WidthPolicy,
+    AlignConfig, AlignError, AlignScratch, Aligner, GapModel, PreparedQuery, Strategy, WidthPolicy,
 };
 use aalign_vec::detect::Isa;
 

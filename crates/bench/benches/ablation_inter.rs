@@ -43,10 +43,18 @@ fn bench_inter(c: &mut Criterion) {
             &subject_len,
             |b, _| {
                 b.iter(|| {
-                    search_database(&intra, &query, &db, SearchOptions { threads: 1, top_n: 5 })
-                        .unwrap()
-                        .hits
-                        .len()
+                    search_database(
+                        &intra,
+                        &query,
+                        &db,
+                        SearchOptions {
+                            threads: 1,
+                            top_n: 5,
+                        },
+                    )
+                    .unwrap()
+                    .hits
+                    .len()
                 })
             },
         );
@@ -59,7 +67,10 @@ fn bench_inter(c: &mut Criterion) {
                         &cfg,
                         &query,
                         &db,
-                        SearchOptions { threads: 1, top_n: 5 },
+                        SearchOptions {
+                            threads: 1,
+                            top_n: 5,
+                        },
                     )
                     .unwrap()
                     .hits

@@ -38,11 +38,9 @@ fn bench_fig10(c: &mut Criterion) {
         let pq = al.prepare(&query).unwrap();
         let mut scratch = AlignScratch::new();
         for (label, subject) in &pairs {
-            group.bench_with_input(
-                BenchmarkId::new(strat.short(), label),
-                subject,
-                |b, s| b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score),
-            );
+            group.bench_with_input(BenchmarkId::new(strat.short(), label), subject, |b, s| {
+                b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score)
+            });
         }
     }
     group.finish();

@@ -22,8 +22,7 @@ fn bench_fig9(c: &mut Criterion) {
 
     for cfg in four_configs() {
         for platform in Platform::ALL {
-            let mut group =
-                c.benchmark_group(format!("fig9/{}/{}", cfg.label(), platform.label()));
+            let mut group = c.benchmark_group(format!("fig9/{}/{}", cfg.label(), platform.label()));
             group
                 .sample_size(10)
                 .warm_up_time(Duration::from_millis(200))

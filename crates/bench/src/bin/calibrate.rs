@@ -14,9 +14,7 @@ use aalign_bench::harness::{print_banner, time_min, Platform, Table};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::synth::{named_query, seeded_rng, PairSpec};
 use aalign_bio::Sequence;
-use aalign_core::{
-    AlignConfig, Aligner, GapModel, HybridPolicy, Strategy, WidthPolicy,
-};
+use aalign_core::{AlignConfig, Aligner, GapModel, HybridPolicy, Strategy, WidthPolicy};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -79,8 +77,7 @@ fn main() {
         ]);
         for (label, s) in &subjects {
             let out = it.align_prepared(&pq_it, s, &mut scratch).unwrap();
-            let sweeps =
-                out.stats.lazy_sweeps as f64 / out.stats.iterate_columns.max(1) as f64;
+            let sweeps = out.stats.lazy_sweeps as f64 / out.stats.iterate_columns.max(1) as f64;
             let t_it = time_min(
                 || {
                     let _ = it.align_prepared(&pq_it, s, &mut scratch).unwrap();

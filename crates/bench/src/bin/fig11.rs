@@ -44,10 +44,22 @@ fn main() {
     // database so the hybrid's switching matters, as it does in the
     // paper's runs (see DESIGN.md substitutions).
     let homolog_specs = [
-        aalign_bio::synth::PairSpec::new(aalign_bio::synth::Level::Hi, aalign_bio::synth::Level::Hi),
-        aalign_bio::synth::PairSpec::new(aalign_bio::synth::Level::Hi, aalign_bio::synth::Level::Md),
-        aalign_bio::synth::PairSpec::new(aalign_bio::synth::Level::Md, aalign_bio::synth::Level::Hi),
-        aalign_bio::synth::PairSpec::new(aalign_bio::synth::Level::Md, aalign_bio::synth::Level::Md),
+        aalign_bio::synth::PairSpec::new(
+            aalign_bio::synth::Level::Hi,
+            aalign_bio::synth::Level::Hi,
+        ),
+        aalign_bio::synth::PairSpec::new(
+            aalign_bio::synth::Level::Hi,
+            aalign_bio::synth::Level::Md,
+        ),
+        aalign_bio::synth::PairSpec::new(
+            aalign_bio::synth::Level::Md,
+            aalign_bio::synth::Level::Hi,
+        ),
+        aalign_bio::synth::PairSpec::new(
+            aalign_bio::synth::Level::Md,
+            aalign_bio::synth::Level::Md,
+        ),
     ];
     let queries: Vec<_> = qlens
         .iter()
@@ -94,16 +106,8 @@ fn main() {
             .with_width(WidthPolicy::Auto);
         let t_aalign = time_min(
             || {
-                let _ = search_database(
-                    &aalign,
-                    q,
-                    db,
-                    SearchOptions {
-                        threads,
-                        top_n: 10,
-                    },
-                )
-                .unwrap();
+                let _ =
+                    search_database(&aalign, q, db, SearchOptions { threads, top_n: 10 }).unwrap();
             },
             warmup,
             reps,
@@ -145,16 +149,8 @@ fn main() {
             .with_width(WidthPolicy::Fixed32);
         let t_aalign = time_min(
             || {
-                let _ = search_database(
-                    &aalign,
-                    q,
-                    db,
-                    SearchOptions {
-                        threads,
-                        top_n: 10,
-                    },
-                )
-                .unwrap();
+                let _ =
+                    search_database(&aalign, q, db, SearchOptions { threads, top_n: 10 }).unwrap();
             },
             warmup,
             reps,

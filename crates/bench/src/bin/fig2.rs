@@ -27,10 +27,26 @@ fn main() {
 
     // The paper's four cases (SW/NW × lin/aff × similar/dissimilar).
     let cases = [
-        ("sw-aff similar", AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62), &similar),
-        ("sw-aff dissimilar", AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62), &dissimilar),
-        ("nw-aff similar", AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62), &similar),
-        ("sw-lin similar", AlignConfig::local(GapModel::linear(-4), &BLOSUM62), &similar),
+        (
+            "sw-aff similar",
+            AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62),
+            &similar,
+        ),
+        (
+            "sw-aff dissimilar",
+            AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62),
+            &dissimilar,
+        ),
+        (
+            "nw-aff similar",
+            AlignConfig::global(GapModel::affine(-10, -2), &BLOSUM62),
+            &similar,
+        ),
+        (
+            "sw-lin similar",
+            AlignConfig::local(GapModel::linear(-4), &BLOSUM62),
+            &similar,
+        ),
     ];
 
     let mut table = Table::new(vec!["case", "iterate ms", "scan ms", "winner"]);
@@ -47,8 +63,12 @@ fn main() {
         let pq_sc = sc.prepare(&query).unwrap();
         let mut scratch = aalign_core::AlignScratch::new();
         assert_eq!(
-            it.align_prepared(&pq_it, subject, &mut scratch).unwrap().score,
-            sc.align_prepared(&pq_sc, subject, &mut scratch).unwrap().score,
+            it.align_prepared(&pq_it, subject, &mut scratch)
+                .unwrap()
+                .score,
+            sc.align_prepared(&pq_sc, subject, &mut scratch)
+                .unwrap()
+                .score,
         );
         let reps = if quick { 2 } else { 5 };
         let t_it = time_min(
@@ -73,5 +93,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("expected shape: scan wins the affine+similar cases; iterate wins dissimilar and linear.");
+    println!(
+        "expected shape: scan wins the affine+similar cases; iterate wins dissimilar and linear."
+    );
 }

@@ -15,9 +15,7 @@ use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::synth::{named_query, random_protein, seeded_rng};
 use aalign_bio::Sequence;
 use aalign_core::striped::StrategyChoice;
-use aalign_core::{
-    AlignConfig, Aligner, GapModel, HybridPolicy, Strategy, WidthPolicy,
-};
+use aalign_core::{AlignConfig, Aligner, GapModel, HybridPolicy, Strategy, WidthPolicy};
 
 fn main() {
     print_banner("Fig. 5 — hybrid switching trace (SW-affine)");

@@ -24,7 +24,10 @@ fn main() {
     } else {
         &[100, 200, 282, 500, 1000, 2000, 4000]
     };
-    let queries: Vec<_> = query_lens.iter().map(|&l| named_query(&mut rng, l)).collect();
+    let queries: Vec<_> = query_lens
+        .iter()
+        .map(|&l| named_query(&mut rng, l))
+        .collect();
     let (warmup, reps) = if quick { (1, 3) } else { (2, 5) };
 
     for cfg in four_configs() {

@@ -37,32 +37,29 @@ fn main() {
         query.id()
     );
 
-    let mut table = Table::new(vec!["threads", "intra s", "inter s", "intra GCUPS", "speedup"]);
+    let mut table = Table::new(vec![
+        "threads",
+        "intra s",
+        "inter s",
+        "intra GCUPS",
+        "speedup",
+    ]);
     let mut t1 = None;
     let mut threads = 1usize;
     while threads <= max_threads {
         let t_intra = time_min(
             || {
-                let _ = search_database(
-                    &aligner,
-                    &query,
-                    &db,
-                    SearchOptions { threads, top_n: 5 },
-                )
-                .unwrap();
+                let _ = search_database(&aligner, &query, &db, SearchOptions { threads, top_n: 5 })
+                    .unwrap();
             },
             1,
             if quick { 1 } else { 3 },
         );
         let t_inter = time_min(
             || {
-                let _ = search_database_inter(
-                    &cfg,
-                    &query,
-                    &db,
-                    SearchOptions { threads, top_n: 5 },
-                )
-                .unwrap();
+                let _ =
+                    search_database_inter(&cfg, &query, &db, SearchOptions { threads, top_n: 5 })
+                        .unwrap();
             },
             1,
             if quick { 1 } else { 3 },
@@ -74,14 +71,14 @@ fn main() {
             format!("{:.3}", t_inter.as_secs_f64()),
             format!(
                 "{:.2}",
-                query.len() as f64 * stats.total_residues as f64
-                    / t_intra.as_secs_f64()
-                    / 1e9
+                query.len() as f64 * stats.total_residues as f64 / t_intra.as_secs_f64() / 1e9
             ),
             format!("{:.2}x", base.as_secs_f64() / t_intra.as_secs_f64()),
         ]);
         threads *= 2;
     }
     println!("{}", table.render());
-    println!("expected shape on multi-core hosts: near-linear speedup until memory bandwidth saturates.");
+    println!(
+        "expected shape on multi-core hosts: near-linear speedup until memory bandwidth saturates."
+    );
 }

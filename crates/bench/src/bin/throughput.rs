@@ -22,8 +22,18 @@ fn main() {
 
     // Sequential reference.
     let seq = Aligner::new(cfg.clone()).with_strategy(Strategy::Sequential);
-    let t = time_min(|| { let _ = seq.align(&q, &s).unwrap(); }, 1, 3);
-    table.row(vec!["scalar".to_string(), "seq".to_string(), format!("{:.2}", gcups(1000, 1000, t))]);
+    let t = time_min(
+        || {
+            let _ = seq.align(&q, &s).unwrap();
+        },
+        1,
+        3,
+    );
+    table.row(vec![
+        "scalar".to_string(),
+        "seq".to_string(),
+        format!("{:.2}", gcups(1000, 1000, t)),
+    ]);
 
     for (isa, width) in [
         (Isa::Emulated, WidthPolicy::Fixed32),
@@ -42,7 +52,9 @@ fn main() {
             let mut scratch = AlignScratch::new();
             let out = al.align_prepared(&pq, &s, &mut scratch).unwrap();
             let t = time_min(
-                || { let _ = al.align_prepared(&pq, &s, &mut scratch).unwrap(); },
+                || {
+                    let _ = al.align_prepared(&pq, &s, &mut scratch).unwrap();
+                },
                 1,
                 3,
             );

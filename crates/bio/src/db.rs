@@ -124,11 +124,9 @@ mod tests {
 
     #[test]
     fn from_fasta_loads_records() {
-        let d = SeqDatabase::from_fasta(
-            ">x\nHEAG\n>y\nPAW\n".as_bytes(),
-            &crate::alphabet::PROTEIN,
-        )
-        .unwrap();
+        let d =
+            SeqDatabase::from_fasta(">x\nHEAG\n>y\nPAW\n".as_bytes(), &crate::alphabet::PROTEIN)
+                .unwrap();
         assert_eq!(d.len(), 2);
         assert_eq!(d.get(1).id(), "y");
     }

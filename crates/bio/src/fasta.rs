@@ -62,23 +62,19 @@ pub fn read_fasta<R: BufRead>(
     let mut line_no = 0usize;
 
     let flush = |cur_id: &mut Option<(String, usize)>,
-                     cur_body: &mut Vec<u8>,
-                     out: &mut Vec<Sequence>|
+                 cur_body: &mut Vec<u8>,
+                 out: &mut Vec<Sequence>|
      -> Result<(), FastaError> {
         if let Some((id, hline)) = cur_id.take() {
             if cur_body.is_empty() {
-                return Err(FastaError::EmptyRecord {
-                    id,
-                    line: hline,
-                });
+                return Err(FastaError::EmptyRecord { id, line: hline });
             }
-            let seq = Sequence::new(&id, alphabet, cur_body).map_err(|err| {
-                FastaError::BadResidue {
+            let seq =
+                Sequence::new(&id, alphabet, cur_body).map_err(|err| FastaError::BadResidue {
                     id: id.clone(),
                     line: hline,
                     err,
-                }
-            })?;
+                })?;
             out.push(seq);
             cur_body.clear();
         }
@@ -94,11 +90,7 @@ pub fn read_fasta<R: BufRead>(
         }
         if let Some(hdr) = line.strip_prefix('>') {
             flush(&mut cur_id, &mut cur_body, &mut out)?;
-            let id = hdr
-                .split_whitespace()
-                .next()
-                .unwrap_or("")
-                .to_string();
+            let id = hdr.split_whitespace().next().unwrap_or("").to_string();
             cur_id = Some((id, line_no));
         } else {
             if cur_id.is_none() {
@@ -120,19 +112,12 @@ pub fn read_fasta<R: BufRead>(
 /// assert_eq!(seqs.len(), 2);
 /// assert_eq!(seqs[0].text(), b"HEAGAW");
 /// ```
-pub fn parse_fasta(
-    text: &str,
-    alphabet: &'static Alphabet,
-) -> Result<Vec<Sequence>, FastaError> {
+pub fn parse_fasta(text: &str, alphabet: &'static Alphabet) -> Result<Vec<Sequence>, FastaError> {
     read_fasta(text.as_bytes(), alphabet)
 }
 
 /// Write records in FASTA format, wrapping bodies at `width` columns.
-pub fn write_fasta<W: Write>(
-    mut w: W,
-    seqs: &[Sequence],
-    width: usize,
-) -> io::Result<()> {
+pub fn write_fasta<W: Write>(mut w: W, seqs: &[Sequence], width: usize) -> io::Result<()> {
     let width = width.max(1);
     for s in seqs {
         writeln!(w, ">{}", s.id())?;

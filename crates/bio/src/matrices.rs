@@ -52,11 +52,7 @@ impl SubstMatrix {
             // exclude N from matching itself
             scores[i * n + i] = match_score;
         }
-        Self::new(
-            format!("dna({match_score},{mismatch})"),
-            &DNA,
-            scores,
-        )
+        Self::new(format!("dna({match_score},{mismatch})"), &DNA, scores)
     }
 
     /// Matrix name.
@@ -99,8 +95,7 @@ impl SubstMatrix {
 
     /// True if `score(a,b) == score(b,a)` for all pairs.
     pub fn is_symmetric(&self) -> bool {
-        (0..self.n as u8)
-            .all(|a| (0..self.n as u8).all(|b| self.score(a, b) == self.score(b, a)))
+        (0..self.n as u8).all(|a| (0..self.n as u8).all(|b| self.score(a, b) == self.score(b, a)))
     }
 
     /// Parse an NCBI-format matrix file (the format of `BLOSUM62.txt`
@@ -227,9 +222,8 @@ static BLOSUM62_SCORES: [i32; 24 * 24] = [
 ];
 
 /// Lazily constructed BLOSUM62 (stable address, cheap to share).
-pub static BLOSUM62: std::sync::LazyLock<SubstMatrix> = std::sync::LazyLock::new(|| {
-    SubstMatrix::new("BLOSUM62", &PROTEIN, BLOSUM62_SCORES.to_vec())
-});
+pub static BLOSUM62: std::sync::LazyLock<SubstMatrix> =
+    std::sync::LazyLock::new(|| SubstMatrix::new("BLOSUM62", &PROTEIN, BLOSUM62_SCORES.to_vec()));
 
 #[cfg(test)]
 mod tests {
@@ -238,12 +232,7 @@ mod tests {
     #[test]
     fn blosum62_known_entries() {
         let m = &*BLOSUM62;
-        let s = |a: u8, b: u8| {
-            m.score(
-                PROTEIN.ctoi(a).unwrap(),
-                PROTEIN.ctoi(b).unwrap(),
-            )
-        };
+        let s = |a: u8, b: u8| m.score(PROTEIN.ctoi(a).unwrap(), PROTEIN.ctoi(b).unwrap());
         assert_eq!(s(b'W', b'W'), 11);
         assert_eq!(s(b'A', b'A'), 4);
         assert_eq!(s(b'C', b'C'), 9);

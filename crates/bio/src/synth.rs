@@ -345,8 +345,7 @@ mod tests {
     fn nine_specs_cover_all_combinations() {
         let specs = nine_similarity_specs();
         assert_eq!(specs.len(), 9);
-        let labels: std::collections::HashSet<String> =
-            specs.iter().map(PairSpec::label).collect();
+        let labels: std::collections::HashSet<String> = specs.iter().map(PairSpec::label).collect();
         assert_eq!(labels.len(), 9);
         assert!(labels.contains("hi_hi"));
         assert!(labels.contains("lo_lo"));

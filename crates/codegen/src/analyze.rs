@@ -9,12 +9,12 @@
 //! 4. vector-organization info — table/array/constant names feeding
 //!    the Table II expressions.
 
-use crate::ast::{Expr, Stmt};
+use crate::ast::{BinOp, Expr, ExprKind, Span, Stmt, StmtKind};
 use crate::spec::KernelSpec;
 
-/// Analysis failure, with enough context to fix the input.
+/// What went wrong during analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AnalyzeError {
+pub enum AnalyzeErrorKind {
     /// No doubly nested loop found.
     NoMainLoopNest,
     /// No diagonal assignment `D = T[i-1][j-1] + matrix[...]` found.
@@ -33,7 +33,25 @@ pub enum AnalyzeError {
     BadBoundary(String),
 }
 
-impl core::fmt::Display for AnalyzeError {
+impl AnalyzeErrorKind {
+    /// Attach a source span.
+    pub fn at(self, span: Span) -> AnalyzeError {
+        AnalyzeError {
+            kind: self,
+            span: Some(span),
+        }
+    }
+
+    /// No meaningful source location (e.g. something is *missing*).
+    pub fn bare(self) -> AnalyzeError {
+        AnalyzeError {
+            kind: self,
+            span: None,
+        }
+    }
+}
+
+impl core::fmt::Display for AnalyzeErrorKind {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::NoMainLoopNest => write!(f, "no doubly nested main loop found"),
@@ -54,6 +72,57 @@ impl core::fmt::Display for AnalyzeError {
     }
 }
 
+/// Analysis failure: a structured [`kind`](AnalyzeErrorKind) plus the
+/// source [`Span`] it points at (when one exists — "X is missing"
+/// errors have nowhere to point).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// What went wrong.
+    pub kind: AnalyzeErrorKind,
+    /// Where, as a byte range into the analyzed source.
+    pub span: Option<Span>,
+}
+
+impl AnalyzeError {
+    /// Render a compiler-style diagnostic against the original source:
+    /// message, `line:col` location, the offending line, and a caret
+    /// underline. Falls back to the bare message when the error has no
+    /// span (or an out-of-range one).
+    pub fn render(&self, src: &str) -> String {
+        let Some(span) = self.span else {
+            return format!("error: {}", self.kind);
+        };
+        if span.start > src.len() {
+            return format!("error: {}", self.kind);
+        }
+        let (line, col) = span.line_col(src);
+        let line_text = src.lines().nth(line - 1).unwrap_or("");
+        let width = span
+            .end
+            .saturating_sub(span.start)
+            .clamp(1, line_text.len().saturating_sub(col - 1).max(1));
+        let mut out = String::new();
+        out.push_str(&format!("error: {}\n", self.kind));
+        out.push_str(&format!("  --> {line}:{col}\n"));
+        out.push_str(&format!("   |\n{line:3}| {line_text}\n"));
+        out.push_str(&format!(
+            "   | {}{}",
+            " ".repeat(col - 1),
+            "^".repeat(width)
+        ));
+        out
+    }
+}
+
+impl core::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{} at offset {s}", self.kind),
+            None => write!(f, "{}", self.kind),
+        }
+    }
+}
+
 impl std::error::Error for AnalyzeError {}
 
 /// Analyze a parsed program into a [`KernelSpec`].
@@ -67,19 +136,19 @@ impl std::error::Error for AnalyzeError {}
 /// ```
 pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
     // --- find the main (doubly nested) loop ---
-    let (outer_var, inner_var, inner_body) = find_main_nest(prog)
-        .ok_or(AnalyzeError::NoMainLoopNest)?;
+    let nest = find_main_nest(prog).ok_or_else(|| AnalyzeErrorKind::NoMainLoopNest.bare())?;
+    let (outer_var, inner_var, inner_body) = (nest.outer_var, nest.inner_var, nest.body);
 
     // --- the diagonal rule names the matrix, T and the sequences ---
     let diag = find_diag(inner_body, &outer_var, &inner_var)
-        .ok_or(AnalyzeError::NoDiagonalRule)?;
+        .ok_or_else(|| AnalyzeErrorKind::NoDiagonalRule.at(nest.inner_span))?;
 
     // --- the result rule: T[i][j] = max(...) ---
     let result_value = inner_body
         .iter()
         .rev()
-        .find_map(|st| match st {
-            Stmt::Assign { table, subs, value } if *table == diag.t_table => {
+        .find_map(|st| match &st.kind {
+            StmtKind::Assign { table, subs, value } if *table == diag.t_table => {
                 let ok = subs.len() == 2
                     && subs[0].index_offset(&outer_var) == Some(0)
                     && subs[1].index_offset(&inner_var) == Some(0);
@@ -87,8 +156,10 @@ pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
             }
             _ => None,
         })
-        .ok_or(AnalyzeError::NoResultRule)?;
-    let max_args = result_value.max_args().ok_or(AnalyzeError::NoResultRule)?;
+        .ok_or_else(|| AnalyzeErrorKind::NoResultRule.at(nest.inner_span))?;
+    let max_args = result_value
+        .max_args()
+        .ok_or_else(|| AnalyzeErrorKind::NoResultRule.at(result_value.span))?;
 
     // --- classify the max operands ---
     let mut local = false;
@@ -99,26 +170,32 @@ pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
             local = true;
             continue;
         }
-        match arg {
+        match &arg.kind {
             // Reference to a helper table or the D table.
-            Expr::Index { base, .. } if *base == diag.d_table => {}
-            Expr::Index { base, .. } => helper_refs.push(base.clone()),
+            ExprKind::Index { base, .. } if *base == diag.d_table => {}
+            ExprKind::Index { base, .. } => helper_refs.push(base.clone()),
             // Direct linear-gap operand: T[i-1][j] + C or T[i][j-1] + C —
             // or the inlined diagonal expression itself.
-            Expr::Bin { .. } => {
+            ExprKind::Bin { .. } => {
                 if diag_from_expr(arg, &outer_var, &inner_var).is_some() {
                     continue; // the inlined D term
                 }
-                if let Some((Expr::Index { base, .. }, cname)) = arg.as_plus_const() {
-                    if *base == diag.t_table {
-                        direct_gap_names.push(cname.to_string());
-                        continue;
+                if let Some((base_expr, cname)) = arg.as_plus_const() {
+                    if let ExprKind::Index { base, .. } = &base_expr.kind {
+                        if *base == diag.t_table {
+                            direct_gap_names.push(cname.to_string());
+                            continue;
+                        }
                     }
                 }
-                return Err(AnalyzeError::UnclassifiedOperand(format!("{arg:?}")));
+                return Err(
+                    AnalyzeErrorKind::UnclassifiedOperand(format!("{:?}", arg.kind)).at(arg.span),
+                );
             }
             other => {
-                return Err(AnalyzeError::UnclassifiedOperand(format!("{other:?}")));
+                return Err(
+                    AnalyzeErrorKind::UnclassifiedOperand(format!("{other:?}")).at(arg.span)
+                );
             }
         }
     }
@@ -129,7 +206,7 @@ pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
         let mut l_info = None; // outer-var direction
         for href in &helper_refs {
             let rule = find_helper_rule(inner_body, href, &diag.t_table)
-                .ok_or_else(|| AnalyzeError::BadHelperRule(href.clone()))?;
+                .ok_or_else(|| AnalyzeErrorKind::BadHelperRule(href.clone()).at(nest.inner_span))?;
             // Direction: which variable is offset by -1 in the
             // self-reference subscripts.
             if rule.inner_dir(&inner_var) {
@@ -137,13 +214,15 @@ pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
             } else if rule.outer_dir(&outer_var) {
                 l_info = Some(rule);
             } else {
-                return Err(AnalyzeError::BadHelperRule(href.clone()));
+                return Err(AnalyzeErrorKind::BadHelperRule(href.clone()).at(rule.span));
             }
         }
-        let u = u_info.ok_or_else(|| AnalyzeError::BadHelperRule("U".into()))?;
-        let l = l_info.ok_or_else(|| AnalyzeError::BadHelperRule("L".into()))?;
+        let u = u_info
+            .ok_or_else(|| AnalyzeErrorKind::BadHelperRule("U".into()).at(nest.inner_span))?;
+        let l = l_info
+            .ok_or_else(|| AnalyzeErrorKind::BadHelperRule("L".into()).at(nest.inner_span))?;
         if u.open_name != l.open_name || u.ext_name != l.ext_name {
-            return Err(AnalyzeError::AsymmetricGaps);
+            return Err(AnalyzeErrorKind::AsymmetricGaps.at(u.span.to(l.span)));
         }
         KernelSpec {
             local,
@@ -159,10 +238,10 @@ pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
         }
     } else {
         if direct_gap_names.len() != 2 {
-            return Err(AnalyzeError::NoResultRule);
+            return Err(AnalyzeErrorKind::NoResultRule.at(result_value.span));
         }
         if direct_gap_names[0] != direct_gap_names[1] {
-            return Err(AnalyzeError::AsymmetricGaps);
+            return Err(AnalyzeErrorKind::AsymmetricGaps.at(result_value.span));
         }
         KernelSpec {
             local,
@@ -185,6 +264,38 @@ pub fn analyze(prog: &[Stmt]) -> Result<KernelSpec, AnalyzeError> {
     Ok(spec)
 }
 
+struct MainNest<'a> {
+    outer_var: String,
+    inner_var: String,
+    body: &'a [Stmt],
+    /// Span of the inner `for`, for "nothing matched inside here"
+    /// diagnostics.
+    inner_span: Span,
+}
+
+fn find_main_nest(prog: &[Stmt]) -> Option<MainNest<'_>> {
+    for st in prog {
+        if let StmtKind::For { var, body, .. } = &st.kind {
+            for inner in body {
+                if let StmtKind::For {
+                    var: ivar,
+                    body: ibody,
+                    ..
+                } = &inner.kind
+                {
+                    return Some(MainNest {
+                        outer_var: var.clone(),
+                        inner_var: ivar.clone(),
+                        body: ibody,
+                        inner_span: inner.span,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
 struct DiagInfo {
     d_table: String,
     t_table: String,
@@ -193,29 +304,11 @@ struct DiagInfo {
     subject_name: String,
 }
 
-fn find_main_nest(prog: &[Stmt]) -> Option<(String, String, &[Stmt])> {
-    for st in prog {
-        if let Stmt::For { var, body, .. } = st {
-            for inner in body {
-                if let Stmt::For {
-                    var: ivar,
-                    body: ibody,
-                    ..
-                } = inner
-                {
-                    return Some((var.clone(), ivar.clone(), ibody));
-                }
-            }
-        }
-    }
-    None
-}
-
 fn find_diag(body: &[Stmt], outer: &str, inner: &str) -> Option<DiagInfo> {
     // A diagonal rule may be a standalone assignment (Alg. 1's D) or
     // inlined as a max() operand of the result rule.
     for st in body {
-        let Stmt::Assign { table, value, .. } = st else {
+        let StmtKind::Assign { table, value, .. } = &st.kind else {
             continue;
         };
         if let Some(args) = value.max_args() {
@@ -245,21 +338,21 @@ fn find_diag(body: &[Stmt], outer: &str, inner: &str) -> Option<DiagInfo> {
 fn diag_from_expr(value: &Expr, outer: &str, inner: &str) -> Option<DiagInfo> {
     {
         // Shape: T[i-1][j-1] + M[ctoi(..)][ctoi(..)]
-        let Expr::Bin {
-            op: crate::ast::BinOp::Add,
+        let ExprKind::Bin {
+            op: BinOp::Add,
             lhs,
             rhs,
-        } = value
+        } = &value.kind
         else {
             return None;
         };
-        let (diag_ref, matrix_ref) = match (&**lhs, &**rhs) {
-            (Expr::Index { base: _, subs }, Expr::Index { .. }) if subs.len() == 2 => {
+        let (diag_ref, matrix_ref) = match (&lhs.kind, &rhs.kind) {
+            (ExprKind::Index { base: _, subs }, ExprKind::Index { .. }) if subs.len() == 2 => {
                 (&**lhs, &**rhs)
             }
             _ => return None,
         };
-        let Expr::Index { base: t, subs } = diag_ref else {
+        let ExprKind::Index { base: t, subs } = &diag_ref.kind else {
             return None;
         };
         if subs.len() != 2
@@ -268,10 +361,10 @@ fn diag_from_expr(value: &Expr, outer: &str, inner: &str) -> Option<DiagInfo> {
         {
             return None;
         }
-        let Expr::Index {
+        let ExprKind::Index {
             base: matrix,
             subs: msubs,
-        } = matrix_ref
+        } = &matrix_ref.kind
         else {
             return None;
         };
@@ -280,13 +373,13 @@ fn diag_from_expr(value: &Expr, outer: &str, inner: &str) -> Option<DiagInfo> {
         }
         // Each matrix subscript is ctoi(ARRAY[var-1]).
         let arr = |e: &Expr| -> Option<(String, String)> {
-            let Expr::Call { name, args } = e else {
+            let ExprKind::Call { name, args } = &e.kind else {
                 return None;
             };
             if name != "ctoi" || args.len() != 1 {
                 return None;
             }
-            let Expr::Index { base, subs } = &args[0] else {
+            let ExprKind::Index { base, subs } = &args[0].kind else {
                 return None;
             };
             if subs.len() != 1 {
@@ -331,6 +424,8 @@ struct HelperRule {
     /// Loop variable whose `-1` offset drives the self-recurrence;
     /// tells U (inner/query direction) from L (outer/subject).
     dir_var: Option<String>,
+    /// Span of the recurrence statement, for diagnostics.
+    span: Span,
 }
 
 impl HelperRule {
@@ -344,11 +439,11 @@ impl HelperRule {
 
 fn find_helper_rule(body: &[Stmt], table: &str, t_table: &str) -> Option<HelperRule> {
     for st in body {
-        let Stmt::Assign {
+        let StmtKind::Assign {
             table: lhs_table,
             value,
             ..
-        } = st
+        } = &st.kind
         else {
             continue;
         };
@@ -364,23 +459,21 @@ fn find_helper_rule(body: &[Stmt], table: &str, t_table: &str) -> Option<HelperR
         let mut dir_var = None;
         for a in args {
             let (base_expr, cname) = a.as_plus_const()?;
-            let Expr::Index { base, subs } = base_expr else {
+            let ExprKind::Index { base, subs } = &base_expr.kind else {
                 return None;
             };
             if subs.len() != 2 {
                 return None;
             }
             // Which subscript carries the -1 offset?
-            let offset_var = subs
-                .iter()
-                .find_map(|s| {
-                    if let Expr::Bin { op, lhs, rhs } = s {
-                        if *op == crate::ast::BinOp::Sub && rhs.is_int(1) {
-                            return lhs.as_ident().map(str::to_string);
-                        }
+            let offset_var = subs.iter().find_map(|s| {
+                if let ExprKind::Bin { op, lhs, rhs } = &s.kind {
+                    if *op == BinOp::Sub && rhs.is_int(1) {
+                        return lhs.as_ident().map(str::to_string);
                     }
-                    None
-                })?;
+                }
+                None
+            })?;
             if base == table {
                 ext_name = Some(cname.to_string());
                 dir_var = Some(offset_var);
@@ -395,6 +488,7 @@ fn find_helper_rule(body: &[Stmt], table: &str, t_table: &str) -> Option<HelperR
             open_name: open_name?,
             ext_name: ext_name?,
             dir_var,
+            span: st.span,
         });
     }
     None
@@ -403,19 +497,21 @@ fn find_helper_rule(body: &[Stmt], table: &str, t_table: &str) -> Option<HelperR
 fn validate_local_boundaries(prog: &[Stmt], t_table: &str) -> Result<(), AnalyzeError> {
     // Every top-level init loop assignment to T must be the literal 0.
     for st in prog {
-        let Stmt::For { body, .. } = st else {
+        let StmtKind::For { body, .. } = &st.kind else {
             continue;
         };
         // Skip the main nest (contains a For).
-        if body.iter().any(|s| matches!(s, Stmt::For { .. })) {
+        if body.iter().any(|s| matches!(s.kind, StmtKind::For { .. })) {
             continue;
         }
         for inner in body {
-            if let Stmt::Assign { table, value, .. } = inner {
+            if let StmtKind::Assign { table, value, .. } = &inner.kind {
                 if table == t_table && !value.is_int(0) {
-                    return Err(AnalyzeError::BadBoundary(format!(
-                        "local kernel initializes {t_table} boundary to {value:?}, expected 0"
-                    )));
+                    return Err(AnalyzeErrorKind::BadBoundary(format!(
+                        "local kernel initializes {t_table} boundary to {:?}, expected 0",
+                        value.kind
+                    ))
+                    .at(value.span));
                 }
             }
         }
@@ -474,7 +570,10 @@ mod tests {
     fn missing_diagonal_is_an_error() {
         let src = "for (i = 1; i < n; i = i + 1) { for (j = 1; j < m; j = j + 1) { T[i][j] = max(0, T[i][j-1] + G, T[i-1][j] + G); } }";
         let err = analyze(&parse_program(src).unwrap()).unwrap_err();
-        assert_eq!(err, AnalyzeError::NoDiagonalRule);
+        assert_eq!(err.kind, AnalyzeErrorKind::NoDiagonalRule);
+        // Points at the inner loop.
+        let span = err.span.unwrap();
+        assert!(src[span.start..span.end].starts_with("for (j"));
     }
 
     #[test]
@@ -490,7 +589,11 @@ for (i = 1; i < n + 1; i = i + 1) {
 }
 "#;
         let err = analyze(&parse_program(src).unwrap()).unwrap_err();
-        assert_eq!(err, AnalyzeError::AsymmetricGaps);
+        assert_eq!(err.kind, AnalyzeErrorKind::AsymmetricGaps);
+        // Span covers both offending recurrences.
+        let span = err.span.unwrap();
+        let text = &src[span.start..span.end];
+        assert!(text.contains("EXT_A") && text.contains("EXT_B"));
     }
 
     #[test]
@@ -505,7 +608,25 @@ for (i = 1; i < n + 1; i = i + 1) {
 }
 "#;
         let err = analyze(&parse_program(src).unwrap()).unwrap_err();
-        assert!(matches!(err, AnalyzeError::BadBoundary(_)));
+        assert!(matches!(err.kind, AnalyzeErrorKind::BadBoundary(_)));
+        // Points at the literal `5`.
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "5");
+    }
+
+    #[test]
+    fn unclassified_operand_renders_caret_diagnostic() {
+        let src = "for (i = 1; i < n; i = i + 1) { for (j = 1; j < m; j = j + 1) { D[i][j] = T[i-1][j-1] + M[ctoi(S[i-1])][ctoi(Q[j-1])]; T[i][j] = max(D[i][j], W[i][j] * 2, T[i-1][j] + G, T[i][j-1] + G); } }";
+        let err = analyze(&parse_program(src).unwrap()).unwrap_err();
+        assert!(matches!(err.kind, AnalyzeErrorKind::UnclassifiedOperand(_)));
+        let span = err.span.unwrap();
+        assert_eq!(&src[span.start..span.end], "W[i][j] * 2");
+        let rendered = err.render(src);
+        assert!(rendered.contains("-->"), "has a location line: {rendered}");
+        assert!(
+            rendered.contains("^^^"),
+            "has a caret underline: {rendered}"
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ mod tests {
         ] {
             let s = spec_pair.generate(&mut rng, &q).subject;
             let want = paradigm_dp(&hand, &q, &s).score;
-            for strat in [Strategy::StripedIterate, Strategy::StripedScan, Strategy::Hybrid] {
+            for strat in [
+                Strategy::StripedIterate,
+                Strategy::StripedScan,
+                Strategy::Hybrid,
+            ] {
                 let got = Aligner::new(cfg.clone())
                     .with_strategy(strat)
                     .align(&q, &s)

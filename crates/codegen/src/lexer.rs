@@ -1,10 +1,13 @@
 //! Tokenizer for the sequential-paradigm language.
 
-/// A token with its source position (byte offset).
+/// A token with its source position (half-open byte range).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     pub kind: TokKind,
+    /// Byte offset of the first byte.
     pub pos: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
 }
 
 /// Token kinds.
@@ -92,13 +95,12 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 out.push(Token {
                     kind: TokKind::Int(v),
                     pos: start,
+                    end: i,
                 });
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -107,7 +109,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     TokKind::Ident(word.to_string())
                 };
-                out.push(Token { kind, pos: start });
+                out.push(Token {
+                    kind,
+                    pos: start,
+                    end: i,
+                });
             }
             other => {
                 return Err(LexError {
@@ -120,12 +126,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     out.push(Token {
         kind: TokKind::Eof,
         pos: bytes.len(),
+        end: bytes.len(),
     });
     Ok(out)
 }
 
 fn push(out: &mut Vec<Token>, kind: TokKind, i: &mut usize) {
-    out.push(Token { kind, pos: *i });
+    out.push(Token {
+        kind,
+        pos: *i,
+        end: *i + 1,
+    });
     *i += 1;
 }
 
@@ -167,10 +178,11 @@ mod tests {
     }
 
     #[test]
-    fn positions_are_byte_offsets() {
+    fn positions_are_byte_ranges() {
         let toks = lex("ab = 12;").unwrap();
-        assert_eq!(toks[0].pos, 0);
-        assert_eq!(toks[1].pos, 3);
-        assert_eq!(toks[2].pos, 5);
+        assert_eq!((toks[0].pos, toks[0].end), (0, 2));
+        assert_eq!((toks[1].pos, toks[1].end), (3, 4));
+        assert_eq!((toks[2].pos, toks[2].end), (5, 7));
+        assert_eq!((toks[3].pos, toks[3].end), (7, 8));
     }
 }

@@ -24,7 +24,8 @@ pub mod lexer;
 pub mod parser;
 pub mod spec;
 
-pub use analyze::{analyze, AnalyzeError};
+pub use analyze::{analyze, AnalyzeError, AnalyzeErrorKind};
+pub use ast::Span;
 pub use emit::emit_rust_kernel;
 pub use interpret::spec_to_config;
 pub use parser::{parse_program, ParseError};

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the sequential-paradigm language.
 
-use crate::ast::{BinOp, Expr, Stmt};
+use crate::ast::{BinOp, Expr, ExprKind, Span, Stmt, StmtKind};
 use crate::lexer::{lex, LexError, TokKind, Token};
 
 /// Parse failure.
@@ -17,6 +17,16 @@ pub enum ParseError {
         /// Byte offset.
         pos: usize,
     },
+}
+
+impl ParseError {
+    /// Source span of the failure.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Lex(e) => Span::new(e.pos, e.pos + 1),
+            Self::Unexpected { pos, .. } => Span::point(*pos),
+        }
+    }
 }
 
 impl core::fmt::Display for ParseError {
@@ -43,7 +53,11 @@ impl From<LexError> for ParseError {
 /// Parse a whole program (a list of statements).
 pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, at: 0 };
+    let mut p = Parser {
+        toks,
+        at: 0,
+        last_end: 0,
+    };
     let mut out = Vec::new();
     while p.peek() != &TokKind::Eof {
         out.push(p.stmt()?);
@@ -54,6 +68,9 @@ pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
 struct Parser {
     toks: Vec<Token>,
     at: usize,
+    /// End offset of the most recently consumed token; together with a
+    /// remembered start offset this spans any just-parsed node.
+    last_end: usize,
 }
 
 impl Parser {
@@ -66,9 +83,16 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokKind {
-        let k = self.toks[self.at].kind.clone();
+        let t = &self.toks[self.at];
+        let k = t.kind.clone();
+        self.last_end = t.end;
         self.at += 1;
         k
+    }
+
+    /// Span from `start` to the end of the last consumed token.
+    fn span_from(&self, start: usize) -> Span {
+        Span::new(start, self.last_end)
     }
 
     fn expect(&mut self, want: TokKind, what: &'static str) -> Result<(), ParseError> {
@@ -106,6 +130,7 @@ impl Parser {
             return self.for_stmt();
         }
         // assignment: ident subs* = expr ;
+        let start = self.pos();
         let table = self.ident("table name")?;
         let mut subs = Vec::new();
         while *self.peek() == TokKind::LBracket {
@@ -116,10 +141,14 @@ impl Parser {
         self.expect(TokKind::Assign, "=")?;
         let value = self.expr()?;
         self.expect(TokKind::Semi, ";")?;
-        Ok(Stmt::Assign { table, subs, value })
+        Ok(Stmt {
+            kind: StmtKind::Assign { table, subs, value },
+            span: self.span_from(start),
+        })
     }
 
     fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.pos();
         self.expect(TokKind::KwFor, "for")?;
         self.expect(TokKind::LParen, "(")?;
         let var = self.ident("loop variable")?;
@@ -153,7 +182,10 @@ impl Parser {
         } else {
             body.push(self.stmt()?);
         }
-        Ok(Stmt::For { var, lo, hi, body })
+        Ok(Stmt {
+            kind: StmtKind::For { var, lo, hi, body },
+            span: self.span_from(start),
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -166,10 +198,14 @@ impl Parser {
             };
             self.bump();
             let rhs = self.term()?;
-            lhs = Expr::Bin {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
             };
         }
         Ok(lhs)
@@ -180,29 +216,44 @@ impl Parser {
         while *self.peek() == TokKind::Star {
             self.bump();
             let rhs = self.factor()?;
-            lhs = Expr::Bin {
-                op: BinOp::Mul,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Bin {
+                    op: BinOp::Mul,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
             };
         }
         Ok(lhs)
     }
 
     fn factor(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos();
         match self.peek().clone() {
             TokKind::Int(v) => {
                 self.bump();
-                Ok(Expr::Int(v))
+                Ok(Expr {
+                    kind: ExprKind::Int(v),
+                    span: self.span_from(start),
+                })
             }
             TokKind::Minus => {
                 self.bump();
-                Ok(Expr::Neg(Box::new(self.factor()?)))
+                let inner = self.factor()?;
+                let span = Span::new(start, inner.span.end);
+                Ok(Expr {
+                    kind: ExprKind::Neg(Box::new(inner)),
+                    span,
+                })
             }
             TokKind::LParen => {
                 self.bump();
-                let e = self.expr()?;
+                let mut e = self.expr()?;
                 self.expect(TokKind::RParen, ")")?;
+                // widen to include the parentheses
+                e.span = self.span_from(start);
                 Ok(e)
             }
             TokKind::Ident(_) => {
@@ -219,7 +270,10 @@ impl Parser {
                             }
                         }
                         self.expect(TokKind::RParen, ")")?;
-                        Ok(Expr::Call { name, args })
+                        Ok(Expr {
+                            kind: ExprKind::Call { name, args },
+                            span: self.span_from(start),
+                        })
                     }
                     TokKind::LBracket => {
                         let mut subs = Vec::new();
@@ -228,9 +282,15 @@ impl Parser {
                             subs.push(self.expr()?);
                             self.expect(TokKind::RBracket, "]")?;
                         }
-                        Ok(Expr::Index { base: name, subs })
+                        Ok(Expr {
+                            kind: ExprKind::Index { base: name, subs },
+                            span: self.span_from(start),
+                        })
                     }
-                    _ => Ok(Expr::Ident(name)),
+                    _ => Ok(Expr {
+                        kind: ExprKind::Ident(name),
+                        span: self.span_from(start),
+                    }),
                 }
             }
             _ => Err(self.unexpected("expression")),
@@ -241,17 +301,17 @@ impl Parser {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::{Expr, Stmt};
+    use crate::ast::{BinOp, ExprKind, StmtKind};
 
     #[test]
     fn parses_alg1() {
         let prog = parse_program(crate::ALG1_SMITH_WATERMAN_AFFINE).unwrap();
         assert_eq!(prog.len(), 3, "two init loops + main loop nest");
-        let Stmt::For { var, body, .. } = &prog[2] else {
+        let StmtKind::For { var, body, .. } = &prog[2].kind else {
             panic!("main loop expected")
         };
         assert_eq!(var, "i");
-        let Stmt::For { var, body, .. } = &body[0] else {
+        let StmtKind::For { var, body, .. } = &body[0].kind else {
             panic!("inner loop expected")
         };
         assert_eq!(var, "j");
@@ -261,7 +321,7 @@ mod tests {
     #[test]
     fn parses_max_with_many_args() {
         let prog = parse_program("T[i][j] = max(0, A[i][j], B[i][j], C[i][j]);").unwrap();
-        let Stmt::Assign { value, .. } = &prog[0] else {
+        let StmtKind::Assign { value, .. } = &prog[0].kind else {
             panic!()
         };
         assert_eq!(value.max_args().unwrap().len(), 4);
@@ -270,26 +330,20 @@ mod tests {
     #[test]
     fn parses_arithmetic_precedence() {
         let prog = parse_program("x = 1 + 2 * 3;").unwrap();
-        let Stmt::Assign { value, .. } = &prog[0] else {
+        let StmtKind::Assign { value, .. } = &prog[0].kind else {
             panic!()
         };
         // (1 + (2*3)) — Add at the root.
-        assert!(matches!(
-            value,
-            Expr::Bin {
-                op: crate::ast::BinOp::Add,
-                ..
-            }
-        ));
+        assert!(matches!(value.kind, ExprKind::Bin { op: BinOp::Add, .. }));
     }
 
     #[test]
     fn parses_negative_literals() {
         let prog = parse_program("x = -12;").unwrap();
-        let Stmt::Assign { value, .. } = &prog[0] else {
+        let StmtKind::Assign { value, .. } = &prog[0].kind else {
             panic!()
         };
-        assert!(matches!(value, Expr::Neg(_)));
+        assert!(matches!(value.kind, ExprKind::Neg(_)));
     }
 
     #[test]
@@ -317,5 +371,38 @@ mod tests {
         ] {
             parse_program(src).unwrap();
         }
+    }
+
+    #[test]
+    fn spans_cover_source_text() {
+        let src = "T[i][j] = max(0, D[i][j] + GAP);";
+        let prog = parse_program(src).unwrap();
+        // Statement span covers the whole assignment including `;`.
+        assert_eq!(&src[prog[0].span.start..prog[0].span.end], src);
+        let StmtKind::Assign { subs, value, .. } = &prog[0].kind else {
+            panic!()
+        };
+        assert_eq!(&src[subs[0].span.start..subs[0].span.end], "i");
+        assert_eq!(
+            &src[value.span.start..value.span.end],
+            "max(0, D[i][j] + GAP)"
+        );
+        // Call arguments carry their own spans.
+        let ExprKind::Call { args, .. } = &value.kind else {
+            panic!()
+        };
+        assert_eq!(&src[args[1].span.start..args[1].span.end], "D[i][j] + GAP");
+    }
+
+    #[test]
+    fn spans_survive_loops_and_line_col() {
+        let src = "for (i = 1; i < m; i = i + 1)\n  T[i][0] = 0;";
+        let prog = parse_program(src).unwrap();
+        let StmtKind::For { body, .. } = &prog[0].kind else {
+            panic!()
+        };
+        let inner = &body[0];
+        assert_eq!(&src[inner.span.start..inner.span.end], "T[i][0] = 0;");
+        assert_eq!(inner.span.line_col(src), (2, 3));
     }
 }

@@ -7,10 +7,14 @@ use proptest::prelude::*;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
-    /// Arbitrary bytes-as-text never panic the lexer/parser.
+    /// Arbitrary bytes-as-text never panic the lexer/parser, and any
+    /// error points inside the input.
     #[test]
     fn parser_never_panics(input in ".*") {
-        let _ = parse_program(&input);
+        if let Err(e) = parse_program(&input) {
+            let span = e.span();
+            prop_assert!(span.start <= input.len() + 1, "error span {span} outside input");
+        }
     }
 
     /// Arbitrary strings from the language's own token alphabet —
@@ -36,8 +40,18 @@ proptest! {
     ) {
         let text = input.join(" ");
         if let Ok(ast) = parse_program(&text) {
-            // Whatever parses must analyze without panicking too.
-            let _ = analyze(&ast);
+            // Whatever parses must analyze without panicking too, and
+            // any analysis error must carry an in-bounds span whose
+            // rendered diagnostic never panics.
+            if let Err(e) = analyze(&ast) {
+                if let Some(span) = e.span {
+                    prop_assert!(span.start <= span.end, "inverted span {span}");
+                    prop_assert!(span.end <= text.len(), "span {span} outside input");
+                    let rendered = e.render(&text);
+                    prop_assert!(rendered.contains("-->"), "spanned render has location");
+                }
+                let _ = e.render(&text);
+            }
         }
     }
 

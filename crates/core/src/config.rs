@@ -166,9 +166,7 @@ impl TableII {
     pub fn init_col(&self, q: usize) -> i32 {
         match self.kind {
             AlignKind::Local => 0,
-            AlignKind::Global | AlignKind::SemiGlobal => {
-                self.gap_up + q as i32 * self.gap_up_ext
-            }
+            AlignKind::Global | AlignKind::SemiGlobal => self.gap_up + q as i32 * self.gap_up_ext,
         }
     }
 }
@@ -243,6 +241,146 @@ impl AlignConfig {
     /// Short label like `sw-aff` used in reports.
     pub fn label(&self) -> String {
         format!("{}-{}", self.kind.short(), self.gap.short())
+    }
+
+    /// Interval analysis of the recurrences: conservative bounds on
+    /// every T/U/L cell for sequences up to the given lengths. See
+    /// [`ScoreBounds`].
+    pub fn score_bounds(&self, max_query: usize, max_subject: usize) -> ScoreBounds {
+        ScoreBounds::analyze(self, max_query, max_subject)
+    }
+}
+
+/// Conservative per-table value bounds from interval arithmetic over
+/// the generalized recurrences (Eq. 2–6), plus the arithmetic headroom
+/// the kernels need around them.
+///
+/// The intervals come from path arguments rather than cell-by-cell
+/// iteration, so they are closed forms:
+///
+/// * `T` is bounded above by a perfect-match path: at most
+///   `min(m, n)` diagonal steps each contributing at most γ⁺
+///   (`matrix.max_score()`). Local kernels clamp below at 0; global
+///   and semi-global cells are bounded below by the worst path, which
+///   takes at most `m + n` steps each losing at most
+///   `max(|γ⁻|, γ⁺, |β|)` plus two gap openings.
+/// * `U`/`L` read `T + θ + β` or themselves `+ β`, so their interval
+///   is `T`'s shifted down by `|θ| + |β|` (they never exceed `T`'s
+///   maximum: a gap never gains score).
+/// * [`headroom`](ScoreBounds::headroom) covers what the kernels add
+///   *around* the mathematical values: the `NEG_INF` sentinel has gap
+///   penalties added to it before saturation/clamping catches up, and
+///   biased unsigned arithmetic shifts by up to γ⁺ + |θ| + |β|.
+///
+/// [`fits`](ScoreBounds::fits) is the single source of truth for
+/// width selection: the runtime `Aligner` consults it per
+/// query/subject pair, and `aalign-analyzer range` reports it
+/// offline from a `KernelSpec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreBounds {
+    /// Smallest value any `T` cell can take.
+    pub t_min: i64,
+    /// Largest value any `T` cell can take.
+    pub t_max: i64,
+    /// Smallest value any `U`/`L` cell can take (gaps are symmetric,
+    /// so the two tables share bounds).
+    pub ul_min: i64,
+    /// Largest value any `U`/`L` cell can take.
+    pub ul_max: i64,
+    /// Extra representable range the kernels need beyond the value
+    /// bounds (sentinel arithmetic, bias shifts, saturation margin).
+    pub headroom: i64,
+}
+
+impl ScoreBounds {
+    /// Run the interval analysis for `cfg` on sequences of length at
+    /// most `max_query` × `max_subject`.
+    pub fn analyze(cfg: &AlignConfig, max_query: usize, max_subject: usize) -> Self {
+        let (m, n) = (max_query as i64, max_subject as i64);
+        let gamma_pos = cfg.matrix.max_score().max(1) as i64;
+        let gamma_neg = cfg.matrix.min_score().abs() as i64;
+        let theta = cfg.gap.theta().abs() as i64;
+        let beta = cfg.gap.beta().abs() as i64;
+
+        // Upper bound: a path has at most min(m, n) diagonal steps and
+        // gaps only lose score. (+1 absorbs the empty-prefix cell.)
+        let t_max = gamma_pos * (m.min(n) + 1);
+        let t_min = match cfg.kind {
+            // Eq. 2's `0` operand clamps local cells from below.
+            AlignKind::Local => 0,
+            AlignKind::Global | AlignKind::SemiGlobal => {
+                // Worst path: ≤ m+n+2 steps, each losing the worst
+                // per-step amount, plus one gap opening per direction.
+                let step = gamma_neg.max(gamma_pos).max(beta);
+                -((m + n + 2) * step + theta)
+            }
+        };
+        // U/L = max(T + θ + β, self + β): one opening below T at worst,
+        // and never above it (Eq. 3–4 only subtract).
+        let ul_max = t_max;
+        let ul_min = t_min - (theta + beta);
+        // Sentinel + bias margin, both directions.
+        let headroom = 2 * (gamma_pos + theta + beta + 2);
+        Self {
+            t_min,
+            t_max,
+            ul_min,
+            ul_max,
+            headroom,
+        }
+    }
+
+    /// Largest magnitude any kernel intermediate can reach, headroom
+    /// included.
+    pub fn magnitude(&self) -> i64 {
+        self.t_max
+            .abs()
+            .max(self.t_min.abs())
+            .max(self.ul_min.abs())
+            .max(self.ul_max.abs())
+            + self.headroom
+    }
+
+    /// Can a `bits`-wide signed element provably represent every
+    /// intermediate value? For 8/16-bit elements the cap is the type's
+    /// max; 32-bit kernels clamp at `i32::MAX / 4` (the `NEG_INF`
+    /// sentinel convention), so even i32 can wrap for astronomically
+    /// long inputs — that is the "reject outright" case.
+    pub fn fits(&self, bits: u32) -> bool {
+        let cap: i64 = match bits {
+            8 => i8::MAX as i64,
+            16 => i16::MAX as i64,
+            32 => (i32::MAX / 4) as i64,
+            _ => return true,
+        };
+        // U/L overshoot below T is ≤ |θ| + |β|, which headroom
+        // already double-covers; the T-range test is therefore the
+        // same threshold the width policy has always used.
+        self.t_max.abs().max(self.t_min.abs()) + self.headroom < cap
+    }
+
+    /// Smallest lane width (8, 16 or 32 bits) that provably holds
+    /// every intermediate, or `None` when even i32 would wrap — such
+    /// a configuration must be rejected, not run.
+    pub fn min_lane_bits(&self) -> Option<u32> {
+        [8u32, 16, 32].into_iter().find(|&b| self.fits(b))
+    }
+
+    /// Bias constant for unsigned-arithmetic lanes: shifting every
+    /// value up by this much makes the whole interval non-negative.
+    pub fn bias(&self) -> i64 {
+        (-self.t_min.min(self.ul_min)).max(0)
+    }
+
+    /// Saturation ceiling for a `bits`-wide lane: scores at or above
+    /// this trigger the retry-wider path.
+    pub fn saturation_ceiling(&self, bits: u32) -> i64 {
+        let cap: i64 = match bits {
+            8 => i8::MAX as i64,
+            16 => i16::MAX as i64,
+            _ => (i32::MAX / 4) as i64,
+        };
+        cap - self.headroom
     }
 }
 

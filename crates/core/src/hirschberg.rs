@@ -39,7 +39,11 @@ use crate::traceback::{traceback_align, Alignment};
 /// Panics unless `cfg` is global with a linear gap model, or if the
 /// query is empty.
 pub fn hirschberg_align(cfg: &AlignConfig, query: &Sequence, subject: &Sequence) -> Alignment {
-    assert_eq!(cfg.kind, AlignKind::Global, "hirschberg_align is global-only");
+    assert_eq!(
+        cfg.kind,
+        AlignKind::Global,
+        "hirschberg_align is global-only"
+    );
     assert!(
         matches!(cfg.gap, GapModel::Linear { .. }),
         "hirschberg_align requires linear gaps (use traceback_align for affine)"
@@ -100,14 +104,7 @@ pub fn hirschberg_align(cfg: &AlignConfig, query: &Sequence, subject: &Sequence)
 }
 
 /// Recursive worker: append the alignment of `q` vs `s` to the rows.
-fn rec(
-    cfg: &AlignConfig,
-    q: &[u8],
-    s: &[u8],
-    ext: i32,
-    qr: &mut Vec<u8>,
-    sr: &mut Vec<u8>,
-) {
+fn rec(cfg: &AlignConfig, q: &[u8], s: &[u8], ext: i32, qr: &mut Vec<u8>, sr: &mut Vec<u8>) {
     let alpha = cfg.matrix.alphabet();
     if q.is_empty() {
         for &c in s {

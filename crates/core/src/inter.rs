@@ -154,10 +154,7 @@ pub fn inter_align_batch<E: SimdEngine>(
         ws.h[0] = h0;
         let mut v_f = neg_inf;
         for j in 1..=m {
-            let e = eng.max(
-                eng.add(ws.e[j], v_gle),
-                eng.add(ws.h[j], v_gl),
-            );
+            let e = eng.max(eng.add(ws.e[j], v_gle), eng.add(ws.h[j], v_gl));
             ws.e[j] = e;
             v_f = eng.max(eng.add(v_f, v_gue), eng.add(ws.h[j - 1], v_gu));
             let d = eng.add(h_diag, eng.load(&ws.scores[(j - 1) * lanes..]));
@@ -325,9 +322,8 @@ mod tests {
         let mut rng = seeded_rng(500);
         let q = named_query(&mut rng, 45);
         // Mixed-length batch, including an empty subject.
-        let mut subjects: Vec<Sequence> = (0..7)
-            .map(|i| named_query(&mut rng, 10 + i * 9))
-            .collect();
+        let mut subjects: Vec<Sequence> =
+            (0..7).map(|i| named_query(&mut rng, 10 + i * 9)).collect();
         subjects.push(Sequence::from_indices("empty", q.alphabet(), Vec::new()));
         let refs: Vec<&Sequence> = subjects.iter().collect();
 
@@ -379,8 +375,7 @@ mod tests {
     fn i16_batches_match_i32_and_flag_saturation() {
         let mut rng = seeded_rng(505);
         let q = named_query(&mut rng, 50);
-        let subjects: Vec<Sequence> =
-            (0..8).map(|i| named_query(&mut rng, 20 + i * 7)).collect();
+        let subjects: Vec<Sequence> = (0..8).map(|i| named_query(&mut rng, 20 + i * 7)).collect();
         let refs: Vec<&Sequence> = subjects.iter().collect();
         let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
         let t2 = cfg.table2();
@@ -396,7 +391,12 @@ mod tests {
         );
         for (l, s) in subjects.iter().enumerate() {
             assert!(!got16.saturated[l]);
-            assert_eq!(got16.scores[l], paradigm_dp(&cfg, &q, s).score, "{}", s.id());
+            assert_eq!(
+                got16.scores[l],
+                paradigm_dp(&cfg, &q, s).score,
+                "{}",
+                s.id()
+            );
         }
 
         // A long identical pair must saturate i16 and be flagged.

@@ -75,7 +75,10 @@ impl core::fmt::Display for AlignError {
         match self {
             Self::EmptyQuery => write!(f, "query sequence is empty"),
             Self::AlphabetMismatch { id } => {
-                write!(f, "sequence {id:?} uses a different alphabet than the matrix")
+                write!(
+                    f,
+                    "sequence {id:?} uses a different alphabet than the matrix"
+                )
             }
         }
     }
@@ -154,8 +157,8 @@ fn resolve_backend(pref: Option<Isa>, bits: u32) -> BackendChoice {
         Some(Isa::Avx512) => {
             // 32-bit needs avx512f; 16-bit additionally avx512bw
             // (beyond IMCI, which had no narrow lanes).
-            let native_ok = (bits == 32 && sup.avx512f)
-                || (bits == 16 && sup.avx512f && sup.avx512bw);
+            let native_ok =
+                (bits == 32 && sup.avx512f) || (bits == 16 && sup.avx512f && sup.avx512bw);
             if native_ok {
                 native(Isa::Avx512)
             } else {
@@ -180,8 +183,8 @@ fn resolve_backend(pref: Option<Isa>, bits: u32) -> BackendChoice {
         }
         Some(Isa::Emulated) => emulate_shape(512),
         None => {
-            let avx512_ok = (bits == 32 && sup.avx512f)
-                || (bits == 16 && sup.avx512f && sup.avx512bw);
+            let avx512_ok =
+                (bits == 32 && sup.avx512f) || (bits == 16 && sup.avx512f && sup.avx512bw);
             if avx512_ok {
                 native(Isa::Avx512)
             } else if sup.avx2 {
@@ -620,30 +623,19 @@ impl Aligner {
     /// Can a `bits`-wide element provably hold every intermediate
     /// value of aligning an `m`-long query to an `n`-long subject?
     ///
-    /// Local scores are bounded by `min(m,n)·max_match` regardless of
-    /// total lengths; global magnitudes grow with `m + n` (boundary
-    /// gap ramps and all-mismatch paths).
+    /// Delegates to the [`ScoreBounds`](crate::config::ScoreBounds)
+    /// interval analysis — the same pass `aalign-analyzer range`
+    /// reports offline. Local scores are bounded by
+    /// `min(m,n)·max_match` regardless of total lengths; global
+    /// magnitudes grow with `m + n` (boundary gap ramps and
+    /// all-mismatch paths). 32-bit lanes pass unconditionally here:
+    /// they are the widest the kernels have, and their own ceiling is
+    /// only exceeded by inputs `align()` could never buffer.
     fn narrow_ok(&self, bits: u32, m: usize, n: usize) -> bool {
-        let cap: i64 = match bits {
-            8 => i8::MAX as i64,
-            16 => i16::MAX as i64,
-            _ => return true,
-        };
-        let gamma_pos = self.cfg.matrix.max_score().max(1) as i64;
-        let theta = self.cfg.gap.theta().abs() as i64;
-        let beta = self.cfg.gap.beta().abs() as i64;
-        let head = 2 * (gamma_pos + theta + beta + 2);
-        match self.cfg.kind {
-            crate::config::AlignKind::Local => {
-                gamma_pos * (m.min(n) as i64 + 1) + head < cap
-            }
-            crate::config::AlignKind::Global | crate::config::AlignKind::SemiGlobal => {
-                let step = (self.cfg.matrix.min_score().abs() as i64)
-                    .max(gamma_pos)
-                    .max(beta);
-                (m + n + 2) as i64 * step + theta + head < cap
-            }
+        if bits >= 32 {
+            return true;
         }
+        self.cfg.score_bounds(m, n).fits(bits)
     }
 
     /// Widths the policy wants, in attempt order, given the query.
@@ -662,8 +654,7 @@ impl Aligner {
                 // out.
                 let try_narrow = match self.cfg.kind {
                     crate::config::AlignKind::Local => true,
-                    crate::config::AlignKind::Global
-                    | crate::config::AlignKind::SemiGlobal => {
+                    crate::config::AlignKind::Global | crate::config::AlignKind::SemiGlobal => {
                         self.narrow_ok(16, query_len, query_len)
                     }
                 };
@@ -1053,10 +1044,7 @@ mod tests {
             .unwrap();
         assert!(out.stats.switches_to_scan > 0, "{:?}", out.stats);
         assert!(out.stats.scan_columns > 0);
-        assert_eq!(
-            out.stats.scan_columns + out.stats.iterate_columns,
-            s.len()
-        );
+        assert_eq!(out.stats.scan_columns + out.stats.iterate_columns, s.len());
     }
 
     #[test]
@@ -1125,9 +1113,18 @@ mod avx512bw_dispatch_tests {
         let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
         let want = paradigm_dp(&cfg, &q, &s).score;
         for policy in [
-            HybridPolicy { threshold: 0, probe_stride: 1 },
-            HybridPolicy { threshold: 0, probe_stride: 10_000 },
-            HybridPolicy { threshold: u32::MAX, probe_stride: 1 },
+            HybridPolicy {
+                threshold: 0,
+                probe_stride: 1,
+            },
+            HybridPolicy {
+                threshold: 0,
+                probe_stride: 10_000,
+            },
+            HybridPolicy {
+                threshold: u32::MAX,
+                probe_stride: 1,
+            },
         ] {
             let out = Aligner::new(cfg.clone())
                 .with_hybrid_policy(policy)

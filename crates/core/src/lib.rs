@@ -33,13 +33,12 @@ pub mod scalar;
 pub mod striped;
 pub mod traceback;
 
-pub use config::{AlignConfig, AlignKind, GapModel, TableII};
-pub use traceback::{traceback_align, Alignment};
-pub use kernel::{
-    AlignError, AlignOutput, AlignScratch, Aligner, PreparedQuery, RunStats, Strategy,
-    WidthPolicy,
-};
 pub use banded::{banded_align, banded_align_auto, banded_align_certified, BandedScore};
+pub use config::{AlignConfig, AlignKind, GapModel, ScoreBounds, TableII};
 pub use hirschberg::hirschberg_align;
 pub use inter::{inter_align_all, inter_align_batch, InterBatchResult, InterWorkspace};
+pub use kernel::{
+    AlignError, AlignOutput, AlignScratch, Aligner, PreparedQuery, RunStats, Strategy, WidthPolicy,
+};
 pub use striped::{HybridPolicy, HybridReport, KernelResult, StrategyChoice, Workspace};
+pub use traceback::{traceback_align, Alignment};

@@ -250,12 +250,9 @@ mod tests {
     fn linear_equals_affine_with_zero_theta() {
         let mut rng = seeded_rng(99);
         let q = named_query(&mut rng, 60);
-        let s = PairSpec::new(
-            aalign_bio::synth::Level::Md,
-            aalign_bio::synth::Level::Md,
-        )
-        .generate(&mut rng, &q)
-        .subject;
+        let s = PairSpec::new(aalign_bio::synth::Level::Md, aalign_bio::synth::Level::Md)
+            .generate(&mut rng, &q)
+            .subject;
         for kind in [AlignKind::Local, AlignKind::Global] {
             let lin = AlignConfig::new(kind, GapModel::linear(-3), &BLOSUM62);
             let aff = AlignConfig::new(kind, GapModel::affine(0, -3), &BLOSUM62);

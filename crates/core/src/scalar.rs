@@ -23,11 +23,7 @@ use crate::paradigm::{RefScore, NEG_INF};
 /// assert_eq!(r.score, 17);
 /// assert_eq!(r.end, (6, 3)); // subject pos 6, query pos 3 (1-based)
 /// ```
-pub fn scalar_column_align(
-    cfg: &AlignConfig,
-    query: &Sequence,
-    subject: &Sequence,
-) -> RefScore {
+pub fn scalar_column_align(cfg: &AlignConfig, query: &Sequence, subject: &Sequence) -> RefScore {
     let t2 = cfg.table2();
     if t2.affine {
         if t2.local {
@@ -56,7 +52,13 @@ fn scalar_impl<const LOCAL: bool, const AFFINE: bool>(
 
     // Double-buffered T columns (index 0 = boundary row).
     let mut t_prev: Vec<i32> = (0..=m)
-        .map(|j| if j == 0 { t2.init_t(0) } else { t2.init_col(j - 1) })
+        .map(|j| {
+            if j == 0 {
+                t2.init_t(0)
+            } else {
+                t2.init_col(j - 1)
+            }
+        })
         .collect();
     let mut t_cur = vec![0i32; m + 1];
     let mut e = vec![NEG_INF; m + 1];

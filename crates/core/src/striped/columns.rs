@@ -107,9 +107,7 @@ pub struct ColumnEngine<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool
     scan_columns: usize,
 }
 
-impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool>
-    ColumnEngine<'a, E, LOCAL, AFFINE>
-{
+impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool> ColumnEngine<'a, E, LOCAL, AFFINE> {
     /// Set up the engine: splat constants and write the column-0
     /// boundary into the buffers.
     #[inline(always)]
@@ -133,9 +131,7 @@ impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool>
         }
 
         let splat_i32 = |x: i32| eng.splat(E::Elem::from_i32_sat(x));
-        let chunk_ext = E::Elem::from_i32_sat(
-            t2.gap_up_ext.saturating_mul(layout.segments as i32),
-        );
+        let chunk_ext = E::Elem::from_i32_sat(t2.gap_up_ext.saturating_mul(layout.segments as i32));
         let last_slot = layout.slot_of(layout.len - 1);
         let last_seg_off = (last_slot / E::LANES) * E::LANES;
         let last_lane = last_slot % E::LANES;
@@ -241,10 +237,7 @@ impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool>
 
             if WITH_F_BOUND {
                 // F carry to the next query position (next segment).
-                v_f = eng.max(
-                    eng.add(v_f, self.v_gap_up_ext),
-                    eng.add(v_t, self.v_gap_up),
-                );
+                v_f = eng.max(eng.add(v_f, self.v_gap_up_ext), eng.add(v_t, self.v_gap_up));
             }
             v_dia = t_prev;
         }

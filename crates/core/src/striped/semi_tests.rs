@@ -58,7 +58,10 @@ fn kind_ordering_local_ge_semi_ge_global() {
                 .unwrap()
                 .score;
             assert!(local >= semi, "local {local} < semi {semi} (trial {trial})");
-            assert!(semi >= global, "semi {semi} < global {global} (trial {trial})");
+            assert!(
+                semi >= global,
+                "semi {semi} < global {global} (trial {trial})"
+            );
         }
     }
 }

@@ -77,11 +77,32 @@ fn check_engine<E: SimdEngine<Elem = i32>>(eng: E, q: &Sequence, s: &Sequence, l
         }
 
         let got_it = check4!(run_iterate);
-        assert_eq!(got_it, want, "[{label}] iterate {} q={} s={}", cfg.label(), q.id(), s.id());
+        assert_eq!(
+            got_it,
+            want,
+            "[{label}] iterate {} q={} s={}",
+            cfg.label(),
+            q.id(),
+            s.id()
+        );
         let got_sc = check4!(run_scan);
-        assert_eq!(got_sc, want, "[{label}] scan {} q={} s={}", cfg.label(), q.id(), s.id());
+        assert_eq!(
+            got_sc,
+            want,
+            "[{label}] scan {} q={} s={}",
+            cfg.label(),
+            q.id(),
+            s.id()
+        );
         let got_hy = check4!(run_hybrid);
-        assert_eq!(got_hy, want, "[{label}] hybrid {} q={} s={}", cfg.label(), q.id(), s.id());
+        assert_eq!(
+            got_hy,
+            want,
+            "[{label}] hybrid {} q={} s={}",
+            cfg.label(),
+            q.id(),
+            s.id()
+        );
     }
 }
 
@@ -282,10 +303,7 @@ fn hybrid_trace_covers_every_column() {
         true,
     );
     assert_eq!(rep.trace.len(), 95, "one event per subject character");
-    assert_eq!(
-        rep.result.iterate_columns + rep.result.scan_columns,
-        95
-    );
+    assert_eq!(rep.result.iterate_columns + rep.result.scan_columns, 95);
 }
 
 #[test]
@@ -338,8 +356,7 @@ fn random_column_interleaving_is_exact() {
 
             macro_rules! run_interleaved {
                 ($l:literal, $a:literal) => {{
-                    let mut cols =
-                        ColumnEngine::<_, $l, $a>::new(eng, &prof, t2, &mut ws);
+                    let mut cols = ColumnEngine::<_, $l, $a>::new(eng, &prof, t2, &mut ws);
                     for &c in s.indices() {
                         if rng.random_bool(0.5) {
                             cols.iterate_column(c);
@@ -386,10 +403,8 @@ fn avx2_i16_matches_i32_in_range() {
 
             macro_rules! both {
                 ($l:literal, $a:literal) => {{
-                    let r16 =
-                        iterate_align::<_, $l, $a>(e16, &p16, s.indices(), t2, &mut w16);
-                    let r32 =
-                        iterate_align::<_, $l, $a>(e32, &p32, s.indices(), t2, &mut w32);
+                    let r16 = iterate_align::<_, $l, $a>(e16, &p16, s.indices(), t2, &mut w16);
+                    let r32 = iterate_align::<_, $l, $a>(e32, &p32, s.indices(), t2, &mut w32);
                     (r16, r32)
                 }};
             }

@@ -91,13 +91,8 @@ pub fn search_pipeline(
         threads: opts.threads,
         top_n: 0,
     };
-    let (report, sweep_mode) = if !db.is_empty()
-        && db.stats().mean_len < opts.inter_threshold
-    {
-        (
-            search_database_inter(cfg, query, db, search_opts)?,
-            "inter",
-        )
+    let (report, sweep_mode) = if !db.is_empty() && db.stats().mean_len < opts.inter_threshold {
+        (search_database_inter(cfg, query, db, search_opts)?, "inter")
     } else {
         let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
         (search_database(&aligner, query, db, search_opts)?, "intra")
@@ -207,13 +202,9 @@ mod tests {
         assert_eq!(report.sweep_mode, "inter");
         assert_eq!(report.hits.len(), 64);
         // Scores identical to the intra path.
-        let intra = crate::search::search_database(
-            &Aligner::new(cfg()),
-            &q,
-            &db,
-            SearchOptions::default(),
-        )
-        .unwrap();
+        let intra =
+            crate::search::search_database(&Aligner::new(cfg()), &q, &db, SearchOptions::default())
+                .unwrap();
         for (a, b) in report.hits.iter().zip(&intra.hits) {
             assert_eq!(a.score, b.score);
             assert_eq!(a.db_index, b.db_index);
@@ -224,9 +215,13 @@ mod tests {
     fn empty_database_yields_empty_report() {
         let mut rng = seeded_rng(780);
         let q = named_query(&mut rng, 30);
-        let report =
-            search_pipeline(&cfg(), &q, &SeqDatabase::default(), PipelineOptions::default())
-                .unwrap();
+        let report = search_pipeline(
+            &cfg(),
+            &q,
+            &SeqDatabase::default(),
+            PipelineOptions::default(),
+        )
+        .unwrap();
         assert!(report.hits.is_empty());
         assert_eq!(report.subjects_scored, 0);
     }

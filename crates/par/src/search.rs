@@ -20,15 +20,13 @@ pub struct Hit {
 }
 
 /// Search tuning.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SearchOptions {
     /// Worker thread count (0 = available parallelism).
     pub threads: usize,
     /// Keep only the best `top_n` hits (0 = keep every hit).
     pub top_n: usize,
 }
-
 
 /// Search result: ranked hits plus counters.
 #[derive(Debug, Clone)]
@@ -145,11 +143,8 @@ mod tests {
     use aalign_core::{AlignConfig, GapModel, Strategy};
 
     fn aligner() -> Aligner {
-        Aligner::new(AlignConfig::local(
-            GapModel::affine(-10, -2),
-            &BLOSUM62,
-        ))
-        .with_strategy(Strategy::Hybrid)
+        Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62))
+            .with_strategy(Strategy::Hybrid)
     }
 
     #[test]
@@ -158,8 +153,26 @@ mod tests {
         let q = named_query(&mut rng, 80);
         let db = swissprot_like_db(51, 60);
         let a = aligner();
-        let one = search_database(&a, &q, &db, SearchOptions { threads: 1, top_n: 0 }).unwrap();
-        let four = search_database(&a, &q, &db, SearchOptions { threads: 4, top_n: 0 }).unwrap();
+        let one = search_database(
+            &a,
+            &q,
+            &db,
+            SearchOptions {
+                threads: 1,
+                top_n: 0,
+            },
+        )
+        .unwrap();
+        let four = search_database(
+            &a,
+            &q,
+            &db,
+            SearchOptions {
+                threads: 4,
+                top_n: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(one.hits, four.hits, "thread count must not change results");
         assert_eq!(one.subjects, 60);
         assert_eq!(four.threads_used, 4);
@@ -176,9 +189,16 @@ mod tests {
         let planted_id = planted.id().to_string();
         seqs.push(planted);
         let db = SeqDatabase::new(seqs);
-        let report =
-            search_database(&aligner(), &q, &db, SearchOptions { threads: 2, top_n: 5 })
-                .unwrap();
+        let report = search_database(
+            &aligner(),
+            &q,
+            &db,
+            SearchOptions {
+                threads: 2,
+                top_n: 5,
+            },
+        )
+        .unwrap();
         assert_eq!(report.hits.len(), 5);
         assert_eq!(report.hits[0].id, planted_id, "planted hit must win");
         assert!(report.hits[0].score > report.hits[1].score);
@@ -203,8 +223,16 @@ mod tests {
         let q = named_query(&mut rng, 64);
         let db = swissprot_like_db(81, 10);
         let a = aligner();
-        let report =
-            search_database(&a, &q, &db, SearchOptions { threads: 3, top_n: 0 }).unwrap();
+        let report = search_database(
+            &a,
+            &q,
+            &db,
+            SearchOptions {
+                threads: 3,
+                top_n: 0,
+            },
+        )
+        .unwrap();
         for hit in &report.hits {
             let direct = a.align(&q, db.get(hit.db_index)).unwrap();
             assert_eq!(hit.score, direct.score, "{}", hit.id);
@@ -292,14 +320,8 @@ pub fn search_database_inter(
                         break;
                     }
                     let batch = batches[b];
-                    let subjects: Vec<&Sequence> =
-                        batch.iter().map(|&i| db.get(i)).collect();
-                    let scores = aalign_core::inter_align_all(
-                        t2,
-                        &cfg.matrix,
-                        query,
-                        &subjects,
-                    );
+                    let subjects: Vec<&Sequence> = batch.iter().map(|&i| db.get(i)).collect();
+                    let scores = aalign_core::inter_align_all(t2, &cfg.matrix, query, &subjects);
                     for (&db_index, score) in batch.iter().zip(scores) {
                         let subject = db.get(db_index);
                         residues += subject.len();
@@ -351,14 +373,20 @@ mod inter_tests {
                 &Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid),
                 &q,
                 &db,
-                SearchOptions { threads: 2, top_n: 0 },
+                SearchOptions {
+                    threads: 2,
+                    top_n: 0,
+                },
             )
             .unwrap();
             let inter = search_database_inter(
                 &cfg,
                 &q,
                 &db,
-                SearchOptions { threads: 2, top_n: 0 },
+                SearchOptions {
+                    threads: 2,
+                    top_n: 0,
+                },
             )
             .unwrap();
             assert_eq!(intra.hits, inter.hits, "{:?}", kind);

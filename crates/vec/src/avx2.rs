@@ -54,8 +54,13 @@ avx2_ctor!(Avx2I8);
 
 /// `[0…0, v.low]` — the cross-lane half of the element shift
 /// (paper Fig. 7's `permutevar` step).
+///
+/// # Safety
+/// The caller must guarantee AVX2 is available (every caller is an
+/// engine method, and the engine's constructor verified it).
 #[inline(always)]
 unsafe fn swap_low_to_high(v: __m256i) -> __m256i {
+    // SAFETY: AVX2 availability is the function's own precondition.
     unsafe { _mm256_permute2x128_si256::<0x08>(v, v) }
 }
 
@@ -68,38 +73,45 @@ impl SimdEngine for Avx2I32 {
 
     #[inline(always)]
     fn splat(self, x: i32) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_set1_epi32(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i32]) -> __m256i {
         assert!(src.len() >= 8);
+        // SAFETY: AVX2 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i32], v: __m256i) {
         assert!(dst.len() >= 8);
+        // SAFETY: AVX2 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m256i, b: __m256i) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_add_epi32(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m256i, b: __m256i) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_max_epi32(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m256i, b: __m256i) -> bool {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi32(a, b)) != 0 }
     }
 
     #[inline(always)]
     fn shift_insert_low(self, v: __m256i, fill: i32) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe {
             let swap = swap_low_to_high(v);
             let shifted = _mm256_alignr_epi8::<12>(v, swap);
@@ -109,6 +121,7 @@ impl SimdEngine for Avx2I32 {
 
     #[inline(always)]
     fn extract_high(self, v: __m256i) -> i32 {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_extract_epi32::<7>(v) }
     }
 }
@@ -122,38 +135,45 @@ impl SimdEngine for Avx2I16 {
 
     #[inline(always)]
     fn splat(self, x: i16) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_set1_epi16(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i16]) -> __m256i {
         assert!(src.len() >= 16);
+        // SAFETY: AVX2 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i16], v: __m256i) {
         assert!(dst.len() >= 16);
+        // SAFETY: AVX2 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m256i, b: __m256i) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_adds_epi16(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m256i, b: __m256i) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_max_epi16(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m256i, b: __m256i) -> bool {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi16(a, b)) != 0 }
     }
 
     #[inline(always)]
     fn shift_insert_low(self, v: __m256i, fill: i16) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe {
             let swap = swap_low_to_high(v);
             let shifted = _mm256_alignr_epi8::<14>(v, swap);
@@ -163,6 +183,7 @@ impl SimdEngine for Avx2I16 {
 
     #[inline(always)]
     fn extract_high(self, v: __m256i) -> i16 {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_extract_epi16::<15>(v) as i16 }
     }
 }
@@ -176,38 +197,45 @@ impl SimdEngine for Avx2I8 {
 
     #[inline(always)]
     fn splat(self, x: i8) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_set1_epi8(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i8]) -> __m256i {
         assert!(src.len() >= 32);
+        // SAFETY: AVX2 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm256_loadu_si256(src.as_ptr().cast()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i8], v: __m256i) {
         assert!(dst.len() >= 32);
+        // SAFETY: AVX2 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm256_storeu_si256(dst.as_mut_ptr().cast(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m256i, b: __m256i) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_adds_epi8(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m256i, b: __m256i) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_max_epi8(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m256i, b: __m256i) -> bool {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_movemask_epi8(_mm256_cmpgt_epi8(a, b)) != 0 }
     }
 
     #[inline(always)]
     fn shift_insert_low(self, v: __m256i, fill: i8) -> __m256i {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe {
             let swap = swap_low_to_high(v);
             let shifted = _mm256_alignr_epi8::<15>(v, swap);
@@ -217,6 +245,7 @@ impl SimdEngine for Avx2I8 {
 
     #[inline(always)]
     fn extract_high(self, v: __m256i) -> i8 {
+        // SAFETY: AVX2 was verified by the constructor; register-only intrinsics.
         unsafe { _mm256_extract_epi8::<31>(v) as i8 }
     }
 }
@@ -228,11 +257,7 @@ mod tests {
 
     fn pattern<T: ScoreElem>(seed: i32, n: usize) -> Vec<T> {
         (0..n as i32)
-            .map(|i| {
-                T::from_i32_sat(
-                    (seed.wrapping_mul(31).wrapping_add(i * 17)) % 120 - 40,
-                )
-            })
+            .map(|i| T::from_i32_sat((seed.wrapping_mul(31).wrapping_add(i * 17)) % 120 - 40))
             .collect()
     }
 

@@ -44,34 +44,40 @@ impl SimdEngine for Avx512I32 {
 
     #[inline(always)]
     fn splat(self, x: i32) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_set1_epi32(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i32]) -> __m512i {
         assert!(src.len() >= 16);
+        // SAFETY: AVX-512 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm512_loadu_epi32(src.as_ptr()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i32], v: __m512i) {
         assert!(dst.len() >= 16);
+        // SAFETY: AVX-512 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm512_storeu_epi32(dst.as_mut_ptr(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m512i, b: __m512i) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_add_epi32(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m512i, b: __m512i) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_max_epi32(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m512i, b: __m512i) -> bool {
         // Compare straight into a 16-bit mask register (IMCI-style).
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_cmpgt_epi32_mask(a, b) != 0 }
     }
 
@@ -79,11 +85,13 @@ impl SimdEngine for Avx512I32 {
     fn shift_insert_low(self, v: __m512i, fill: i32) -> __m512i {
         // valignd: result[i] = concat(v, fillvec)[i + 15]
         //   lane 0 ← fillvec[15] = fill; lane i ← v[i-1].
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_alignr_epi32::<15>(v, _mm512_set1_epi32(fill)) }
     }
 
     #[inline(always)]
     fn extract_high(self, v: __m512i) -> i32 {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe {
             let hi256 = _mm512_extracti64x4_epi64::<1>(v);
             _mm256_extract_epi32::<7>(hi256)
@@ -92,6 +100,7 @@ impl SimdEngine for Avx512I32 {
 
     #[inline(always)]
     fn reduce_max(self, v: __m512i) -> i32 {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_reduce_max_epi32(v) }
     }
 }
@@ -189,43 +198,50 @@ impl SimdEngine for Avx512I16 {
 
     #[inline(always)]
     fn splat(self, x: i16) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_set1_epi16(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i16]) -> __m512i {
         assert!(src.len() >= 32);
+        // SAFETY: AVX-512 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm512_loadu_epi16(src.as_ptr()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i16], v: __m512i) {
         assert!(dst.len() >= 32);
+        // SAFETY: AVX-512 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm512_storeu_epi16(dst.as_mut_ptr(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m512i, b: __m512i) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_adds_epi16(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m512i, b: __m512i) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_max_epi16(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m512i, b: __m512i) -> bool {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe { _mm512_cmpgt_epi16_mask(a, b) != 0 }
     }
 
     #[inline(always)]
     fn shift_insert_low(self, v: __m512i, fill: i16) -> __m512i {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe {
             // vpermw: lane i ← lane i−1; lane 0 patched in by mask blend.
             let idx = _mm512_set_epi16(
-                30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15, 14, 13, 12, 11,
-                10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0,
+                30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15, 14, 13, 12, 11, 10,
+                9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 0,
             );
             let shifted = _mm512_permutexvar_epi16(idx, v);
             _mm512_mask_blend_epi16(0x1, shifted, _mm512_set1_epi16(fill))
@@ -234,6 +250,7 @@ impl SimdEngine for Avx512I16 {
 
     #[inline(always)]
     fn extract_high(self, v: __m512i) -> i16 {
+        // SAFETY: AVX-512 was verified by the constructor; register-only intrinsics.
         unsafe {
             let hi256 = _mm512_extracti64x4_epi64::<1>(v);
             _mm256_extract_epi16::<15>(hi256) as i16

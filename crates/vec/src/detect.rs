@@ -113,7 +113,13 @@ impl Backend {
 
 impl core::fmt::Display for Backend {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}/i{}x{}", self.isa.name(), self.elem_bits, self.lanes())
+        write!(
+            f,
+            "{}/i{}x{}",
+            self.isa.name(),
+            self.elem_bits,
+            self.lanes()
+        )
     }
 }
 

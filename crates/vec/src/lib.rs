@@ -29,6 +29,13 @@
 //! fallible constructors (`Option<Self>`), so every constructed engine
 //! value is a proof that its ISA is available; the intrinsic calls
 //! inside are sound by construction.
+//!
+//! Every `unsafe` in this crate carries a `// SAFETY:` comment and
+//! interior unsafe operations must be re-asserted even inside `unsafe
+//! fn` bodies; both rules are enforced — the first by the
+//! `aalign-analyzer audit` lint, the second by the compiler:
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod detect;
 pub mod elem;

@@ -51,39 +51,46 @@ impl SimdEngine for Sse41I32 {
 
     #[inline(always)]
     fn splat(self, x: i32) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_set1_epi32(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i32]) -> __m128i {
         assert!(src.len() >= 4);
+        // SAFETY: SSE4.1 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm_loadu_si128(src.as_ptr().cast()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i32], v: __m128i) {
         assert!(dst.len() >= 4);
+        // SAFETY: SSE4.1 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm_storeu_si128(dst.as_mut_ptr().cast(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m128i, b: __m128i) -> __m128i {
         // i32 lanes use wrapping adds (no 32-bit saturating add exists).
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_add_epi32(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m128i, b: __m128i) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_max_epi32(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m128i, b: __m128i) -> bool {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_movemask_epi8(_mm_cmpgt_epi32(a, b)) != 0 }
     }
 
     #[inline(always)]
     fn shift_insert_low(self, v: __m128i, fill: i32) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe {
             let shifted = _mm_slli_si128::<4>(v);
             _mm_insert_epi32::<0>(shifted, fill)
@@ -92,11 +99,13 @@ impl SimdEngine for Sse41I32 {
 
     #[inline(always)]
     fn extract_high(self, v: __m128i) -> i32 {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_extract_epi32::<3>(v) }
     }
 
     #[inline(always)]
     fn reduce_max(self, v: __m128i) -> i32 {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe {
             let m = _mm_max_epi32(v, _mm_shuffle_epi32::<0b01_00_11_10>(v));
             let m = _mm_max_epi32(m, _mm_shuffle_epi32::<0b00_01_10_11>(m));
@@ -114,38 +123,45 @@ impl SimdEngine for Sse41I16 {
 
     #[inline(always)]
     fn splat(self, x: i16) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_set1_epi16(x) }
     }
 
     #[inline(always)]
     fn load(self, src: &[i16]) -> __m128i {
         assert!(src.len() >= 8);
+        // SAFETY: SSE4.1 was verified by the constructor; the assert guarantees enough elements for the unaligned load.
         unsafe { _mm_loadu_si128(src.as_ptr().cast()) }
     }
 
     #[inline(always)]
     fn store(self, dst: &mut [i16], v: __m128i) {
         assert!(dst.len() >= 8);
+        // SAFETY: SSE4.1 was verified by the constructor; the assert guarantees enough elements for the unaligned store.
         unsafe { _mm_storeu_si128(dst.as_mut_ptr().cast(), v) }
     }
 
     #[inline(always)]
     fn add(self, a: __m128i, b: __m128i) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_adds_epi16(a, b) }
     }
 
     #[inline(always)]
     fn max(self, a: __m128i, b: __m128i) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_max_epi16(a, b) }
     }
 
     #[inline(always)]
     fn any_gt(self, a: __m128i, b: __m128i) -> bool {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_movemask_epi8(_mm_cmpgt_epi16(a, b)) != 0 }
     }
 
     #[inline(always)]
     fn shift_insert_low(self, v: __m128i, fill: i16) -> __m128i {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe {
             let shifted = _mm_slli_si128::<2>(v);
             _mm_insert_epi16::<0>(shifted, fill as i32)
@@ -154,6 +170,7 @@ impl SimdEngine for Sse41I16 {
 
     #[inline(always)]
     fn extract_high(self, v: __m128i) -> i16 {
+        // SAFETY: SSE4.1 was verified by the constructor; register-only intrinsics.
         unsafe { _mm_extract_epi16::<7>(v) as i16 }
     }
 }

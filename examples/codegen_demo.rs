@@ -27,10 +27,23 @@ fn main() {
     // 2. Analyze (the paper's four extraction steps).
     let spec = analyze(&ast).expect("follows the generalized paradigm");
     println!("== extracted kernel spec ==");
-    println!("  kind        : {}", if spec.local { "local (SW)" } else { "global (NW)" });
-    println!("  gap system  : {}", if spec.affine { "affine" } else { "linear" });
+    println!(
+        "  kind        : {}",
+        if spec.local {
+            "local (SW)"
+        } else {
+            "global (NW)"
+        }
+    );
+    println!(
+        "  gap system  : {}",
+        if spec.affine { "affine" } else { "linear" }
+    );
     println!("  matrix      : {}", spec.matrix_name);
-    println!("  sequences   : query={} subject={}", spec.query_name, spec.subject_name);
+    println!(
+        "  sequences   : query={} subject={}",
+        spec.query_name, spec.subject_name
+    );
     println!(
         "  constants   : open={:?} ext={}",
         spec.gap_open_name, spec.gap_ext_name
@@ -43,7 +56,10 @@ fn main() {
         gap_ext: -2,   // GAP_EXT = β
     };
     let rust_src = emit_rust_kernel(&spec, bindings);
-    println!("== generated Rust kernel ({} lines) ==", rust_src.lines().count());
+    println!(
+        "== generated Rust kernel ({} lines) ==",
+        rust_src.lines().count()
+    );
     for line in rust_src.lines().take(28) {
         println!("{line}");
     }

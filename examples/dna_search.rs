@@ -54,7 +54,11 @@ fn main() {
     let rc_probe = probe.reverse_complement();
     let rev = aligner.align(&rc_probe, &genome).unwrap();
 
-    println!("probe of {} nt vs {} nt fragment:", probe.len(), genome.len());
+    println!(
+        "probe of {} nt vs {} nt fragment:",
+        probe.len(),
+        genome.len()
+    );
     println!("  forward strand score : {}", fwd.score);
     println!("  reverse strand score : {}", rev.score);
     let (strand, best_query) = if rev.score >= fwd.score {
@@ -62,7 +66,10 @@ fn main() {
     } else {
         ("forward", &probe)
     };
-    assert_eq!(strand, "reverse", "the probe was planted on the minus strand");
+    assert_eq!(
+        strand, "reverse",
+        "the probe was planted on the minus strand"
+    );
 
     let aln = traceback_align(&cfg, best_query, &genome);
     println!(
@@ -71,7 +78,11 @@ fn main() {
         aln.subject_span.1,
         start + 60
     );
-    println!("  cigar {}  identity {:.1}%", aln.cigar_classic(), aln.identity * 100.0);
+    println!(
+        "  cigar {}  identity {:.1}%",
+        aln.cigar_classic(),
+        aln.identity * 100.0
+    );
     assert!(aln.subject_span.0.abs_diff(start) <= 3);
     println!("\nfound the planted probe on the correct strand.");
 }

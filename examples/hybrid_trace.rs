@@ -61,9 +61,7 @@ fn main() {
         .iter()
         .map(|ev| match ev {
             StrategyChoice::Iterate(0) => '.',
-            StrategyChoice::Iterate(n) => {
-                char::from_digit((*n).min(9), 10).unwrap_or('9')
-            }
+            StrategyChoice::Iterate(n) => char::from_digit((*n).min(9), 10).unwrap_or('9'),
             StrategyChoice::Scan => 's',
         })
         .collect();

@@ -23,8 +23,8 @@ fn main() {
     let reference = random_protein(&mut rng, "reference", 2000);
     let mut reads = Vec::new();
     for r in 0..5 {
-        let start = rng.random_range(0..1800);
-        let len = rng.random_range(60..140);
+        let start = rng.random_range(0usize..1800);
+        let len = rng.random_range(60usize..140);
         let read: Vec<u8> = reference.indices()[start..start + len]
             .iter()
             .map(|&res| {
@@ -35,7 +35,10 @@ fn main() {
                 }
             })
             .collect();
-        reads.push((start, Sequence::from_indices(format!("read{r}"), reference.alphabet(), read)));
+        reads.push((
+            start,
+            Sequence::from_indices(format!("read{r}"), reference.alphabet(), read),
+        ));
     }
 
     // Semi-global: each read must align end to end, the reference's

@@ -58,8 +58,7 @@ fn main() {
         let t_hy = time(&hybrid, &pq_hy);
 
         let out = iterate.align_prepared(&pq_it, s, &mut scratch).unwrap();
-        let sweeps =
-            out.stats.lazy_sweeps as f64 / out.stats.iterate_columns.max(1) as f64;
+        let sweeps = out.stats.lazy_sweeps as f64 / out.stats.iterate_columns.max(1) as f64;
         println!(
             "{:<8} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>9} {:>14.2}",
             spec.label(),

@@ -1,0 +1,336 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API shape the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`criterion_group!`], [`criterion_main!`] — over a simple
+//! mean-of-samples timer. No statistical analysis, plots, or saved
+//! baselines; results print one line per benchmark:
+//!
+//! ```text
+//! bench fig9/sw-aff/cpu/iterate/q500 ... 1.234 ms/iter (20 samples)
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accept (and ignore) CLI arguments, like real criterion's
+    /// `configure_from_args`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            name,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Run one stand-alone benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &id.full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+}
+
+/// A named group sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(
+            &label,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(
+            &label,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Label from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { full: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { full: s }
+    }
+}
+
+/// Hands the closure under measurement to the timer.
+pub struct Bencher {
+    mode: BencherMode,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    secs_per_iter: f64,
+    iters_done: u64,
+}
+
+enum BencherMode {
+    /// Run once to estimate cost (warm-up / calibration).
+    Calibrate,
+    /// Run `n` iterations and record the elapsed time.
+    Measure(u64),
+}
+
+impl Bencher {
+    /// Time `f`, keeping its output alive so the call is not optimized
+    /// away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let n = match self.mode {
+            BencherMode::Calibrate => 1,
+            BencherMode::Measure(n) => n,
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.secs_per_iter = elapsed.as_secs_f64() / n as f64;
+        self.iters_done = n;
+    }
+}
+
+/// Opaque value barrier (stable `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: how expensive is one iteration?
+    let mut b = Bencher {
+        mode: BencherMode::Calibrate,
+        secs_per_iter: 0.0,
+        iters_done: 0,
+    };
+    f(&mut b);
+    let per_iter = b.secs_per_iter.max(1e-9);
+
+    // Warm-up within its budget.
+    let warm_iters = (warm_up_time.as_secs_f64() / per_iter).clamp(1.0, 1e6) as u64;
+    b.mode = BencherMode::Measure(warm_iters);
+    f(&mut b);
+
+    // Sampled measurement: split the budget across samples.
+    let budget_per_sample = measurement_time.as_secs_f64() / sample_size as f64;
+    let iters = (budget_per_sample / per_iter).clamp(1.0, 1e7) as u64;
+    let mut total = 0.0;
+    for _ in 0..sample_size {
+        b.mode = BencherMode::Measure(iters);
+        f(&mut b);
+        total += b.secs_per_iter;
+    }
+    let mean = total / sample_size as f64;
+    let (value, unit) = if mean >= 1.0 {
+        (mean, "s")
+    } else if mean >= 1e-3 {
+        (mean * 1e3, "ms")
+    } else if mean >= 1e-6 {
+        (mean * 1e6, "µs")
+    } else {
+        (mean * 1e9, "ns")
+    };
+    println!("bench {label} ... {value:.3} {unit}/iter ({sample_size} samples)");
+}
+
+/// Bundle benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_reports_and_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut calls = 0u64;
+        let calls_ref = &mut calls;
+        c.bench_function("smoke", move |b| {
+            b.iter(|| {
+                *calls_ref += 1;
+            })
+        });
+    }
+
+    #[test]
+    fn group_chaining_compiles() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(1)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::new("case", 42), &42usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,266 @@
+//! Value-generation strategies.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice over same-typed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over the given arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+
+    /// Box one arm (helper for the `prop_oneof!` macro).
+    pub fn arm<S: Strategy<Value = T> + 'static>(s: S) -> BoxedStrategy<T> {
+        Box::new(s)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::RngExt;
+        let k = rng.random_range(0..self.arms.len());
+        self.arms[k].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngExt;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// String-pattern strategy: a `&str` used as a strategy is treated as
+/// a (tiny) regex. Real proptest compiles full regexes; this shim
+/// supports the subset the workspace uses — literal characters, `.`
+/// (any printable-ish char, occasionally a control or non-ASCII one),
+/// character classes `[A-Za-z0-9_.-]`, and the postfix repeats `*`
+/// (0..32) and `{m,n}`. Unsupported constructs panic at generation
+/// time so a silently-wrong generator can't masquerade as coverage.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        use rand::RngExt;
+        let chars: Vec<char> = self.chars().collect();
+        let mut out = String::new();
+        let mut k = 0usize;
+        let any_char = |rng: &mut TestRng| -> char {
+            // Mostly printable ASCII, sometimes the fun stuff.
+            match rng.random_range(0u8..10) {
+                0 => char::from_u32(rng.random_range(1u32..0xD800)).unwrap_or('\u{FFFD}'),
+                1 => ['\n', '\t', '\r', '\0', 'µ', '€', '語'][rng.random_range(0usize..7)],
+                _ => rng.random_range(0x20u8..0x7F) as char,
+            }
+        };
+        while k < chars.len() {
+            // One atom: `.`, `[class]`, or a literal character.
+            let atom: Atom = match chars[k] {
+                '.' => {
+                    k += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let close = chars[k..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {self:?}"));
+                    let inner: Vec<char> = chars[k + 1..k + close].to_vec();
+                    k += close + 1;
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < inner.len() {
+                        if j + 2 < inner.len() && inner[j + 1] == '-' {
+                            for c in inner[j]..=inner[j + 2] {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(inner[j]);
+                            j += 1;
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty class in pattern {self:?}");
+                    Atom::Class(set)
+                }
+                c => {
+                    assert!(
+                        !matches!(c, ']' | '(' | ')' | '{' | '}' | '+' | '?' | '|' | '\\'),
+                        "proptest shim: unsupported regex construct {c:?} in {self:?}"
+                    );
+                    k += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional postfix repeat: `*` or `{m,n}`.
+            let reps = match chars.get(k) {
+                Some('*') => {
+                    k += 1;
+                    rng.random_range(0usize..32)
+                }
+                Some('{') => {
+                    let close = chars[k..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in pattern {self:?}"));
+                    let body: String = chars[k + 1..k + close].iter().collect();
+                    k += close + 1;
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.parse::<usize>().expect("repeat bound"),
+                            b.parse::<usize>().expect("repeat bound"),
+                        ),
+                        None => {
+                            let n = body.parse::<usize>().expect("repeat bound");
+                            (n, n)
+                        }
+                    };
+                    rng.random_range(lo..=hi)
+                }
+                _ => 1,
+            };
+            for _ in 0..reps {
+                match &atom {
+                    Atom::Any => out.push(any_char(rng)),
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.random_range(0..set.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Any,
+    Lit(char),
+    Class(Vec<char>),
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

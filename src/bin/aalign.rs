@@ -158,7 +158,10 @@ fn cmd_pair(args: &[String]) -> Result<(), String> {
         out.stats.iterate_columns
     );
     if flags.has("--traceback") {
-        println!("{}", traceback_align(aligner.config(), &query, &subject).pretty());
+        println!(
+            "{}",
+            traceback_align(aligner.config(), &query, &subject).pretty()
+        );
     }
     Ok(())
 }
@@ -217,8 +220,7 @@ fn cmd_gen_db(args: &[String]) -> Result<(), String> {
     let out_path = flags.get("--out").ok_or("--out required")?;
     let db = swissprot_like_db(seed, count);
     let f = File::create(out_path).map_err(|e| format!("{out_path}: {e}"))?;
-    write_fasta(std::io::BufWriter::new(f), db.sequences(), 60)
-        .map_err(|e| e.to_string())?;
+    write_fasta(std::io::BufWriter::new(f), db.sequences(), 60).map_err(|e| e.to_string())?;
     let stats = db.stats();
     println!(
         "wrote {} sequences ({} residues, mean {:.0}) to {}",
@@ -265,10 +267,11 @@ fn cmd_info() -> Result<(), String> {
     println!("  avx512bw : {}", sup.avx512bw);
     println!();
     for bits in [8u32, 16, 32] {
-        println!("  best backend for i{bits}: {}", aalign::vec::best_backend(bits));
+        println!(
+            "  best backend for i{bits}: {}",
+            aalign::vec::best_backend(bits)
+        );
     }
-    println!(
-        "\nplatform mapping (paper): CPU = avx2 (256-bit), MIC = avx512/i32x16 (512-bit)"
-    );
+    println!("\nplatform mapping (paper): CPU = avx2 (256-bit), MIC = avx512/i32x16 (512-bit)");
     Ok(())
 }

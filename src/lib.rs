@@ -16,8 +16,8 @@
 //! ```
 
 pub use aalign_core::{
-    AlignConfig, AlignError, AlignKind, AlignOutput, AlignScratch, Aligner, GapModel,
-    HybridPolicy, Strategy, WidthPolicy,
+    AlignConfig, AlignError, AlignKind, AlignOutput, AlignScratch, Aligner, GapModel, HybridPolicy,
+    Strategy, WidthPolicy,
 };
 
 /// Bioinformatics substrate: sequences, FASTA, matrices, profiles,

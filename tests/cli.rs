@@ -40,7 +40,11 @@ fn pair_alignment_with_traceback() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("score 17"), "{text}");
     assert!(text.contains("Query"), "{text}");
@@ -80,7 +84,11 @@ fn gen_db_then_search_pipeline() {
             .args(mode)
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let text = String::from_utf8(out.stdout).unwrap();
         assert!(text.contains("searched 40 subjects"), "{text}");
         assert_eq!(text.matches(" bits ").count(), 3, "{text}");

@@ -13,8 +13,8 @@ use aalign::bio::SeqDatabase;
 use aalign::codegen::emit::GapBindings;
 use aalign::codegen::{analyze, parse_program, spec_to_config, ALG1_SMITH_WATERMAN_AFFINE};
 use aalign::core::traceback::traceback_align;
-use aalign::AlignScratch;
 use aalign::par::{search_database, SearchOptions};
+use aalign::AlignScratch;
 use aalign::{AlignConfig, Aligner, GapModel, Strategy};
 
 #[test]
@@ -51,7 +51,10 @@ fn fasta_roundtrip_search_and_traceback() {
     // Traceback of the winner reproduces the search score.
     let aln = traceback_align(aligner.config(), &query, db.get(report.hits[0].db_index));
     assert_eq!(aln.score, report.hits[0].score);
-    assert!(aln.identity > 0.5, "planted hi_hi pair should align tightly");
+    assert!(
+        aln.identity > 0.5,
+        "planted hi_hi pair should align tightly"
+    );
 }
 
 #[test]

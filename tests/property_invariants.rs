@@ -1,8 +1,8 @@
 //! Property-based tests of alignment-theoretic invariants, exercised
 //! through the full SIMD stack (default dispatch).
 
-use aalign::bio::matrices::BLOSUM62;
 use aalign::bio::alphabet::PROTEIN;
+use aalign::bio::matrices::BLOSUM62;
 use aalign::bio::Sequence;
 use aalign::core::traceback::traceback_align;
 use aalign::{AlignConfig, AlignKind, Aligner, GapModel};

@@ -1,0 +1,149 @@
+//! Tier-1 wiring for the static passes in `aalign-analyzer`: every
+//! `cargo test` run verifies the builtin kernels' dataflow legality,
+//! the range analysis the runtime width policy relies on, and the
+//! unsafe-SIMD audit of the backend sources — so a change that breaks
+//! a static guarantee fails the main suite, not just the analyzer's.
+
+use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
+use aalign_analyzer::{analyze_range, verify_dataflow};
+use aalign_bio::matrices::BLOSUM62;
+use aalign_codegen::emit::GapBindings;
+use aalign_codegen::{analyze, parse_program};
+use aalign_core::{AlignConfig, Aligner, WidthPolicy};
+
+const BUILTINS: [(&str, &str); 4] = [
+    ("sw-affine", aalign_codegen::ALG1_SMITH_WATERMAN_AFFINE),
+    ("nw-affine", aalign_codegen::NEEDLEMAN_WUNSCH_AFFINE),
+    ("sw-linear", aalign_codegen::SMITH_WATERMAN_LINEAR),
+    ("nw-linear", aalign_codegen::NEEDLEMAN_WUNSCH_LINEAR),
+];
+
+/// Every builtin kernel must stay legal for striped vectorization.
+#[test]
+fn builtin_kernels_pass_dataflow_verification() {
+    for (name, src) in BUILTINS {
+        let prog = parse_program(src).unwrap();
+        analyze(&prog).unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
+        let report = verify_dataflow(&prog).unwrap_or_else(|diags| {
+            panic!(
+                "{name} failed dataflow verification:\n{}",
+                diags
+                    .iter()
+                    .map(|d| d.render(src))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )
+        });
+        assert!(report.reads_prev_row() && report.reads_prev_col(), "{name}");
+    }
+}
+
+/// A kernel with a reversed dependency must be rejected, and the
+/// diagnostic must carry a span pointing at the offending subscript.
+#[test]
+fn reversed_dependency_is_rejected_with_span() {
+    let src = "\
+for (i = 0; i < n + 1; i = i + 1) { T[0][i] = 0; }
+for (j = 0; j < m + 1; j = j + 1) { T[j][0] = 0; }
+for (i = 1; i < n + 1; i = i + 1) {
+    for (j = 1; j < m + 1; j = j + 1) {
+        D[i][j] = T[i-1][j-1] + BLOSUM62[ctoi(S[i-1])][ctoi(Q[j-1])];
+        T[i][j] = max(0, T[i-1][j] + GAP_EXT, T[i][j+1] + GAP_EXT, D[i][j]);
+    }
+}
+";
+    let prog = parse_program(src).unwrap();
+    let diags = verify_dataflow(&prog).unwrap_err();
+    assert_eq!(diags.len(), 1);
+    let d = &diags[0];
+    assert_eq!(&src[d.span.start..d.span.end], "T[i][j+1]");
+    assert!(d.render(src).contains("^^^^^^^^^"), "{}", d.render(src));
+}
+
+/// The analyzer's width selection and the runtime `Aligner`'s width
+/// policy must agree: the narrowest lane the analysis certifies is
+/// the one the kernels start in.
+#[test]
+fn range_analysis_matches_runtime_width_policy() {
+    let spec =
+        analyze(&parse_program(aalign_codegen::ALG1_SMITH_WATERMAN_AFFINE).unwrap()).unwrap();
+    for (open, ext, m, n) in [
+        (-3i32, -1i32, 256usize, 256usize), // the acceptance case: i16
+        (-12, -2, 4, 4),                    // tiny: i8
+        (-12, -2, 30_000, 30_000),          // long: i32
+    ] {
+        let bind = GapBindings {
+            gap_open: open,
+            gap_ext: ext,
+        };
+        let report = analyze_range(&spec, bind, &BLOSUM62, m, n).unwrap();
+        let bits = report
+            .lane_bits
+            .unwrap_or_else(|| panic!("open {open} ext {ext} rejected"));
+        assert!(
+            report.config.score_bounds(m, n).fits(bits),
+            "selected width must satisfy its own bound"
+        );
+        // The kernel-side check is the same analysis: narrow_ok agrees.
+        for w in [8u32, 16, 32] {
+            let fits = report.config.score_bounds(m, n).fits(w);
+            assert_eq!(
+                fits,
+                !report.rejected_bits.contains(&w),
+                "analyzer and report disagree at i{w}"
+            );
+        }
+        assert!(report.rejected_bits.iter().all(|&r| r < bits));
+    }
+}
+
+/// Score-range soundness, end to end: run the real `Aligner` (auto
+/// width policy, whatever backend this host has) on the acceptance
+/// configuration and check the observed score obeys the bounds.
+#[test]
+fn runtime_scores_obey_analyzer_bounds() {
+    use aalign_bio::synth::{named_query, seeded_rng, Level, PairSpec};
+
+    let spec =
+        analyze(&parse_program(aalign_codegen::ALG1_SMITH_WATERMAN_AFFINE).unwrap()).unwrap();
+    let bind = GapBindings {
+        gap_open: -3,
+        gap_ext: -1,
+    };
+    let report = analyze_range(&spec, bind, &BLOSUM62, 200, 240).unwrap();
+    let cfg: AlignConfig = report.config.clone();
+    let aligner = Aligner::new(cfg).with_width(WidthPolicy::Auto);
+    let mut rng = seeded_rng(42);
+    let q = named_query(&mut rng, 180);
+    for pair in [
+        PairSpec::new(Level::Hi, Level::Hi),
+        PairSpec::new(Level::Md, Level::Lo),
+    ] {
+        let s = pair.generate(&mut rng, &q).subject;
+        let score = i64::from(aligner.align(&q, &s).unwrap().score);
+        assert!(
+            (report.bounds.t_min..=report.bounds.t_max).contains(&score),
+            "observed {score} outside [{}, {}]",
+            report.bounds.t_min,
+            report.bounds.t_max
+        );
+    }
+}
+
+/// The SIMD backends stay audited: SAFETY comments, target-feature
+/// contracts, and the pinned unsafe-count baseline.
+#[test]
+fn vec_backends_stay_audited() {
+    let report = audit_dir(&default_vec_src_dir()).unwrap();
+    assert!(
+        report.is_clean(),
+        "audit findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.check_baseline(VEC_BASELINE).is_empty());
+}
