@@ -1,7 +1,7 @@
 //! Score range / overflow analysis (pass 1).
 //!
 //! A spec-driven front end over the
-//! [`ScoreBounds`](aalign_core::ScoreBounds) interval arithmetic in
+//! [`aalign_core::ScoreBounds`] interval arithmetic in
 //! `aalign-core`: bind a [`KernelSpec`]'s symbolic gap constants,
 //! attach a matrix and maximum sequence lengths, and report — before
 //! anything runs — the conservative T/U/L value intervals, the

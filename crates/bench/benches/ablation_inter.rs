@@ -47,10 +47,7 @@ fn bench_inter(c: &mut Criterion) {
                         &intra,
                         &query,
                         &db,
-                        SearchOptions {
-                            threads: 1,
-                            top_n: 5,
-                        },
+                        SearchOptions::new().threads(1).top_n(5),
                     )
                     .unwrap()
                     .hits
@@ -67,10 +64,7 @@ fn bench_inter(c: &mut Criterion) {
                         &cfg,
                         &query,
                         &db,
-                        SearchOptions {
-                            threads: 1,
-                            top_n: 5,
-                        },
+                        SearchOptions::new().threads(1).top_n(5),
                     )
                     .unwrap()
                     .hits

@@ -36,18 +36,10 @@ fn bench_fig11(c: &mut Criterion) {
             .with_isa(Platform::Cpu.isa());
         group.bench_with_input(BenchmarkId::new("aalign-cpu", q.id()), q, |b, q| {
             b.iter(|| {
-                search_database(
-                    &cpu,
-                    q,
-                    &db,
-                    SearchOptions {
-                        threads: 1,
-                        top_n: 5,
-                    },
-                )
-                .unwrap()
-                .hits
-                .len()
+                search_database(&cpu, q, &db, SearchOptions::new().threads(1).top_n(5))
+                    .unwrap()
+                    .hits
+                    .len()
             })
         });
 
@@ -71,18 +63,10 @@ fn bench_fig11(c: &mut Criterion) {
             .with_width(WidthPolicy::Fixed32);
         group.bench_with_input(BenchmarkId::new("aalign-mic", q.id()), q, |b, q| {
             b.iter(|| {
-                search_database(
-                    &mic,
-                    q,
-                    &db,
-                    SearchOptions {
-                        threads: 1,
-                        top_n: 5,
-                    },
-                )
-                .unwrap()
-                .hits
-                .len()
+                search_database(&mic, q, &db, SearchOptions::new().threads(1).top_n(5))
+                    .unwrap()
+                    .hits
+                    .len()
             })
         });
 

@@ -106,8 +106,13 @@ fn main() {
             .with_width(WidthPolicy::Auto);
         let t_aalign = time_min(
             || {
-                let _ =
-                    search_database(&aalign, q, db, SearchOptions { threads, top_n: 10 }).unwrap();
+                let _ = search_database(
+                    &aalign,
+                    q,
+                    db,
+                    SearchOptions::new().threads(threads).top_n(10),
+                )
+                .unwrap();
             },
             warmup,
             reps,
@@ -149,8 +154,13 @@ fn main() {
             .with_width(WidthPolicy::Fixed32);
         let t_aalign = time_min(
             || {
-                let _ =
-                    search_database(&aalign, q, db, SearchOptions { threads, top_n: 10 }).unwrap();
+                let _ = search_database(
+                    &aalign,
+                    q,
+                    db,
+                    SearchOptions::new().threads(threads).top_n(10),
+                )
+                .unwrap();
             },
             warmup,
             reps,

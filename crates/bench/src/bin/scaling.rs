@@ -49,17 +49,26 @@ fn main() {
     while threads <= max_threads {
         let t_intra = time_min(
             || {
-                let _ = search_database(&aligner, &query, &db, SearchOptions { threads, top_n: 5 })
-                    .unwrap();
+                let _ = search_database(
+                    &aligner,
+                    &query,
+                    &db,
+                    SearchOptions::new().threads(threads).top_n(5),
+                )
+                .unwrap();
             },
             1,
             if quick { 1 } else { 3 },
         );
         let t_inter = time_min(
             || {
-                let _ =
-                    search_database_inter(&cfg, &query, &db, SearchOptions { threads, top_n: 5 })
-                        .unwrap();
+                let _ = search_database_inter(
+                    &cfg,
+                    &query,
+                    &db,
+                    SearchOptions::new().threads(threads).top_n(5),
+                )
+                .unwrap();
             },
             1,
             if quick { 1 } else { 3 },

@@ -62,6 +62,15 @@ impl SeqDatabase {
         &self.seqs[i]
     }
 
+    /// Id of the sequence at position `i`.
+    ///
+    /// Search hits store only the database index (no per-hit `String`
+    /// allocation in the sweep's hot loop); resolve ids through this
+    /// accessor when rendering results.
+    pub fn id(&self, i: usize) -> &str {
+        self.seqs[i].id()
+    }
+
     /// Indices of all sequences sorted by descending length — the
     /// paper's processing order (longest first keeps the tail of a
     /// dynamic schedule short).

@@ -17,7 +17,9 @@
 
 use std::sync::Arc;
 
-use aalign_bio::SubstMatrix;
+use aalign_bio::{Sequence, SubstMatrix};
+
+use crate::kernel::AlignError;
 
 /// Local (Smith-Waterman), global (Needleman-Wunsch) or semi-global
 /// alignment.
@@ -241,6 +243,21 @@ impl AlignConfig {
     /// Short label like `sw-aff` used in reports.
     pub fn label(&self) -> String {
         format!("{}-{}", self.kind.short(), self.gap.short())
+    }
+
+    /// Verify `s` is encoded over this configuration's matrix
+    /// alphabet — the shared precondition of every kernel entry point
+    /// ([`Aligner::align`](crate::Aligner::align), the prepared path,
+    /// the inter-sequence engine, and the search drivers all call
+    /// this).
+    pub fn check_seq(&self, s: &Sequence) -> Result<(), AlignError> {
+        if core::ptr::eq(s.alphabet(), self.matrix.alphabet()) {
+            Ok(())
+        } else {
+            Err(AlignError::AlphabetMismatch {
+                id: s.id().to_string(),
+            })
+        }
     }
 
     /// Interval analysis of the recurrences: conservative bounds on

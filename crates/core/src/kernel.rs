@@ -58,8 +58,13 @@ pub enum WidthPolicy {
     Fixed32,
 }
 
-/// Errors surfaced by [`Aligner`].
+/// Errors surfaced by [`Aligner`] and the search drivers.
+///
+/// Marked `#[non_exhaustive]`: downstream matches need a wildcard
+/// arm, which lets the engine grow failure modes (cancellation was
+/// the first addition) without breaking callers.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum AlignError {
     /// The query has no residues (profiles require ≥ 1).
     EmptyQuery,
@@ -68,6 +73,9 @@ pub enum AlignError {
         /// Offending sequence id.
         id: String,
     },
+    /// The operation was aborted via a cancellation token before it
+    /// completed; partial results are discarded.
+    Cancelled,
 }
 
 impl core::fmt::Display for AlignError {
@@ -80,6 +88,7 @@ impl core::fmt::Display for AlignError {
                     "sequence {id:?} uses a different alphabet than the matrix"
                 )
             }
+            Self::Cancelled => write!(f, "operation cancelled by caller"),
         }
     }
 }
@@ -101,6 +110,21 @@ pub struct RunStats {
     pub switches_to_scan: usize,
     /// Hybrid: probes that stayed in iterate.
     pub probes_stayed: usize,
+}
+
+impl RunStats {
+    /// Field-wise accumulation — aggregate the per-alignment counters
+    /// of a whole database sweep into one summary (the search
+    /// engine's metrics layer does this per worker, then across
+    /// workers).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.lazy_iters += other.lazy_iters;
+        self.lazy_sweeps += other.lazy_sweeps;
+        self.iterate_columns += other.iterate_columns;
+        self.scan_columns += other.scan_columns;
+        self.switches_to_scan += other.switches_to_scan;
+        self.probes_stayed += other.probes_stayed;
+    }
 }
 
 /// Result of an alignment.
@@ -325,6 +349,18 @@ impl AlignScratch {
     /// Fresh scratch space.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Bytes currently reserved across all width-specific workspaces.
+    ///
+    /// A reuse hook for pooled callers: after a warm-up alignment the
+    /// value stops growing (buffers are retained, not reallocated),
+    /// so a persistent worker can report — and a test can assert —
+    /// that back-to-back queries pay zero allocation setup.
+    pub fn reserved_bytes(&self) -> usize {
+        self.ws8.reserved_elems() * core::mem::size_of::<i8>()
+            + self.ws16.reserved_elems() * core::mem::size_of::<i16>()
+            + self.ws32.reserved_elems() * core::mem::size_of::<i32>()
     }
 }
 
@@ -611,13 +647,7 @@ impl Aligner {
     }
 
     fn check_seq(&self, s: &Sequence) -> Result<(), AlignError> {
-        if core::ptr::eq(s.alphabet(), self.cfg.matrix.alphabet()) {
-            Ok(())
-        } else {
-            Err(AlignError::AlphabetMismatch {
-                id: s.id().to_string(),
-            })
-        }
+        self.cfg.check_seq(s)
     }
 
     /// Can a `bits`-wide element provably hold every intermediate

@@ -37,6 +37,16 @@ impl<T: ScoreElem> Workspace<T> {
         }
     }
 
+    /// Total elements currently reserved across the four column
+    /// buffers — the scratch-reuse observability hook behind
+    /// [`AlignScratch::reserved_bytes`](crate::AlignScratch::reserved_bytes).
+    pub fn reserved_elems(&self) -> usize {
+        self.arr_t1.capacity()
+            + self.arr_t2.capacity()
+            + self.arr_e.capacity()
+            + self.arr_scan.capacity()
+    }
+
     fn ensure(&mut self, padded: usize) {
         for buf in [
             &mut self.arr_t1,

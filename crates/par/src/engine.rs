@@ -1,0 +1,937 @@
+//! The persistent search engine: a long-lived worker pool behind the
+//! paper's Sec. V-E database sweep.
+//!
+//! The one-shot drivers ([`search_database`](crate::search_database)
+//! and friends) spawn a fresh `thread::scope` per query — fine for
+//! figure replication, wasteful for sustained query traffic. A
+//! [`SearchEngine`] instead spawns its workers **once**; each worker
+//! permanently owns an [`AlignScratch`], so after the first query the
+//! hot loop of every subsequent query touches no allocator and no
+//! thread-creation syscall. Queries are fed to the pool through the
+//! same dynamic binding the paper uses: an atomic work index over the
+//! length-sorted database, pulled in configurable shards.
+//!
+//! Three engine-grade facilities ride on top:
+//!
+//! * **Streaming top-k** — when [`SearchOptions::top_n`] is set, each
+//!   worker keeps a bounded min-heap of its best `top_n` hits instead
+//!   of collecting every hit, so peak hit storage is
+//!   `O(workers × top_n)` rather than `O(db)`; the per-worker heaps
+//!   are merged and ranked at the end. Results are bit-identical to
+//!   collect-then-sort (the heap order is the final rank order).
+//! * **Cancellation + progress** — a [`CancelToken`] is polled at
+//!   every shard boundary (the query returns
+//!   [`AlignError::Cancelled`]), and an optional progress callback
+//!   receives completion snapshots as shards finish.
+//! * **Metrics** — every query produces [`SearchMetrics`]: stage wall
+//!   times, GCUPS, aggregated kernel [`RunStats`], width retries, and
+//!   per-worker load (see [`crate::metrics`]).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use aalign_bio::{SeqDatabase, Sequence};
+use aalign_core::{AlignConfig, AlignError, AlignScratch, Aligner, RunStats};
+
+use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
+use crate::search::{Hit, SearchOptions, SearchReport};
+
+/// Subjects per inter-sequence batch (one vector's worth; the
+/// length-sorted order keeps batches dense).
+pub(crate) const INTER_BATCH: usize = 16;
+
+/// Resolve a requested thread count (`0` = available parallelism).
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+    .max(1)
+}
+
+/// State owned by one pool thread for its whole lifetime.
+struct WorkerState {
+    /// Stable pool-local id (0-based).
+    id: usize,
+    /// Queries served by this thread so far.
+    queries: u64,
+    /// Alignment buffers, retained across queries.
+    scratch: AlignScratch,
+}
+
+/// A unit of work shipped to a pool thread.
+type Job = Box<dyn FnOnce(&mut WorkerState) + Send + 'static>;
+
+/// Erase a job's borrow lifetime so it can cross the pool's
+/// `'static` channel.
+///
+/// SAFETY: every erased job is dispatched by [`SearchEngine::run_on_pool`],
+/// which blocks until the job has signalled completion over its done
+/// channel before returning. The borrows captured by the job are all
+/// owned by `run_on_pool`'s caller frame, which therefore strictly
+/// outlives every access the job performs; after the completion
+/// signal the job body has returned and performs no further access.
+fn erase_job<'env>(job: Box<dyn FnOnce(&mut WorkerState) + Send + 'env>) -> Job {
+    unsafe { std::mem::transmute::<Box<dyn FnOnce(&mut WorkerState) + Send + 'env>, Job>(job) }
+}
+
+struct Worker {
+    sender: mpsc::Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn spawn_worker(id: usize) -> Worker {
+    let (sender, receiver) = mpsc::channel::<Job>();
+    let handle = std::thread::Builder::new()
+        .name(format!("aalign-search-{id}"))
+        .spawn(move || {
+            let mut state = WorkerState {
+                id,
+                queries: 0,
+                scratch: AlignScratch::new(),
+            };
+            while let Ok(job) = receiver.recv() {
+                job(&mut state);
+            }
+        })
+        .expect("failed to spawn search worker thread");
+    Worker {
+        sender,
+        handle: Some(handle),
+    }
+}
+
+/// A persistent, reusable database-search engine.
+///
+/// Construction spawns the worker pool; every
+/// [`search`](SearchEngine::search) /
+/// [`search_inter`](SearchEngine::search_inter) /
+/// [`pipeline`](SearchEngine::pipeline) call reuses it. Dropping the
+/// engine shuts the workers down.
+///
+/// ```
+/// use aalign_core::{AlignConfig, Aligner, GapModel};
+/// use aalign_bio::matrices::BLOSUM62;
+/// use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+/// use aalign_par::{SearchEngine, SearchOptions};
+///
+/// let mut rng = seeded_rng(1);
+/// let db = swissprot_like_db(2, 30);
+/// let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62));
+/// let engine = SearchEngine::new(2);
+/// let opts = SearchOptions::new().top_n(5);
+///
+/// // Back-to-back queries share the same two threads and scratch.
+/// for seed in 0..3u64 {
+///     let query = named_query(&mut rng, 60 + seed as usize);
+///     let report = engine.search(&aligner, &query, &db, &opts).unwrap();
+///     assert_eq!(report.hits.len(), 5);
+///     assert!(report.metrics.gcups > 0.0);
+/// }
+/// assert_eq!(engine.queries_served(), 3);
+/// ```
+pub struct SearchEngine {
+    workers: Vec<Worker>,
+    queries_served: AtomicU64,
+}
+
+impl std::fmt::Debug for SearchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchEngine")
+            .field("threads", &self.workers.len())
+            .field("queries_served", &self.queries_served)
+            .finish()
+    }
+}
+
+/// Everything a sweep shares across workers, independent of the
+/// vectorization axis.
+struct SweepShared<'a> {
+    /// Next work slot (subject index for intra, batch index for
+    /// inter) — the paper's dynamic binding.
+    next: &'a AtomicUsize,
+    /// Subjects completed, across all workers.
+    done: &'a AtomicUsize,
+    /// Residues completed, across all workers.
+    residues_done: &'a AtomicUsize,
+    /// Number of work slots.
+    total_slots: usize,
+    /// Subjects in the whole sweep (for progress snapshots).
+    subjects_total: usize,
+    /// Slots grabbed per atomic fetch.
+    shard: usize,
+    top_n: usize,
+    cancel: Option<&'a CancelToken>,
+    progress: Option<&'a ProgressFn>,
+}
+
+/// Per-worker result of one sweep.
+struct SweepOut {
+    hits: Vec<Hit>,
+    peak_buffered: usize,
+    stats: RunStats,
+    width_retries: u64,
+    err: Option<AlignError>,
+    worker: WorkerMetrics,
+}
+
+/// Counters a slot-scoring closure feeds during the sweep.
+#[derive(Default)]
+struct Tallies {
+    stats: RunStats,
+    width_retries: u64,
+}
+
+/// Max-heap wrapper whose maximum is the *worst* kept hit under the
+/// final rank order (score desc, then db index asc), so `peek`/`pop`
+/// evict correctly for a bounded top-k.
+#[derive(PartialEq, Eq)]
+struct WorstFirst(Hit);
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .score
+            .cmp(&self.0.score)
+            .then(self.0.db_index.cmp(&other.0.db_index))
+    }
+}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// True when `a` ranks strictly ahead of `b` in the final order.
+fn ranks_ahead(a: &Hit, b: &Hit) -> bool {
+    a.score > b.score || (a.score == b.score && a.db_index < b.db_index)
+}
+
+/// Sort hits into the final rank order (score desc, db index asc).
+pub(crate) fn rank_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+}
+
+/// Per-worker hit collector: unbounded when every hit is requested,
+/// a bounded min-heap otherwise.
+enum Collector {
+    All(Vec<Hit>),
+    Top {
+        heap: BinaryHeap<WorstFirst>,
+        cap: usize,
+    },
+}
+
+impl Collector {
+    fn new(top_n: usize) -> Self {
+        if top_n == 0 {
+            Collector::All(Vec::new())
+        } else {
+            Collector::Top {
+                heap: BinaryHeap::with_capacity(top_n + 1),
+                cap: top_n,
+            }
+        }
+    }
+
+    fn offer(&mut self, hit: Hit) {
+        match self {
+            Collector::All(v) => v.push(hit),
+            Collector::Top { heap, cap } => {
+                if heap.len() < *cap {
+                    heap.push(WorstFirst(hit));
+                } else if ranks_ahead(&hit, &heap.peek().expect("cap > 0").0) {
+                    heap.pop();
+                    heap.push(WorstFirst(hit));
+                }
+            }
+        }
+    }
+
+    /// Current (== peak: the buffer never shrinks) number of hits held.
+    fn len(&self) -> usize {
+        match self {
+            Collector::All(v) => v.len(),
+            Collector::Top { heap, .. } => heap.len(),
+        }
+    }
+
+    fn into_hits(self) -> Vec<Hit> {
+        match self {
+            Collector::All(v) => v,
+            Collector::Top { heap, .. } => heap.into_iter().map(|w| w.0).collect(),
+        }
+    }
+}
+
+/// Scores one work slot into the collector, returning the
+/// `(subjects, residues)` it completed.
+type SlotFn<'a> = dyn Fn(&mut AlignScratch, usize, &mut Collector, &mut Tallies) -> Result<(usize, usize), AlignError>
+    + Sync
+    + 'a;
+
+/// The dispatch loop every worker runs for one query: pull shards off
+/// the atomic index, score each slot via `score_slot`, publish
+/// progress, honor cancellation.
+fn run_sweep_worker(
+    shared: &SweepShared<'_>,
+    state: &mut WorkerState,
+    score_slot: &SlotFn<'_>,
+) -> SweepOut {
+    let t0 = Instant::now();
+    state.queries += 1;
+    let mut collector = Collector::new(shared.top_n);
+    let mut tallies = Tallies::default();
+    let mut subjects = 0usize;
+    let mut residues = 0usize;
+    let mut err = None;
+
+    'sweep: loop {
+        if let Some(c) = shared.cancel {
+            if c.is_cancelled() {
+                err = Some(AlignError::Cancelled);
+                break;
+            }
+        }
+        let start = shared.next.fetch_add(shared.shard, Ordering::Relaxed);
+        if start >= shared.total_slots {
+            break;
+        }
+        let end = (start + shared.shard).min(shared.total_slots);
+        let mut shard_subjects = 0usize;
+        let mut shard_residues = 0usize;
+        for slot in start..end {
+            match score_slot(&mut state.scratch, slot, &mut collector, &mut tallies) {
+                Ok((s, r)) => {
+                    shard_subjects += s;
+                    shard_residues += r;
+                }
+                Err(e) => {
+                    err = Some(e);
+                    break 'sweep;
+                }
+            }
+        }
+        subjects += shard_subjects;
+        residues += shard_residues;
+        let done = shared.done.fetch_add(shard_subjects, Ordering::Relaxed) + shard_subjects;
+        let residues_done = shared
+            .residues_done
+            .fetch_add(shard_residues, Ordering::Relaxed)
+            + shard_residues;
+        if let Some(progress) = shared.progress {
+            progress(&SearchProgress {
+                subjects_done: done,
+                subjects_total: shared.subjects_total,
+                residues_done,
+            });
+        }
+    }
+
+    SweepOut {
+        peak_buffered: collector.len(),
+        hits: collector.into_hits(),
+        stats: tallies.stats,
+        width_retries: tallies.width_retries,
+        err,
+        worker: WorkerMetrics {
+            worker_id: state.id,
+            queries_on_worker: state.queries,
+            subjects,
+            residues,
+            busy: t0.elapsed(),
+            scratch_bytes: state.scratch.reserved_bytes(),
+        },
+    }
+}
+
+impl SearchEngine {
+    /// Spawn the worker pool. `threads == 0` uses the host's
+    /// available parallelism. This is the only point at which the
+    /// engine creates threads — queries reuse them.
+    pub fn new(threads: usize) -> Self {
+        let n = resolve_threads(threads);
+        Self {
+            workers: (0..n).map(spawn_worker).collect(),
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pooled worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queries this engine has served since construction.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Run `work` on the first `active` pool workers and collect
+    /// their results in worker order, blocking until all complete.
+    fn run_on_pool<'env, O: Send + 'env>(
+        &self,
+        active: usize,
+        work: impl Fn(&mut WorkerState) -> O + Sync + 'env,
+    ) -> Vec<O> {
+        debug_assert!(active >= 1 && active <= self.workers.len());
+        let work = &work;
+        let results: Mutex<Vec<Option<O>>> = Mutex::new((0..active).map(|_| None).collect());
+        let results = &results;
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        for (slot, worker) in self.workers.iter().take(active).enumerate() {
+            let done_tx = done_tx.clone();
+            let job: Box<dyn FnOnce(&mut WorkerState) + Send + '_> = Box::new(move |state| {
+                let out = work(state);
+                results.lock().expect("results mutex")[slot] = Some(out);
+                let _ = done_tx.send(());
+            });
+            worker
+                .sender
+                .send(erase_job(job))
+                .expect("search worker thread is alive");
+        }
+        drop(done_tx);
+        for _ in 0..active {
+            // A recv error means a worker died mid-job; propagating a
+            // panic here is required for the lifetime-erasure safety
+            // argument (we must not return while jobs may be live).
+            done_rx.recv().expect("search worker panicked");
+        }
+        let collected: Vec<O> = results
+            .lock()
+            .expect("results mutex")
+            .iter_mut()
+            .map(|slot| slot.take().expect("worker result missing"))
+            .collect();
+        collected
+    }
+
+    /// How many workers a sweep with `slots` work items engages.
+    fn active_for(&self, slots: usize) -> usize {
+        self.workers.len().min(slots.max(1))
+    }
+
+    /// Align `query` against every subject of `db` using the pooled
+    /// workers and the intra-sequence (striped) kernels.
+    ///
+    /// `opts.threads` is ignored here — the pool size, fixed at
+    /// construction, governs; the one-shot wrappers consult it when
+    /// sizing their transient engine.
+    pub fn search(
+        &self,
+        aligner: &Aligner,
+        query: &Sequence,
+        db: &SeqDatabase,
+        opts: &SearchOptions,
+    ) -> Result<SearchReport, AlignError> {
+        let t_total = Instant::now();
+        let prepared = aligner.prepare(query)?;
+        let prepare = t_total.elapsed();
+
+        let order = db.sorted_by_length_desc();
+        let shared_ctx = (
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        );
+        let shared = SweepShared {
+            next: &shared_ctx.0,
+            done: &shared_ctx.1,
+            residues_done: &shared_ctx.2,
+            total_slots: order.len(),
+            subjects_total: order.len(),
+            shard: opts.shard.max(1),
+            top_n: opts.top_n,
+            cancel: opts.cancel.as_ref(),
+            progress: opts.progress.as_ref(),
+        };
+        let order = &order;
+        let prepared = &prepared;
+        let score_slot = |scratch: &mut AlignScratch,
+                          slot: usize,
+                          collector: &mut Collector,
+                          tallies: &mut Tallies|
+         -> Result<(usize, usize), AlignError> {
+            let db_index = order[slot];
+            let subject = db.get(db_index);
+            let out = aligner.align_prepared(prepared, subject, scratch)?;
+            tallies.stats.merge(&out.stats);
+            tallies.width_retries += u64::from(out.width_retries);
+            collector.offer(Hit {
+                db_index,
+                len: subject.len(),
+                score: out.score,
+            });
+            Ok((1, subject.len()))
+        };
+
+        let active = self.active_for(order.len());
+        let t_sweep = Instant::now();
+        let outs = self.run_on_pool(active, |state| {
+            run_sweep_worker(&shared, state, &score_slot)
+        });
+        let sweep = t_sweep.elapsed();
+
+        self.finish(
+            query.len(),
+            db.len(),
+            active,
+            outs,
+            opts.top_n,
+            StageTimes {
+                started: t_total,
+                prepare,
+                sweep,
+            },
+        )
+    }
+
+    /// Inter-sequence variant: batches of 16 subjects
+    /// aligned simultaneously, one vector lane each. Hit-identical to
+    /// [`search`](SearchEngine::search); only the vectorization axis
+    /// differs.
+    pub fn search_inter(
+        &self,
+        cfg: &AlignConfig,
+        query: &Sequence,
+        db: &SeqDatabase,
+        opts: &SearchOptions,
+    ) -> Result<SearchReport, AlignError> {
+        let t_total = Instant::now();
+        if query.is_empty() {
+            return Err(AlignError::EmptyQuery);
+        }
+        cfg.check_seq(query)?;
+        for s in db.sequences() {
+            cfg.check_seq(s)?;
+        }
+        let prepare = t_total.elapsed();
+
+        let t2 = cfg.table2();
+        let order = db.sorted_by_length_desc();
+        let batches: Vec<&[usize]> = order.chunks(INTER_BATCH).collect();
+        let shared_ctx = (
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        );
+        let shared = SweepShared {
+            next: &shared_ctx.0,
+            done: &shared_ctx.1,
+            residues_done: &shared_ctx.2,
+            total_slots: batches.len(),
+            subjects_total: order.len(),
+            shard: opts.shard.max(1),
+            top_n: opts.top_n,
+            cancel: opts.cancel.as_ref(),
+            progress: opts.progress.as_ref(),
+        };
+        let batches = &batches;
+        let score_slot = |_scratch: &mut AlignScratch,
+                          slot: usize,
+                          collector: &mut Collector,
+                          _tallies: &mut Tallies|
+         -> Result<(usize, usize), AlignError> {
+            let batch = batches[slot];
+            let subjects: Vec<&Sequence> = batch.iter().map(|&i| db.get(i)).collect();
+            let scores = aalign_core::inter_align_all(t2, &cfg.matrix, query, &subjects);
+            let mut residues = 0usize;
+            for (&db_index, score) in batch.iter().zip(scores) {
+                let len = db.get(db_index).len();
+                residues += len;
+                collector.offer(Hit {
+                    db_index,
+                    len,
+                    score,
+                });
+            }
+            Ok((batch.len(), residues))
+        };
+
+        let active = self.active_for(batches.len());
+        let t_sweep = Instant::now();
+        let outs = self.run_on_pool(active, |state| {
+            run_sweep_worker(&shared, state, &score_slot)
+        });
+        let sweep = t_sweep.elapsed();
+
+        self.finish(
+            query.len(),
+            db.len(),
+            active,
+            outs,
+            opts.top_n,
+            StageTimes {
+                started: t_total,
+                prepare,
+                sweep,
+            },
+        )
+    }
+
+    /// Merge per-worker sweeps into a ranked report with metrics.
+    fn finish(
+        &self,
+        query_len: usize,
+        db_len: usize,
+        active: usize,
+        outs: Vec<SweepOut>,
+        top_n: usize,
+        times: StageTimes,
+    ) -> Result<SearchReport, AlignError> {
+        // A concrete failure (bad subject alphabet, …) outranks the
+        // cancellations it may have triggered in sibling workers.
+        let mut cancelled = false;
+        for out in &outs {
+            match &out.err {
+                Some(AlignError::Cancelled) => cancelled = true,
+                Some(other) => return Err(other.clone()),
+                None => {}
+            }
+        }
+        if cancelled {
+            return Err(AlignError::Cancelled);
+        }
+
+        let t_merge = Instant::now();
+        let mut kernel_stats = RunStats::default();
+        let mut width_retries = 0u64;
+        let mut peak_hits_buffered = 0usize;
+        let mut per_worker = Vec::with_capacity(outs.len());
+        let mut total_residues = 0usize;
+        let mut hits: Vec<Hit> = Vec::with_capacity(outs.iter().map(|o| o.hits.len()).sum());
+        for out in outs {
+            kernel_stats.merge(&out.stats);
+            width_retries += out.width_retries;
+            peak_hits_buffered += out.peak_buffered;
+            total_residues += out.worker.residues;
+            per_worker.push(out.worker);
+            hits.extend(out.hits);
+        }
+        rank_hits(&mut hits);
+        if top_n > 0 {
+            hits.truncate(top_n);
+        }
+        let merge = t_merge.elapsed();
+
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        let cells = query_len as u64 * total_residues as u64;
+        let sweep_secs = times.sweep.as_secs_f64();
+        Ok(SearchReport {
+            hits,
+            threads_used: active,
+            subjects: db_len,
+            total_residues,
+            metrics: SearchMetrics {
+                prepare: times.prepare,
+                sweep: times.sweep,
+                merge,
+                total: times.started.elapsed(),
+                cells,
+                gcups: if sweep_secs > 0.0 {
+                    cells as f64 / sweep_secs / 1e9
+                } else {
+                    0.0
+                },
+                kernel_stats,
+                width_retries,
+                peak_hits_buffered,
+                per_worker,
+            },
+        })
+    }
+}
+
+/// Stage timestamps threaded from a sweep into [`SearchEngine::finish`].
+struct StageTimes {
+    started: Instant,
+    prepare: Duration,
+    sweep: Duration,
+}
+
+impl Drop for SearchEngine {
+    fn drop(&mut self) {
+        for worker in self.workers.drain(..) {
+            let Worker { sender, handle } = worker;
+            // Disconnecting the channel ends the worker's recv loop.
+            drop(sender);
+            if let Some(handle) = handle {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aalign_bio::matrices::BLOSUM62;
+    use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+    use aalign_core::{AlignKind, GapModel, Strategy};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn aligner(kind: AlignKind) -> Aligner {
+        Aligner::new(AlignConfig::new(kind, GapModel::affine(-10, -2), &BLOSUM62))
+            .with_strategy(Strategy::Hybrid)
+    }
+
+    /// Reference: score every subject directly, sort, truncate — the
+    /// pre-engine collect-then-sort semantics.
+    fn reference_hits(a: &Aligner, q: &Sequence, db: &SeqDatabase, top_n: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = (0..db.len())
+            .map(|i| Hit {
+                db_index: i,
+                len: db.get(i).len(),
+                score: a.align(q, db.get(i)).unwrap().score,
+            })
+            .collect();
+        rank_hits(&mut hits);
+        if top_n > 0 {
+            hits.truncate(top_n);
+        }
+        hits
+    }
+
+    #[test]
+    fn engine_matches_oneshot_reference_across_kinds_threads_topn() {
+        let mut rng = seeded_rng(9100);
+        let q = named_query(&mut rng, 70);
+        let db = swissprot_like_db(9101, 40);
+        for kind in [AlignKind::Local, AlignKind::Global, AlignKind::SemiGlobal] {
+            let a = aligner(kind);
+            for threads in [1usize, 4] {
+                let engine = SearchEngine::new(threads);
+                for top_n in [0usize, 5] {
+                    let want = reference_hits(&a, &q, &db, top_n);
+                    let got = engine
+                        .search(&a, &q, &db, &SearchOptions::new().top_n(top_n))
+                        .unwrap();
+                    assert_eq!(got.hits, want, "{kind:?} threads={threads} top_n={top_n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_reused_across_queries_spawns_threads_exactly_once() {
+        let mut rng = seeded_rng(9200);
+        let db = swissprot_like_db(9201, 30);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(3);
+        assert_eq!(engine.threads(), 3);
+        let opts = SearchOptions::new().top_n(3);
+        for query_no in 1..=3u64 {
+            let q = named_query(&mut rng, 50 + query_no as usize * 10);
+            let report = engine.search(&a, &q, &db, &opts).unwrap();
+            assert_eq!(report.metrics.workers(), 3);
+            for w in &report.metrics.per_worker {
+                assert!(w.worker_id < 3, "no new threads may appear: {w:?}");
+                assert_eq!(
+                    w.queries_on_worker, query_no,
+                    "every query must be served by the same pooled thread"
+                );
+            }
+        }
+        assert_eq!(engine.queries_served(), 3);
+    }
+
+    #[test]
+    fn streaming_topk_bounds_hit_storage() {
+        let mut rng = seeded_rng(9300);
+        let q = named_query(&mut rng, 60);
+        let db = swissprot_like_db(9301, 200);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(4);
+        let top_n = 5;
+        let report = engine
+            .search(&a, &q, &db, &SearchOptions::new().top_n(top_n))
+            .unwrap();
+        assert_eq!(report.hits.len(), top_n);
+        assert!(
+            report.metrics.peak_hits_buffered <= engine.threads() * top_n,
+            "peak {} exceeds workers×top_n = {}",
+            report.metrics.peak_hits_buffered,
+            engine.threads() * top_n
+        );
+        // And the unbounded path really is O(db).
+        let full = engine.search(&a, &q, &db, &SearchOptions::new()).unwrap();
+        assert_eq!(full.metrics.peak_hits_buffered, db.len());
+    }
+
+    #[test]
+    fn topk_merge_equals_full_sort_truncate_on_ties() {
+        // Duplicate subjects give exactly tied scores; the streaming
+        // heaps must resolve them identically to sort-then-truncate
+        // (ascending db index among ties).
+        let mut rng = seeded_rng(9400);
+        let q = named_query(&mut rng, 50);
+        let base = swissprot_like_db(9401, 12).sequences().to_vec();
+        let mut seqs = base.clone();
+        for (i, s) in base.iter().enumerate() {
+            seqs.push(Sequence::from_indices(
+                format!("dup_{i}"),
+                s.alphabet(),
+                s.indices().to_vec(),
+            ));
+        }
+        let db = SeqDatabase::new(seqs);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(3);
+        for top_n in [1usize, 4, 13, 24] {
+            let want = reference_hits(&a, &q, &db, top_n);
+            let got = engine
+                .search(&a, &q, &db, &SearchOptions::new().top_n(top_n))
+                .unwrap();
+            assert_eq!(got.hits, want, "top_n={top_n}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_sweep_early() {
+        let mut rng = seeded_rng(9500);
+        let q = named_query(&mut rng, 80);
+        let db = swissprot_like_db(9501, 120);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(1);
+        let token = CancelToken::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let opts = {
+            let token = token.clone();
+            let seen = Arc::clone(&seen);
+            SearchOptions::new()
+                .shard(1)
+                .cancel(token.clone())
+                .on_progress(move |p| {
+                    seen.store(p.subjects_done, Ordering::Relaxed);
+                    if p.subjects_done >= 3 {
+                        token.cancel();
+                    }
+                })
+        };
+        let err = engine.search(&a, &q, &db, &opts).unwrap_err();
+        assert_eq!(err, AlignError::Cancelled);
+        let scored = seen.load(Ordering::Relaxed);
+        assert!(
+            scored >= 3 && scored < db.len(),
+            "sweep must stop early: scored {scored} of {}",
+            db.len()
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_token_fails_fast() {
+        let mut rng = seeded_rng(9600);
+        let q = named_query(&mut rng, 40);
+        let db = swissprot_like_db(9601, 10);
+        let engine = SearchEngine::new(2);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = engine
+            .search(
+                &aligner(AlignKind::Local),
+                &q,
+                &db,
+                &SearchOptions::new().cancel(token),
+            )
+            .unwrap_err();
+        assert_eq!(err, AlignError::Cancelled);
+    }
+
+    #[test]
+    fn metrics_account_for_the_whole_sweep() {
+        let mut rng = seeded_rng(9700);
+        let q = named_query(&mut rng, 90);
+        let db = swissprot_like_db(9701, 50);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(2);
+        let report = engine.search(&a, &q, &db, &SearchOptions::new()).unwrap();
+        let m = &report.metrics;
+        let db_residues: usize = db.sequences().iter().map(Sequence::len).sum();
+        assert_eq!(report.total_residues, db_residues);
+        assert_eq!(m.cells, q.len() as u64 * db_residues as u64);
+        assert!(m.gcups > 0.0);
+        assert_eq!(
+            m.per_worker.iter().map(|w| w.subjects).sum::<usize>(),
+            db.len()
+        );
+        assert_eq!(
+            m.per_worker.iter().map(|w| w.residues).sum::<usize>(),
+            db_residues
+        );
+        // Every subject's columns show up in the kernel mix.
+        assert_eq!(
+            m.kernel_stats.iterate_columns + m.kernel_stats.scan_columns,
+            db_residues
+        );
+        assert!(m.total >= m.sweep);
+        for w in &m.per_worker {
+            assert!(w.scratch_bytes > 0, "warm worker must hold scratch");
+        }
+    }
+
+    #[test]
+    fn scratch_stops_growing_after_warmup() {
+        // Zero-allocation reuse: the scratch footprint after query 2
+        // equals the footprint after query 3 (same database).
+        let mut rng = seeded_rng(9800);
+        let db = swissprot_like_db(9801, 25);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(2);
+        let q = named_query(&mut rng, 100);
+        let footprint = |r: &SearchReport| -> Vec<usize> {
+            r.metrics
+                .per_worker
+                .iter()
+                .map(|w| w.scratch_bytes)
+                .collect()
+        };
+        engine.search(&a, &q, &db, &SearchOptions::new()).unwrap();
+        let warm = footprint(&engine.search(&a, &q, &db, &SearchOptions::new()).unwrap());
+        let again = footprint(&engine.search(&a, &q, &db, &SearchOptions::new()).unwrap());
+        assert_eq!(warm, again, "buffers must be retained, not reallocated");
+    }
+
+    #[test]
+    fn inter_engine_matches_intra_engine() {
+        let mut rng = seeded_rng(9900);
+        let q = named_query(&mut rng, 60);
+        let db = swissprot_like_db(9901, 45);
+        let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let engine = SearchEngine::new(2);
+        let a = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
+        for top_n in [0usize, 7] {
+            let opts = SearchOptions::new().top_n(top_n);
+            let intra = engine.search(&a, &q, &db, &opts).unwrap();
+            let inter = engine.search_inter(&cfg, &q, &db, &opts).unwrap();
+            assert_eq!(intra.hits, inter.hits, "top_n={top_n}");
+        }
+    }
+
+    #[test]
+    fn sharded_binding_is_result_invariant() {
+        let mut rng = seeded_rng(9950);
+        let q = named_query(&mut rng, 70);
+        let db = swissprot_like_db(9951, 60);
+        let a = aligner(AlignKind::Local);
+        let engine = SearchEngine::new(4);
+        let want = engine
+            .search(&a, &q, &db, &SearchOptions::new().top_n(10))
+            .unwrap();
+        for shard in [2usize, 7, 64] {
+            let got = engine
+                .search(&a, &q, &db, &SearchOptions::new().top_n(10).shard(shard))
+                .unwrap();
+            assert_eq!(got.hits, want.hits, "shard={shard}");
+        }
+    }
+}

@@ -6,9 +6,26 @@
 //! let each thread dynamically pull the next unprocessed subject —
 //! an atomic work index, so long subjects never straggle at the end
 //! of a static partition.
+//!
+//! The driver lives in a persistent [`SearchEngine`]: a worker pool
+//! spawned once and fed per-query, so back-to-back queries pay zero
+//! thread or scratch setup. Each worker keeps its own
+//! `AlignScratch`, streams its hits through a bounded top-k heap
+//! (`O(workers × top_n)` memory instead of `O(db)`), and reports
+//! [`WorkerMetrics`] so the dynamic-binding balance is visible per
+//! query. Sweeps honor a [`CancelToken`] and an optional progress
+//! callback, and every report carries [`SearchMetrics`].
+//!
+//! One-shot helpers ([`search_database`], [`search_database_inter`],
+//! [`search_pipeline`]) are thin wrappers that build a transient
+//! engine; results are identical either way.
 
+pub mod engine;
+pub mod metrics;
 pub mod pipeline;
 pub mod search;
 
+pub use engine::SearchEngine;
+pub use metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
 pub use pipeline::{search_pipeline, PipelineHit, PipelineOptions, PipelineReport};
 pub use search::{search_database, search_database_inter, Hit, SearchOptions, SearchReport};

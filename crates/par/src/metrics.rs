@@ -1,0 +1,226 @@
+//! Observability for the search engine: cancellation tokens,
+//! progress reporting, and per-query metrics.
+//!
+//! Everything here is engine-produced, caller-consumed: the sweep
+//! stamps stage wall times, aggregates the kernels' [`RunStats`]
+//! across workers, and records per-worker load so dynamic-binding
+//! balance (paper Sec. V-E) is visible per query instead of only in
+//! offline benchmarks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use aalign_core::RunStats;
+
+/// Cooperative cancellation handle for an in-flight search.
+///
+/// Clone it, hand one clone to [`SearchOptions::cancel`] and keep the
+/// other; calling [`cancel`](CancelToken::cancel) from any thread
+/// makes every worker stop at its next work-item boundary, and the
+/// query returns [`AlignError::Cancelled`].
+///
+/// [`SearchOptions::cancel`]: crate::SearchOptions::cancel
+/// [`AlignError::Cancelled`]: aalign_core::AlignError::Cancelled
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trip the token; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Snapshot delivered to a progress callback after each completed
+/// work shard. Callbacks run on worker threads, so they must be
+/// `Send + Sync` and should be cheap.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct SearchProgress {
+    /// Subjects fully scored so far (across all workers).
+    pub subjects_done: usize,
+    /// Total subjects in this query's sweep.
+    pub subjects_total: usize,
+    /// Residues of the completed subjects.
+    pub residues_done: usize,
+}
+
+impl SearchProgress {
+    /// Completed fraction in `[0, 1]` (1 for an empty sweep).
+    pub fn fraction(&self) -> f64 {
+        if self.subjects_total == 0 {
+            1.0
+        } else {
+            self.subjects_done as f64 / self.subjects_total as f64
+        }
+    }
+}
+
+/// Shared progress callback (see [`SearchProgress`]).
+pub type ProgressFn = Arc<dyn Fn(&SearchProgress) + Send + Sync>;
+
+/// Per-worker accounting for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct WorkerMetrics {
+    /// Stable pool-local worker id (0-based). Ids never exceed the
+    /// pool size: a reused engine serves every query with the same
+    /// threads.
+    pub worker_id: usize,
+    /// Queries this worker thread has served over its lifetime —
+    /// equal across workers and increasing per query exactly when the
+    /// pool is being reused rather than respawned.
+    pub queries_on_worker: u64,
+    /// Subjects this worker scored in this query.
+    pub subjects: usize,
+    /// Residues this worker scored in this query.
+    pub residues: usize,
+    /// Wall time this worker spent inside the sweep.
+    pub busy: Duration,
+    /// Bytes of alignment scratch the worker holds after the query
+    /// (stops growing once warm — the zero-allocation-reuse signal).
+    pub scratch_bytes: usize,
+}
+
+/// Per-query metrics attached to every [`SearchReport`] /
+/// [`PipelineReport`].
+///
+/// [`SearchReport`]: crate::SearchReport
+/// [`PipelineReport`]: crate::PipelineReport
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct SearchMetrics {
+    /// Profile construction ([`Aligner::prepare`]) wall time.
+    ///
+    /// [`Aligner::prepare`]: aalign_core::Aligner::prepare
+    pub prepare: Duration,
+    /// Multithreaded sweep wall time.
+    pub sweep: Duration,
+    /// Result merge + rank wall time.
+    pub merge: Duration,
+    /// End-to-end wall time of the query.
+    pub total: Duration,
+    /// Dynamic-programming cells computed (`query_len × residues`).
+    pub cells: u64,
+    /// Billions of cell updates per second over the sweep stage.
+    pub gcups: f64,
+    /// Kernel counters aggregated across every alignment of the sweep
+    /// (lazy iters/sweeps, iterate/scan column mix, hybrid switches).
+    pub kernel_stats: RunStats,
+    /// Total i16→i32 width escalations taken during the sweep.
+    pub width_retries: u64,
+    /// Peak number of hits buffered across all workers — bounded by
+    /// `workers × top_n` when `top_n > 0` (streaming top-k), `O(db)`
+    /// only when every hit was requested.
+    pub peak_hits_buffered: usize,
+    /// One entry per participating worker, ordered by `worker_id`.
+    pub per_worker: Vec<WorkerMetrics>,
+}
+
+impl SearchMetrics {
+    /// Number of workers that participated in the sweep.
+    pub fn workers(&self) -> usize {
+        self.per_worker.len()
+    }
+
+    /// Render a compact multi-line summary (the CLI's `--stats`
+    /// block).
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let _ = writeln!(
+            s,
+            "stats: prepare {:.2}ms  sweep {:.2}ms  merge {:.2}ms  total {:.2}ms  {:.2} GCUPS",
+            ms(self.prepare),
+            ms(self.sweep),
+            ms(self.merge),
+            ms(self.total),
+            self.gcups,
+        );
+        let k = &self.kernel_stats;
+        let _ = writeln!(
+            s,
+            "kernel: {} iterate / {} scan columns, {} switches, \
+             {} lazy iters, {} lazy sweeps, {} width retries, peak {} hits buffered",
+            k.iterate_columns,
+            k.scan_columns,
+            k.switches_to_scan,
+            k.lazy_iters,
+            k.lazy_sweeps,
+            self.width_retries,
+            self.peak_hits_buffered,
+        );
+        for w in &self.per_worker {
+            let _ = writeln!(
+                s,
+                "worker {:>3}: {:>7} subjects  {:>10} residues  busy {:>8.2}ms  \
+                 scratch {:>8} B  (query #{} on this thread)",
+                w.worker_id,
+                w.subjects,
+                w.residues,
+                ms(w.busy),
+                w.scratch_bytes,
+                w.queries_on_worker,
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_round_trip() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled(), "clones share one flag");
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn progress_fraction_handles_empty_sweep() {
+        let p = SearchProgress {
+            subjects_done: 0,
+            subjects_total: 0,
+            residues_done: 0,
+        };
+        assert_eq!(p.fraction(), 1.0);
+        let p = SearchProgress {
+            subjects_done: 25,
+            subjects_total: 100,
+            residues_done: 9000,
+        };
+        assert!((p.fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_every_stage() {
+        let m = SearchMetrics {
+            per_worker: vec![WorkerMetrics::default()],
+            ..SearchMetrics::default()
+        };
+        let s = m.summary();
+        for needle in ["prepare", "sweep", "merge", "GCUPS", "worker"] {
+            assert!(s.contains(needle), "{needle} missing from {s}");
+        }
+    }
+}

@@ -12,18 +12,29 @@
 //! 3. **Traceback** — full alignments (rows + CIGAR) for the top
 //!    hits only, the expensive part amortized over a handful of
 //!    subjects.
+//!
+//! Like the raw sweep, the pipeline runs on a [`SearchEngine`]: hold
+//! one and call [`SearchEngine::pipeline`] to serve many queries from
+//! the same worker pool; [`search_pipeline`] is the one-shot wrapper.
 
 use aalign_bio::stats::{bit_score, evalue, KarlinParams};
 use aalign_bio::{SeqDatabase, Sequence};
 use aalign_core::traceback::{traceback_align, Alignment};
 use aalign_core::{AlignConfig, AlignError, Aligner, Strategy};
 
-use crate::search::{search_database, search_database_inter, SearchOptions};
+use crate::engine::{resolve_threads, SearchEngine};
+use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress};
+use crate::search::SearchOptions;
 
-/// Pipeline tuning.
-#[derive(Debug, Clone, Copy)]
+/// Pipeline tuning, built fluently
+/// (`PipelineOptions::new().threads(4).max_evalue(1e-3)`).
+///
+/// `#[non_exhaustive]`: construct through [`PipelineOptions::new`].
+#[derive(Clone)]
+#[non_exhaustive]
 pub struct PipelineOptions {
-    /// Worker threads (0 = available parallelism).
+    /// Worker threads for the one-shot wrapper (0 = available
+    /// parallelism); a persistent [`SearchEngine`] uses its pool.
     pub threads: usize,
     /// Keep hits with E-value at or below this cutoff.
     pub max_evalue: f64,
@@ -37,6 +48,10 @@ pub struct PipelineOptions {
     /// length (see the `ablation_inter` bench); raise this if you
     /// swap in a SIMD-gather inter engine.
     pub inter_threshold: f64,
+    /// Cooperative cancellation, honored in every stage.
+    pub cancel: Option<CancelToken>,
+    /// Sweep progress callback (runs on worker threads).
+    pub progress: Option<ProgressFn>,
 }
 
 impl Default for PipelineOptions {
@@ -47,7 +62,74 @@ impl Default for PipelineOptions {
             traceback_top: 5,
             stats: aalign_bio::stats::BLOSUM62_GAPPED_11_1,
             inter_threshold: 0.0,
+            cancel: None,
+            progress: None,
         }
+    }
+}
+
+impl PipelineOptions {
+    /// Default pipeline options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count (0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Keep hits with E-value at or below `cutoff`.
+    pub fn max_evalue(mut self, cutoff: f64) -> Self {
+        self.max_evalue = cutoff;
+        self
+    }
+
+    /// Reconstruct alignments for at most `n` top hits.
+    pub fn traceback_top(mut self, n: usize) -> Self {
+        self.traceback_top = n;
+        self
+    }
+
+    /// Set the Karlin–Altschul statistics parameters.
+    pub fn stats(mut self, stats: KarlinParams) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Use the inter-sequence sweep below this mean subject length.
+    pub fn inter_threshold(mut self, mean_len: f64) -> Self {
+        self.inter_threshold = mean_len;
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a sweep progress callback (runs on worker threads).
+    pub fn on_progress(
+        mut self,
+        callback: impl Fn(&SearchProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(std::sync::Arc::new(callback));
+        self
+    }
+}
+
+impl std::fmt::Debug for PipelineOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineOptions")
+            .field("threads", &self.threads)
+            .field("max_evalue", &self.max_evalue)
+            .field("traceback_top", &self.traceback_top)
+            .field("inter_threshold", &self.inter_threshold)
+            .field("cancel", &self.cancel.is_some())
+            .field("progress", &self.progress.is_some())
+            .finish()
     }
 }
 
@@ -56,7 +138,8 @@ impl Default for PipelineOptions {
 pub struct PipelineHit {
     /// Database index of the subject.
     pub db_index: usize,
-    /// Subject id.
+    /// Subject id (resolved once per surviving hit, after the sweep —
+    /// the sweep itself allocates no ids).
     pub id: String,
     /// Raw alignment score.
     pub score: i32,
@@ -77,56 +160,83 @@ pub struct PipelineReport {
     pub subjects_scored: usize,
     /// Which sweep engine stage 1 used (`"inter"` / `"intra"`).
     pub sweep_mode: &'static str,
+    /// Stage-1 sweep metrics (times, GCUPS, kernel counters,
+    /// per-worker load).
+    pub metrics: SearchMetrics,
 }
 
-/// Run the full pipeline.
+impl SearchEngine {
+    /// Run the full three-stage pipeline on this engine's pool.
+    pub fn pipeline(
+        &self,
+        cfg: &AlignConfig,
+        query: &Sequence,
+        db: &SeqDatabase,
+        opts: &PipelineOptions,
+    ) -> Result<PipelineReport, AlignError> {
+        // Stage 1: sweep.
+        let mut search_opts = SearchOptions::new();
+        search_opts.cancel = opts.cancel.clone();
+        search_opts.progress = opts.progress.clone();
+        let (report, sweep_mode) = if !db.is_empty() && db.stats().mean_len < opts.inter_threshold {
+            (self.search_inter(cfg, query, db, &search_opts)?, "inter")
+        } else {
+            let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
+            (self.search(&aligner, query, db, &search_opts)?, "intra")
+        };
+
+        let cancelled = || -> Result<(), AlignError> {
+            match &opts.cancel {
+                Some(token) if token.is_cancelled() => Err(AlignError::Cancelled),
+                _ => Ok(()),
+            }
+        };
+
+        // Stage 2: statistics + cutoff.
+        cancelled()?;
+        let db_residues: usize = report.total_residues;
+        let mut hits: Vec<PipelineHit> = report
+            .hits
+            .into_iter()
+            .filter_map(|h| {
+                let bits = bit_score(h.score, opts.stats);
+                let ev = evalue(bits, query.len(), db_residues.max(1));
+                (ev <= opts.max_evalue).then(|| PipelineHit {
+                    db_index: h.db_index,
+                    id: db.id(h.db_index).to_string(),
+                    score: h.score,
+                    bits,
+                    evalue: ev,
+                    alignment: None,
+                })
+            })
+            .collect();
+
+        // Stage 3: traceback for the top hits.
+        for hit in hits.iter_mut().take(opts.traceback_top) {
+            cancelled()?;
+            hit.alignment = Some(traceback_align(cfg, query, db.get(hit.db_index)));
+        }
+
+        Ok(PipelineReport {
+            hits,
+            subjects_scored: report.subjects,
+            sweep_mode,
+            metrics: report.metrics,
+        })
+    }
+}
+
+/// Run the full pipeline on a transient engine (one-shot wrapper over
+/// [`SearchEngine::pipeline`]).
 pub fn search_pipeline(
     cfg: &AlignConfig,
     query: &Sequence,
     db: &SeqDatabase,
     opts: PipelineOptions,
 ) -> Result<PipelineReport, AlignError> {
-    // Stage 1: sweep.
-    let search_opts = SearchOptions {
-        threads: opts.threads,
-        top_n: 0,
-    };
-    let (report, sweep_mode) = if !db.is_empty() && db.stats().mean_len < opts.inter_threshold {
-        (search_database_inter(cfg, query, db, search_opts)?, "inter")
-    } else {
-        let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
-        (search_database(&aligner, query, db, search_opts)?, "intra")
-    };
-
-    // Stage 2: statistics + cutoff.
-    let db_residues: usize = report.total_residues;
-    let mut hits: Vec<PipelineHit> = report
-        .hits
-        .into_iter()
-        .filter_map(|h| {
-            let bits = bit_score(h.score, opts.stats);
-            let ev = evalue(bits, query.len(), db_residues.max(1));
-            (ev <= opts.max_evalue).then_some(PipelineHit {
-                db_index: h.db_index,
-                id: h.id,
-                score: h.score,
-                bits,
-                evalue: ev,
-                alignment: None,
-            })
-        })
-        .collect();
-
-    // Stage 3: traceback for the top hits.
-    for hit in hits.iter_mut().take(opts.traceback_top) {
-        hit.alignment = Some(traceback_align(cfg, query, db.get(hit.db_index)));
-    }
-
-    Ok(PipelineReport {
-        hits,
-        subjects_scored: report.subjects,
-        sweep_mode,
-    })
+    let pool = resolve_threads(opts.threads).min(db.len().max(1));
+    SearchEngine::new(pool).pipeline(cfg, query, db, &opts)
 }
 
 #[cfg(test)]
@@ -158,11 +268,7 @@ mod tests {
             &cfg(),
             &q,
             &db,
-            PipelineOptions {
-                max_evalue: 1e-3,
-                traceback_top: 2,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::new().max_evalue(1e-3).traceback_top(2),
         )
         .unwrap();
         assert_eq!(report.sweep_mode, "intra");
@@ -176,6 +282,9 @@ mod tests {
         for h in &report.hits {
             assert!(h.evalue <= 1e-3);
         }
+        // Sweep metrics ride along on the pipeline report.
+        assert!(report.metrics.gcups > 0.0);
+        assert!(!report.metrics.per_worker.is_empty());
     }
 
     #[test]
@@ -191,20 +300,22 @@ mod tests {
             &cfg(),
             &q,
             &db,
-            PipelineOptions {
-                max_evalue: 1e6, // keep everything; we compare scores
-                traceback_top: 0,
-                inter_threshold: 200.0, // opt in to the inter sweep
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::new()
+                .max_evalue(1e6) // keep everything; we compare scores
+                .traceback_top(0)
+                .inter_threshold(200.0), // opt in to the inter sweep
         )
         .unwrap();
         assert_eq!(report.sweep_mode, "inter");
         assert_eq!(report.hits.len(), 64);
         // Scores identical to the intra path.
-        let intra =
-            crate::search::search_database(&Aligner::new(cfg()), &q, &db, SearchOptions::default())
-                .unwrap();
+        let intra = crate::search::search_database(
+            &Aligner::new(cfg()),
+            &q,
+            &db,
+            crate::search::SearchOptions::new(),
+        )
+        .unwrap();
         for (a, b) in report.hits.iter().zip(&intra.hits) {
             assert_eq!(a.score, b.score);
             assert_eq!(a.db_index, b.db_index);
@@ -215,13 +326,8 @@ mod tests {
     fn empty_database_yields_empty_report() {
         let mut rng = seeded_rng(780);
         let q = named_query(&mut rng, 30);
-        let report = search_pipeline(
-            &cfg(),
-            &q,
-            &SeqDatabase::default(),
-            PipelineOptions::default(),
-        )
-        .unwrap();
+        let report =
+            search_pipeline(&cfg(), &q, &SeqDatabase::default(), PipelineOptions::new()).unwrap();
         assert!(report.hits.is_empty());
         assert_eq!(report.subjects_scored, 0);
     }
@@ -243,14 +349,40 @@ mod tests {
             &cfg(),
             &q,
             &db,
-            PipelineOptions {
-                max_evalue: 1e9,
-                traceback_top: 3,
-                ..PipelineOptions::default()
-            },
+            PipelineOptions::new().max_evalue(1e9).traceback_top(3),
         )
         .unwrap();
         let with_aln = report.hits.iter().filter(|h| h.alignment.is_some()).count();
         assert_eq!(with_aln, 3);
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_pipeline() {
+        let mut rng = seeded_rng(782);
+        let q = named_query(&mut rng, 60);
+        let db = swissprot_like_db(783, 20);
+        let token = CancelToken::new();
+        token.cancel();
+        let err =
+            search_pipeline(&cfg(), &q, &db, PipelineOptions::new().cancel(token)).unwrap_err();
+        assert_eq!(err, AlignError::Cancelled);
+    }
+
+    #[test]
+    fn engine_pipeline_reuses_the_pool() {
+        let mut rng = seeded_rng(784);
+        let db = swissprot_like_db(785, 25);
+        let engine = SearchEngine::new(2);
+        for n in 1..=2u64 {
+            let q = named_query(&mut rng, 80);
+            let report = engine
+                .pipeline(&cfg(), &q, &db, &PipelineOptions::new().max_evalue(1e9))
+                .unwrap();
+            assert_eq!(report.subjects_scored, 25);
+            for w in &report.metrics.per_worker {
+                assert_eq!(w.queries_on_worker, n);
+            }
+        }
+        assert_eq!(engine.queries_served(), 2);
     }
 }

@@ -1,34 +1,115 @@
-//! The dynamic-binding database search.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! The dynamic-binding database search: options, reports, and the
+//! one-shot drivers (thin wrappers over [`SearchEngine`]).
 
 use aalign_bio::SeqDatabase;
 use aalign_bio::Sequence;
-use aalign_core::{AlignError, AlignScratch, Aligner};
+use aalign_core::{AlignError, Aligner};
+
+use crate::engine::{resolve_threads, SearchEngine, INTER_BATCH};
+use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress};
 
 /// One database hit.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Stores only plain numbers — no per-hit `String` is allocated in
+/// the sweep's hot loop. Resolve the subject id lazily through the
+/// database: [`SeqDatabase::id`]`(hit.db_index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Hit {
     /// Index of the subject in the database.
     pub db_index: usize,
-    /// Subject id.
-    pub id: String,
     /// Subject length.
     pub len: usize,
     /// Alignment score.
     pub score: i32,
 }
 
-/// Search tuning.
-#[derive(Debug, Clone, Copy, Default)]
+/// Search tuning, built fluently:
+///
+/// ```
+/// use aalign_par::SearchOptions;
+/// let opts = SearchOptions::new().threads(4).top_n(10);
+/// assert_eq!(opts.threads, 4);
+/// assert_eq!(opts.top_n, 10);
+/// ```
+///
+/// `#[non_exhaustive]`: construct through [`SearchOptions::new`] so
+/// the engine can grow fields (cancellation, progress, and shard size
+/// were added this way) without breaking callers.
+#[derive(Clone, Default)]
+#[non_exhaustive]
 pub struct SearchOptions {
-    /// Worker thread count (0 = available parallelism).
+    /// Worker thread count for the one-shot drivers
+    /// (0 = available parallelism). A persistent [`SearchEngine`]
+    /// uses its own pool size instead.
     pub threads: usize,
-    /// Keep only the best `top_n` hits (0 = keep every hit).
+    /// Keep only the best `top_n` hits (0 = keep every hit). When
+    /// set, workers stream hits through bounded heaps: peak hit
+    /// storage is `O(threads × top_n)` instead of `O(db)`.
     pub top_n: usize,
+    /// Work-items grabbed per atomic fetch (0 or 1 = one at a time,
+    /// the paper's per-subject dynamic binding). Larger shards trade
+    /// scheduling traffic for tail balance; results are identical.
+    pub shard: usize,
+    /// Cooperative cancellation token, polled at shard boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Progress callback, invoked (on worker threads) as shards
+    /// complete.
+    pub progress: Option<ProgressFn>,
 }
 
-/// Search result: ranked hits plus counters.
+impl SearchOptions {
+    /// Default options: all cores, every hit, per-subject binding.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count (0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Keep only the best `top_n` hits (0 = keep every hit).
+    pub fn top_n(mut self, top_n: usize) -> Self {
+        self.top_n = top_n;
+        self
+    }
+
+    /// Set the dynamic-binding shard size.
+    pub fn shard(mut self, shard: usize) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a progress callback (runs on worker threads).
+    pub fn on_progress(
+        mut self,
+        callback: impl Fn(&SearchProgress) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(std::sync::Arc::new(callback));
+        self
+    }
+}
+
+impl std::fmt::Debug for SearchOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchOptions")
+            .field("threads", &self.threads)
+            .field("top_n", &self.top_n)
+            .field("shard", &self.shard)
+            .field("cancel", &self.cancel.is_some())
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// Search result: ranked hits plus counters and per-query metrics.
 #[derive(Debug, Clone)]
 pub struct SearchReport {
     /// Hits sorted by descending score (ties: ascending db index).
@@ -39,6 +120,9 @@ pub struct SearchReport {
     pub subjects: usize,
     /// Total residues aligned (cell count / query length).
     pub total_residues: usize,
+    /// Per-query observability: stage times, GCUPS, kernel counters,
+    /// per-worker load.
+    pub metrics: SearchMetrics,
 }
 
 /// Align `query` against every subject in `db` with `aligner`'s
@@ -55,84 +139,45 @@ pub struct SearchReport {
 /// let db = swissprot_like_db(2, 20);
 /// let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62));
 /// let report = search_database(&aligner, &query, &db,
-///     SearchOptions { threads: 2, top_n: 5 }).unwrap();
+///     SearchOptions::new().threads(2).top_n(5)).unwrap();
 /// assert_eq!(report.hits.len(), 5);
+/// println!("{}", db.id(report.hits[0].db_index));
 /// ```
 ///
 /// The query profile is built once ([`Aligner::prepare`]) and shared;
 /// subjects are processed longest-first via an atomic work index
 /// (the paper's dynamic binding); each worker owns one scratch
 /// buffer set, so the hot loop does not allocate.
+///
+/// This is a one-shot convenience over [`SearchEngine`]: it spins a
+/// transient pool up and down per call. To serve many queries, hold a
+/// [`SearchEngine`] and call [`SearchEngine::search`] — same results,
+/// zero per-query thread and allocation setup.
 pub fn search_database(
     aligner: &Aligner,
     query: &Sequence,
     db: &SeqDatabase,
     opts: SearchOptions,
 ) -> Result<SearchReport, AlignError> {
-    let prepared = aligner.prepare(query)?;
-    let order = db.sorted_by_length_desc();
-    let next = AtomicUsize::new(0);
+    let pool = resolve_threads(opts.threads).min(db.len().max(1));
+    SearchEngine::new(pool).search(aligner, query, db, &opts)
+}
 
-    let threads_used = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    }
-    .max(1)
-    .min(order.len().max(1));
-
-    let mut all_hits: Vec<Hit> = Vec::with_capacity(db.len());
-    let mut total_residues = 0usize;
-
-    std::thread::scope(|scope| -> Result<(), AlignError> {
-        let mut handles = Vec::with_capacity(threads_used);
-        for _ in 0..threads_used {
-            let next = &next;
-            let order = &order;
-            let prepared = &prepared;
-            handles.push(scope.spawn(move || {
-                let mut scratch = AlignScratch::new();
-                let mut hits = Vec::new();
-                let mut residues = 0usize;
-                loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    if slot >= order.len() {
-                        break;
-                    }
-                    let db_index = order[slot];
-                    let subject = db.get(db_index);
-                    let out = aligner.align_prepared(prepared, subject, &mut scratch)?;
-                    residues += subject.len();
-                    hits.push(Hit {
-                        db_index,
-                        id: subject.id().to_string(),
-                        len: subject.len(),
-                        score: out.score,
-                    });
-                }
-                Ok::<(Vec<Hit>, usize), AlignError>((hits, residues))
-            }));
-        }
-        for h in handles {
-            let (hits, residues) = h.join().expect("worker panicked")?;
-            all_hits.extend(hits);
-            total_residues += residues;
-        }
-        Ok(())
-    })?;
-
-    all_hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-    if opts.top_n > 0 {
-        all_hits.truncate(opts.top_n);
-    }
-    Ok(SearchReport {
-        subjects: db.len(),
-        threads_used,
-        total_residues,
-        hits: all_hits,
-    })
+/// Inter-sequence database search (extension): batches of 16
+/// subjects aligned simultaneously, one lane each — the mode that
+/// wins for databases of short sequences. Results are identical to
+/// [`search_database`]; only the vectorization axis differs.
+///
+/// One-shot wrapper over [`SearchEngine::search_inter`].
+pub fn search_database_inter(
+    cfg: &aalign_core::AlignConfig,
+    query: &Sequence,
+    db: &SeqDatabase,
+    opts: SearchOptions,
+) -> Result<SearchReport, AlignError> {
+    let batches = db.len().div_ceil(INTER_BATCH).max(1);
+    let pool = resolve_threads(opts.threads).min(batches);
+    SearchEngine::new(pool).search_inter(cfg, query, db, &opts)
 }
 
 #[cfg(test)]
@@ -153,26 +198,8 @@ mod tests {
         let q = named_query(&mut rng, 80);
         let db = swissprot_like_db(51, 60);
         let a = aligner();
-        let one = search_database(
-            &a,
-            &q,
-            &db,
-            SearchOptions {
-                threads: 1,
-                top_n: 0,
-            },
-        )
-        .unwrap();
-        let four = search_database(
-            &a,
-            &q,
-            &db,
-            SearchOptions {
-                threads: 4,
-                top_n: 0,
-            },
-        )
-        .unwrap();
+        let one = search_database(&a, &q, &db, SearchOptions::new().threads(1)).unwrap();
+        let four = search_database(&a, &q, &db, SearchOptions::new().threads(4)).unwrap();
         assert_eq!(one.hits, four.hits, "thread count must not change results");
         assert_eq!(one.subjects, 60);
         assert_eq!(four.threads_used, 4);
@@ -193,14 +220,15 @@ mod tests {
             &aligner(),
             &q,
             &db,
-            SearchOptions {
-                threads: 2,
-                top_n: 5,
-            },
+            SearchOptions::new().threads(2).top_n(5),
         )
         .unwrap();
         assert_eq!(report.hits.len(), 5);
-        assert_eq!(report.hits[0].id, planted_id, "planted hit must win");
+        assert_eq!(
+            db.id(report.hits[0].db_index),
+            planted_id,
+            "planted hit must win"
+        );
         assert!(report.hits[0].score > report.hits[1].score);
     }
 
@@ -209,7 +237,7 @@ mod tests {
         let mut rng = seeded_rng(70);
         let q = named_query(&mut rng, 50);
         let db = swissprot_like_db(71, 25);
-        let report = search_database(&aligner(), &q, &db, SearchOptions::default()).unwrap();
+        let report = search_database(&aligner(), &q, &db, SearchOptions::new()).unwrap();
         assert_eq!(report.hits.len(), 25);
         // Sorted by score descending.
         for w in report.hits.windows(2) {
@@ -223,19 +251,10 @@ mod tests {
         let q = named_query(&mut rng, 64);
         let db = swissprot_like_db(81, 10);
         let a = aligner();
-        let report = search_database(
-            &a,
-            &q,
-            &db,
-            SearchOptions {
-                threads: 3,
-                top_n: 0,
-            },
-        )
-        .unwrap();
+        let report = search_database(&a, &q, &db, SearchOptions::new().threads(3)).unwrap();
         for hit in &report.hits {
             let direct = a.align(&q, db.get(hit.db_index)).unwrap();
-            assert_eq!(hit.score, direct.score, "{}", hit.id);
+            assert_eq!(hit.score, direct.score, "{}", db.id(hit.db_index));
         }
     }
 
@@ -243,7 +262,7 @@ mod tests {
     fn empty_query_propagates_error() {
         let q = Sequence::protein("e", b"").unwrap();
         let db = swissprot_like_db(91, 5);
-        let err = search_database(&aligner(), &q, &db, SearchOptions::default()).unwrap_err();
+        let err = search_database(&aligner(), &q, &db, SearchOptions::new()).unwrap_err();
         assert_eq!(err, AlignError::EmptyQuery);
     }
 
@@ -252,107 +271,28 @@ mod tests {
         let mut rng = seeded_rng(100);
         let q = named_query(&mut rng, 30);
         let db = SeqDatabase::default();
-        let report = search_database(&aligner(), &q, &db, SearchOptions::default()).unwrap();
+        let report = search_database(&aligner(), &q, &db, SearchOptions::new()).unwrap();
         assert!(report.hits.is_empty());
         assert_eq!(report.subjects, 0);
     }
-}
 
-/// Inter-sequence database search (extension): batches of
-/// `LANES` subjects aligned simultaneously, one lane each — the mode
-/// that wins for databases of short sequences. Results are identical
-/// to [`search_database`]; only the vectorization axis differs.
-pub fn search_database_inter(
-    cfg: &aalign_core::AlignConfig,
-    query: &Sequence,
-    db: &SeqDatabase,
-    opts: SearchOptions,
-) -> Result<SearchReport, AlignError> {
-    if query.is_empty() {
-        return Err(AlignError::EmptyQuery);
+    #[test]
+    fn options_builder_round_trips() {
+        let token = CancelToken::new();
+        let opts = SearchOptions::new()
+            .threads(8)
+            .top_n(20)
+            .shard(4)
+            .cancel(token)
+            .on_progress(|_| {});
+        assert_eq!(opts.threads, 8);
+        assert_eq!(opts.top_n, 20);
+        assert_eq!(opts.shard, 4);
+        assert!(opts.cancel.is_some());
+        assert!(opts.progress.is_some());
+        let dbg = format!("{opts:?}");
+        assert!(dbg.contains("threads: 8"), "{dbg}");
     }
-    let check = |s: &Sequence| -> Result<(), AlignError> {
-        if core::ptr::eq(s.alphabet(), cfg.matrix.alphabet()) {
-            Ok(())
-        } else {
-            Err(AlignError::AlphabetMismatch {
-                id: s.id().to_string(),
-            })
-        }
-    };
-    check(query)?;
-    for s in db.sequences() {
-        check(s)?;
-    }
-
-    let t2 = cfg.table2();
-    let order = db.sorted_by_length_desc();
-    // Batch size: one vector's worth of subjects; length-sorted order
-    // keeps batches dense (idle-lane waste is bounded by the length
-    // spread inside a batch).
-    const BATCH: usize = 16;
-    let batches: Vec<&[usize]> = order.chunks(BATCH).collect();
-    let next = AtomicUsize::new(0);
-
-    let threads_used = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    }
-    .max(1)
-    .min(batches.len().max(1));
-
-    let mut all_hits: Vec<Hit> = Vec::with_capacity(db.len());
-    let mut total_residues = 0usize;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads_used);
-        for _ in 0..threads_used {
-            let next = &next;
-            let batches = &batches;
-            handles.push(scope.spawn(move || {
-                let mut hits = Vec::new();
-                let mut residues = 0usize;
-                loop {
-                    let b = next.fetch_add(1, Ordering::Relaxed);
-                    if b >= batches.len() {
-                        break;
-                    }
-                    let batch = batches[b];
-                    let subjects: Vec<&Sequence> = batch.iter().map(|&i| db.get(i)).collect();
-                    let scores = aalign_core::inter_align_all(t2, &cfg.matrix, query, &subjects);
-                    for (&db_index, score) in batch.iter().zip(scores) {
-                        let subject = db.get(db_index);
-                        residues += subject.len();
-                        hits.push(Hit {
-                            db_index,
-                            id: subject.id().to_string(),
-                            len: subject.len(),
-                            score,
-                        });
-                    }
-                }
-                (hits, residues)
-            }));
-        }
-        for h in handles {
-            let (hits, residues) = h.join().expect("worker panicked");
-            all_hits.extend(hits);
-            total_residues += residues;
-        }
-    });
-
-    all_hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-    if opts.top_n > 0 {
-        all_hits.truncate(opts.top_n);
-    }
-    Ok(SearchReport {
-        subjects: db.len(),
-        threads_used,
-        total_residues,
-        hits: all_hits,
-    })
 }
 
 #[cfg(test)]
@@ -373,22 +313,11 @@ mod inter_tests {
                 &Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid),
                 &q,
                 &db,
-                SearchOptions {
-                    threads: 2,
-                    top_n: 0,
-                },
+                SearchOptions::new().threads(2),
             )
             .unwrap();
-            let inter = search_database_inter(
-                &cfg,
-                &q,
-                &db,
-                SearchOptions {
-                    threads: 2,
-                    top_n: 0,
-                },
-            )
-            .unwrap();
+            let inter =
+                search_database_inter(&cfg, &q, &db, SearchOptions::new().threads(2)).unwrap();
             assert_eq!(intra.hits, inter.hits, "{:?}", kind);
         }
     }
@@ -399,8 +328,16 @@ mod inter_tests {
         let q = named_query(&mut rng, 30);
         let cfg = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
         let report =
-            search_database_inter(&cfg, &q, &SeqDatabase::default(), SearchOptions::default())
-                .unwrap();
+            search_database_inter(&cfg, &q, &SeqDatabase::default(), SearchOptions::new()).unwrap();
         assert!(report.hits.is_empty());
+    }
+
+    #[test]
+    fn inter_search_rejects_alphabet_mismatch() {
+        let q = Sequence::dna("d", b"ACGT").unwrap();
+        let cfg = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        let db = swissprot_like_db(603, 4);
+        let err = search_database_inter(&cfg, &q, &db, SearchOptions::new()).unwrap_err();
+        assert!(matches!(err, AlignError::AlphabetMismatch { .. }));
     }
 }

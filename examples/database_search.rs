@@ -45,25 +45,20 @@ fn main() {
     let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62))
         .with_strategy(Strategy::Hybrid);
 
-    let t0 = std::time::Instant::now();
     let report = search_database(
         &aligner,
         &query,
         &db,
-        SearchOptions {
-            threads: 0, // all cores
-            top_n: 5,
-        },
+        SearchOptions::new().threads(0 /* all cores */).top_n(5),
     )
     .unwrap();
-    let dt = t0.elapsed();
 
     println!(
         "searched {} subjects on {} threads in {:.2}s ({:.2} GCUPS)\n",
         report.subjects,
         report.threads_used,
-        dt.as_secs_f64(),
-        query.len() as f64 * report.total_residues as f64 / dt.as_secs_f64() / 1e9
+        report.metrics.total.as_secs_f64(),
+        report.metrics.gcups
     );
 
     println!("top {} hits:", report.hits.len());
@@ -71,7 +66,7 @@ fn main() {
         println!(
             "{:>2}. {:<18} len {:>5}  score {:>5}",
             rank + 1,
-            hit.id,
+            db.id(hit.db_index),
             hit.len,
             hit.score
         );

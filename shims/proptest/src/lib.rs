@@ -112,7 +112,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
@@ -130,7 +130,7 @@ pub mod collection {
     }
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+/// `any::<T>()` and the `Arbitrary` trait behind it.
 pub mod arbitrary {
     use super::strategy::Strategy;
     use super::TestRng;

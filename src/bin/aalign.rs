@@ -64,7 +64,7 @@ const USAGE: &str = "usage:
                  [--open N] [--ext N] [--strategy seq|iterate|scan|hybrid]
                  [--width auto|8|16|32] [--traceback]
   aalign search  --query <fa> --db <fa> [--top N] [--threads N]
-                 [--open N] [--ext N] [--strategy ...] [--inter]
+                 [--open N] [--ext N] [--strategy ...] [--inter] [--stats]
   aalign gen-db  --count N [--seed N] [--mean-len N] --out <fa>
   aalign codegen --input <file> [--open N] [--ext N] [--out <rs>]
   aalign info";
@@ -174,26 +174,26 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let db = aalign::bio::SeqDatabase::from_fasta(BufReader::new(f), &PROTEIN)
         .map_err(|e| format!("{db_path}: {e}"))?;
     let aligner = build_aligner(&flags)?;
-    let opts = SearchOptions {
-        threads: flags.get_usize("--threads", 0)?,
-        top_n: flags.get_usize("--top", 10)?,
-    };
-    let t0 = std::time::Instant::now();
+    let opts = SearchOptions::new()
+        .threads(flags.get_usize("--threads", 0)?)
+        .top_n(flags.get_usize("--top", 10)?);
     let report = if flags.has("--inter") {
         aalign::par::search_database_inter(aligner.config(), &query, &db, opts)
     } else {
         search_database(&aligner, &query, &db, opts)
     }
     .map_err(|e| e.to_string())?;
-    let dt = t0.elapsed();
     println!(
         "searched {} subjects ({} residues) on {} threads in {:.2}s ({:.2} GCUPS)",
         report.subjects,
         report.total_residues,
         report.threads_used,
-        dt.as_secs_f64(),
-        query.len() as f64 * report.total_residues as f64 / dt.as_secs_f64() / 1e9
+        report.metrics.total.as_secs_f64(),
+        report.metrics.gcups
     );
+    if flags.has("--stats") {
+        print!("{}", report.metrics.summary());
+    }
     // Bit scores / E-values with the standard BLOSUM62 gapped pair
     // (report raw scores for other configurations).
     let stats_params = aalign::bio::stats::BLOSUM62_GAPPED_11_1;
@@ -203,7 +203,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         println!(
             "{:>3}. {:<24} len {:>6}  score {:>6}  bits {:>7.1}  E {:.2e}",
             rank + 1,
-            hit.id,
+            db.id(hit.db_index),
             hit.len,
             hit.score,
             bits,

@@ -96,6 +96,53 @@ fn gen_db_then_search_pipeline() {
 }
 
 #[test]
+fn search_with_stats_prints_metrics_block() {
+    let dir = std::env::temp_dir().join("aalign_cli_stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    let status = aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "20",
+            "--seed",
+            "5",
+            "--out",
+            db.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    write_fasta(&dir.join("q.fa"), &[("q", "MKVLAARNDWHEAGAWGHEE")]);
+    let out = aalign()
+        .args([
+            "search",
+            "--query",
+            dir.join("q.fa").to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+            "--top",
+            "2",
+            "--threads",
+            "2",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stats: prepare"), "{text}");
+    assert!(text.contains("GCUPS"), "{text}");
+    assert!(text.contains("kernel:"), "{text}");
+    assert!(text.contains("worker   0:"), "{text}");
+    assert_eq!(text.matches(" bits ").count(), 2, "{text}");
+}
+
+#[test]
 fn codegen_emits_rust_module() {
     let dir = std::env::temp_dir().join("aalign_cli_codegen");
     std::fs::create_dir_all(&dir).unwrap();

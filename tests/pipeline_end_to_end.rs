@@ -40,13 +40,10 @@ fn fasta_roundtrip_search_and_traceback() {
         &aligner,
         &query,
         &db,
-        SearchOptions {
-            threads: 2,
-            top_n: 3,
-        },
+        SearchOptions::new().threads(2).top_n(3),
     )
     .unwrap();
-    assert_eq!(report.hits[0].id, planted.id());
+    assert_eq!(db.id(report.hits[0].db_index), planted.id());
 
     // Traceback of the winner reproduces the search score.
     let aln = traceback_align(aligner.config(), &query, db.get(report.hits[0].db_index));
@@ -76,11 +73,8 @@ fn codegen_pipeline_drives_database_search() {
     let mut rng = seeded_rng(77);
     let query = named_query(&mut rng, 90);
     let db = swissprot_like_db(78, 30);
-    let opts = SearchOptions {
-        threads: 2,
-        top_n: 0,
-    };
-    let a = search_database(&Aligner::new(cfg_text), &query, &db, opts).unwrap();
+    let opts = SearchOptions::new().threads(2).top_n(0);
+    let a = search_database(&Aligner::new(cfg_text), &query, &db, opts.clone()).unwrap();
     let b = search_database(&Aligner::new(cfg_hand), &query, &db, opts).unwrap();
     assert_eq!(a.hits, b.hits);
 }
