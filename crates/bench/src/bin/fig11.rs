@@ -8,13 +8,20 @@
 //! Panel (b): MIC — AAlign (hybrid, i32, 512-bit) vs. SWAPHI-like
 //! (plain iterate, i32). Paper shape: AAlign ≈1.6× from the hybrid.
 //!
-//! Usage: `cargo run --release -p aalign-bench --bin fig11 [--quick]`
+//! Usage: `cargo run --release -p aalign-bench --bin fig11 [--quick]
+//!         [--json] [--out BENCH_fig11.json]`
+//!
+//! `--json` additionally writes a machine-readable `BENCH_fig11.json`
+//! (GCUPS, speedups, per-kernel `RunStats`, env info) for the perf
+//! trajectory.
 
 use std::time::Duration;
 
 use aalign_baselines::swps3_like::{Swps3Like, Swps3Scratch};
 use aalign_baselines::SwaphiLike;
-use aalign_bench::harness::{print_banner, time_min, Platform, Table};
+use aalign_bench::harness::{
+    json_f64, json_str, print_banner, run_stats_json, time_min, write_bench_json, Platform, Table,
+};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
 use aalign_bio::SeqDatabase;
@@ -22,7 +29,15 @@ use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthP
 use aalign_par::{search_database, SearchOptions};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_fig11.json", String::as_str);
+    let mut rows: Vec<String> = Vec::new();
     print_banner("Fig. 11 — multithreaded SW-affine vs SWPS3-like / SWAPHI-like");
 
     let db_size = if quick { 300 } else { 2000 };
@@ -104,30 +119,40 @@ fn main() {
             .with_strategy(Strategy::Hybrid)
             .with_isa(Platform::Cpu.isa())
             .with_width(WidthPolicy::Auto);
+        let opts = || SearchOptions::new().threads(threads).top_n(10);
+        // One untimed pass captures the kernel counters for the row.
+        let kernel = search_database(&aalign, q, db, opts())
+            .unwrap()
+            .metrics
+            .kernel_stats;
         let t_aalign = time_min(
             || {
-                let _ = search_database(
-                    &aalign,
-                    q,
-                    db,
-                    SearchOptions::new().threads(threads).top_n(10),
-                )
-                .unwrap();
+                let _ = search_database(&aalign, q, db, opts()).unwrap();
             },
             warmup,
             reps,
         );
         let t_swps3 = time_swps3(q, gap, db, threads, warmup, reps);
+        let g = q.len() as f64 * stats.total_residues as f64 / t_aalign.as_secs_f64() / 1e9;
         ta.row(vec![
             q.id().to_string(),
             format!("{:.3}", t_aalign.as_secs_f64()),
             format!("{:.3}", t_swps3.as_secs_f64()),
             format!("{:.2}x", t_swps3.as_secs_f64() / t_aalign.as_secs_f64()),
-            format!(
-                "{:.2}",
-                q.len() as f64 * stats.total_residues as f64 / t_aalign.as_secs_f64() / 1e9
-            ),
+            format!("{g:.2}"),
         ]);
+        rows.push(format!(
+            "{{\"panel\":\"cpu\",\"query\":{},\"qlen\":{},\"aalign_s\":{},\
+             \"baseline\":\"swps3-like\",\"baseline_s\":{},\"speedup\":{},\
+             \"gcups\":{},\"kernel\":{}}}",
+            json_str(q.id()),
+            q.len(),
+            json_f64(t_aalign.as_secs_f64()),
+            json_f64(t_swps3.as_secs_f64()),
+            json_f64(t_swps3.as_secs_f64() / t_aalign.as_secs_f64()),
+            json_f64(g),
+            run_stats_json(&kernel),
+        ));
     }
     println!("{}", ta.render());
 
@@ -152,32 +177,45 @@ fn main() {
             .with_strategy(Strategy::Hybrid)
             .with_isa(Platform::Mic.isa())
             .with_width(WidthPolicy::Fixed32);
+        let opts = || SearchOptions::new().threads(threads).top_n(10);
+        let kernel = search_database(&aalign, q, db, opts())
+            .unwrap()
+            .metrics
+            .kernel_stats;
         let t_aalign = time_min(
             || {
-                let _ = search_database(
-                    &aalign,
-                    q,
-                    db,
-                    SearchOptions::new().threads(threads).top_n(10),
-                )
-                .unwrap();
+                let _ = search_database(&aalign, q, db, opts()).unwrap();
             },
             warmup,
             reps,
         );
         let t_swaphi = time_swaphi(q, gap, db, threads, warmup, reps);
+        let g = q.len() as f64 * stats.total_residues as f64 / t_aalign.as_secs_f64() / 1e9;
         tb.row(vec![
             q.id().to_string(),
             format!("{:.3}", t_aalign.as_secs_f64()),
             format!("{:.3}", t_swaphi.as_secs_f64()),
             format!("{:.2}x", t_swaphi.as_secs_f64() / t_aalign.as_secs_f64()),
-            format!(
-                "{:.2}",
-                q.len() as f64 * stats.total_residues as f64 / t_aalign.as_secs_f64() / 1e9
-            ),
+            format!("{g:.2}"),
         ]);
+        rows.push(format!(
+            "{{\"panel\":\"mic\",\"query\":{},\"qlen\":{},\"aalign_s\":{},\
+             \"baseline\":\"swaphi-like\",\"baseline_s\":{},\"speedup\":{},\
+             \"gcups\":{},\"kernel\":{}}}",
+            json_str(q.id()),
+            q.len(),
+            json_f64(t_aalign.as_secs_f64()),
+            json_f64(t_swaphi.as_secs_f64()),
+            json_f64(t_swaphi.as_secs_f64() / t_aalign.as_secs_f64()),
+            json_f64(g),
+            run_stats_json(&kernel),
+        ));
     }
     println!("{}", tb.render());
+
+    if json {
+        write_bench_json(out_path, "fig11", threads, &rows).expect("write bench json");
+    }
 }
 
 /// Multithreaded SWPS3-like database sweep with the same dynamic

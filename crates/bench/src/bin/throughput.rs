@@ -1,17 +1,41 @@
 //! Quick GCUPS throughput report across backends and strategies.
 //!
 //! Not a paper figure — a development tool for eyeballing the
-//! dispatcher's fast paths on the current host.
+//! dispatcher's fast paths on the current host. With `--json` it
+//! also writes `BENCH_throughput.json` (override with `--out`), the
+//! machine-readable perf-trajectory document the ROADMAP calls for:
+//! per-row GCUPS plus the kernel `RunStats`, under an env envelope.
 //!
-//! Usage: `cargo run --release -p aalign-bench --bin throughput`
+//! Usage: `cargo run --release -p aalign-bench --bin throughput
+//!         [--json] [--out BENCH_throughput.json]`
 
-use aalign_bench::harness::{gcups, print_banner, time_min, Table};
+use aalign_bench::harness::{
+    gcups, json_f64, json_str, print_banner, run_stats_json, time_min, write_bench_json, Table,
+};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::synth::{named_query, seeded_rng};
-use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy, WidthPolicy};
+use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, RunStats, Strategy, WidthPolicy};
 use aalign_vec::detect::Isa;
 
+fn row_json(backend: &str, strategy: &str, g: f64, stats: &RunStats) -> String {
+    format!(
+        "{{\"backend\":{},\"strategy\":{},\"gcups\":{},\"kernel\":{}}}",
+        json_str(backend),
+        json_str(strategy),
+        json_f64(g),
+        run_stats_json(stats),
+    )
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_throughput.json", String::as_str);
+
     print_banner("throughput — SW-affine GCUPS per backend/strategy");
     let mut rng = seeded_rng(1);
     let q = named_query(&mut rng, 1000);
@@ -19,6 +43,7 @@ fn main() {
     let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
 
     let mut table = Table::new(vec!["backend", "strategy", "GCUPS"]);
+    let mut rows: Vec<String> = Vec::new();
 
     // Sequential reference.
     let seq = Aligner::new(cfg.clone()).with_strategy(Strategy::Sequential);
@@ -29,11 +54,13 @@ fn main() {
         1,
         3,
     );
+    let g = gcups(1000, 1000, t);
     table.row(vec![
         "scalar".to_string(),
         "seq".to_string(),
-        format!("{:.2}", gcups(1000, 1000, t)),
+        format!("{g:.2}"),
     ]);
+    rows.push(row_json("scalar", "seq", g, &RunStats::default()));
 
     for (isa, width) in [
         (Isa::Emulated, WidthPolicy::Fixed32),
@@ -58,12 +85,18 @@ fn main() {
                 1,
                 3,
             );
+            let g = gcups(1000, 1000, t);
             table.row(vec![
                 out.backend.clone(),
                 strat.short().to_string(),
-                format!("{:.2}", gcups(1000, 1000, t)),
+                format!("{g:.2}"),
             ]);
+            rows.push(row_json(&out.backend, strat.short(), g, &out.stats));
         }
     }
     println!("{}", table.render());
+
+    if json {
+        write_bench_json(out_path, "throughput", 1, &rows).expect("write bench json");
+    }
 }

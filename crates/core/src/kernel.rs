@@ -7,14 +7,21 @@
 //! strategy (sequential / striped-iterate / striped-scan / hybrid),
 //! then runs the monomorphized kernel for that combination.
 
+// The dispatch chain threads the same fixed tuple (engine, profile,
+// subject, scoring, strategy, policy, workspace, sink) through every
+// monomorphized layer; bundling it into a struct would only move the
+// eight names behind a dot.
+#![allow(clippy::too_many_arguments)]
+
 use aalign_bio::{Sequence, StripedProfile};
+use aalign_obs::{CollectorSink, NullSink, TraceSink};
 use aalign_vec::detect::{Isa, IsaSupport};
 use aalign_vec::{EmuEngine, SimdEngine};
 
 use crate::config::{AlignConfig, TableII};
 use crate::scalar::scalar_column_align;
 use crate::striped::{
-    hybrid_align, iterate_align, scan_align, HybridPolicy, KernelResult, Workspace,
+    hybrid_align_sink, iterate_align_sink, scan_align_sink, HybridPolicy, KernelResult, Workspace,
 };
 
 /// Vectorization strategy selection.
@@ -117,13 +124,19 @@ impl RunStats {
     /// of a whole database sweep into one summary (the search
     /// engine's metrics layer does this per worker, then across
     /// workers).
+    ///
+    /// Saturating, never wrapping: the counters are diagnostics, and
+    /// a pinned ceiling is both honest ("at least this many") and
+    /// what keeps merge associative and commutative, so per-worker
+    /// stats can be folded in any order (property-tested in
+    /// `tests/stats_properties.rs`).
     pub fn merge(&mut self, other: &RunStats) {
-        self.lazy_iters += other.lazy_iters;
-        self.lazy_sweeps += other.lazy_sweeps;
-        self.iterate_columns += other.iterate_columns;
-        self.scan_columns += other.scan_columns;
-        self.switches_to_scan += other.switches_to_scan;
-        self.probes_stayed += other.probes_stayed;
+        self.lazy_iters = self.lazy_iters.saturating_add(other.lazy_iters);
+        self.lazy_sweeps = self.lazy_sweeps.saturating_add(other.lazy_sweeps);
+        self.iterate_columns = self.iterate_columns.saturating_add(other.iterate_columns);
+        self.scan_columns = self.scan_columns.saturating_add(other.scan_columns);
+        self.switches_to_scan = self.switches_to_scan.saturating_add(other.switches_to_scan);
+        self.probes_stayed = self.probes_stayed.saturating_add(other.probes_stayed);
     }
 }
 
@@ -230,6 +243,45 @@ struct StrategyOutcome {
 }
 
 #[inline(always)]
+fn run_generic_sink<E: SimdEngine, const L: bool, const A: bool, S: TraceSink>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    strategy: Strategy,
+    policy: HybridPolicy,
+    ws: &mut Workspace<E::Elem>,
+    sink: &mut S,
+) -> StrategyOutcome {
+    match strategy {
+        Strategy::StripedIterate => StrategyOutcome {
+            result: iterate_align_sink::<E, L, A, S>(eng, prof, subject, t2, ws, sink),
+            switches_to_scan: 0,
+            probes_stayed: 0,
+        },
+        Strategy::StripedScan => StrategyOutcome {
+            result: scan_align_sink::<E, L, A, S>(eng, prof, subject, t2, ws, sink),
+            switches_to_scan: 0,
+            probes_stayed: 0,
+        },
+        Strategy::Hybrid => {
+            let rep =
+                hybrid_align_sink::<E, L, A, S>(eng, prof, subject, t2, policy, ws, false, sink);
+            StrategyOutcome {
+                result: rep.result,
+                switches_to_scan: rep.switches_to_scan,
+                probes_stayed: rep.probes_stayed,
+            }
+        }
+        Strategy::Sequential => unreachable!("sequential handled before dispatch"),
+    }
+}
+
+/// The once-per-alignment trace dispatch: disabled sinks route to the
+/// [`NullSink`] monomorphization (bit-for-bit the pre-observability
+/// kernel — no per-column virtual calls, no branches), enabled sinks
+/// take the dynamically dispatched instantiation.
+#[inline(always)]
 fn run_generic<E: SimdEngine, const L: bool, const A: bool>(
     eng: E,
     prof: &StripedProfile<E::Elem>,
@@ -238,27 +290,21 @@ fn run_generic<E: SimdEngine, const L: bool, const A: bool>(
     strategy: Strategy,
     policy: HybridPolicy,
     ws: &mut Workspace<E::Elem>,
+    sink: &mut dyn TraceSink,
 ) -> StrategyOutcome {
-    match strategy {
-        Strategy::StripedIterate => StrategyOutcome {
-            result: iterate_align::<E, L, A>(eng, prof, subject, t2, ws),
-            switches_to_scan: 0,
-            probes_stayed: 0,
-        },
-        Strategy::StripedScan => StrategyOutcome {
-            result: scan_align::<E, L, A>(eng, prof, subject, t2, ws),
-            switches_to_scan: 0,
-            probes_stayed: 0,
-        },
-        Strategy::Hybrid => {
-            let rep = hybrid_align::<E, L, A>(eng, prof, subject, t2, policy, ws, false);
-            StrategyOutcome {
-                result: rep.result,
-                switches_to_scan: rep.switches_to_scan,
-                probes_stayed: rep.probes_stayed,
-            }
-        }
-        Strategy::Sequential => unreachable!("sequential handled before dispatch"),
+    if sink.enabled() {
+        run_generic_sink::<E, L, A, _>(
+            eng,
+            prof,
+            subject,
+            t2,
+            strategy,
+            policy,
+            ws,
+            &mut &mut *sink,
+        )
+    } else {
+        run_generic_sink::<E, L, A, _>(eng, prof, subject, t2, strategy, policy, ws, &mut NullSink)
     }
 }
 
@@ -272,17 +318,20 @@ fn run_bools<E: SimdEngine>(
     strategy: Strategy,
     policy: HybridPolicy,
     ws: &mut Workspace<E::Elem>,
+    sink: &mut dyn TraceSink,
 ) -> StrategyOutcome {
     match (t2.local, t2.affine) {
-        (true, true) => run_generic::<E, true, true>(eng, prof, subject, t2, strategy, policy, ws),
+        (true, true) => {
+            run_generic::<E, true, true>(eng, prof, subject, t2, strategy, policy, ws, sink)
+        }
         (true, false) => {
-            run_generic::<E, true, false>(eng, prof, subject, t2, strategy, policy, ws)
+            run_generic::<E, true, false>(eng, prof, subject, t2, strategy, policy, ws, sink)
         }
         (false, true) => {
-            run_generic::<E, false, true>(eng, prof, subject, t2, strategy, policy, ws)
+            run_generic::<E, false, true>(eng, prof, subject, t2, strategy, policy, ws, sink)
         }
         (false, false) => {
-            run_generic::<E, false, false>(eng, prof, subject, t2, strategy, policy, ws)
+            run_generic::<E, false, false>(eng, prof, subject, t2, strategy, policy, ws, sink)
         }
     }
 }
@@ -309,8 +358,9 @@ mod tf_wrappers {
                 strategy: Strategy,
                 policy: HybridPolicy,
                 ws: &mut Workspace<$elem>,
+                sink: &mut dyn TraceSink,
             ) -> StrategyOutcome {
-                run_bools(eng, prof, subject, t2, strategy, policy, ws)
+                run_bools(eng, prof, subject, t2, strategy, policy, ws, sink)
             }
         };
     }
@@ -327,8 +377,9 @@ mod tf_wrappers {
         strategy: Strategy,
         policy: HybridPolicy,
         ws: &mut Workspace<i16>,
+        sink: &mut dyn TraceSink,
     ) -> StrategyOutcome {
-        run_bools(eng, prof, subject, t2, strategy, policy, ws)
+        run_bools(eng, prof, subject, t2, strategy, policy, ws, sink)
     }
     tf_wrapper!(run_avx2_i32, "avx2", Avx2I32, i32);
     tf_wrapper!(run_avx2_i16, "avx2", Avx2I16, i16);
@@ -372,6 +423,7 @@ fn run_width_i32(
     strategy: Strategy,
     policy: HybridPolicy,
     ws: &mut Workspace<i32>,
+    sink: &mut dyn TraceSink,
 ) -> StrategyOutcome {
     #[cfg(target_arch = "x86_64")]
     {
@@ -383,7 +435,9 @@ fn run_width_i32(
                 if let Some(eng) = Avx512I32::new() {
                     // SAFETY: engine construction proves avx512f.
                     return unsafe {
-                        tf_wrappers::run_avx512_i32(eng, prof, subject, t2, strategy, policy, ws)
+                        tf_wrappers::run_avx512_i32(
+                            eng, prof, subject, t2, strategy, policy, ws, sink,
+                        )
                     };
                 }
             }
@@ -391,7 +445,9 @@ fn run_width_i32(
                 if let Some(eng) = Avx2I32::new() {
                     // SAFETY: engine construction proves avx2.
                     return unsafe {
-                        tf_wrappers::run_avx2_i32(eng, prof, subject, t2, strategy, policy, ws)
+                        tf_wrappers::run_avx2_i32(
+                            eng, prof, subject, t2, strategy, policy, ws, sink,
+                        )
                     };
                 }
             }
@@ -399,7 +455,9 @@ fn run_width_i32(
                 if let Some(eng) = Sse41I32::new() {
                     // SAFETY: engine construction proves sse4.1.
                     return unsafe {
-                        tf_wrappers::run_sse41_i32(eng, prof, subject, t2, strategy, policy, ws)
+                        tf_wrappers::run_sse41_i32(
+                            eng, prof, subject, t2, strategy, policy, ws, sink,
+                        )
                     };
                 }
             }
@@ -415,6 +473,7 @@ fn run_width_i32(
             strategy,
             policy,
             ws,
+            sink,
         ),
         8 => run_bools(
             EmuEngine::<i32, 8>::new(),
@@ -424,6 +483,7 @@ fn run_width_i32(
             strategy,
             policy,
             ws,
+            sink,
         ),
         _ => run_bools(
             EmuEngine::<i32, 16>::new(),
@@ -433,6 +493,7 @@ fn run_width_i32(
             strategy,
             policy,
             ws,
+            sink,
         ),
     }
 }
@@ -445,6 +506,7 @@ fn run_width_i16(
     strategy: Strategy,
     policy: HybridPolicy,
     ws: &mut Workspace<i16>,
+    sink: &mut dyn TraceSink,
 ) -> StrategyOutcome {
     #[cfg(target_arch = "x86_64")]
     {
@@ -456,7 +518,9 @@ fn run_width_i16(
                 if let Some(eng) = Avx512I16::new() {
                     // SAFETY: engine construction proves avx512f+bw.
                     return unsafe {
-                        tf_wrappers::run_avx512_i16(eng, prof, subject, t2, strategy, policy, ws)
+                        tf_wrappers::run_avx512_i16(
+                            eng, prof, subject, t2, strategy, policy, ws, sink,
+                        )
                     };
                 }
             }
@@ -464,7 +528,9 @@ fn run_width_i16(
                 if let Some(eng) = Avx2I16::new() {
                     // SAFETY: engine construction proves avx2.
                     return unsafe {
-                        tf_wrappers::run_avx2_i16(eng, prof, subject, t2, strategy, policy, ws)
+                        tf_wrappers::run_avx2_i16(
+                            eng, prof, subject, t2, strategy, policy, ws, sink,
+                        )
                     };
                 }
             }
@@ -472,7 +538,9 @@ fn run_width_i16(
                 if let Some(eng) = Sse41I16::new() {
                     // SAFETY: engine construction proves sse4.1.
                     return unsafe {
-                        tf_wrappers::run_sse41_i16(eng, prof, subject, t2, strategy, policy, ws)
+                        tf_wrappers::run_sse41_i16(
+                            eng, prof, subject, t2, strategy, policy, ws, sink,
+                        )
                     };
                 }
             }
@@ -488,6 +556,7 @@ fn run_width_i16(
             strategy,
             policy,
             ws,
+            sink,
         ),
         32 => run_bools(
             EmuEngine::<i16, 32>::new(),
@@ -497,6 +566,7 @@ fn run_width_i16(
             strategy,
             policy,
             ws,
+            sink,
         ),
         _ => run_bools(
             EmuEngine::<i16, 16>::new(),
@@ -506,6 +576,7 @@ fn run_width_i16(
             strategy,
             policy,
             ws,
+            sink,
         ),
     }
 }
@@ -518,6 +589,7 @@ fn run_width_i8(
     strategy: Strategy,
     policy: HybridPolicy,
     ws: &mut Workspace<i8>,
+    sink: &mut dyn TraceSink,
 ) -> StrategyOutcome {
     #[cfg(target_arch = "x86_64")]
     {
@@ -526,7 +598,7 @@ fn run_width_i8(
             if let Some(eng) = Avx2I8::new() {
                 // SAFETY: engine construction proves avx2.
                 return unsafe {
-                    tf_wrappers::run_avx2_i8(eng, prof, subject, t2, strategy, policy, ws)
+                    tf_wrappers::run_avx2_i8(eng, prof, subject, t2, strategy, policy, ws, sink)
                 };
             }
         }
@@ -540,6 +612,7 @@ fn run_width_i8(
             strategy,
             policy,
             ws,
+            sink,
         ),
         _ => run_bools(
             EmuEngine::<i8, 32>::new(),
@@ -549,6 +622,7 @@ fn run_width_i8(
             strategy,
             policy,
             ws,
+            sink,
         ),
     }
 }
@@ -747,6 +821,29 @@ impl Aligner {
         subject: &Sequence,
         scratch: &mut AlignScratch,
     ) -> Result<AlignOutput, AlignError> {
+        self.align_prepared_sink(pq, subject, scratch, &mut NullSink)
+    }
+
+    /// [`align_prepared`](Self::align_prepared) with a trace sink
+    /// receiving the per-column [`aalign_obs::HybridEvent`]s.
+    ///
+    /// Only the **final, kept** width attempt's events are forwarded:
+    /// when a narrow run saturates and the aligner retries wider, the
+    /// saturated attempt's events are discarded, so the emitted column
+    /// stream reconciles exactly with the returned [`RunStats`]
+    /// (`iterate_columns` / `scan_columns` describe the kept run).
+    ///
+    /// A disabled sink (`sink.enabled() == false`, e.g. a
+    /// [`NullSink`]) routes to the null-monomorphized kernels after a
+    /// single check — that path is what `align_prepared` itself uses
+    /// and what the `obs_overhead` bench holds to <1% overhead.
+    pub fn align_prepared_sink(
+        &self,
+        pq: &PreparedQuery,
+        subject: &Sequence,
+        scratch: &mut AlignScratch,
+        sink: &mut dyn TraceSink,
+    ) -> Result<AlignOutput, AlignError> {
         self.check_seq(subject)?;
         assert_ne!(
             self.strategy,
@@ -757,6 +854,13 @@ impl Aligner {
         let t2 = self.cfg.table2();
         let mut retries = 0u32;
         let mut last: Option<(StrategyOutcome, BackendChoice, u32)> = None;
+
+        // Per-attempt event buffering: each width attempt records into
+        // `buf`, which is cleared on retry so only the kept attempt's
+        // columns reach the caller's sink (after the loop).
+        let tracing = sink.enabled();
+        let mut buf = CollectorSink::new();
+        let mut null = NullSink;
 
         let attempts: Vec<u32> = [
             pq.p16.as_ref().map(|_| 16u32),
@@ -783,6 +887,12 @@ impl Aligner {
             let policy = self
                 .hybrid
                 .unwrap_or_else(|| HybridPolicy::for_lanes(self.lanes_for(pq, bits)));
+            let attempt_sink: &mut dyn TraceSink = if tracing {
+                buf.events.clear();
+                &mut buf
+            } else {
+                &mut null
+            };
             let (outcome, choice) = match bits {
                 8 => {
                     let (choice, prof) = pq.p8.as_ref().unwrap();
@@ -795,6 +905,7 @@ impl Aligner {
                             self.strategy,
                             policy,
                             &mut scratch.ws8,
+                            attempt_sink,
                         ),
                         *choice,
                     )
@@ -810,6 +921,7 @@ impl Aligner {
                             self.strategy,
                             policy,
                             &mut scratch.ws16,
+                            attempt_sink,
                         ),
                         *choice,
                     )
@@ -825,6 +937,7 @@ impl Aligner {
                             self.strategy,
                             policy,
                             &mut scratch.ws32,
+                            attempt_sink,
                         ),
                         *choice,
                     )
@@ -836,6 +949,14 @@ impl Aligner {
                 break;
             }
             retries += 1;
+        }
+
+        // Forward the kept attempt's column events (saturated retries
+        // were cleared above, so these reconcile with `stats`).
+        if tracing {
+            for ev in buf.take() {
+                sink.record(ev);
+            }
         }
 
         let (outcome, choice, bits) = last.expect("width plan is never empty");

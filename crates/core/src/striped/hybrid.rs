@@ -13,10 +13,12 @@
 //! where iterate converges much faster.
 
 use aalign_bio::StripedProfile;
+use aalign_obs::{HybridEvent, NullSink, ProbeOutcome, StrategyKind, TraceSink};
 use aalign_vec::SimdEngine;
 
 use crate::config::TableII;
 use crate::striped::columns::{ColumnEngine, KernelResult, Workspace};
+use crate::striped::emit_col;
 
 /// Tuning of the hybrid switcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +99,40 @@ pub fn hybrid_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
     ws: &mut Workspace<E::Elem>,
     trace: bool,
 ) -> HybridReport {
+    hybrid_align_sink::<E, LOCAL, AFFINE, _>(
+        eng,
+        prof,
+        subject,
+        t2,
+        policy,
+        ws,
+        trace,
+        &mut NullSink,
+    )
+}
+
+/// [`hybrid_align`] with a per-column trace sink: every column emits
+/// one [`HybridEvent`] recording the strategy that processed it, its
+/// lazy-sweep count, whether it triggered an iterate→scan switch, and
+/// — for post-burst probe columns — whether the probe stayed in
+/// iterate or sent the kernel back to scan.
+///
+/// Monomorphized against [`NullSink`] (which is what [`hybrid_align`]
+/// does) the emission sites compile away and this is exactly the
+/// untraced kernel; the `obs_overhead` bench in `crates/bench` guards
+/// that equivalence at <1% measured overhead.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn hybrid_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, S: TraceSink>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    policy: HybridPolicy,
+    ws: &mut Workspace<E::Elem>,
+    trace: bool,
+    sink: &mut S,
+) -> HybridReport {
     let mut cols = ColumnEngine::<E, LOCAL, AFFINE>::new(eng, prof, t2, ws);
     let mut events = Vec::new();
     let mut switches_to_scan = 0usize;
@@ -112,8 +148,19 @@ pub fn hybrid_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
             if trace {
                 events.push(StrategyChoice::Iterate(sweeps));
             }
+            let switched = sweeps > policy.threshold;
+            emit_col(
+                sink,
+                HybridEvent {
+                    column: i as u64,
+                    strategy: StrategyKind::Iterate,
+                    lazy_sweeps: sweeps,
+                    switched,
+                    probe: ProbeOutcome::NotProbe,
+                },
+            );
             i += 1;
-            if sweeps > policy.threshold {
+            if switched {
                 iterating = false;
                 switches_to_scan += 1;
             }
@@ -125,6 +172,16 @@ pub fn hybrid_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
                 if trace {
                     events.push(StrategyChoice::Scan);
                 }
+                emit_col(
+                    sink,
+                    HybridEvent {
+                        column: i as u64,
+                        strategy: StrategyKind::Scan,
+                        lazy_sweeps: 0,
+                        switched: false,
+                        probe: ProbeOutcome::NotProbe,
+                    },
+                );
                 i += 1;
             }
             // …then a probe column decides the next mode.
@@ -133,8 +190,23 @@ pub fn hybrid_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
                 if trace {
                     events.push(StrategyChoice::Iterate(sweeps));
                 }
+                let stayed = sweeps <= policy.threshold;
+                emit_col(
+                    sink,
+                    HybridEvent {
+                        column: i as u64,
+                        strategy: StrategyKind::Iterate,
+                        lazy_sweeps: sweeps,
+                        switched: !stayed,
+                        probe: if stayed {
+                            ProbeOutcome::Stayed
+                        } else {
+                            ProbeOutcome::Returned
+                        },
+                    },
+                );
                 i += 1;
-                if sweeps <= policy.threshold {
+                if stayed {
                     iterating = true;
                     probes_stayed += 1;
                 } else {

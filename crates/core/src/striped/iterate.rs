@@ -2,10 +2,12 @@
 //! [`ColumnEngine::iterate_column`].
 
 use aalign_bio::StripedProfile;
+use aalign_obs::{HybridEvent, NullSink, ProbeOutcome, StrategyKind, TraceSink};
 use aalign_vec::SimdEngine;
 
 use crate::config::TableII;
 use crate::striped::columns::{ColumnEngine, KernelResult, Workspace};
+use crate::striped::emit_col;
 
 /// Align `subject` (as alphabet indices) against a striped profile
 /// using the striped-iterate strategy.
@@ -17,9 +19,34 @@ pub fn iterate_align<E: SimdEngine, const LOCAL: bool, const AFFINE: bool>(
     t2: TableII,
     ws: &mut Workspace<E::Elem>,
 ) -> KernelResult {
+    iterate_align_sink::<E, LOCAL, AFFINE, _>(eng, prof, subject, t2, ws, &mut NullSink)
+}
+
+/// [`iterate_align`] with a per-column trace sink: each column emits
+/// one `iterate` [`HybridEvent`] carrying its lazy-sweep count.
+/// Monomorphized against [`NullSink`] this is exactly `iterate_align`.
+#[inline(always)]
+pub fn iterate_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, S: TraceSink>(
+    eng: E,
+    prof: &StripedProfile<E::Elem>,
+    subject: &[u8],
+    t2: TableII,
+    ws: &mut Workspace<E::Elem>,
+    sink: &mut S,
+) -> KernelResult {
     let mut cols = ColumnEngine::<E, LOCAL, AFFINE>::new(eng, prof, t2, ws);
-    for &s in subject {
-        cols.iterate_column(s);
+    for (i, &s) in subject.iter().enumerate() {
+        let sweeps = cols.iterate_column(s);
+        emit_col(
+            sink,
+            HybridEvent {
+                column: i as u64,
+                strategy: StrategyKind::Iterate,
+                lazy_sweeps: sweeps,
+                switched: false,
+                probe: ProbeOutcome::NotProbe,
+            },
+        );
     }
     cols.finish()
 }

@@ -1,0 +1,185 @@
+//! The typed trace-event taxonomy.
+//!
+//! Events are deliberately flat and allocation-light: the per-column
+//! [`HybridEvent`] is `Copy` and carries no strings, so emitting one
+//! into a buffering sink costs a bounds check and a 24-byte move.
+//! Only the per-query framing events (`QueryBegin`, span events)
+//! carry owned strings, and those fire a handful of times per query.
+
+/// Which striped strategy processed a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Striped-iterate (Alg. 2): lower-bound pass + lazy correction.
+    Iterate,
+    /// Striped-scan (Alg. 3): tentative pass + weighted max-scan.
+    Scan,
+}
+
+impl StrategyKind {
+    /// Stable wire name (used by the JSONL format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StrategyKind::Iterate => "iterate",
+            StrategyKind::Scan => "scan",
+        }
+    }
+
+    /// Inverse of [`as_str`](StrategyKind::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "iterate" => Some(StrategyKind::Iterate),
+            "scan" => Some(StrategyKind::Scan),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a hybrid probe column (Sec. V-B: after a scan burst,
+/// one iterate column runs and its lazy counter decides the mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeOutcome {
+    /// This column was not a probe.
+    NotProbe,
+    /// Probe succeeded: the kernel stayed in iterate mode.
+    Stayed,
+    /// Probe failed: the kernel returned to scan mode.
+    Returned,
+}
+
+impl ProbeOutcome {
+    /// Stable wire name (used by the JSONL format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProbeOutcome::NotProbe => "none",
+            ProbeOutcome::Stayed => "stayed",
+            ProbeOutcome::Returned => "returned",
+        }
+    }
+
+    /// Inverse of [`as_str`](ProbeOutcome::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ProbeOutcome::NotProbe),
+            "stayed" => Some(ProbeOutcome::Stayed),
+            "returned" => Some(ProbeOutcome::Returned),
+            _ => None,
+        }
+    }
+}
+
+/// One per-column decision of the hybrid kernel — the event the whole
+/// subsystem exists to surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridEvent {
+    /// Subject column index (0-based).
+    pub column: u64,
+    /// Strategy that processed the column.
+    pub strategy: StrategyKind,
+    /// Lazy-loop whole-column sweeps the correction needed (iterate
+    /// columns only; always 0 for scan columns).
+    pub lazy_sweeps: u32,
+    /// True when this column's counter exceeded the policy threshold
+    /// and triggered an iterate→scan switch.
+    pub switched: bool,
+    /// Probe outcome, when this column was a post-burst probe.
+    pub probe: ProbeOutcome,
+}
+
+/// A structured trace event. One query produces one `QueryBegin` …
+/// `QueryEnd` envelope; inside it, engine stages emit span events and
+/// every aligned subject emits an `AlignBegin` … `AlignEnd` pair
+/// enclosing its per-column [`HybridEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A query entered the engine.
+    QueryBegin {
+        /// Query sequence id.
+        query: String,
+        /// Database subjects the sweep will score.
+        subjects: u64,
+    },
+    /// An engine stage started.
+    SpanBegin {
+        /// Stage name (`prepare` / `sweep` / `merge` / `stats` / …).
+        span: String,
+        /// Microseconds since `QueryBegin`.
+        at_us: u64,
+    },
+    /// An engine stage finished.
+    SpanEnd {
+        /// Stage name, matching the `SpanBegin`.
+        span: String,
+        /// Microseconds since `QueryBegin` at which the stage ended.
+        at_us: u64,
+        /// Stage duration in microseconds.
+        dur_us: u64,
+    },
+    /// A worker began aligning one database subject.
+    AlignBegin {
+        /// Database index of the subject.
+        subject: u64,
+        /// Subject length in residues.
+        len: u64,
+        /// Pool-local worker id.
+        worker: u64,
+    },
+    /// One hybrid column decision (between `AlignBegin`/`AlignEnd`).
+    Hybrid(HybridEvent),
+    /// A worker finished aligning one database subject.
+    AlignEnd {
+        /// Database index of the subject.
+        subject: u64,
+        /// Alignment score.
+        score: i64,
+        /// Columns the final (kept) kernel run processed with iterate.
+        iterate_columns: u64,
+        /// Columns the final (kept) kernel run processed with scan.
+        scan_columns: u64,
+        /// Wall time of the alignment in microseconds.
+        dur_us: u64,
+    },
+    /// The query finished.
+    QueryEnd {
+        /// Microseconds since `QueryBegin`.
+        at_us: u64,
+        /// Ranked hits returned.
+        hits: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for s in [StrategyKind::Iterate, StrategyKind::Scan] {
+            assert_eq!(StrategyKind::parse(s.as_str()), Some(s));
+        }
+        for p in [
+            ProbeOutcome::NotProbe,
+            ProbeOutcome::Stayed,
+            ProbeOutcome::Returned,
+        ] {
+            assert_eq!(ProbeOutcome::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(StrategyKind::parse("neither"), None);
+        assert_eq!(ProbeOutcome::parse("maybe"), None);
+    }
+
+    #[test]
+    fn hybrid_event_is_small_and_copy() {
+        // The kernel emits one of these per subject column; keep it a
+        // register-friendly value type.
+        assert!(core::mem::size_of::<HybridEvent>() <= 24);
+        let ev = HybridEvent {
+            column: 7,
+            strategy: StrategyKind::Iterate,
+            lazy_sweeps: 2,
+            switched: false,
+            probe: ProbeOutcome::NotProbe,
+        };
+        let copy = ev; // Copy, not move
+        assert_eq!(ev, copy);
+    }
+}

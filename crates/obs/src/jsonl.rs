@@ -1,0 +1,531 @@
+//! JSON Lines trace format: one event per line, `"ev"` discriminator.
+//!
+//! The format is deliberately flat — every event serializes to a
+//! single-level object of strings, integers, and booleans — which
+//! keeps both the writer and the parser dependency-free. The parser
+//! is strict (unknown `"ev"` values, missing fields, and malformed
+//! JSON are hard errors) so `read_events` doubles as the trace-file
+//! validator used by CI and by `aalign trace-report`.
+//!
+//! Wire names:
+//!
+//! | `"ev"`        | event                     |
+//! |---------------|---------------------------|
+//! | `query_begin` | [`TraceEvent::QueryBegin`]|
+//! | `span_begin`  | [`TraceEvent::SpanBegin`] |
+//! | `span_end`    | [`TraceEvent::SpanEnd`]   |
+//! | `align_begin` | [`TraceEvent::AlignBegin`]|
+//! | `col`         | [`TraceEvent::Hybrid`]    |
+//! | `align_end`   | [`TraceEvent::AlignEnd`]  |
+//! | `query_end`   | [`TraceEvent::QueryEnd`]  |
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::event::{HybridEvent, ProbeOutcome, StrategyKind, TraceEvent};
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialize one event to its single-line JSON form (no trailing
+/// newline).
+pub fn event_to_json(event: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    match event {
+        TraceEvent::QueryBegin { query, subjects } => {
+            s.push_str("{\"ev\":\"query_begin\",\"query\":\"");
+            escape_into(&mut s, query);
+            s.push_str(&format!("\",\"subjects\":{subjects}}}"));
+        }
+        TraceEvent::SpanBegin { span, at_us } => {
+            s.push_str("{\"ev\":\"span_begin\",\"span\":\"");
+            escape_into(&mut s, span);
+            s.push_str(&format!("\",\"at_us\":{at_us}}}"));
+        }
+        TraceEvent::SpanEnd {
+            span,
+            at_us,
+            dur_us,
+        } => {
+            s.push_str("{\"ev\":\"span_end\",\"span\":\"");
+            escape_into(&mut s, span);
+            s.push_str(&format!("\",\"at_us\":{at_us},\"dur_us\":{dur_us}}}"));
+        }
+        TraceEvent::AlignBegin {
+            subject,
+            len,
+            worker,
+        } => {
+            s.push_str(&format!(
+                "{{\"ev\":\"align_begin\",\"subject\":{subject},\"len\":{len},\"worker\":{worker}}}"
+            ));
+        }
+        TraceEvent::Hybrid(h) => {
+            s.push_str(&format!(
+                "{{\"ev\":\"col\",\"column\":{},\"strategy\":\"{}\",\"sweeps\":{},\"switched\":{},\"probe\":\"{}\"}}",
+                h.column,
+                h.strategy.as_str(),
+                h.lazy_sweeps,
+                h.switched,
+                h.probe.as_str(),
+            ));
+        }
+        TraceEvent::AlignEnd {
+            subject,
+            score,
+            iterate_columns,
+            scan_columns,
+            dur_us,
+        } => {
+            s.push_str(&format!(
+                "{{\"ev\":\"align_end\",\"subject\":{subject},\"score\":{score},\"iterate_columns\":{iterate_columns},\"scan_columns\":{scan_columns},\"dur_us\":{dur_us}}}"
+            ));
+        }
+        TraceEvent::QueryEnd { at_us, hits } => {
+            s.push_str(&format!(
+                "{{\"ev\":\"query_end\",\"at_us\":{at_us},\"hits\":{hits}}}"
+            ));
+        }
+    }
+    s
+}
+
+/// Buffered JSONL writer for trace streams.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wrap a writer. Callers that care about syscall counts should
+    /// hand in a `BufWriter`.
+    pub fn new(out: W) -> Self {
+        Self { out, written: 0 }
+    }
+
+    /// Write one event as one line.
+    pub fn write_event(&mut self, event: &TraceEvent) -> io::Result<()> {
+        self.out.write_all(event_to_json(event).as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Write a batch of events.
+    pub fn write_all(&mut self, events: &[TraceEvent]) -> io::Result<()> {
+        for ev in events {
+            self.write_event(ev)?;
+        }
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the inner writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object of the allowed value types.
+    Malformed(String),
+    /// The object has no `"ev"` field or an unknown discriminator.
+    UnknownEvent(String),
+    /// A required field is absent or has the wrong type.
+    MissingField(&'static str),
+    /// An enum-valued field holds an unrecognized wire name.
+    BadValue(&'static str, String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed(why) => write!(f, "malformed JSON line: {why}"),
+            ParseError::UnknownEvent(ev) => write!(f, "unknown event type {ev:?}"),
+            ParseError::MissingField(name) => write!(f, "missing or mistyped field {name:?}"),
+            ParseError::BadValue(field, got) => {
+                write!(f, "bad value {got:?} for field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A flat JSON value: the only shapes the trace format uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Flat {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+}
+
+/// Parse a flat JSON object (strings, integers, booleans only).
+fn parse_flat(line: &str) -> Result<BTreeMap<String, Flat>, ParseError> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let err = |why: &str| ParseError::Malformed(why.to_string());
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+        let malformed = |why: &str| ParseError::Malformed(why.to_string());
+        if *pos >= bytes.len() || bytes[*pos] != b'"' {
+            return Err(malformed("expected string"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            if *pos >= bytes.len() {
+                return Err(malformed("unterminated string"));
+            }
+            match bytes[*pos] {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    if *pos >= bytes.len() {
+                        return Err(malformed("truncated escape"));
+                    }
+                    match bytes[*pos] {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if *pos + 4 >= bytes.len() {
+                                return Err(malformed("truncated \\u escape"));
+                            }
+                            let hex = &line[*pos + 1..*pos + 5];
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| malformed("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| malformed("bad \\u codepoint"))?,
+                            );
+                            *pos += 4;
+                        }
+                        _ => return Err(malformed("unknown escape")),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Advance over one UTF-8 scalar, not one byte.
+                    let rest = &line[*pos..];
+                    let c = rest.chars().next().ok_or_else(|| malformed("bad utf8"))?;
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    skip_ws(bytes, &mut pos);
+    if pos >= bytes.len() || bytes[pos] != b'{' {
+        return Err(err("expected object"));
+    }
+    pos += 1;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, &mut pos);
+    if pos < bytes.len() && bytes[pos] == b'}' {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(bytes, &mut pos);
+            let key = parse_string(line, bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos >= bytes.len() || bytes[pos] != b':' {
+                return Err(err("expected ':'"));
+            }
+            pos += 1;
+            skip_ws(bytes, &mut pos);
+            let value = if pos < bytes.len() && bytes[pos] == b'"' {
+                Flat::Str(parse_string(line, bytes, &mut pos)?)
+            } else if line[pos..].starts_with("true") {
+                pos += 4;
+                Flat::Bool(true)
+            } else if line[pos..].starts_with("false") {
+                pos += 5;
+                Flat::Bool(false)
+            } else {
+                let start = pos;
+                if pos < bytes.len() && bytes[pos] == b'-' {
+                    pos += 1;
+                }
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                if pos == start {
+                    return Err(err("expected value"));
+                }
+                let n: i64 = line[start..pos]
+                    .parse()
+                    .map_err(|_| err("integer out of range"))?;
+                Flat::Int(n)
+            };
+            map.insert(key, value);
+            skip_ws(bytes, &mut pos);
+            match bytes.get(pos) {
+                Some(b',') => {
+                    pos += 1;
+                }
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(err("expected ',' or '}'")),
+            }
+        }
+    }
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing garbage after object"));
+    }
+    Ok(map)
+}
+
+fn get_str<'m>(map: &'m BTreeMap<String, Flat>, key: &'static str) -> Result<&'m str, ParseError> {
+    match map.get(key) {
+        Some(Flat::Str(s)) => Ok(s),
+        _ => Err(ParseError::MissingField(key)),
+    }
+}
+
+fn get_u64(map: &BTreeMap<String, Flat>, key: &'static str) -> Result<u64, ParseError> {
+    match map.get(key) {
+        Some(Flat::Int(n)) if *n >= 0 => Ok(*n as u64),
+        _ => Err(ParseError::MissingField(key)),
+    }
+}
+
+fn get_i64(map: &BTreeMap<String, Flat>, key: &'static str) -> Result<i64, ParseError> {
+    match map.get(key) {
+        Some(Flat::Int(n)) => Ok(*n),
+        _ => Err(ParseError::MissingField(key)),
+    }
+}
+
+fn get_bool(map: &BTreeMap<String, Flat>, key: &'static str) -> Result<bool, ParseError> {
+    match map.get(key) {
+        Some(Flat::Bool(b)) => Ok(*b),
+        _ => Err(ParseError::MissingField(key)),
+    }
+}
+
+/// Parse one JSONL trace line back into a [`TraceEvent`].
+pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
+    let map = parse_flat(line)?;
+    let ev = get_str(&map, "ev")
+        .map_err(|_| ParseError::UnknownEvent("<missing \"ev\" field>".to_string()))?;
+    match ev {
+        "query_begin" => Ok(TraceEvent::QueryBegin {
+            query: get_str(&map, "query")?.to_string(),
+            subjects: get_u64(&map, "subjects")?,
+        }),
+        "span_begin" => Ok(TraceEvent::SpanBegin {
+            span: get_str(&map, "span")?.to_string(),
+            at_us: get_u64(&map, "at_us")?,
+        }),
+        "span_end" => Ok(TraceEvent::SpanEnd {
+            span: get_str(&map, "span")?.to_string(),
+            at_us: get_u64(&map, "at_us")?,
+            dur_us: get_u64(&map, "dur_us")?,
+        }),
+        "align_begin" => Ok(TraceEvent::AlignBegin {
+            subject: get_u64(&map, "subject")?,
+            len: get_u64(&map, "len")?,
+            worker: get_u64(&map, "worker")?,
+        }),
+        "col" => {
+            let strategy_name = get_str(&map, "strategy")?;
+            let strategy = StrategyKind::parse(strategy_name)
+                .ok_or_else(|| ParseError::BadValue("strategy", strategy_name.to_string()))?;
+            let probe_name = get_str(&map, "probe")?;
+            let probe = ProbeOutcome::parse(probe_name)
+                .ok_or_else(|| ParseError::BadValue("probe", probe_name.to_string()))?;
+            let sweeps = get_u64(&map, "sweeps")?;
+            Ok(TraceEvent::Hybrid(HybridEvent {
+                column: get_u64(&map, "column")?,
+                strategy,
+                lazy_sweeps: u32::try_from(sweeps)
+                    .map_err(|_| ParseError::BadValue("sweeps", sweeps.to_string()))?,
+                switched: get_bool(&map, "switched")?,
+                probe,
+            }))
+        }
+        "align_end" => Ok(TraceEvent::AlignEnd {
+            subject: get_u64(&map, "subject")?,
+            score: get_i64(&map, "score")?,
+            iterate_columns: get_u64(&map, "iterate_columns")?,
+            scan_columns: get_u64(&map, "scan_columns")?,
+            dur_us: get_u64(&map, "dur_us")?,
+        }),
+        "query_end" => Ok(TraceEvent::QueryEnd {
+            at_us: get_u64(&map, "at_us")?,
+            hits: get_u64(&map, "hits")?,
+        }),
+        other => Ok(Err(ParseError::UnknownEvent(other.to_string()))?),
+    }
+}
+
+/// Read and validate a whole JSONL trace stream. Blank lines are
+/// skipped; any other line that fails to parse aborts with the
+/// 1-based line number attached.
+pub fn read_events<R: BufRead>(reader: R) -> Result<Vec<TraceEvent>, (usize, ParseError)> {
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| (idx + 1, ParseError::Malformed(format!("io error: {e}"))))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(&line).map_err(|e| (idx + 1, e))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::QueryBegin {
+                query: "Q\"1\"\n".to_string(),
+                subjects: 3,
+            },
+            TraceEvent::SpanBegin {
+                span: "sweep".to_string(),
+                at_us: 12,
+            },
+            TraceEvent::AlignBegin {
+                subject: 0,
+                len: 40,
+                worker: 1,
+            },
+            TraceEvent::Hybrid(HybridEvent {
+                column: 5,
+                strategy: StrategyKind::Scan,
+                lazy_sweeps: 0,
+                switched: false,
+                probe: ProbeOutcome::Returned,
+            }),
+            TraceEvent::Hybrid(HybridEvent {
+                column: 6,
+                strategy: StrategyKind::Iterate,
+                lazy_sweeps: 4,
+                switched: true,
+                probe: ProbeOutcome::NotProbe,
+            }),
+            TraceEvent::AlignEnd {
+                subject: 0,
+                score: -3,
+                iterate_columns: 30,
+                scan_columns: 10,
+                dur_us: 88,
+            },
+            TraceEvent::SpanEnd {
+                span: "sweep".to_string(),
+                at_us: 100,
+                dur_us: 88,
+            },
+            TraceEvent::QueryEnd {
+                at_us: 101,
+                hits: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        for ev in samples() {
+            let line = event_to_json(&ev);
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn writer_then_reader_round_trips_a_stream() {
+        let events = samples();
+        let mut writer = TraceWriter::new(Vec::new());
+        writer.write_all(&events).unwrap();
+        assert_eq!(writer.written(), events.len() as u64);
+        let bytes = writer.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        let back = read_events(text.as_bytes()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parser_rejects_junk_with_line_numbers() {
+        let text = "{\"ev\":\"query_end\",\"at_us\":1,\"hits\":0}\n\nnot json\n";
+        let err = read_events(text.as_bytes()).unwrap_err();
+        assert_eq!(err.0, 3, "blank line skipped, junk line numbered");
+        assert!(matches!(err.1, ParseError::Malformed(_)));
+    }
+
+    #[test]
+    fn parser_rejects_unknown_and_incomplete_events() {
+        assert!(matches!(
+            parse_line("{\"ev\":\"warp_drive\"}"),
+            Err(ParseError::UnknownEvent(_))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"col\",\"column\":1}"),
+            Err(ParseError::MissingField(_))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"col\",\"column\":1,\"strategy\":\"warp\",\"sweeps\":0,\"switched\":false,\"probe\":\"none\"}"),
+            Err(ParseError::BadValue("strategy", _))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"query_end\",\"at_us\":-5,\"hits\":0}"),
+            Err(ParseError::MissingField("at_us"))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"query_end\",\"at_us\":1,\"hits\":0} tail"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn string_escapes_survive_the_round_trip() {
+        let ev = TraceEvent::QueryBegin {
+            query: "tab\there \\ quote\" ctrl\u{1} unicode\u{e9}".to_string(),
+            subjects: 1,
+        };
+        let line = event_to_json(&ev);
+        assert_eq!(parse_line(&line).unwrap(), ev);
+    }
+}

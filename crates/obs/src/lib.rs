@@ -1,0 +1,39 @@
+//! # aalign-obs — observability substrate for the AAlign workspace
+//!
+//! The paper's hybrid mechanism (Sec. V-B) makes per-column runtime
+//! decisions — lazy-loop re-computation counts, iterate→scan
+//! switches, probe outcomes — that the end-of-run `RunStats` totals
+//! can only summarize. This crate makes those decisions *watchable*:
+//!
+//! * [`event`] — the typed event taxonomy: span begin/end for the
+//!   engine's stages, align begin/end per database subject, and the
+//!   per-column [`HybridEvent`] emitted from the hybrid kernel.
+//! * [`sink`] — the [`TraceSink`] trait with zero-cost-when-disabled
+//!   dispatch. The monomorphized [`NullSink`] compiles every emission
+//!   site away; collectors buffer events per worker and merge them
+//!   through a [`SharedCollector`].
+//! * [`hist`] — fixed-bucket (log2) [`Histogram`]s with saturating,
+//!   associative/commutative merge. No dependencies, `Copy`-free,
+//!   cheap to record into from hot loops.
+//! * [`jsonl`] — the JSON Lines trace format: a writer, and a parser
+//!   strict enough to validate trace files end to end.
+//! * [`report`] — reconstruction of the hybrid decision timeline
+//!   (column ranges per strategy, switch points, probe outcomes)
+//!   from a parsed trace — the `aalign trace-report` backend.
+//!
+//! The crate sits at the bottom of the dependency stack (it depends
+//! on nothing), so `aalign-core` can emit events from inside the
+//! kernels and `aalign-par` can aggregate histograms into its
+//! metrics without cycles.
+
+pub mod event;
+pub mod hist;
+pub mod jsonl;
+pub mod report;
+pub mod sink;
+
+pub use event::{HybridEvent, ProbeOutcome, StrategyKind, TraceEvent};
+pub use hist::Histogram;
+pub use jsonl::{event_to_json, parse_line, read_events, ParseError, TraceWriter};
+pub use report::{StrategySegment, SubjectTimeline, TraceReport};
+pub use sink::{CollectorSink, NullSink, SharedCollector, TraceSink};

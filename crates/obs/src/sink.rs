@@ -1,0 +1,229 @@
+//! Trace sinks: where events go, and how "off" costs nothing.
+//!
+//! The kernel-facing contract is [`TraceSink`]. Emission sites are
+//! written as
+//!
+//! ```ignore
+//! if sink.enabled() {
+//!     sink.record(TraceEvent::Hybrid(ev));
+//! }
+//! ```
+//!
+//! so a monomorphized [`NullSink`] — whose `enabled` is a constant
+//! `false` — deletes the whole site at compile time. The dispatch
+//! layer in `aalign-core` checks `enabled()` **once per alignment**
+//! and routes disabled runs to the `NullSink` instantiation, which is
+//! the exact pre-observability kernel code; the
+//! `bench obs_overhead` guard in `crates/bench` holds that path to
+//! <1% overhead.
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::{HybridEvent, TraceEvent};
+
+/// Receiver of typed trace events.
+///
+/// Implementations must keep [`record`](TraceSink::record) cheap —
+/// it runs on worker threads between SIMD columns. Buffer locally,
+/// flush in batches (see [`SharedCollector`]).
+pub trait TraceSink {
+    /// Whether this sink wants events at all. Emission sites gate on
+    /// this; a constant `false` (as in [`NullSink`]) removes them.
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receive one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Convenience wrapper for the kernel's hot path: gate + wrap.
+    #[inline(always)]
+    fn on_hybrid(&mut self, ev: HybridEvent) {
+        if self.enabled() {
+            self.record(TraceEvent::Hybrid(ev));
+        }
+    }
+}
+
+/// The no-op sink. Monomorphizing a kernel against `NullSink`
+/// produces code identical to one with no tracing support at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Mutable references forward, so `&mut dyn TraceSink` (the shape the
+/// runtime dispatch layer threads through non-generic call chains)
+/// satisfies the same bound as a concrete sink.
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline(always)]
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+/// An in-memory event buffer. Workers keep one per thread, reuse it
+/// across subjects (`events.clear()` via [`SharedCollector::append`]
+/// drains it), and never contend inside an alignment.
+#[derive(Debug, Default)]
+pub struct CollectorSink {
+    /// The buffered events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl CollectorSink {
+    /// Fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the buffered events, leaving the collector empty (the
+    /// allocation is surrendered with them).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TraceSink for CollectorSink {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A cloneable, thread-safe event collector: the rendezvous between
+/// per-worker [`CollectorSink`] buffers and whoever writes the trace
+/// out. Workers push whole per-subject batches under one lock
+/// acquisition, so events for one subject are always contiguous in
+/// the final stream — the invariant the timeline reconstruction in
+/// [`crate::report`] relies on.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCollector {
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl SharedCollector {
+    /// Fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event (engine-thread framing: query/span events).
+    pub fn push(&self, event: TraceEvent) {
+        self.inner.lock().expect("trace collector lock").push(event);
+    }
+
+    /// Move a worker's buffered batch in, draining `batch` so its
+    /// allocation is reused for the next subject.
+    pub fn append(&self, batch: &mut Vec<TraceEvent>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.inner
+            .lock()
+            .expect("trace collector lock")
+            .append(batch);
+    }
+
+    /// Events collected so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace collector lock").len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain everything collected so far, in arrival order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.inner.lock().expect("trace collector lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ProbeOutcome, StrategyKind};
+
+    fn col(column: u64) -> HybridEvent {
+        HybridEvent {
+            column,
+            strategy: StrategyKind::Iterate,
+            lazy_sweeps: 0,
+            switched: false,
+            probe: ProbeOutcome::NotProbe,
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_drops_everything() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        sink.on_hybrid(col(0));
+        sink.record(TraceEvent::QueryEnd { at_us: 1, hits: 0 });
+        // Nothing observable — the point is it compiles to nothing.
+    }
+
+    #[test]
+    fn collector_buffers_in_order_and_take_empties() {
+        let mut sink = CollectorSink::new();
+        assert!(sink.enabled());
+        sink.on_hybrid(col(0));
+        sink.on_hybrid(col(1));
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(sink.events.is_empty());
+        match &events[1] {
+            TraceEvent::Hybrid(h) => assert_eq!(h.column, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwards_the_sink_impl() {
+        let mut sink = CollectorSink::new();
+        {
+            let by_ref: &mut dyn TraceSink = &mut sink;
+            assert!(by_ref.enabled());
+            by_ref.on_hybrid(col(3));
+        }
+        assert_eq!(sink.events.len(), 1);
+    }
+
+    #[test]
+    fn shared_collector_merges_batches_atomically() {
+        let shared = SharedCollector::new();
+        let clone = shared.clone();
+        let mut batch = vec![
+            TraceEvent::AlignBegin {
+                subject: 9,
+                len: 4,
+                worker: 0,
+            },
+            TraceEvent::Hybrid(col(0)),
+        ];
+        clone.append(&mut batch);
+        assert!(batch.is_empty(), "append drains the worker buffer");
+        shared.push(TraceEvent::QueryEnd { at_us: 10, hits: 1 });
+        assert_eq!(shared.len(), 3);
+        let all = shared.drain();
+        assert_eq!(all.len(), 3);
+        assert!(shared.is_empty());
+        assert!(matches!(all[0], TraceEvent::AlignBegin { subject: 9, .. }));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for the log2 histogram: merge is associative and
+//! commutative (so per-worker histograms can be folded in any order),
+//! and accumulation saturates instead of wrapping.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use aalign_obs::Histogram;
+
+fn build(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        xs in vec(any::<u64>(), 0..40),
+        ys in vec(any::<u64>(), 0..40),
+    ) {
+        let (a, b) = (build(&xs), build(&ys));
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in vec(any::<u64>(), 0..30),
+        ys in vec(any::<u64>(), 0..30),
+        zs in vec(any::<u64>(), 0..30),
+    ) {
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        xs in vec(any::<u64>(), 0..40),
+        ys in vec(any::<u64>(), 0..40),
+    ) {
+        // Saturation can only trigger on sums near u64::MAX, where
+        // record-order and merge-order both clamp to the same value,
+        // so the two constructions agree everywhere.
+        let both: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+        prop_assert_eq!(merged(&build(&xs), &build(&ys)), build(&both));
+    }
+
+    #[test]
+    fn counters_saturate_never_wrap(
+        xs in vec(any::<u64>(), 1..20),
+    ) {
+        let mut h = build(&xs);
+        // Pre-load near the ceiling, then keep going: every counter
+        // must pin at u64::MAX rather than wrapping past it.
+        for _ in 0..3 {
+            h.record(u64::MAX);
+        }
+        let before = h.clone();
+        h.merge(&before);
+        prop_assert!(h.sum() >= before.sum());
+        prop_assert!(h.count() >= before.count());
+        prop_assert_eq!(h.max_value(), u64::MAX);
+        prop_assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bounded_by_max(
+        xs in vec(any::<u64>(), 1..50),
+        q_millis in 0u64..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = build(&xs);
+        let max = *xs.iter().max().unwrap();
+        prop_assert!(h.quantile(q) <= max);
+        prop_assert_eq!(h.quantile(1.0), max);
+    }
+}

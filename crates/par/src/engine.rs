@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use aalign_bio::{SeqDatabase, Sequence};
 use aalign_core::{AlignConfig, AlignError, AlignScratch, Aligner, RunStats};
+use aalign_obs::{CollectorSink, Histogram, SharedCollector, TraceEvent};
 
 use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
 use crate::search::{Hit, SearchOptions, SearchReport};
@@ -42,6 +43,16 @@ use crate::search::{Hit, SearchOptions, SearchReport};
 /// Subjects per inter-sequence batch (one vector's worth; the
 /// length-sorted order keeps batches dense).
 pub(crate) const INTER_BATCH: usize = 16;
+
+/// Microseconds elapsed since `t0`, saturating into `u64`.
+fn elapsed_us(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Microseconds in `d`, saturating into `u64`.
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Resolve a requested thread count (`0` = available parallelism).
 pub(crate) fn resolve_threads(requested: usize) -> usize {
@@ -169,6 +180,10 @@ struct SweepShared<'a> {
     top_n: usize,
     cancel: Option<&'a CancelToken>,
     progress: Option<&'a ProgressFn>,
+    /// Destination for trace events when the query runs traced.
+    /// Workers move whole per-subject batches in at shard boundaries,
+    /// keeping every subject's events contiguous in the final stream.
+    trace: Option<&'a SharedCollector>,
 }
 
 /// Per-worker result of one sweep.
@@ -177,6 +192,7 @@ struct SweepOut {
     peak_buffered: usize,
     stats: RunStats,
     width_retries: u64,
+    latency: Histogram,
     err: Option<AlignError>,
     worker: WorkerMetrics,
 }
@@ -186,6 +202,13 @@ struct SweepOut {
 struct Tallies {
     stats: RunStats,
     width_retries: u64,
+    /// Pool-local id of the worker running this sweep, stamped by
+    /// [`run_sweep_worker`] so slot closures can tag trace events.
+    worker_id: usize,
+    /// Per-worker trace buffer: slot closures append complete
+    /// `AlignBegin` … `AlignEnd` batches; the sweep loop drains it
+    /// into the shared collector once per shard.
+    sink: CollectorSink,
 }
 
 /// Max-heap wrapper whose maximum is the *worst* kept hit under the
@@ -289,7 +312,11 @@ fn run_sweep_worker(
     let t0 = Instant::now();
     state.queries += 1;
     let mut collector = Collector::new(shared.top_n);
-    let mut tallies = Tallies::default();
+    let mut tallies = Tallies {
+        worker_id: state.id,
+        ..Tallies::default()
+    };
+    let mut latency = Histogram::new();
     let mut subjects = 0usize;
     let mut residues = 0usize;
     let mut err = None;
@@ -309,8 +336,10 @@ fn run_sweep_worker(
         let mut shard_subjects = 0usize;
         let mut shard_residues = 0usize;
         for slot in start..end {
+            let t_slot = Instant::now();
             match score_slot(&mut state.scratch, slot, &mut collector, &mut tallies) {
                 Ok((s, r)) => {
+                    latency.record(u64::try_from(t_slot.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     shard_subjects += s;
                     shard_residues += r;
                 }
@@ -319,6 +348,12 @@ fn run_sweep_worker(
                     break 'sweep;
                 }
             }
+        }
+        // Publish this shard's completed trace batches in one lock
+        // acquisition (a failed shard never publishes its partial
+        // batch — the query errors out and the trace is discarded).
+        if let Some(trace) = shared.trace {
+            trace.append(&mut tallies.sink.events);
         }
         subjects += shard_subjects;
         residues += shard_residues;
@@ -341,6 +376,7 @@ fn run_sweep_worker(
         hits: collector.into_hits(),
         stats: tallies.stats,
         width_retries: tallies.width_retries,
+        latency,
         err,
         worker: WorkerMetrics {
             worker_id: state.id,
@@ -434,8 +470,26 @@ impl SearchEngine {
         opts: &SearchOptions,
     ) -> Result<SearchReport, AlignError> {
         let t_total = Instant::now();
+        let trace = opts.trace.then(SharedCollector::new);
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::QueryBegin {
+                query: query.id().to_string(),
+                subjects: db.len() as u64,
+            });
+            tc.push(TraceEvent::SpanBegin {
+                span: "prepare".to_string(),
+                at_us: 0,
+            });
+        }
         let prepared = aligner.prepare(query)?;
         let prepare = t_total.elapsed();
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanEnd {
+                span: "prepare".to_string(),
+                at_us: elapsed_us(t_total),
+                dur_us: dur_us(prepare),
+            });
+        }
 
         let order = db.sorted_by_length_desc();
         let shared_ctx = (
@@ -453,9 +507,11 @@ impl SearchEngine {
             top_n: opts.top_n,
             cancel: opts.cancel.as_ref(),
             progress: opts.progress.as_ref(),
+            trace: trace.as_ref(),
         };
         let order = &order;
         let prepared = &prepared;
+        let tracing = trace.is_some();
         let score_slot = |scratch: &mut AlignScratch,
                           slot: usize,
                           collector: &mut Collector,
@@ -463,7 +519,28 @@ impl SearchEngine {
          -> Result<(usize, usize), AlignError> {
             let db_index = order[slot];
             let subject = db.get(db_index);
-            let out = aligner.align_prepared(prepared, subject, scratch)?;
+            let out = if tracing {
+                // One contiguous batch per subject: envelope plus the
+                // kernel's per-column events, buffered worker-locally.
+                let t_align = Instant::now();
+                tallies.sink.events.push(TraceEvent::AlignBegin {
+                    subject: db_index as u64,
+                    len: subject.len() as u64,
+                    worker: tallies.worker_id as u64,
+                });
+                let out =
+                    aligner.align_prepared_sink(prepared, subject, scratch, &mut tallies.sink)?;
+                tallies.sink.events.push(TraceEvent::AlignEnd {
+                    subject: db_index as u64,
+                    score: i64::from(out.score),
+                    iterate_columns: out.stats.iterate_columns as u64,
+                    scan_columns: out.stats.scan_columns as u64,
+                    dur_us: elapsed_us(t_align),
+                });
+                out
+            } else {
+                aligner.align_prepared(prepared, subject, scratch)?
+            };
             tallies.stats.merge(&out.stats);
             tallies.width_retries += u64::from(out.width_retries);
             collector.offer(Hit {
@@ -475,11 +552,24 @@ impl SearchEngine {
         };
 
         let active = self.active_for(order.len());
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanBegin {
+                span: "sweep".to_string(),
+                at_us: elapsed_us(t_total),
+            });
+        }
         let t_sweep = Instant::now();
         let outs = self.run_on_pool(active, |state| {
             run_sweep_worker(&shared, state, &score_slot)
         });
         let sweep = t_sweep.elapsed();
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanEnd {
+                span: "sweep".to_string(),
+                at_us: elapsed_us(t_total),
+                dur_us: dur_us(sweep),
+            });
+        }
 
         self.finish(
             query.len(),
@@ -492,6 +582,7 @@ impl SearchEngine {
                 prepare,
                 sweep,
             },
+            trace,
         )
     }
 
@@ -507,6 +598,20 @@ impl SearchEngine {
         opts: &SearchOptions,
     ) -> Result<SearchReport, AlignError> {
         let t_total = Instant::now();
+        // The inter-sequence kernel scores 16 subjects per vector and
+        // has no per-column hybrid decisions to report, so a traced
+        // inter sweep carries the query/span framing only.
+        let trace = opts.trace.then(SharedCollector::new);
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::QueryBegin {
+                query: query.id().to_string(),
+                subjects: db.len() as u64,
+            });
+            tc.push(TraceEvent::SpanBegin {
+                span: "prepare".to_string(),
+                at_us: 0,
+            });
+        }
         if query.is_empty() {
             return Err(AlignError::EmptyQuery);
         }
@@ -515,6 +620,13 @@ impl SearchEngine {
             cfg.check_seq(s)?;
         }
         let prepare = t_total.elapsed();
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanEnd {
+                span: "prepare".to_string(),
+                at_us: elapsed_us(t_total),
+                dur_us: dur_us(prepare),
+            });
+        }
 
         let t2 = cfg.table2();
         let order = db.sorted_by_length_desc();
@@ -534,6 +646,7 @@ impl SearchEngine {
             top_n: opts.top_n,
             cancel: opts.cancel.as_ref(),
             progress: opts.progress.as_ref(),
+            trace: trace.as_ref(),
         };
         let batches = &batches;
         let score_slot = |_scratch: &mut AlignScratch,
@@ -558,11 +671,24 @@ impl SearchEngine {
         };
 
         let active = self.active_for(batches.len());
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanBegin {
+                span: "sweep".to_string(),
+                at_us: elapsed_us(t_total),
+            });
+        }
         let t_sweep = Instant::now();
         let outs = self.run_on_pool(active, |state| {
             run_sweep_worker(&shared, state, &score_slot)
         });
         let sweep = t_sweep.elapsed();
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanEnd {
+                span: "sweep".to_string(),
+                at_us: elapsed_us(t_total),
+                dur_us: dur_us(sweep),
+            });
+        }
 
         self.finish(
             query.len(),
@@ -575,10 +701,12 @@ impl SearchEngine {
                 prepare,
                 sweep,
             },
+            trace,
         )
     }
 
     /// Merge per-worker sweeps into a ranked report with metrics.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         query_len: usize,
@@ -587,6 +715,7 @@ impl SearchEngine {
         outs: Vec<SweepOut>,
         top_n: usize,
         times: StageTimes,
+        trace: Option<SharedCollector>,
     ) -> Result<SearchReport, AlignError> {
         // A concrete failure (bad subject alphabet, …) outranks the
         // cancellations it may have triggered in sibling workers.
@@ -603,9 +732,17 @@ impl SearchEngine {
         }
 
         let t_merge = Instant::now();
+        if let Some(tc) = &trace {
+            tc.push(TraceEvent::SpanBegin {
+                span: "merge".to_string(),
+                at_us: elapsed_us(times.started),
+            });
+        }
         let mut kernel_stats = RunStats::default();
         let mut width_retries = 0u64;
         let mut peak_hits_buffered = 0usize;
+        let mut latency = Histogram::new();
+        let mut worker_load = Histogram::new();
         let mut per_worker = Vec::with_capacity(outs.len());
         let mut total_residues = 0usize;
         let mut hits: Vec<Hit> = Vec::with_capacity(outs.iter().map(|o| o.hits.len()).sum());
@@ -613,6 +750,8 @@ impl SearchEngine {
             kernel_stats.merge(&out.stats);
             width_retries += out.width_retries;
             peak_hits_buffered += out.peak_buffered;
+            latency.merge(&out.latency);
+            worker_load.record(out.worker.residues as u64);
             total_residues += out.worker.residues;
             per_worker.push(out.worker);
             hits.extend(out.hits);
@@ -625,7 +764,21 @@ impl SearchEngine {
 
         self.queries_served.fetch_add(1, Ordering::Relaxed);
         let cells = query_len as u64 * total_residues as u64;
-        let sweep_secs = times.sweep.as_secs_f64();
+        let trace_events = match trace {
+            Some(tc) => {
+                tc.push(TraceEvent::SpanEnd {
+                    span: "merge".to_string(),
+                    at_us: elapsed_us(times.started),
+                    dur_us: dur_us(merge),
+                });
+                tc.push(TraceEvent::QueryEnd {
+                    at_us: elapsed_us(times.started),
+                    hits: hits.len() as u64,
+                });
+                tc.drain()
+            }
+            None => Vec::new(),
+        };
         Ok(SearchReport {
             hits,
             threads_used: active,
@@ -637,16 +790,15 @@ impl SearchEngine {
                 merge,
                 total: times.started.elapsed(),
                 cells,
-                gcups: if sweep_secs > 0.0 {
-                    cells as f64 / sweep_secs / 1e9
-                } else {
-                    0.0
-                },
+                gcups: SearchMetrics::derive_gcups(cells, times.sweep),
                 kernel_stats,
                 width_retries,
                 peak_hits_buffered,
+                latency,
+                worker_load,
                 per_worker,
             },
+            trace_events,
         })
     }
 }
@@ -877,6 +1029,16 @@ mod tests {
         for w in &m.per_worker {
             assert!(w.scratch_bytes > 0, "warm worker must hold scratch");
         }
+        // One latency sample per subject, one load sample per worker.
+        assert_eq!(m.latency.count(), db.len() as u64);
+        assert_eq!(m.worker_load.count(), m.workers() as u64);
+        assert_eq!(
+            m.worker_load.sum(),
+            db_residues as u64,
+            "worker-load samples partition the database residues"
+        );
+        // Derived GCUPS agrees with the guarded helper.
+        assert_eq!(m.gcups, SearchMetrics::derive_gcups(m.cells, m.sweep));
     }
 
     #[test]

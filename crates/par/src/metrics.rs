@@ -12,6 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aalign_core::RunStats;
+use aalign_obs::Histogram;
 
 /// Cooperative cancellation handle for an in-flight search.
 ///
@@ -126,6 +127,14 @@ pub struct SearchMetrics {
     /// `workers × top_n` when `top_n > 0` (streaming top-k), `O(db)`
     /// only when every hit was requested.
     pub peak_hits_buffered: usize,
+    /// Log2 histogram of per-work-item sweep latency in nanoseconds
+    /// (one sample per subject on the intra sweep, per batch on the
+    /// inter sweep), merged across workers.
+    pub latency: Histogram,
+    /// Log2 histogram of per-worker residue load: one sample per
+    /// participating worker. A tight spread is the dynamic-binding
+    /// balance signal (paper Sec. V-E) made visible per query.
+    pub worker_load: Histogram,
     /// One entry per participating worker, ordered by `worker_id`.
     pub per_worker: Vec<WorkerMetrics>,
 }
@@ -134,6 +143,17 @@ impl SearchMetrics {
     /// Number of workers that participated in the sweep.
     pub fn workers(&self) -> usize {
         self.per_worker.len()
+    }
+
+    /// Billions of DP cell updates per second, guarded: an empty
+    /// database (`cells == 0`) or a zero/degenerate elapsed time
+    /// yields `0.0` — never NaN or infinity.
+    pub fn derive_gcups(cells: u64, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if cells == 0 || secs <= 0.0 || !secs.is_finite() {
+            return 0.0;
+        }
+        cells as f64 / secs / 1e9
     }
 
     /// Render a compact multi-line summary (the CLI's `--stats`
@@ -164,6 +184,18 @@ impl SearchMetrics {
             self.width_retries,
             self.peak_hits_buffered,
         );
+        if !self.latency.is_empty() {
+            let us = |ns: u64| ns as f64 / 1e3;
+            let _ = writeln!(
+                s,
+                "latency: p50 {:.1}µs  p90 {:.1}µs  p99 {:.1}µs  max {:.1}µs  ({} work items)",
+                us(self.latency.quantile(0.50)),
+                us(self.latency.quantile(0.90)),
+                us(self.latency.quantile(0.99)),
+                us(self.latency.max_value()),
+                self.latency.count(),
+            );
+        }
         for w in &self.per_worker {
             let _ = writeln!(
                 s,
@@ -177,6 +209,151 @@ impl SearchMetrics {
                 w.queries_on_worker,
             );
         }
+        s
+    }
+
+    /// Render as a single JSON object (durations in microseconds,
+    /// histograms as compact summaries). Machine-readable counterpart
+    /// of [`summary`](SearchMetrics::summary); the CLI's
+    /// `--metrics-format json`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let us = |d: Duration| d.as_micros();
+        let k = &self.kernel_stats;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"prepare_us\":{},\"sweep_us\":{},\"merge_us\":{},\"total_us\":{},\
+             \"cells\":{},\"gcups\":{:.4},",
+            us(self.prepare),
+            us(self.sweep),
+            us(self.merge),
+            us(self.total),
+            self.cells,
+            self.gcups,
+        );
+        let _ = write!(
+            s,
+            "\"kernel\":{{\"lazy_iters\":{},\"lazy_sweeps\":{},\"iterate_columns\":{},\
+             \"scan_columns\":{},\"switches_to_scan\":{},\"probes_stayed\":{}}},",
+            k.lazy_iters,
+            k.lazy_sweeps,
+            k.iterate_columns,
+            k.scan_columns,
+            k.switches_to_scan,
+            k.probes_stayed,
+        );
+        let _ = write!(
+            s,
+            "\"width_retries\":{},\"peak_hits_buffered\":{},\"latency_ns\":{},\
+             \"worker_load_residues\":{},\"workers\":[",
+            self.width_retries,
+            self.peak_hits_buffered,
+            self.latency.to_json(),
+            self.worker_load.to_json(),
+        );
+        for (i, w) in self.per_worker.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"id\":{},\"subjects\":{},\"residues\":{},\"busy_us\":{},\
+                 \"scratch_bytes\":{},\"queries_on_worker\":{}}}",
+                if i == 0 { "" } else { "," },
+                w.worker_id,
+                w.subjects,
+                w.residues,
+                us(w.busy),
+                w.scratch_bytes,
+                w.queries_on_worker,
+            );
+        }
+        let _ = write!(s, "]}}");
+        s
+    }
+
+    /// Render in the Prometheus text exposition format (gauges for
+    /// the scalar counters, cumulative `_bucket` series for the
+    /// histograms). The CLI's `--metrics-format prom`.
+    pub fn to_prometheus(&self) -> String {
+        fn gauge_into(s: &mut String, name: &str, help: &str, value: f64) {
+            use std::fmt::Write as _;
+            let _ = writeln!(s, "# HELP {name} {help}");
+            let _ = writeln!(s, "# TYPE {name} gauge");
+            let _ = writeln!(s, "{name} {value}");
+        }
+        let mut s = String::new();
+        let mut gauge = |name: &str, help: &str, value: f64| gauge_into(&mut s, name, help, value);
+        gauge(
+            "aalign_prepare_seconds",
+            "Query profile construction wall time.",
+            self.prepare.as_secs_f64(),
+        );
+        gauge(
+            "aalign_sweep_seconds",
+            "Multithreaded sweep wall time.",
+            self.sweep.as_secs_f64(),
+        );
+        gauge(
+            "aalign_merge_seconds",
+            "Result merge and rank wall time.",
+            self.merge.as_secs_f64(),
+        );
+        gauge(
+            "aalign_total_seconds",
+            "End-to-end query wall time.",
+            self.total.as_secs_f64(),
+        );
+        gauge(
+            "aalign_cells_total",
+            "Dynamic-programming cells computed.",
+            self.cells as f64,
+        );
+        gauge(
+            "aalign_gcups",
+            "Billions of cell updates per second over the sweep.",
+            self.gcups,
+        );
+        let k = &self.kernel_stats;
+        gauge(
+            "aalign_kernel_iterate_columns_total",
+            "Columns processed by striped-iterate.",
+            k.iterate_columns as f64,
+        );
+        gauge(
+            "aalign_kernel_scan_columns_total",
+            "Columns processed by striped-scan.",
+            k.scan_columns as f64,
+        );
+        gauge(
+            "aalign_kernel_switches_to_scan_total",
+            "Hybrid iterate-to-scan switches.",
+            k.switches_to_scan as f64,
+        );
+        gauge(
+            "aalign_kernel_probes_stayed_total",
+            "Hybrid probes that stayed in iterate.",
+            k.probes_stayed as f64,
+        );
+        gauge(
+            "aalign_kernel_lazy_sweeps_total",
+            "Lazy-loop whole-column sweeps.",
+            k.lazy_sweeps as f64,
+        );
+        gauge(
+            "aalign_width_retries_total",
+            "i16-to-i32 width escalations.",
+            self.width_retries as f64,
+        );
+        gauge(
+            "aalign_peak_hits_buffered",
+            "Peak hits buffered across workers.",
+            self.peak_hits_buffered as f64,
+        );
+        s.push_str(&self.latency.prom_lines("aalign_work_item_seconds", 1e-9));
+        s.push_str(
+            &self
+                .worker_load
+                .prom_lines("aalign_worker_load_residues", 1.0),
+        );
         s
     }
 }
@@ -222,5 +399,95 @@ mod tests {
         for needle in ["prepare", "sweep", "merge", "GCUPS", "worker"] {
             assert!(s.contains(needle), "{needle} missing from {s}");
         }
+    }
+
+    #[test]
+    fn derive_gcups_is_guarded_against_degenerate_inputs() {
+        // Empty database: zero cells regardless of elapsed time.
+        assert_eq!(SearchMetrics::derive_gcups(0, Duration::from_secs(1)), 0.0);
+        // Sub-resolution sweep: zero elapsed must not divide.
+        assert_eq!(SearchMetrics::derive_gcups(1_000_000, Duration::ZERO), 0.0);
+        assert_eq!(SearchMetrics::derive_gcups(0, Duration::ZERO), 0.0);
+        // The honest case: 2e9 cells over 2 seconds is 1 GCUPS.
+        let g = SearchMetrics::derive_gcups(2_000_000_000, Duration::from_secs(2));
+        assert!((g - 1.0).abs() < 1e-12, "{g}");
+        assert!(g.is_finite());
+    }
+
+    fn populated() -> SearchMetrics {
+        let mut m = SearchMetrics {
+            prepare: Duration::from_micros(120),
+            sweep: Duration::from_millis(3),
+            merge: Duration::from_micros(45),
+            total: Duration::from_millis(4),
+            cells: 1_000_000,
+            per_worker: vec![
+                WorkerMetrics {
+                    worker_id: 0,
+                    queries_on_worker: 1,
+                    subjects: 7,
+                    residues: 2100,
+                    busy: Duration::from_millis(2),
+                    scratch_bytes: 4096,
+                },
+                WorkerMetrics {
+                    worker_id: 1,
+                    queries_on_worker: 1,
+                    subjects: 5,
+                    residues: 1500,
+                    busy: Duration::from_millis(2),
+                    scratch_bytes: 4096,
+                },
+            ],
+            ..SearchMetrics::default()
+        };
+        m.gcups = SearchMetrics::derive_gcups(m.cells, m.sweep);
+        for ns in [900, 1_800, 3_600, 250_000] {
+            m.latency.record(ns);
+        }
+        m.worker_load.record(2100);
+        m.worker_load.record(1500);
+        m
+    }
+
+    #[test]
+    fn json_export_is_wellformed_and_finite() {
+        let j = populated().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        for key in [
+            "\"prepare_us\"",
+            "\"sweep_us\"",
+            "\"merge_us\"",
+            "\"total_us\"",
+            "\"cells\"",
+            "\"gcups\"",
+            "\"kernel\"",
+            "\"latency_ns\"",
+            "\"worker_load_residues\"",
+            "\"workers\"",
+        ] {
+            assert!(j.contains(key), "{key} missing from {j}");
+        }
+        assert!(!j.contains("NaN") && !j.contains("inf"), "{j}");
+        // Two worker objects, comma-separated.
+        assert_eq!(j.matches("\"id\":").count(), 2);
+    }
+
+    #[test]
+    fn prometheus_export_has_gauges_and_histograms() {
+        let p = populated().to_prometheus();
+        for series in [
+            "aalign_sweep_seconds",
+            "aalign_gcups",
+            "aalign_kernel_iterate_columns_total",
+            "aalign_work_item_seconds_bucket",
+            "aalign_work_item_seconds_count 4",
+            "aalign_worker_load_residues_count 2",
+            "le=\"+Inf\"",
+        ] {
+            assert!(p.contains(series), "{series} missing from:\n{p}");
+        }
+        // Every exposed family is typed.
+        assert!(p.contains("# TYPE aalign_work_item_seconds histogram"));
     }
 }

@@ -52,6 +52,10 @@ pub struct PipelineOptions {
     pub cancel: Option<CancelToken>,
     /// Sweep progress callback (runs on worker threads).
     pub progress: Option<ProgressFn>,
+    /// Collect a structured trace of the stage-1 sweep (see
+    /// [`SearchOptions::trace`]); events surface on
+    /// [`PipelineReport::trace_events`].
+    pub trace: bool,
 }
 
 impl Default for PipelineOptions {
@@ -64,6 +68,7 @@ impl Default for PipelineOptions {
             inter_threshold: 0.0,
             cancel: None,
             progress: None,
+            trace: false,
         }
     }
 }
@@ -118,6 +123,12 @@ impl PipelineOptions {
         self.progress = Some(std::sync::Arc::new(callback));
         self
     }
+
+    /// Collect a structured trace of the stage-1 sweep.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
 }
 
 impl std::fmt::Debug for PipelineOptions {
@@ -129,6 +140,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("inter_threshold", &self.inter_threshold)
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -163,6 +175,9 @@ pub struct PipelineReport {
     /// Stage-1 sweep metrics (times, GCUPS, kernel counters,
     /// per-worker load).
     pub metrics: SearchMetrics,
+    /// The stage-1 sweep's structured trace when
+    /// [`PipelineOptions::trace`] was set (empty otherwise).
+    pub trace_events: Vec<aalign_obs::TraceEvent>,
 }
 
 impl SearchEngine {
@@ -178,12 +193,14 @@ impl SearchEngine {
         let mut search_opts = SearchOptions::new();
         search_opts.cancel = opts.cancel.clone();
         search_opts.progress = opts.progress.clone();
+        search_opts.trace = opts.trace;
         let (report, sweep_mode) = if !db.is_empty() && db.stats().mean_len < opts.inter_threshold {
             (self.search_inter(cfg, query, db, &search_opts)?, "inter")
         } else {
             let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
             (self.search(&aligner, query, db, &search_opts)?, "intra")
         };
+        let trace_events = report.trace_events;
 
         let cancelled = || -> Result<(), AlignError> {
             match &opts.cancel {
@@ -223,6 +240,7 @@ impl SearchEngine {
             subjects_scored: report.subjects,
             sweep_mode,
             metrics: report.metrics,
+            trace_events,
         })
     }
 }

@@ -4,6 +4,7 @@
 use aalign_bio::SeqDatabase;
 use aalign_bio::Sequence;
 use aalign_core::{AlignError, Aligner};
+use aalign_obs::TraceEvent;
 
 use crate::engine::{resolve_threads, SearchEngine, INTER_BATCH};
 use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress};
@@ -55,6 +56,14 @@ pub struct SearchOptions {
     /// Progress callback, invoked (on worker threads) as shards
     /// complete.
     pub progress: Option<ProgressFn>,
+    /// Collect a structured trace of the query: engine span framing,
+    /// one `AlignBegin`/`AlignEnd` envelope per subject, and (on the
+    /// intra sweep, with the `trace` feature on) the kernel's
+    /// per-column hybrid decisions. Events surface on
+    /// [`SearchReport::trace_events`]; off by default — untraced
+    /// sweeps route the kernels through their no-op-sink
+    /// monomorphization.
+    pub trace: bool,
 }
 
 impl SearchOptions {
@@ -95,6 +104,13 @@ impl SearchOptions {
         self.progress = Some(std::sync::Arc::new(callback));
         self
     }
+
+    /// Collect a structured trace of the query (see
+    /// [`SearchReport::trace_events`]).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
 }
 
 impl std::fmt::Debug for SearchOptions {
@@ -105,6 +121,7 @@ impl std::fmt::Debug for SearchOptions {
             .field("shard", &self.shard)
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
+            .field("trace", &self.trace)
             .finish()
     }
 }
@@ -123,6 +140,12 @@ pub struct SearchReport {
     /// Per-query observability: stage times, GCUPS, kernel counters,
     /// per-worker load.
     pub metrics: SearchMetrics,
+    /// The structured trace, in stream order, when
+    /// [`SearchOptions::trace`] was set (empty otherwise). Feed it to
+    /// `aalign_obs::TraceWriter` to persist as JSONL, or to
+    /// `aalign_obs::TraceReport::from_events` to reconstruct the
+    /// hybrid decision timeline.
+    pub trace_events: Vec<TraceEvent>,
 }
 
 /// Align `query` against every subject in `db` with `aligner`'s
@@ -284,12 +307,14 @@ mod tests {
             .top_n(20)
             .shard(4)
             .cancel(token)
-            .on_progress(|_| {});
+            .on_progress(|_| {})
+            .trace(true);
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.top_n, 20);
         assert_eq!(opts.shard, 4);
         assert!(opts.cancel.is_some());
         assert!(opts.progress.is_some());
+        assert!(opts.trace);
         let dbg = format!("{opts:?}");
         assert!(dbg.contains("threads: 8"), "{dbg}");
     }

@@ -1,0 +1,265 @@
+//! Engine-level trace integrity.
+//!
+//! The kernel-level guarantees (see `aalign-core`'s `trace_events`
+//! tests) must survive the trip through the multithreaded engine:
+//!
+//! 1. **Equivalence** — a traced sweep returns exactly the hits and
+//!    kernel stats of an untraced one.
+//! 2. **Framing** — the event stream is one well-formed query
+//!    envelope: `QueryBegin` first, `QueryEnd` last, the three engine
+//!    stages spanned in order.
+//! 3. **Reconciliation** — despite per-worker buffering and dynamic
+//!    binding, every subject's events arrive contiguously and the
+//!    reconstructed timelines exactly explain the reported
+//!    `RunStats`.
+
+#![cfg(feature = "trace")]
+
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+use aalign_bio::{SeqDatabase, Sequence};
+use aalign_core::{AlignConfig, Aligner, GapModel, Strategy};
+use aalign_obs::{TraceEvent, TraceReport};
+use aalign_par::{search_pipeline, PipelineOptions, SearchEngine, SearchOptions};
+
+fn cfg() -> AlignConfig {
+    AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62)
+}
+
+fn aligner() -> Aligner {
+    Aligner::new(cfg()).with_strategy(Strategy::Hybrid)
+}
+
+#[test]
+fn traced_sweep_is_result_identical_to_untraced() {
+    let mut rng = seeded_rng(3100);
+    let q = named_query(&mut rng, 90);
+    let db = swissprot_like_db(3101, 60);
+    let a = aligner();
+    let engine = SearchEngine::new(4);
+    let plain = engine.search(&a, &q, &db, &SearchOptions::new()).unwrap();
+    let traced = engine
+        .search(&a, &q, &db, &SearchOptions::new().trace(true))
+        .unwrap();
+    assert_eq!(traced.hits, plain.hits);
+    assert_eq!(traced.metrics.kernel_stats, plain.metrics.kernel_stats);
+    assert_eq!(traced.metrics.width_retries, plain.metrics.width_retries);
+    assert!(
+        plain.trace_events.is_empty(),
+        "untraced sweeps collect nothing"
+    );
+    assert!(!traced.trace_events.is_empty());
+}
+
+#[test]
+fn trace_stream_is_a_wellformed_query_envelope() {
+    let mut rng = seeded_rng(3200);
+    let q = named_query(&mut rng, 70);
+    let db = swissprot_like_db(3201, 25);
+    let engine = SearchEngine::new(3);
+    let report = engine
+        .search(&aligner(), &q, &db, &SearchOptions::new().trace(true))
+        .unwrap();
+    let events = &report.trace_events;
+    assert!(
+        matches!(&events[0], TraceEvent::QueryBegin { query, subjects }
+            if query == q.id() && *subjects == db.len() as u64),
+        "{:?}",
+        events[0]
+    );
+    assert!(
+        matches!(events.last().unwrap(), TraceEvent::QueryEnd { hits, .. }
+            if *hits == report.hits.len() as u64),
+        "{:?}",
+        events.last()
+    );
+    // Stage spans appear in begin/end pairs, in stage order.
+    let spans: Vec<(&str, bool)> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            TraceEvent::SpanBegin { span, .. } => Some((span.as_str(), true)),
+            TraceEvent::SpanEnd { span, .. } => Some((span.as_str(), false)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        spans,
+        [
+            ("prepare", true),
+            ("prepare", false),
+            ("sweep", true),
+            ("sweep", false),
+            ("merge", true),
+            ("merge", false),
+        ]
+    );
+    // Worker batches land strictly inside the sweep span.
+    let sweep_begin = events
+        .iter()
+        .position(|ev| matches!(ev, TraceEvent::SpanBegin { span, .. } if span == "sweep"))
+        .unwrap();
+    let sweep_end = events
+        .iter()
+        .position(|ev| matches!(ev, TraceEvent::SpanEnd { span, .. } if span == "sweep"))
+        .unwrap();
+    for (i, ev) in events.iter().enumerate() {
+        if matches!(
+            ev,
+            TraceEvent::AlignBegin { .. } | TraceEvent::Hybrid(_) | TraceEvent::AlignEnd { .. }
+        ) {
+            assert!(
+                sweep_begin < i && i < sweep_end,
+                "event {i} outside sweep span"
+            );
+        }
+    }
+}
+
+#[test]
+fn timelines_reconcile_across_workers_and_shards() {
+    let mut rng = seeded_rng(3300);
+    let q = named_query(&mut rng, 110);
+    let db = swissprot_like_db(3301, 80);
+    let engine = SearchEngine::new(4);
+    for shard in [1usize, 7] {
+        let report = engine
+            .search(
+                &aligner(),
+                &q,
+                &db,
+                &SearchOptions::new().trace(true).shard(shard),
+            )
+            .unwrap();
+        let tr = TraceReport::from_events(&report.trace_events).unwrap();
+        assert_eq!(tr.timelines.len(), db.len(), "shard={shard}");
+        assert!(tr.reconciled(), "unreconciled: {:?}", tr.unreconciled());
+        // The per-subject column totals partition the database.
+        let cols: u64 = tr
+            .timelines
+            .iter()
+            .map(|t| t.iterate_columns + t.scan_columns)
+            .sum();
+        assert_eq!(cols, report.total_residues as u64);
+        // And agree with the aggregated kernel counters.
+        let iterate: u64 = tr.timelines.iter().map(|t| t.iterate_columns).sum();
+        assert_eq!(
+            iterate, report.metrics.kernel_stats.iterate_columns as u64,
+            "shard={shard}"
+        );
+        let sweeps: u64 = tr.timelines.iter().map(|t| t.lazy_sweeps).sum();
+        assert_eq!(sweeps, report.metrics.kernel_stats.lazy_sweeps);
+    }
+}
+
+#[test]
+fn inter_sweep_traces_framing_only() {
+    let mut rng = seeded_rng(3400);
+    let q = named_query(&mut rng, 50);
+    let db = swissprot_like_db(3401, 30);
+    let engine = SearchEngine::new(2);
+    let report = engine
+        .search_inter(&cfg(), &q, &db, &SearchOptions::new().trace(true))
+        .unwrap();
+    assert!(!report.trace_events.is_empty());
+    assert!(
+        report
+            .trace_events
+            .iter()
+            .all(|ev| !matches!(ev, TraceEvent::AlignBegin { .. } | TraceEvent::Hybrid(_))),
+        "the inter kernel has no per-subject trace"
+    );
+    let tr = TraceReport::from_events(&report.trace_events).unwrap();
+    assert!(tr.timelines.is_empty());
+    assert!(
+        tr.reconciled(),
+        "an empty timeline set is trivially reconciled"
+    );
+}
+
+#[test]
+fn empty_database_still_frames_the_query() {
+    let mut rng = seeded_rng(3500);
+    let q = named_query(&mut rng, 40);
+    let engine = SearchEngine::new(2);
+    let report = engine
+        .search(
+            &aligner(),
+            &q,
+            &SeqDatabase::default(),
+            &SearchOptions::new().trace(true),
+        )
+        .unwrap();
+    assert_eq!(report.metrics.gcups, 0.0, "guarded: no cells, no GCUPS");
+    let tr = TraceReport::from_events(&report.trace_events).unwrap();
+    assert!(tr.timelines.is_empty());
+    assert_eq!(tr.hits, 0);
+}
+
+#[test]
+fn pipeline_forwards_the_sweep_trace() {
+    let mut rng = seeded_rng(3600);
+    let q = named_query(&mut rng, 80);
+    let db = swissprot_like_db(3601, 20);
+    let report = search_pipeline(
+        &cfg(),
+        &q,
+        &db,
+        PipelineOptions::new().max_evalue(1e9).trace(true),
+    )
+    .unwrap();
+    assert!(!report.trace_events.is_empty());
+    let tr = TraceReport::from_events(&report.trace_events).unwrap();
+    assert_eq!(tr.timelines.len(), db.len());
+    assert!(tr.reconciled());
+    // Untraced pipelines stay silent.
+    let silent = search_pipeline(&cfg(), &q, &db, PipelineOptions::new()).unwrap();
+    assert!(silent.trace_events.is_empty());
+}
+
+#[test]
+fn traced_round_trips_through_jsonl() {
+    let mut rng = seeded_rng(3700);
+    let q = named_query(&mut rng, 60);
+    let db = swissprot_like_db(3701, 15);
+    let engine = SearchEngine::new(2);
+    let report = engine
+        .search(&aligner(), &q, &db, &SearchOptions::new().trace(true))
+        .unwrap();
+    let mut buf = Vec::new();
+    let mut w = aalign_obs::TraceWriter::new(&mut buf);
+    w.write_all(&report.trace_events).unwrap();
+    let _ = w.finish().unwrap();
+    let parsed = aalign_obs::read_events(std::io::BufReader::new(buf.as_slice()))
+        .map_err(|(line, e)| format!("line {line}: {e}"))
+        .unwrap();
+    assert_eq!(parsed, report.trace_events, "JSONL round trip is lossless");
+}
+
+/// A duplicate-heavy database with a mix of subject lengths makes the
+/// traced and untraced top-k paths tie-break; both must agree.
+#[test]
+fn traced_topk_matches_untraced_topk() {
+    let mut rng = seeded_rng(3800);
+    let q = named_query(&mut rng, 64);
+    let base = swissprot_like_db(3801, 10).sequences().to_vec();
+    let mut seqs = base.clone();
+    for (i, s) in base.iter().enumerate() {
+        seqs.push(Sequence::from_indices(
+            format!("dup_{i}"),
+            s.alphabet(),
+            s.indices().to_vec(),
+        ));
+    }
+    let db = SeqDatabase::new(seqs);
+    let engine = SearchEngine::new(3);
+    let a = aligner();
+    for top_n in [1usize, 6, 20] {
+        let plain = engine
+            .search(&a, &q, &db, &SearchOptions::new().top_n(top_n))
+            .unwrap();
+        let traced = engine
+            .search(&a, &q, &db, &SearchOptions::new().top_n(top_n).trace(true))
+            .unwrap();
+        assert_eq!(plain.hits, traced.hits, "top_n={top_n}");
+    }
+}

@@ -2,16 +2,19 @@
 //!
 //! Subcommands:
 //!
-//! * `pair`    — align two FASTA sequences (scores + optional traceback)
-//! * `search`  — align a query against a FASTA database, multithreaded
-//! * `gen-db`  — generate a synthetic swiss-prot-like database
-//! * `codegen` — analyze a sequential paradigm kernel and emit Rust
-//! * `info`    — report detected vector ISAs and chosen backends
+//! * `pair`         — align two FASTA sequences (scores + optional traceback)
+//! * `search`       — align a query against a FASTA database, multithreaded
+//! * `trace-report` — render the hybrid decision timeline from a trace
+//! * `gen-db`       — generate a synthetic swiss-prot-like database
+//! * `codegen`      — analyze a sequential paradigm kernel and emit Rust
+//! * `info`         — report detected vector ISAs and chosen backends
 //!
 //! Examples:
 //! ```text
 //! aalign pair --query q.fa --subject s.fa --open -10 --ext -2 --traceback
 //! aalign search --query q.fa --db swissprot.fa --top 10 --threads 8
+//! aalign search --query q.fa --db db.fa --stats --trace-out trace.jsonl
+//! aalign trace-report --trace trace.jsonl --subjects 5
 //! aalign gen-db --count 10000 --seed 7 --out db.fa
 //! aalign codegen --input kernel.seq --open -12 --ext -2
 //! ```
@@ -41,6 +44,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "pair" => cmd_pair(rest),
         "search" => cmd_search(rest),
+        "trace-report" => cmd_trace_report(rest),
         "gen-db" => cmd_gen_db(rest),
         "codegen" => cmd_codegen(rest),
         "info" => cmd_info(),
@@ -65,6 +69,8 @@ const USAGE: &str = "usage:
                  [--width auto|8|16|32] [--traceback]
   aalign search  --query <fa> --db <fa> [--top N] [--threads N]
                  [--open N] [--ext N] [--strategy ...] [--inter] [--stats]
+                 [--trace-out <jsonl>] [--metrics-format text|json|prom]
+  aalign trace-report --trace <jsonl> [--subjects N]
   aalign gen-db  --count N [--seed N] [--mean-len N] --out <fa>
   aalign codegen --input <file> [--open N] [--ext N] [--out <rs>]
   aalign info";
@@ -174,15 +180,34 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
     let db = aalign::bio::SeqDatabase::from_fasta(BufReader::new(f), &PROTEIN)
         .map_err(|e| format!("{db_path}: {e}"))?;
     let aligner = build_aligner(&flags)?;
+    let trace_out = flags.get("--trace-out");
+    if trace_out.is_some() && flags.has("--inter") {
+        return Err(
+            "--trace-out needs the intra-sequence sweep (the inter kernel has no \
+             per-column trace); drop --inter or --trace-out"
+                .to_string(),
+        );
+    }
     let opts = SearchOptions::new()
         .threads(flags.get_usize("--threads", 0)?)
-        .top_n(flags.get_usize("--top", 10)?);
+        .top_n(flags.get_usize("--top", 10)?)
+        .trace(trace_out.is_some());
     let report = if flags.has("--inter") {
         aalign::par::search_database_inter(aligner.config(), &query, &db, opts)
     } else {
         search_database(&aligner, &query, &db, opts)
     }
     .map_err(|e| e.to_string())?;
+    if let Some(path) = trace_out {
+        let f = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut writer = aalign::obs::TraceWriter::new(std::io::BufWriter::new(f));
+        writer
+            .write_all(&report.trace_events)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let events = writer.written();
+        writer.finish().map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote {events} trace events to {path}");
+    }
     println!(
         "searched {} subjects ({} residues) on {} threads in {:.2}s ({:.2} GCUPS)",
         report.subjects,
@@ -191,8 +216,20 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         report.metrics.total.as_secs_f64(),
         report.metrics.gcups
     );
-    if flags.has("--stats") {
-        print!("{}", report.metrics.summary());
+    match flags.get("--metrics-format") {
+        None => {
+            if flags.has("--stats") {
+                print!("{}", report.metrics.summary());
+            }
+        }
+        Some("text") => print!("{}", report.metrics.summary()),
+        Some("json") => println!("{}", report.metrics.to_json()),
+        Some("prom") => print!("{}", report.metrics.to_prometheus()),
+        Some(other) => {
+            return Err(format!(
+                "unknown metrics format {other:?} (expected text, json, or prom)"
+            ))
+        }
     }
     // Bit scores / E-values with the standard BLOSUM62 gapped pair
     // (report raw scores for other configurations).
@@ -209,6 +246,30 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             bits,
             ev
         );
+    }
+    Ok(())
+}
+
+/// Parse a JSONL trace (as written by `search --trace-out`) and
+/// render the hybrid decision timeline: per-subject strategy
+/// segments, switch/probe counts, and reconciliation against the
+/// counters each `AlignEnd` reported.
+fn cmd_trace_report(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let path = flags.get("--trace").ok_or("--trace required")?;
+    let subjects = flags.get_usize("--subjects", 10)?;
+    let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = aalign::obs::read_events(BufReader::new(f))
+        .map_err(|(line, e)| format!("{path}:{line}: {e}"))?;
+    let report = aalign::obs::TraceReport::from_events(&events)
+        .map_err(|e| format!("{path}: malformed trace: {e}"))?;
+    print!("{}", report.render(subjects));
+    let bad = report.unreconciled();
+    if !bad.is_empty() {
+        return Err(format!(
+            "{} subject(s) do not reconcile with their reported kernel counters: {bad:?}",
+            bad.len()
+        ));
     }
     Ok(())
 }

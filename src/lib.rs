@@ -51,3 +51,9 @@ pub mod baselines {
 pub mod par {
     pub use aalign_par::*;
 }
+
+/// Observability: trace events/sinks, histograms, the JSONL trace
+/// format, and decision-timeline reports.
+pub mod obs {
+    pub use aalign_obs::*;
+}

@@ -142,6 +142,176 @@ fn search_with_stats_prints_metrics_block() {
     assert_eq!(text.matches(" bits ").count(), 2, "{text}");
 }
 
+#[cfg(feature = "trace")]
+#[test]
+fn search_trace_out_then_trace_report_round_trip() {
+    let dir = std::env::temp_dir().join("aalign_cli_trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    let status = aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "25",
+            "--seed",
+            "11",
+            "--out",
+            db.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    write_fasta(&dir.join("q.fa"), &[("q", "MKVLAARNDWHEAGAWGHEE")]);
+    let trace = dir.join("trace.jsonl");
+    let out = aalign()
+        .args([
+            "search",
+            "--query",
+            dir.join("q.fa").to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+            "--top",
+            "3",
+            "--stats",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("trace events"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The file is line-delimited JSON: every line parses, and the
+    // stream reconstructs into one reconciled query envelope.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(
+        text.lines().count() > 25,
+        "one envelope per subject at least"
+    );
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+
+    let out = aalign()
+        .args([
+            "trace-report",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--subjects",
+            "4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("query \"q\""), "{report}");
+    assert!(report.contains("subjects traced: 25"), "{report}");
+    assert!(report.contains("stages:"), "{report}");
+    assert!(!report.contains("UNRECONCILED"), "{report}");
+}
+
+#[test]
+fn search_rejects_trace_out_with_inter() {
+    let dir = std::env::temp_dir().join("aalign_cli_trace_inter");
+    std::fs::create_dir_all(&dir).unwrap();
+    write_fasta(&dir.join("q.fa"), &[("q", "HEAGAWGHEE")]);
+    write_fasta(&dir.join("db.fa"), &[("s", "PAWHEAE")]);
+    let out = aalign()
+        .args([
+            "search",
+            "--query",
+            dir.join("q.fa").to_str().unwrap(),
+            "--db",
+            dir.join("db.fa").to_str().unwrap(),
+            "--inter",
+            "--trace-out",
+            dir.join("t.jsonl").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--inter"), "{err}");
+}
+
+#[test]
+fn search_metrics_formats() {
+    let dir = std::env::temp_dir().join("aalign_cli_metrics_fmt");
+    std::fs::create_dir_all(&dir).unwrap();
+    write_fasta(&dir.join("q.fa"), &[("q", "MKVLAARNDWHEAGAWGHEE")]);
+    write_fasta(
+        &dir.join("db.fa"),
+        &[("a", "MKVLAARNDW"), ("b", "HEAGAWGHEE"), ("c", "PAWHEAE")],
+    );
+    let run = |fmt: &str| {
+        aalign()
+            .args([
+                "search",
+                "--query",
+                dir.join("q.fa").to_str().unwrap(),
+                "--db",
+                dir.join("db.fa").to_str().unwrap(),
+                "--metrics-format",
+                fmt,
+            ])
+            .output()
+            .unwrap()
+    };
+    let json = run("json");
+    assert!(json.status.success());
+    let text = String::from_utf8(json.stdout).unwrap();
+    assert!(text.contains("\"gcups\":"), "{text}");
+    assert!(text.contains("\"latency_ns\":"), "{text}");
+
+    let prom = run("prom");
+    assert!(prom.status.success());
+    let text = String::from_utf8(prom.stdout).unwrap();
+    assert!(text.contains("# TYPE aalign_gcups gauge"), "{text}");
+    assert!(text.contains("aalign_work_item_seconds_bucket"), "{text}");
+
+    let bad = run("xml");
+    assert!(!bad.status.success());
+    assert!(
+        String::from_utf8_lossy(&bad.stderr).contains("unknown metrics format"),
+        "{}",
+        String::from_utf8_lossy(&bad.stderr)
+    );
+}
+
+#[test]
+fn trace_report_rejects_junk_input() {
+    let dir = std::env::temp_dir().join("aalign_cli_trace_junk");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("junk.jsonl");
+    std::fs::write(
+        &path,
+        "{\"ev\":\"query_begin\",\"query\":\"q\",\"subjects\":1}\nnot json\n",
+    )
+    .unwrap();
+    let out = aalign()
+        .args(["trace-report", "--trace", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        err.contains(":2:"),
+        "parse errors carry line numbers: {err}"
+    );
+}
+
 #[test]
 fn codegen_emits_rust_module() {
     let dir = std::env::temp_dir().join("aalign_cli_codegen");
