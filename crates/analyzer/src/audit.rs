@@ -428,6 +428,50 @@ mod tests {
     }
 
     #[test]
+    fn bare_avx512_intrinsic_fn_is_flagged() {
+        // The negative path for the widest backend: _mm512_* with
+        // neither contract must be caught, same as the avx2 family.
+        let src = "fn f(a: __m512i) -> __m512i {\n    // SAFETY: x\n    unsafe { _mm512_add_epi32(a, a) }\n}\n";
+        let (_, findings) = audit_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].message.contains("avx512") && findings[0].message.contains("neither"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn sse_feature_does_not_cover_avx512() {
+        let src = "/// # Safety\n/// caller checks\n#[target_feature(enable = \"sse4.1\")]\nunsafe fn f(a: __m512i) {\n    // SAFETY: x\n    unsafe { _mm512_add_epi32(a, a); }\n}\n";
+        let (_, findings) = audit_source("x.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].message.contains("avx512"),
+            "{}",
+            findings[0].message
+        );
+    }
+
+    /// The real avx512 backend, audited alone: clean, and its unsafe
+    /// count matches the baseline entry exactly — the widest backend
+    /// is covered even on hosts that can never execute it.
+    #[test]
+    fn avx512_backend_is_audited_standalone() {
+        let path = default_vec_src_dir().join("avx512.rs");
+        let src = std::fs::read_to_string(&path).unwrap();
+        let (count, findings) = audit_source("avx512.rs", &src);
+        assert!(findings.is_empty(), "{findings:?}");
+        let pinned = VEC_BASELINE
+            .lines()
+            .find_map(|l| l.strip_prefix("avx512.rs "))
+            .and_then(|c| c.trim().parse::<usize>().ok())
+            .expect("avx512.rs must be pinned in the baseline");
+        assert_eq!(count, pinned, "avx512.rs unsafe count drifted off baseline");
+        assert!(count > 0, "the avx512 backend is intrinsics code");
+    }
+
+    #[test]
     fn baseline_regression_detected() {
         let report = AuditReport {
             files: vec![FileAudit {
@@ -469,7 +513,7 @@ mod tests {
             report
                 .findings
                 .iter()
-                .map(|f| f.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("\n")
         );

@@ -22,15 +22,26 @@
 //!   intrinsic-using functions need a matching `#[target_feature]`
 //!   (or the engine-method `#[inline(always)]` pattern), and
 //!   per-backend unsafe counts are pinned to a checked-in baseline.
+//! * [`concurrency`] — the atomics-discipline lint over the
+//!   concurrent crates (`aalign-par`, `aalign-obs`): every atomic
+//!   operation needs an `// ORDER:` justification, `SeqCst` must be
+//!   argued for explicitly, `Relaxed` must not claim publication
+//!   semantics, and the full atomics inventory (file, operation,
+//!   ordering) is pinned to a checked-in baseline. The static proofs
+//!   complement the loom model-checking suites, which explore
+//!   interleavings but not memory orderings.
 //!
 //! The `aalign-analyzer` binary exposes the passes as `check`,
-//! `range` and `audit` subcommands; each pass is also exercised as
-//! ordinary `#[test]`s so `cargo test` runs the whole suite.
+//! `range`, `audit` and `concurrency` subcommands; each pass is also
+//! exercised as ordinary `#[test]`s so `cargo test` runs the whole
+//! suite.
 
 pub mod audit;
+pub mod concurrency;
 pub mod dataflow;
 pub mod range;
 
 pub use audit::{audit_dir, audit_source, AuditReport};
+pub use concurrency::{scan_dirs, scan_source, ConcurrencyReport};
 pub use dataflow::{verify_dataflow, DataflowReport, Diagnostic};
 pub use range::{analyze_range, RangeReport};

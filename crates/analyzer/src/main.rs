@@ -5,6 +5,7 @@
 //! aalign-analyzer range  [FILE | --builtin NAME] --matrix blosum62|dna
 //!                        --open N --ext N --max-query N --max-subject N
 //! aalign-analyzer audit  [DIR] [--offline] [--print-baseline]
+//! aalign-analyzer concurrency  [DIR...] [--print-baseline]
 //! ```
 //!
 //! Exit codes: 0 = all checks pass, 1 = a pass rejected something,
@@ -14,6 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
+use aalign_analyzer::concurrency::{default_concurrency_dirs, scan_dirs, CONCURRENCY_BASELINE};
 use aalign_analyzer::range::analyze_range;
 use aalign_analyzer::verify_dataflow;
 use aalign_bio::matrices::BLOSUM62;
@@ -30,6 +32,7 @@ USAGE:
                            [--open N] [--ext N]
                            [--max-query N] [--max-subject N]
     aalign-analyzer audit  [DIR] [--offline] [--print-baseline]
+    aalign-analyzer concurrency  [DIR...] [--print-baseline]
 
 BUILTINS: sw-affine (alg1), nw-affine, sw-linear, nw-linear
 
@@ -39,7 +42,9 @@ striped vectorization. `range` additionally binds gap penalties and a
 matrix and reports score intervals and the minimal safe lane width.
 `audit` lints the SIMD backends (SAFETY comments, target_feature
 contracts, unsafe-count baseline); it reads only the local tree, so
---offline is accepted for CI clarity but changes nothing.";
+--offline is accepted for CI clarity but changes nothing.
+`concurrency` lints the concurrent crates' atomics discipline (ORDER
+justifications, SeqCst/Relaxed rules, exact inventory baseline).";
 
 fn builtin(name: &str) -> Option<(&'static str, &'static str)> {
     match name {
@@ -288,6 +293,68 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+fn cmd_concurrency(args: &[String]) -> Result<ExitCode, String> {
+    let mut dirs: Vec<(String, PathBuf)> = Vec::new();
+    let mut print_baseline = false;
+    for a in args {
+        match a.as_str() {
+            "--print-baseline" => print_baseline = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => {
+                let p = PathBuf::from(path);
+                let label = p
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("dir")
+                    .to_string();
+                dirs.push((label, p));
+            }
+        }
+    }
+    let is_default = dirs.is_empty();
+    if is_default {
+        dirs = default_concurrency_dirs();
+    }
+    let report = scan_dirs(&dirs).map_err(|e| format!("cannot scan: {e}"))?;
+
+    if print_baseline {
+        print!("{}", report.baseline_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    println!(
+        "{} atomic site(s) across {} dir(s)",
+        report.sites.len(),
+        dirs.len()
+    );
+    print!("{}", report.baseline_text());
+    let mut ok = true;
+    if !report.is_clean() {
+        ok = false;
+        eprintln!("\n{} finding(s):", report.findings.len());
+        for f in &report.findings {
+            eprintln!("  {f}");
+        }
+    }
+    if is_default {
+        let problems = report.check_baseline(CONCURRENCY_BASELINE);
+        if problems.is_empty() {
+            println!("baseline: OK");
+        } else {
+            ok = false;
+            eprintln!("\nbaseline drift:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+        }
+    }
+    Ok(if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -301,6 +368,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(rest),
         "range" => cmd_range(rest),
         "audit" => cmd_audit(rest),
+        "concurrency" => cmd_concurrency(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

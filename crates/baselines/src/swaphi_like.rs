@@ -17,6 +17,7 @@ use aalign_core::{
 use aalign_vec::detect::Isa;
 
 /// A prepared SWAPHI-like searcher for one query.
+#[derive(Debug)]
 pub struct SwaphiLike {
     aligner: Aligner,
     prepared: PreparedQuery,

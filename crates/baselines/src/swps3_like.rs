@@ -18,6 +18,7 @@ use aalign_core::{
 use aalign_vec::detect::Isa;
 
 /// A prepared SWPS3-like searcher for one query.
+#[derive(Debug)]
 pub struct Swps3Like {
     cfg: AlignConfig,
     levels: Vec<(u32, Aligner, PreparedQuery)>,

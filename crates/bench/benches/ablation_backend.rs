@@ -61,7 +61,7 @@ fn bench_backends(c: &mut Criterion) {
                 al.align_prepared(&pq, &subject, &mut scratch)
                     .unwrap()
                     .score
-            })
+            });
         });
     }
     group.finish();

@@ -52,7 +52,7 @@ fn bench_inter(c: &mut Criterion) {
                     .unwrap()
                     .hits
                     .len()
-                })
+                });
             },
         );
         group.bench_with_input(
@@ -69,7 +69,7 @@ fn bench_inter(c: &mut Criterion) {
                     .unwrap()
                     .hits
                     .len()
-                })
+                });
             },
         );
     }

@@ -34,7 +34,7 @@ fn bench_scan(c: &mut Criterion) {
         let linear = input(m);
         let mut out = vec![0i32; m];
         group.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
-            b.iter(|| wgt_max_scan_scalar(&linear, params, &mut out))
+            b.iter(|| wgt_max_scan_scalar(&linear, params, &mut out));
         });
 
         // Striped versions per engine.

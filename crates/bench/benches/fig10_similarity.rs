@@ -39,7 +39,7 @@ fn bench_fig10(c: &mut Criterion) {
         let mut scratch = AlignScratch::new();
         for (label, subject) in &pairs {
             group.bench_with_input(BenchmarkId::new(strat.short(), label), subject, |b, s| {
-                b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score)
+                b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score);
             });
         }
     }

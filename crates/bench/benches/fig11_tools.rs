@@ -40,7 +40,7 @@ fn bench_fig11(c: &mut Criterion) {
                     .unwrap()
                     .hits
                     .len()
-            })
+            });
         });
 
         // SWPS3-like comparator.
@@ -53,7 +53,7 @@ fn bench_fig11(c: &mut Criterion) {
                     sum += i64::from(swps3.align(s, &mut scratch).score);
                 }
                 sum
-            })
+            });
         });
 
         // AAlign on the MIC platform (i32, hybrid).
@@ -67,7 +67,7 @@ fn bench_fig11(c: &mut Criterion) {
                     .unwrap()
                     .hits
                     .len()
-            })
+            });
         });
 
         // SWAPHI-like comparator.
@@ -80,7 +80,7 @@ fn bench_fig11(c: &mut Criterion) {
                     sum += i64::from(swaphi.align(s, &mut ws).score);
                 }
                 sum
-            })
+            });
         });
     }
     group.finish();

@@ -55,7 +55,7 @@ fn bench_fig2(c: &mut Criterion) {
             let pq = al.prepare(&query).unwrap();
             let mut scratch = AlignScratch::new();
             group.bench_with_input(BenchmarkId::new(strat.short(), label), subject, |b, s| {
-                b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score)
+                b.iter(|| al.align_prepared(&pq, s, &mut scratch).unwrap().score);
             });
         }
     }

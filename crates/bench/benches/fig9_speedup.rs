@@ -30,7 +30,7 @@ fn bench_fig9(c: &mut Criterion) {
             for q in &queries {
                 let seq = Aligner::new(cfg.clone()).with_strategy(Strategy::Sequential);
                 group.bench_with_input(BenchmarkId::new("sequential", q.id()), q, |b, q| {
-                    b.iter(|| seq.align(q, &subject).unwrap().score)
+                    b.iter(|| seq.align(q, &subject).unwrap().score);
                 });
                 for strat in [Strategy::StripedIterate, Strategy::StripedScan] {
                     let al = Aligner::new(cfg.clone())
@@ -44,7 +44,7 @@ fn bench_fig9(c: &mut Criterion) {
                             al.align_prepared(&pq, &subject, &mut scratch)
                                 .unwrap()
                                 .score
-                        })
+                        });
                     });
                 }
             }

@@ -42,9 +42,7 @@ fn main() {
 
     let db_size = if quick { 300 } else { 2000 };
     let base_db = swissprot_like_db(11, db_size);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("threads: {threads}");
     println!();
 

@@ -27,9 +27,7 @@ fn main() {
     let query = named_query(&mut rng, 300);
     let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
     let aligner = Aligner::new(cfg.clone()).with_strategy(Strategy::Hybrid);
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let max_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!(
         "database: {} seqs / {} residues; query {}; host threads: {max_threads}",
         stats.count,

@@ -87,6 +87,7 @@ pub fn four_configs() -> Vec<AlignConfig> {
 }
 
 /// Simple aligned markdown table writer.
+#[derive(Debug)]
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -275,7 +276,7 @@ mod tests {
     fn four_configs_cover_the_grid() {
         let cfgs = four_configs();
         assert_eq!(cfgs.len(), 4);
-        let labels: Vec<String> = cfgs.iter().map(|c| c.label()).collect();
+        let labels: Vec<String> = cfgs.iter().map(aalign_core::AlignConfig::label).collect();
         for want in ["sw-lin", "sw-aff", "nw-lin", "nw-aff"] {
             assert!(labels.iter().any(|l| l == want), "{want}");
         }

@@ -795,19 +795,19 @@ impl Aligner {
                     pq.p8 = Some((
                         choice,
                         StripedProfile::build(query, &self.cfg.matrix, choice.lanes),
-                    ))
+                    ));
                 }
                 16 => {
                     pq.p16 = Some((
                         choice,
                         StripedProfile::build(query, &self.cfg.matrix, choice.lanes),
-                    ))
+                    ));
                 }
                 _ => {
                     pq.p32 = Some((
                         choice,
                         StripedProfile::build(query, &self.cfg.matrix, choice.lanes),
-                    ))
+                    ));
                 }
             }
         }
@@ -980,9 +980,9 @@ impl Aligner {
 
     fn lanes_for(&self, pq: &PreparedQuery, bits: u32) -> usize {
         match bits {
-            8 => pq.p8.as_ref().map(|(c, _)| c.lanes).unwrap_or(32),
-            16 => pq.p16.as_ref().map(|(c, _)| c.lanes).unwrap_or(16),
-            _ => pq.p32.as_ref().map(|(c, _)| c.lanes).unwrap_or(8),
+            8 => pq.p8.as_ref().map_or(32, |(c, _)| c.lanes),
+            16 => pq.p16.as_ref().map_or(16, |(c, _)| c.lanes),
+            _ => pq.p32.as_ref().map_or(8, |(c, _)| c.lanes),
         }
     }
 

@@ -117,6 +117,21 @@ pub struct ColumnEngine<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool
     scan_columns: usize,
 }
 
+impl<E: SimdEngine, const LOCAL: bool, const AFFINE: bool> core::fmt::Debug
+    for ColumnEngine<'_, E, LOCAL, AFFINE>
+{
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ColumnEngine")
+            .field("col", &self.col)
+            .field("semi", &self.semi)
+            .field("lazy_iters", &self.lazy_iters)
+            .field("lazy_sweeps", &self.lazy_sweeps)
+            .field("iterate_columns", &self.iterate_columns)
+            .field("scan_columns", &self.scan_columns)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool> ColumnEngine<'a, E, LOCAL, AFFINE> {
     /// Set up the engine: splat constants and write the column-0
     /// boundary into the buffers.

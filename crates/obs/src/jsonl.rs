@@ -111,6 +111,14 @@ pub struct TraceWriter<W: Write> {
     written: u64,
 }
 
+impl<W: Write> std::fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("written", &self.written)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W: Write> TraceWriter<W> {
     /// Wrap a writer. Callers that care about syscall counts should
     /// hand in a `BufWriter`.

@@ -28,17 +28,19 @@
 //!   per-worker load (see [`crate::metrics`]).
 
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::mpsc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use aalign_bio::{SeqDatabase, Sequence};
 use aalign_core::{AlignConfig, AlignError, AlignScratch, Aligner, RunStats};
-use aalign_obs::{CollectorSink, Histogram, SharedCollector, TraceEvent};
+use aalign_obs::{CollectorSink, Histogram, TraceEvent};
 
 use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
+use crate::protocol::{ProgressCounters, SharedBatch, WorkIndex};
 use crate::search::{Hit, SearchOptions, SearchReport};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 
 /// Subjects per inter-sequence batch (one vector's worth; the
 /// length-sorted order keeps batches dense).
@@ -57,9 +59,7 @@ fn dur_us(d: Duration) -> u64 {
 /// Resolve a requested thread count (`0` = available parallelism).
 pub(crate) fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
     } else {
         requested
     }
@@ -165,12 +165,13 @@ impl std::fmt::Debug for SearchEngine {
 /// vectorization axis.
 struct SweepShared<'a> {
     /// Next work slot (subject index for intra, batch index for
-    /// inter) — the paper's dynamic binding.
-    next: &'a AtomicUsize,
-    /// Subjects completed, across all workers.
-    done: &'a AtomicUsize,
-    /// Residues completed, across all workers.
-    residues_done: &'a AtomicUsize,
+    /// inter) — the paper's dynamic binding
+    /// ([`WorkIndex`], loom-checked in `tests/loom_work_index.rs`).
+    index: &'a WorkIndex,
+    /// Subjects/residues completed across all workers
+    /// ([`ProgressCounters`], loom-checked in
+    /// `tests/loom_progress.rs`).
+    completed: &'a ProgressCounters,
     /// Number of work slots.
     total_slots: usize,
     /// Subjects in the whole sweep (for progress snapshots).
@@ -182,8 +183,10 @@ struct SweepShared<'a> {
     progress: Option<&'a ProgressFn>,
     /// Destination for trace events when the query runs traced.
     /// Workers move whole per-subject batches in at shard boundaries,
-    /// keeping every subject's events contiguous in the final stream.
-    trace: Option<&'a SharedCollector>,
+    /// keeping every subject's events contiguous in the final stream
+    /// ([`SharedBatch`], loom-checked in `tests/loom_publication.rs`
+    /// and `tests/loom_cancel.rs`).
+    trace: Option<&'a SharedBatch<TraceEvent>>,
 }
 
 /// Per-worker result of one sweep.
@@ -328,11 +331,9 @@ fn run_sweep_worker(
                 break;
             }
         }
-        let start = shared.next.fetch_add(shared.shard, Ordering::Relaxed);
-        if start >= shared.total_slots {
+        let Some((start, end)) = shared.index.claim(shared.shard, shared.total_slots) else {
             break;
-        }
-        let end = (start + shared.shard).min(shared.total_slots);
+        };
         let mut shard_subjects = 0usize;
         let mut shard_residues = 0usize;
         for slot in start..end {
@@ -353,15 +354,11 @@ fn run_sweep_worker(
         // acquisition (a failed shard never publishes its partial
         // batch — the query errors out and the trace is discarded).
         if let Some(trace) = shared.trace {
-            trace.append(&mut tallies.sink.events);
+            trace.publish(&mut tallies.sink.events);
         }
         subjects += shard_subjects;
         residues += shard_residues;
-        let done = shared.done.fetch_add(shard_subjects, Ordering::Relaxed) + shard_subjects;
-        let residues_done = shared
-            .residues_done
-            .fetch_add(shard_residues, Ordering::Relaxed)
-            + shard_residues;
+        let (done, residues_done) = shared.completed.publish(shard_subjects, shard_residues);
         if let Some(progress) = shared.progress {
             progress(&SearchProgress {
                 subjects_done: done,
@@ -408,6 +405,8 @@ impl SearchEngine {
 
     /// Queries this engine has served since construction.
     pub fn queries_served(&self) -> u64 {
+        // ORDER: Relaxed — a monitoring counter read; the count is
+        // not used to justify reading any other memory.
         self.queries_served.load(Ordering::Relaxed)
     }
 
@@ -470,7 +469,7 @@ impl SearchEngine {
         opts: &SearchOptions,
     ) -> Result<SearchReport, AlignError> {
         let t_total = Instant::now();
-        let trace = opts.trace.then(SharedCollector::new);
+        let trace = opts.trace.then(SharedBatch::<TraceEvent>::new);
         if let Some(tc) = &trace {
             tc.push(TraceEvent::QueryBegin {
                 query: query.id().to_string(),
@@ -492,15 +491,10 @@ impl SearchEngine {
         }
 
         let order = db.sorted_by_length_desc();
-        let shared_ctx = (
-            AtomicUsize::new(0),
-            AtomicUsize::new(0),
-            AtomicUsize::new(0),
-        );
+        let shared_ctx = (WorkIndex::new(), ProgressCounters::new());
         let shared = SweepShared {
-            next: &shared_ctx.0,
-            done: &shared_ctx.1,
-            residues_done: &shared_ctx.2,
+            index: &shared_ctx.0,
+            completed: &shared_ctx.1,
             total_slots: order.len(),
             subjects_total: order.len(),
             shard: opts.shard.max(1),
@@ -601,7 +595,7 @@ impl SearchEngine {
         // The inter-sequence kernel scores 16 subjects per vector and
         // has no per-column hybrid decisions to report, so a traced
         // inter sweep carries the query/span framing only.
-        let trace = opts.trace.then(SharedCollector::new);
+        let trace = opts.trace.then(SharedBatch::<TraceEvent>::new);
         if let Some(tc) = &trace {
             tc.push(TraceEvent::QueryBegin {
                 query: query.id().to_string(),
@@ -631,15 +625,10 @@ impl SearchEngine {
         let t2 = cfg.table2();
         let order = db.sorted_by_length_desc();
         let batches: Vec<&[usize]> = order.chunks(INTER_BATCH).collect();
-        let shared_ctx = (
-            AtomicUsize::new(0),
-            AtomicUsize::new(0),
-            AtomicUsize::new(0),
-        );
+        let shared_ctx = (WorkIndex::new(), ProgressCounters::new());
         let shared = SweepShared {
-            next: &shared_ctx.0,
-            done: &shared_ctx.1,
-            residues_done: &shared_ctx.2,
+            index: &shared_ctx.0,
+            completed: &shared_ctx.1,
             total_slots: batches.len(),
             subjects_total: order.len(),
             shard: opts.shard.max(1),
@@ -715,7 +704,7 @@ impl SearchEngine {
         outs: Vec<SweepOut>,
         top_n: usize,
         times: StageTimes,
-        trace: Option<SharedCollector>,
+        trace: Option<SharedBatch<TraceEvent>>,
     ) -> Result<SearchReport, AlignError> {
         // A concrete failure (bad subject alphabet, …) outranks the
         // cancellations it may have triggered in sibling workers.
@@ -762,6 +751,8 @@ impl SearchEngine {
         }
         let merge = t_merge.elapsed();
 
+        // ORDER: Relaxed — counting only; query results travel
+        // through run_on_pool's completion channel, not this counter.
         self.queries_served.fetch_add(1, Ordering::Relaxed);
         let cells = query_len as u64 * total_residues as u64;
         let trace_events = match trace {

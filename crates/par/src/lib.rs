@@ -23,7 +23,9 @@
 pub mod engine;
 pub mod metrics;
 pub mod pipeline;
+pub mod protocol;
 pub mod search;
+pub(crate) mod sync;
 
 pub use engine::SearchEngine;
 pub use metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};

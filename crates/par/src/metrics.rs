@@ -7,9 +7,11 @@
 //! balance (paper Sec. V-E) is visible per query instead of only in
 //! offline benchmarks.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc as SyncArc;
 
 use aalign_core::RunStats;
 use aalign_obs::Histogram;
@@ -25,7 +27,7 @@ use aalign_obs::Histogram;
 /// [`AlignError::Cancelled`]: aalign_core::AlignError::Cancelled
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    flag: SyncArc<AtomicBool>,
 }
 
 impl CancelToken {
@@ -36,12 +38,23 @@ impl CancelToken {
 
     /// Trip the token; idempotent.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        // ORDER: Release — the canceller's writes before cancel()
+        // (e.g. recording *why* it cancelled) must be visible to any
+        // worker whose Acquire load observes the flag, so the
+        // cancellation handoff carries a happens-before edge (the loom
+        // cancel suite checks the protocol shape exhaustively).
+        self.flag.store(true, Ordering::Release);
     }
 
     /// True once [`cancel`](CancelToken::cancel) has been called.
+    ///
+    /// A `true` return additionally orders the canceller's preceding
+    /// writes before everything after this call.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        // ORDER: Acquire — pairs with the Release store in cancel();
+        // a worker that observes the flag also observes the
+        // canceller's preceding writes before it abandons the sweep.
+        self.flag.load(Ordering::Acquire)
     }
 }
 

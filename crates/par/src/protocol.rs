@@ -1,0 +1,231 @@
+//! The engine's concurrency protocol kernel, model-checked by loom.
+//!
+//! Everything that makes the multithreaded sweep *correct* — the
+//! sharded dynamic work binding, the cross-worker progress counters,
+//! and the per-worker trace-batch publication — lives here as three
+//! small types built on [`crate::sync`]. The engine composes them in
+//! `run_sweep_worker`; the loom suites (`tests/loom_*.rs`, run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p aalign-par`) compose them
+//! the same way and exhaustively explore the interleavings, checking:
+//!
+//! * **work-index claim** — every slot is claimed exactly once: no
+//!   subject scored twice, none skipped, under any schedule;
+//! * **cancellation handoff** — a cancelled sweep never publishes a
+//!   partial shard, and a worker that observes cancellation also
+//!   observes the canceller's preceding writes;
+//! * **progress monotonicity** — per-worker published totals are
+//!   strictly increasing and the final totals are exact;
+//! * **batch contiguity** — one worker's shard batch is never
+//!   interleaved with another's in the published stream.
+//!
+//! Each atomic operation carries an `// ORDER:` justification; the
+//! `aalign-analyzer concurrency` pass enforces the convention and
+//! pins the full atomics inventory to a checked-in baseline.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
+
+/// The paper's dynamic work binding (Sec. V-E): a single atomic
+/// cursor over the length-sorted work list, pulled in shards.
+///
+/// Claims partition `0..total` exactly: for any interleaving of
+/// concurrent claimers, every slot is handed out once and only once
+/// (the loom work-index suite checks this exhaustively).
+#[derive(Debug, Default)]
+pub struct WorkIndex {
+    next: AtomicUsize,
+}
+
+impl WorkIndex {
+    /// Fresh index with no slots claimed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim the next `shard` slots of `0..total`. Returns the
+    /// half-open claimed range, or `None` once the list is exhausted.
+    ///
+    /// `shard == 0` is treated as 1 — a zero-width claim would spin
+    /// forever without advancing the cursor.
+    pub fn claim(&self, shard: usize, total: usize) -> Option<(usize, usize)> {
+        // ORDER: Relaxed — a pure ticket counter. The claimed range
+        // is derived from the returned value alone; no other memory
+        // is read through this atomic, and the sweep's results are
+        // synchronized by the pool's join, not by this counter.
+        let start = self.next.fetch_add(shard.max(1), Ordering::Relaxed);
+        (start < total).then(|| (start, (start + shard.max(1)).min(total)))
+    }
+}
+
+/// Cross-worker completion counters for one sweep: subjects and
+/// residues finished so far. Workers publish at shard boundaries;
+/// the returned totals drive progress callbacks.
+#[derive(Debug, Default)]
+pub struct ProgressCounters {
+    subjects: AtomicUsize,
+    residues: AtomicUsize,
+}
+
+impl ProgressCounters {
+    /// Fresh counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one shard's completed `(subjects, residues)` and return
+    /// the sweep-wide totals *including* this shard.
+    ///
+    /// Each worker's successive returns are strictly increasing (its
+    /// own contribution is part of the total), and the set of
+    /// returned subject totals across all workers is exactly the set
+    /// of prefix sums — the loom progress suite checks both. The two
+    /// counters are updated by separate atomics, so a concurrently
+    /// published pair may transiently disagree; only the final
+    /// (post-join) totals are exact together.
+    pub fn publish(&self, subjects: usize, residues: usize) -> (usize, usize) {
+        // ORDER: Relaxed — counting only. The returned totals derive
+        // from the fetch_add return values on the calling thread; no
+        // payload is read through these atomics.
+        let done = self.subjects.fetch_add(subjects, Ordering::Relaxed) + subjects;
+        // ORDER: Relaxed — same as above.
+        let residues_done = self.residues.fetch_add(residues, Ordering::Relaxed) + residues;
+        (done, residues_done)
+    }
+
+    /// Current `(subjects, residues)` totals. Exact once every worker
+    /// has been joined; a mid-sweep read may lag in-flight shards.
+    pub fn snapshot(&self) -> (usize, usize) {
+        // ORDER: Relaxed — a monitoring read; exactness is only
+        // claimed after the pool join, which synchronizes the final
+        // values.
+        let subjects = self.subjects.load(Ordering::Relaxed);
+        // ORDER: Relaxed — same as above.
+        let residues = self.residues.load(Ordering::Relaxed);
+        (subjects, residues)
+    }
+}
+
+/// The rendezvous between per-worker batch buffers and the one
+/// consumer that drains the sweep's combined stream: an
+/// `Arc<Mutex<Vec<T>>>` whose writers move whole batches in under a
+/// single lock acquisition.
+///
+/// That single-acquisition discipline is the contiguity invariant the
+/// trace-timeline reconstruction relies on: one worker's per-subject
+/// batch is never interleaved with another's (the loom publication
+/// suite checks it exhaustively).
+pub struct SharedBatch<T> {
+    inner: Arc<Mutex<Vec<T>>>,
+}
+
+impl<T> Default for SharedBatch<T> {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+impl<T> Clone for SharedBatch<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SharedBatch<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedBatch").finish_non_exhaustive()
+    }
+}
+
+impl<T> SharedBatch<T> {
+    /// Fresh, empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one item (single-item batch; coordinator-side framing).
+    pub fn push(&self, item: T) {
+        self.inner.lock().expect("shared batch lock").push(item);
+    }
+
+    /// Move a worker's buffered batch in under one lock acquisition,
+    /// draining `batch` so its allocation is reused for the next
+    /// shard. An empty batch takes no lock.
+    pub fn publish(&self, batch: &mut Vec<T>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.inner.lock().expect("shared batch lock").append(batch);
+    }
+
+    /// Items published so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("shared batch lock").len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain everything published so far, in arrival order.
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *self.inner.lock().expect("shared batch lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_partition_the_slot_range() {
+        let idx = WorkIndex::new();
+        let mut seen = Vec::new();
+        while let Some((s, e)) = idx.claim(3, 8) {
+            assert!(s < e && e <= 8);
+            seen.extend(s..e);
+        }
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert_eq!(idx.claim(3, 8), None, "exhausted stays exhausted");
+    }
+
+    #[test]
+    fn zero_shard_is_clamped_to_one() {
+        let idx = WorkIndex::new();
+        assert_eq!(idx.claim(0, 2), Some((0, 1)));
+        assert_eq!(idx.claim(0, 2), Some((1, 2)));
+        assert_eq!(idx.claim(0, 2), None);
+    }
+
+    #[test]
+    fn oversized_shard_is_clamped_to_total() {
+        let idx = WorkIndex::new();
+        assert_eq!(idx.claim(100, 4), Some((0, 4)));
+        assert_eq!(idx.claim(100, 4), None);
+    }
+
+    #[test]
+    fn progress_publish_accumulates_and_snapshot_agrees() {
+        let ctr = ProgressCounters::new();
+        assert_eq!(ctr.publish(2, 300), (2, 300));
+        assert_eq!(ctr.publish(1, 50), (3, 350));
+        assert_eq!(ctr.snapshot(), (3, 350));
+    }
+
+    #[test]
+    fn shared_batch_publish_drains_and_preserves_order() {
+        let stream = SharedBatch::new();
+        let clone = stream.clone();
+        let mut batch = vec![1, 2];
+        clone.publish(&mut batch);
+        assert!(batch.is_empty(), "publish surrenders the batch");
+        stream.push(3);
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream.drain(), vec![1, 2, 3]);
+        assert!(stream.is_empty());
+    }
+}

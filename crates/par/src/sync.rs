@@ -1,0 +1,22 @@
+//! Synchronization shim: `std::sync` normally, `loom` under
+//! `RUSTFLAGS="--cfg loom"`.
+//!
+//! Every concurrency primitive the engine uses is imported through
+//! this module, never from `std::sync` directly. A normal build gets
+//! the real types with zero indirection; a `--cfg loom` build swaps
+//! in the model checker's instrumented types, so the loom suites in
+//! `tests/loom_*.rs` can exhaustively explore the interleavings of
+//! [`crate::protocol`] and [`crate::metrics::CancelToken`]. Outside a
+//! `loom::model` the instrumented types degrade to `std` behavior,
+//! which is why the ordinary test suite also passes under `--cfg
+//! loom`.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic;
+#[cfg(loom)]
+pub(crate) use loom::sync::{Arc, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic;
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Arc, Mutex};

@@ -1,0 +1,117 @@
+//! Loom suite: the cancellation handoff.
+//!
+//! Exhaustively model-checks the [`CancelToken`] protocol as the
+//! engine uses it: workers poll the token at every shard boundary and
+//! publish a shard's buffered batch only when the poll comes back
+//! clean, so **a cancelled sweep never publishes a partial shard**,
+//! and a worker that observes cancellation also observes the
+//! canceller's preceding writes (the reason payload).
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p aalign-par`.
+#![cfg(loom)]
+
+use aalign_par::protocol::{SharedBatch, WorkIndex};
+use aalign_par::CancelToken;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+/// One engine-shaped worker: claim a shard, buffer its items locally,
+/// and publish the whole batch only if the token is still clean at
+/// the shard boundary. Returns the number of shards published.
+fn sweep_worker(
+    idx: &WorkIndex,
+    stream: &SharedBatch<usize>,
+    token: &CancelToken,
+    shard: usize,
+    total: usize,
+) -> usize {
+    let mut published = 0;
+    while let Some((start, end)) = idx.claim(shard, total) {
+        let mut batch: Vec<usize> = (start..end).collect();
+        if token.is_cancelled() {
+            // Abandon the buffered batch: nothing partial escapes.
+            return published;
+        }
+        stream.publish(&mut batch);
+        published += 1;
+    }
+    published
+}
+
+#[test]
+fn a_cancelled_sweep_never_publishes_a_partial_shard() {
+    loom::model(|| {
+        const TOTAL: usize = 4;
+        const SHARD: usize = 2;
+        let idx = Arc::new(WorkIndex::new());
+        let stream = SharedBatch::new();
+        let token = CancelToken::new();
+
+        let worker = {
+            let idx = Arc::clone(&idx);
+            let stream = stream.clone();
+            let token = token.clone();
+            thread::spawn(move || sweep_worker(&idx, &stream, &token, SHARD, TOTAL))
+        };
+        token.cancel();
+        let published = worker.join().unwrap();
+
+        let events = stream.drain();
+        assert_eq!(
+            events.len(),
+            published * SHARD,
+            "published stream must hold whole shards only"
+        );
+        assert_eq!(
+            events.len() % SHARD,
+            0,
+            "no partial shard may escape a cancelled sweep"
+        );
+    });
+}
+
+#[test]
+fn observed_cancellation_carries_the_cancellers_writes() {
+    loom::model(|| {
+        let token = CancelToken::new();
+        let reason = Arc::new(AtomicUsize::new(0));
+
+        let canceller = {
+            let token = token.clone();
+            let reason = Arc::clone(&reason);
+            thread::spawn(move || {
+                // ORDER: Relaxed — the payload store itself; its
+                // visibility is carried by cancel()'s Release store,
+                // which happens after it on this thread.
+                reason.store(42, Ordering::Relaxed);
+                token.cancel();
+            })
+        };
+
+        if token.is_cancelled() {
+            // ORDER: Relaxed — the Acquire inside is_cancelled()
+            // already ordered the canceller's store before this load.
+            assert_eq!(
+                reason.load(Ordering::Relaxed),
+                42,
+                "observing the flag must imply observing the reason"
+            );
+        }
+        canceller.join().unwrap();
+    });
+}
+
+#[test]
+fn cancel_is_idempotent_under_racing_cancellers() {
+    loom::model(|| {
+        let token = CancelToken::new();
+        let other = {
+            let token = token.clone();
+            thread::spawn(move || token.cancel())
+        };
+        token.cancel();
+        other.join().unwrap();
+        assert!(token.is_cancelled(), "either racer suffices");
+    });
+}

@@ -1,0 +1,75 @@
+//! Loom suite: the sharded work-index claim protocol.
+//!
+//! Exhaustively model-checks [`aalign_par::protocol::WorkIndex`] —
+//! the paper's Sec. V-E dynamic work binding — under every
+//! interleaving of two claimers: every slot is claimed exactly once
+//! (no subject scored twice, none skipped), shard clamping included.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p aalign-par`.
+#![cfg(loom)]
+
+use aalign_par::protocol::WorkIndex;
+use loom::sync::Arc;
+use loom::thread;
+
+/// Collect every slot a claimer saw, as a flat list of slot indices.
+fn claim_all(idx: &WorkIndex, shard: usize, total: usize) -> Vec<usize> {
+    let mut mine = Vec::new();
+    while let Some((start, end)) = idx.claim(shard, total) {
+        assert!(start < end && end <= total, "claim out of range");
+        mine.extend(start..end);
+    }
+    mine
+}
+
+#[test]
+fn every_slot_is_claimed_exactly_once() {
+    loom::model(|| {
+        const TOTAL: usize = 5;
+        const SHARD: usize = 2;
+        let idx = Arc::new(WorkIndex::new());
+        let worker = {
+            let idx = Arc::clone(&idx);
+            thread::spawn(move || claim_all(&idx, SHARD, TOTAL))
+        };
+        let mut slots = claim_all(&idx, SHARD, TOTAL);
+        slots.extend(worker.join().unwrap());
+        slots.sort_unstable();
+        assert_eq!(
+            slots,
+            (0..TOTAL).collect::<Vec<_>>(),
+            "claims must partition the slot range under every schedule"
+        );
+    });
+}
+
+#[test]
+fn zero_shard_still_partitions_under_contention() {
+    loom::model(|| {
+        const TOTAL: usize = 3;
+        let idx = Arc::new(WorkIndex::new());
+        let worker = {
+            let idx = Arc::clone(&idx);
+            thread::spawn(move || claim_all(&idx, 0, TOTAL))
+        };
+        let mut slots = claim_all(&idx, 0, TOTAL);
+        slots.extend(worker.join().unwrap());
+        slots.sort_unstable();
+        assert_eq!(slots, (0..TOTAL).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn exhausted_index_never_revives() {
+    loom::model(|| {
+        let idx = Arc::new(WorkIndex::new());
+        let worker = {
+            let idx = Arc::clone(&idx);
+            thread::spawn(move || claim_all(&idx, 2, 2))
+        };
+        let mine = claim_all(&idx, 2, 2);
+        let theirs = worker.join().unwrap();
+        assert_eq!(mine.len() + theirs.len(), 2);
+        assert_eq!(idx.claim(2, 2), None, "drained index must stay drained");
+    });
+}

@@ -98,6 +98,7 @@ impl Criterion {
 }
 
 /// A named group sharing timing settings.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
@@ -200,6 +201,7 @@ impl From<String> for BenchmarkId {
 }
 
 /// Hands the closure under measurement to the timer.
+#[derive(Debug)]
 pub struct Bencher {
     mode: BencherMode,
     /// Mean seconds per iteration, filled by [`Bencher::iter`].
@@ -207,6 +209,7 @@ pub struct Bencher {
     iters_done: u64,
 }
 
+#[derive(Debug)]
 enum BencherMode {
     /// Run once to estimate cost (warm-up / calibration).
     Calibrate,
@@ -316,7 +319,7 @@ mod tests {
         c.bench_function("smoke", move |b| {
             b.iter(|| {
                 *calls_ref += 1;
-            })
+            });
         });
     }
 
@@ -329,7 +332,7 @@ mod tests {
             .warm_up_time(Duration::from_millis(1))
             .measurement_time(Duration::from_millis(1));
         group.bench_with_input(BenchmarkId::new("case", 42), &42usize, |b, &n| {
-            b.iter(|| n * 2)
+            b.iter(|| n * 2);
         });
         group.finish();
     }

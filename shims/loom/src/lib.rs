@@ -1,0 +1,97 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The build environment vendors every external dependency, so this
+//! crate re-implements the slice of loom's API the workspace uses:
+//! [`model`], [`thread::spawn`]/[`thread::JoinHandle`],
+//! [`sync::Mutex`], [`sync::Arc`], and the `sync::atomic` types.
+//!
+//! # How checking works
+//!
+//! [`model`] runs the closure repeatedly, each time under a
+//! **serializing scheduler**: every spawned thread is a real OS
+//! thread, but exactly one is ever runnable, and control transfers
+//! only at *scheduling points* — atomic operations, mutex locks,
+//! spawn, join, and [`thread::yield_now`]. At each point where more
+//! than one thread could run next, the scheduler consults an
+//! exploration path; after each execution the path advances
+//! depth-first, so **every interleaving of scheduling points is
+//! eventually executed** (for terminating, deterministic models).
+//! A failed assertion, panic, or deadlock aborts the run and is
+//! re-thrown with the offending schedule attached.
+//!
+//! # Honest differences from real loom
+//!
+//! * Interleavings are explored under **sequential consistency**:
+//!   memory `Ordering` arguments are accepted but not modeled, so a
+//!   bug that *only* manifests as a missing release/acquire edge on
+//!   real hardware is not caught here. The workspace compensates
+//!   statically: `aalign-analyzer concurrency` forces every atomic
+//!   site to carry an `// ORDER:` proof and rejects `Relaxed` at
+//!   sites whose proof claims publication semantics.
+//! * `Arc` is `std::sync::Arc` (leak checking is not modeled).
+//! * A mutex guard must not be held across a scheduling point; the
+//!   shim detects this and fails the model rather than exploring it.
+//!
+//! Outside [`model`] every type degrades to its `std` behavior, so a
+//! crate compiled with `--cfg loom` still runs its ordinary tests.
+
+mod rt;
+
+pub mod sync;
+pub mod thread;
+
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+
+use rt::{next_prefix, Registry};
+
+/// Hard cap on explored executions; a model that exceeds it is too
+/// big to check exhaustively and should be shrunk.
+const MAX_EXECUTIONS: u64 = 250_000;
+
+/// Run `f` under every schedule the serializing scheduler can
+/// produce. Panics (with the failing schedule) if any execution
+/// panics or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions: u64 = 0;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom shim: model exceeded {MAX_EXECUTIONS} executions; shrink the model"
+        );
+        let reg = Registry::new(prefix.clone());
+        let root_reg = Arc::clone(&reg);
+        let root_f = Arc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-0".into())
+            .spawn(move || {
+                rt::set_current(&root_reg, 0);
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| root_f()));
+                let failure = out.err().and_then(|p| rt::panic_message(&*p));
+                root_reg.thread_finished(0, failure);
+            })
+            .expect("loom shim: cannot spawn model root thread");
+        reg.wait_all_finished();
+        for h in reg.take_handles() {
+            let _ = h.join();
+        }
+        let _ = root.join();
+        let (trace, failure) = reg.outcome();
+        if let Some(msg) = failure {
+            panic!("loom model failure under schedule {trace:?}: {msg}");
+        }
+        match next_prefix(&trace) {
+            Some(p) => prefix = p,
+            None => break,
+        }
+    }
+    if std::env::var_os("LOOM_LOG").is_some() {
+        eprintln!("loom shim: explored {executions} executions");
+    }
+}

@@ -1,0 +1,295 @@
+//! The serializing scheduler behind [`crate::model`].
+//!
+//! One [`Registry`] exists per execution. Every controlled thread is
+//! a real OS thread, but the registry keeps exactly one *active* at a
+//! time: threads park on a condvar and hand control to each other at
+//! scheduling points ([`schedule_point`], spawn, join, finish). At a
+//! point where more than one thread is runnable, the choice is taken
+//! from the exploration `prefix` (depth-first replay) and recorded in
+//! `trace`, so [`next_prefix`] can enumerate the next unexplored
+//! schedule after the execution completes.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::resume_unwind;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Payload used to unwind controlled threads when an execution aborts
+/// early (failure elsewhere or deadlock). Not a model failure itself.
+struct Abort;
+
+/// Scheduling status of one controlled thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    statuses: Vec<Status>,
+    /// Id of the one thread allowed to run (`usize::MAX` once all
+    /// have finished).
+    active: usize,
+    /// Choices to replay, one per multi-way decision point.
+    prefix: Vec<usize>,
+    /// `(chosen index, number of runnable threads)` per multi-way
+    /// decision point actually taken this execution.
+    trace: Vec<(usize, usize)>,
+    /// First failure observed (panic message or deadlock).
+    failure: Option<String>,
+    /// Once set, every parked thread unwinds instead of resuming.
+    aborting: bool,
+    /// OS handles of threads spawned inside the model, joined by the
+    /// coordinator after the execution completes.
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Per-execution scheduler shared by all controlled threads.
+#[derive(Debug)]
+pub(crate) struct Registry {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Registry>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Bind the calling OS thread to `reg` as controlled thread `id`.
+pub(crate) fn set_current(reg: &Arc<Registry>, id: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(reg), id)));
+}
+
+/// The calling thread's registry binding, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Registry>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// True when called from inside a running model.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// A scheduling point: outside a model this is free; inside, control
+/// may transfer to any other runnable thread.
+pub(crate) fn schedule_point() {
+    if let Some((reg, id)) = current() {
+        reg.switch(id);
+    }
+}
+
+/// Extract a printable message from a panic payload. `None` for the
+/// internal [`Abort`] payload (an aborted thread is not a failure).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> Option<String> {
+    if payload.downcast_ref::<Abort>().is_some() {
+        return None;
+    }
+    Some(if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    })
+}
+
+fn abort_unwind() -> ! {
+    resume_unwind(Box::new(Abort))
+}
+
+impl Registry {
+    /// Fresh execution: one runnable thread (the root, id 0) and the
+    /// schedule prefix to replay.
+    pub(crate) fn new(prefix: Vec<usize>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(SchedState {
+                statuses: vec![Status::Runnable],
+                active: 0,
+                prefix,
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Pick the next active thread among the runnable ones, consuming
+    /// a prefix choice (and recording it) when the pick is not forced.
+    fn pick_next(&self, st: &mut SchedState) {
+        let runnable: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (*s == Status::Runnable).then_some(i))
+            .collect();
+        if runnable.is_empty() {
+            if st.statuses.iter().all(|s| *s == Status::Finished) {
+                st.active = usize::MAX;
+            } else {
+                st.failure
+                    .get_or_insert_with(|| "deadlock: every live thread is blocked".to_string());
+                st.aborting = true;
+            }
+        } else if runnable.len() == 1 {
+            st.active = runnable[0];
+        } else {
+            let k = st.trace.len();
+            let idx = st.prefix.get(k).copied().unwrap_or(0);
+            debug_assert!(idx < runnable.len(), "non-deterministic model replay");
+            let idx = idx.min(runnable.len() - 1);
+            st.trace.push((idx, runnable.len()));
+            st.active = runnable[idx];
+        }
+        self.cv.notify_all();
+    }
+
+    /// The scheduling point: offer the scheduler a chance to run any
+    /// other runnable thread, then park until re-activated.
+    pub(crate) fn switch(&self, my: usize) {
+        let mut st = self.state.lock().expect("loom scheduler lock");
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        self.pick_next(&mut st);
+        while st.active != my {
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).expect("loom scheduler lock");
+        }
+    }
+
+    /// Register a new controlled thread; it starts runnable but does
+    /// not run until the scheduler activates it.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().expect("loom scheduler lock");
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    /// Keep a spawned thread's OS handle for the coordinator to join.
+    pub(crate) fn store_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.state
+            .lock()
+            .expect("loom scheduler lock")
+            .handles
+            .push(handle);
+    }
+
+    /// Park a freshly spawned thread until its first activation.
+    /// Returns `false` when the execution is aborting and the thread
+    /// body must be skipped.
+    pub(crate) fn wait_until_active(&self, my: usize) -> bool {
+        let mut st = self.state.lock().expect("loom scheduler lock");
+        loop {
+            if st.aborting {
+                return false;
+            }
+            if st.active == my {
+                return true;
+            }
+            st = self.cv.wait(st).expect("loom scheduler lock");
+        }
+    }
+
+    /// Block thread `my` until thread `target` has finished.
+    pub(crate) fn join_on(&self, my: usize, target: usize) {
+        let mut st = self.state.lock().expect("loom scheduler lock");
+        loop {
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            if st.statuses[target] == Status::Finished {
+                return;
+            }
+            st.statuses[my] = Status::BlockedOnJoin(target);
+            self.pick_next(&mut st);
+            while st.active != my {
+                if st.aborting {
+                    drop(st);
+                    abort_unwind();
+                }
+                st = self.cv.wait(st).expect("loom scheduler lock");
+            }
+        }
+    }
+
+    /// Mark `my` finished, wake its joiners, record a failure if it
+    /// panicked, and hand control onward.
+    pub(crate) fn thread_finished(&self, my: usize, failure: Option<String>) {
+        let mut st = self.state.lock().expect("loom scheduler lock");
+        st.statuses[my] = Status::Finished;
+        for s in &mut st.statuses {
+            if *s == Status::BlockedOnJoin(my) {
+                *s = Status::Runnable;
+            }
+        }
+        if let Some(msg) = failure {
+            st.failure.get_or_insert(msg);
+            st.aborting = true;
+            self.cv.notify_all();
+            return;
+        }
+        if !st.aborting {
+            self.pick_next(&mut st);
+        }
+    }
+
+    /// Coordinator: block until every controlled thread has finished.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.state.lock().expect("loom scheduler lock");
+        while !st.statuses.iter().all(|s| *s == Status::Finished) {
+            st = self.cv.wait(st).expect("loom scheduler lock");
+        }
+    }
+
+    /// Coordinator: take the OS handles of the execution's threads.
+    pub(crate) fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        std::mem::take(&mut self.state.lock().expect("loom scheduler lock").handles)
+    }
+
+    /// Coordinator: the execution's recorded schedule and failure.
+    pub(crate) fn outcome(&self) -> (Vec<(usize, usize)>, Option<String>) {
+        let st = self.state.lock().expect("loom scheduler lock");
+        (st.trace.clone(), st.failure.clone())
+    }
+}
+
+/// Depth-first successor of an executed schedule: bump the deepest
+/// decision that still has an unexplored alternative, drop everything
+/// after it. `None` once the whole tree has been visited.
+pub(crate) fn next_prefix(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let (chosen, arity) = trace[i];
+        if chosen + 1 < arity {
+            let mut p: Vec<usize> = trace[..=i].iter().map(|&(c, _)| c).collect();
+            p[i] += 1;
+            return Some(p);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::next_prefix;
+
+    #[test]
+    fn dfs_successor_enumerates_the_whole_tree() {
+        // A 2-level binary tree: 0,0 -> 0,1 -> 1,0 -> 1,1 -> done.
+        assert_eq!(next_prefix(&[(0, 2), (0, 2)]), Some(vec![0, 1]));
+        assert_eq!(next_prefix(&[(0, 2), (1, 2)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[(1, 2), (0, 2)]), Some(vec![1, 1]));
+        assert_eq!(next_prefix(&[(1, 2), (1, 2)]), None);
+        // Forced decisions (arity 1) are never bumped.
+        assert_eq!(next_prefix(&[(0, 1)]), None);
+        assert_eq!(next_prefix(&[]), None);
+    }
+}

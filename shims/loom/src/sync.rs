@@ -1,0 +1,204 @@
+//! Model-aware synchronization primitives.
+//!
+//! Atomic operations and `Mutex::lock` are *scheduling points*: under
+//! [`crate::model`] the scheduler may run any other thread first, so
+//! every interleaving of these operations gets explored. Memory
+//! `Ordering` arguments are accepted for API compatibility but the
+//! exploration itself is sequentially consistent (see the crate docs
+//! for why that is, and what compensates for it).
+
+pub use std::sync::Arc;
+
+use crate::rt;
+
+/// Guard type re-export: the shim's mutex is a scheduling-point
+/// wrapper over [`std::sync::Mutex`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// Mutex whose `lock` is a scheduling point.
+///
+/// The shim requires the guard to be dropped before the next
+/// scheduling point (execution is serialized, so a guard held across
+/// one would deadlock the real lock); violating that fails the model
+/// with a diagnostic instead of hanging.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Fresh unlocked mutex.
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock (scheduling point).
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        rt::schedule_point();
+        match self.0.try_lock() {
+            Ok(guard) => Ok(guard),
+            Err(std::sync::TryLockError::Poisoned(e)) => Err(e),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                assert!(
+                    !rt::in_model(),
+                    "loom shim: mutex guard held across a scheduling point — \
+                     unsupported by the vendored model checker"
+                );
+                self.0.lock()
+            }
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        self.0.into_inner()
+    }
+}
+
+pub mod atomic {
+    //! Atomic types whose every operation is a scheduling point.
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::rt;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:path, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Fresh atomic holding `value`.
+                pub fn new(value: $prim) -> Self {
+                    Self(<$std>::new(value))
+                }
+
+                /// Atomic load (scheduling point; `_order` accepted,
+                /// exploration is sequentially consistent).
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.load(SeqCst)
+                }
+
+                /// Atomic store (scheduling point).
+                pub fn store(&self, value: $prim, _order: Ordering) {
+                    rt::schedule_point();
+                    self.0.store(value, SeqCst);
+                }
+
+                /// Atomic swap (scheduling point).
+                pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.swap(value, SeqCst)
+                }
+
+                /// Atomic add, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.fetch_add(value, SeqCst)
+                }
+
+                /// Atomic subtract, returning the previous value
+                /// (scheduling point).
+                pub fn fetch_sub(&self, value: $prim, _order: Ordering) -> $prim {
+                    rt::schedule_point();
+                    self.0.fetch_sub(value, SeqCst)
+                }
+
+                /// Atomic compare-exchange (scheduling point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    rt::schedule_point();
+                    self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+
+                /// Weak variant; the shim never fails spuriously.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume the atomic, returning the inner value.
+                pub fn into_inner(self) -> $prim {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Model-aware [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    atomic_int!(
+        /// Model-aware [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Model-aware [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+
+    /// Model-aware [`std::sync::atomic::AtomicBool`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Fresh atomic holding `value`.
+        pub fn new(value: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(value))
+        }
+
+        /// Atomic load (scheduling point).
+        pub fn load(&self, _order: Ordering) -> bool {
+            rt::schedule_point();
+            self.0.load(SeqCst)
+        }
+
+        /// Atomic store (scheduling point).
+        pub fn store(&self, value: bool, _order: Ordering) {
+            rt::schedule_point();
+            self.0.store(value, SeqCst);
+        }
+
+        /// Atomic swap (scheduling point).
+        pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+            rt::schedule_point();
+            self.0.swap(value, SeqCst)
+        }
+
+        /// Atomic compare-exchange (scheduling point).
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::schedule_point();
+            self.0.compare_exchange(current, new, SeqCst, SeqCst)
+        }
+
+        /// Consume the atomic, returning the inner value.
+        pub fn into_inner(self) -> bool {
+            self.0.into_inner()
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Controlled threads: spawn/join under the model scheduler, plain
+//! `std::thread` outside a model.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+enum Inner<T> {
+    /// A thread spawned inside [`crate::model`]; the result slot is
+    /// filled by the controlled thread before it reports finished.
+    Model {
+        id: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+    /// A plain thread spawned outside any model.
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread (model-aware analogue of
+/// [`std::thread::JoinHandle`]).
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Inner::Model { id, .. } => f.debug_struct("JoinHandle").field("id", id).finish(),
+            Inner::Std(_) => f.debug_struct("JoinHandle").field("id", &"std").finish(),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result. Inside a
+    /// model this is a scheduling point that blocks the caller (in
+    /// model time) until the target has finished.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { id, result } => {
+                let (reg, my) =
+                    rt::current().expect("loom JoinHandle::join called from outside the model");
+                reg.join_on(my, id);
+                let out = result
+                    .lock()
+                    .expect("loom join result lock")
+                    .take()
+                    .expect("joined thread left no result");
+                out
+            }
+        }
+    }
+}
+
+/// Spawn a thread. Inside a model the child becomes a controlled
+/// thread (and may be scheduled before the parent resumes); outside,
+/// this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some((reg, my)) => {
+            let id = reg.register_thread();
+            let result = Arc::new(Mutex::new(None));
+            let result_slot = Arc::clone(&result);
+            let child_reg = Arc::clone(&reg);
+            let handle = std::thread::Builder::new()
+                .name(format!("loom-{id}"))
+                .spawn(move || {
+                    rt::set_current(&child_reg, id);
+                    if !child_reg.wait_until_active(id) {
+                        // Execution aborted before this thread ran.
+                        child_reg.thread_finished(id, None);
+                        return;
+                    }
+                    match catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            *result_slot.lock().expect("loom join result lock") = Some(Ok(v));
+                            child_reg.thread_finished(id, None);
+                        }
+                        Err(payload) => {
+                            let failure = rt::panic_message(&payload);
+                            *result_slot.lock().expect("loom join result lock") =
+                                Some(Err(payload));
+                            child_reg.thread_finished(id, failure);
+                        }
+                    }
+                })
+                .expect("loom shim: cannot spawn controlled thread");
+            reg.store_handle(handle);
+            // Scheduling point: the child is now runnable and may be
+            // picked before the parent continues.
+            reg.switch(my);
+            JoinHandle {
+                inner: Inner::Model { id, result },
+            }
+        }
+    }
+}
+
+/// A bare scheduling point (any other runnable thread may run).
+pub fn yield_now() {
+    rt::schedule_point();
+}

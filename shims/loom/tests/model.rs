@@ -1,0 +1,167 @@
+//! Self-checks for the vendored model checker: it must pass correct
+//! protocols, *fail* racy ones, and provably explore more than one
+//! schedule.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc as StdArc;
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// Run `f` as a model and return the failure message, if any.
+fn model_failure(f: impl Fn() + Send + Sync + 'static) -> Option<String> {
+    catch_unwind(AssertUnwindSafe(|| loom::model(f)))
+        .err()
+        .map(|p| {
+            p.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "<non-string>".to_string())
+        })
+}
+
+#[test]
+fn atomic_increments_never_lose_updates() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn non_atomic_read_modify_write_is_caught() {
+    // The classic lost update: load, then store, in two threads. Some
+    // schedule interleaves the loads before either store, so the
+    // final count is 1 — the checker must find it.
+    let failure = model_failure(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    let v = n.load(Ordering::Relaxed);
+                    n.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+    });
+    let msg = failure.expect("the lost-update schedule must be found");
+    assert!(msg.contains("lost update"), "{msg}");
+}
+
+#[test]
+fn mutex_guarded_compound_update_is_sound() {
+    loom::model(|| {
+        let n = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+}
+
+#[test]
+fn both_orders_of_an_unsynchronized_read_are_explored() {
+    // Parent reads a flag the child sets, without joining first: the
+    // model must visit schedules where the read sees 0 *and* where it
+    // sees 1. Observations accumulate in a plain std atomic that
+    // lives outside the model.
+    let seen = StdArc::new(StdAtomicUsize::new(0));
+    let seen_in = StdArc::clone(&seen);
+    loom::model(move || {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        let observed = flag.load(Ordering::Acquire);
+        seen_in.fetch_or(1 << usize::from(observed), StdOrdering::Relaxed);
+        h.join().unwrap();
+    });
+    assert_eq!(
+        seen.load(StdOrdering::Relaxed),
+        0b11,
+        "exploration must cover both schedules"
+    );
+}
+
+#[test]
+fn join_establishes_completion() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let h = thread::spawn(move || {
+            f2.store(true, Ordering::Release);
+        });
+        h.join().unwrap();
+        assert!(flag.load(Ordering::Acquire), "join orders the store first");
+    });
+}
+
+#[test]
+fn guard_held_across_a_scheduling_point_is_rejected() {
+    let failure = model_failure(|| {
+        let m = Arc::new(Mutex::new(0usize));
+        let a = Arc::new(AtomicUsize::new(0));
+        let m2 = Arc::clone(&m);
+        let a2 = Arc::clone(&a);
+        let h = thread::spawn(move || {
+            let guard = m2.lock().unwrap();
+            // Scheduling point while the guard is live: the parent's
+            // lock below can now observe a held mutex.
+            a2.load(Ordering::Relaxed);
+            drop(guard);
+        });
+        drop(m.lock().unwrap());
+        h.join().unwrap();
+    });
+    let msg = failure.expect("holding a guard across a scheduling point must fail the model");
+    assert!(msg.contains("scheduling point"), "{msg}");
+}
+
+#[test]
+fn spawned_threads_return_values_through_join() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(7));
+        let n2 = Arc::clone(&n);
+        let h = thread::spawn(move || n2.load(Ordering::Relaxed) + 1);
+        assert_eq!(h.join().unwrap(), 8);
+    });
+}
+
+#[test]
+fn types_degrade_to_std_outside_a_model() {
+    let n = AtomicUsize::new(1);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(n.load(Ordering::SeqCst), 3);
+    let m = Mutex::new(5usize);
+    *m.lock().unwrap() += 1;
+    assert_eq!(m.into_inner().unwrap(), 6);
+    let h = thread::spawn(|| 42usize);
+    assert_eq!(h.join().unwrap(), 42);
+}

@@ -88,6 +88,14 @@ pub struct Union<T> {
     arms: Vec<BoxedStrategy<T>>,
 }
 
+impl<T> core::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> Union<T> {
     /// Union over the given arms.
     ///

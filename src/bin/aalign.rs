@@ -116,7 +116,7 @@ fn load_first_seq(path: &str) -> Result<Sequence, String> {
         .ok_or_else(|| format!("{path}: no sequences"))
 }
 
-fn build_aligner(flags: &Flags) -> Result<Aligner, String> {
+fn build_aligner(flags: &Flags<'_>) -> Result<Aligner, String> {
     let open = flags.get_i32("--open", -10)?;
     let ext = flags.get_i32("--ext", -2)?;
     let gap = if flags.has("--linear") {

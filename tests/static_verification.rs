@@ -1,10 +1,13 @@
 //! Tier-1 wiring for the static passes in `aalign-analyzer`: every
 //! `cargo test` run verifies the builtin kernels' dataflow legality,
-//! the range analysis the runtime width policy relies on, and the
-//! unsafe-SIMD audit of the backend sources — so a change that breaks
-//! a static guarantee fails the main suite, not just the analyzer's.
+//! the range analysis the runtime width policy relies on, the
+//! unsafe-SIMD audit of the backend sources, and the
+//! atomics-discipline lint over the concurrent crates — so a change
+//! that breaks a static guarantee fails the main suite, not just the
+//! analyzer's.
 
 use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
+use aalign_analyzer::concurrency::{default_concurrency_dirs, scan_dirs, CONCURRENCY_BASELINE};
 use aalign_analyzer::{analyze_range, verify_dataflow};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_codegen::emit::GapBindings;
@@ -141,9 +144,35 @@ fn vec_backends_stay_audited() {
         report
             .findings
             .iter()
-            .map(|f| f.to_string())
+            .map(std::string::ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
     );
     assert!(report.check_baseline(VEC_BASELINE).is_empty());
+}
+
+/// The concurrent crates stay disciplined: every atomic site carries
+/// an `// ORDER:` justification obeying the SeqCst/Relaxed rules, and
+/// the atomics inventory exactly matches the pinned baseline. The
+/// static proofs complement the loom suites (which explore
+/// interleavings but not memory orderings).
+#[test]
+fn concurrent_crates_stay_disciplined() {
+    let report = scan_dirs(&default_concurrency_dirs()).unwrap();
+    assert!(
+        report.is_clean(),
+        "concurrency findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let problems = report.check_baseline(CONCURRENCY_BASELINE);
+    assert!(
+        problems.is_empty(),
+        "atomics inventory drift:\n{}",
+        problems.join("\n")
+    );
 }
