@@ -17,7 +17,10 @@
 //! depth-first, so **every interleaving of scheduling points is
 //! eventually executed** (for terminating, deterministic models).
 //! A failed assertion, panic, or deadlock aborts the run and is
-//! re-thrown with the offending schedule attached.
+//! re-thrown with the offending schedule attached. A model whose
+//! scheduling points vary across executions (non-deterministic) is
+//! reported as a failure as soon as replay diverges, never silently
+//! explored along a wrong schedule.
 //!
 //! # Honest differences from real loom
 //!

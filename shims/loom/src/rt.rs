@@ -139,10 +139,25 @@ impl Registry {
         } else {
             let k = st.trace.len();
             let idx = st.prefix.get(k).copied().unwrap_or(0);
-            debug_assert!(idx < runnable.len(), "non-deterministic model replay");
-            let idx = idx.min(runnable.len() - 1);
-            st.trace.push((idx, runnable.len()));
-            st.active = runnable[idx];
+            if idx < runnable.len() {
+                st.trace.push((idx, runnable.len()));
+                st.active = runnable[idx];
+            } else {
+                // The replayed choice no longer fits: the model took a
+                // different set of scheduling points than the execution
+                // this prefix was derived from. Continuing would explore
+                // a wrong/truncated schedule and could report a false
+                // "all schedules pass", so fail the model instead.
+                st.failure.get_or_insert_with(|| {
+                    format!(
+                        "non-deterministic model: replay expected at least {} runnable \
+                         threads at decision {k}, found {}",
+                        idx + 1,
+                        runnable.len()
+                    )
+                });
+                st.aborting = true;
+            }
         }
         self.cv.notify_all();
     }
@@ -156,10 +171,16 @@ impl Registry {
             abort_unwind();
         }
         self.pick_next(&mut st);
-        while st.active != my {
+        loop {
+            // Checked even when `active == my`: pick_next may raise an
+            // abort (replay divergence) without transferring control,
+            // and the caller must unwind rather than resume the model.
             if st.aborting {
                 drop(st);
                 abort_unwind();
+            }
+            if st.active == my {
+                return;
             }
             st = self.cv.wait(st).expect("loom scheduler lock");
         }
@@ -234,12 +255,14 @@ impl Registry {
         if let Some(msg) = failure {
             st.failure.get_or_insert(msg);
             st.aborting = true;
-            self.cv.notify_all();
-            return;
-        }
-        if !st.aborting {
+        } else if !st.aborting {
             self.pick_next(&mut st);
         }
+        // Wake unconditionally: on the aborting drain path pick_next is
+        // skipped, but the coordinator in `wait_all_finished` (and any
+        // parked thread still draining) must re-check after every
+        // finish, or a failing model hangs instead of reporting.
+        self.cv.notify_all();
     }
 
     /// Coordinator: block until every controlled thread has finished.

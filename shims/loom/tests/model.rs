@@ -155,6 +155,60 @@ fn spawned_threads_return_values_through_join() {
 }
 
 #[test]
+fn failure_with_a_parked_spawned_thread_reports_promptly() {
+    // Regression: the root fails while a spawned thread is still
+    // parked waiting for its first activation. The aborting drain
+    // path must still wake the coordinator after every thread
+    // finishes, or the model hangs instead of reporting. Run the
+    // model on a helper thread with a timeout so a regression fails
+    // the suite rather than wedging it.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let failure = model_failure(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let _h = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::Relaxed);
+            });
+            panic!("boom");
+        });
+        let _ = tx.send(failure);
+    });
+    let failure = rx
+        .recv_timeout(std::time::Duration::from_secs(60))
+        .expect("model with a parked spawned thread hung instead of reporting");
+    let msg = failure.expect("a root panic must fail the model");
+    assert!(msg.contains("boom"), "{msg}");
+}
+
+#[test]
+fn non_deterministic_model_is_reported_not_misexplored() {
+    // The model's scheduling points depend on state outside the model
+    // (an execution counter): early executions spawn two children,
+    // later ones spawn one and take an extra atomic step. Depth-first
+    // replay eventually presents a recorded choice that no longer fits
+    // the shrunken decision; that must surface as a model failure, not
+    // a silently truncated exploration reported as "all schedules
+    // pass".
+    let execs = StdArc::new(StdAtomicUsize::new(0));
+    let execs_in = StdArc::clone(&execs);
+    let failure = model_failure(move || {
+        let e = execs_in.fetch_add(1, StdOrdering::Relaxed);
+        if e < 4 {
+            let a = thread::spawn(|| {});
+            let b = thread::spawn(|| {});
+            drop((a, b));
+        } else {
+            let n = Arc::new(AtomicUsize::new(0));
+            let _c = thread::spawn(|| {});
+            n.load(Ordering::Relaxed);
+        }
+    });
+    let msg = failure.expect("a non-deterministic model must fail, not pass");
+    assert!(msg.contains("non-deterministic"), "{msg}");
+}
+
+#[test]
 fn types_degrade_to_std_outside_a_model() {
     let n = AtomicUsize::new(1);
     assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
