@@ -16,8 +16,17 @@ pub enum FastaError {
     Io(io::Error),
     /// First non-empty line does not start with `>`.
     MissingHeader { line: usize },
-    /// A record had a header but no residues.
+    /// A record had a header but no residues before the next header
+    /// or a blank-line gap — an explicitly empty record.
     EmptyRecord { id: String, line: usize },
+    /// The stream ended immediately after a header: the tail of the
+    /// file is missing (a cut-off download), not an empty record.
+    Truncated { id: String, line: usize },
+    /// A header line is not valid UTF-8. Bodies are treated as raw
+    /// bytes (the alphabet decides what a residue is), but record ids
+    /// become strings, so a mangled header is rejected with its
+    /// position instead of surfacing as an opaque I/O error.
+    NonUtf8 { line: usize },
     /// A residue failed alphabet validation.
     BadResidue {
         id: String,
@@ -36,6 +45,12 @@ impl core::fmt::Display for FastaError {
             Self::EmptyRecord { id, line } => {
                 write!(f, "line {line}: record {id:?} has no residues")
             }
+            Self::Truncated { id, line } => {
+                write!(f, "line {line}: record {id:?}: input ends after the header")
+            }
+            Self::NonUtf8 { line } => {
+                write!(f, "line {line}: header is not valid UTF-8")
+            }
             Self::BadResidue { id, line, err } => {
                 write!(f, "line {line}: record {id:?}: {err}")
             }
@@ -52,54 +67,70 @@ impl From<io::Error> for FastaError {
 }
 
 /// Parse all records from a reader against `alphabet`.
+///
+/// Lines are read as raw bytes, so a corrupt body never aborts the
+/// read with an I/O error: residues go through alphabet validation
+/// (yielding [`FastaError::BadResidue`] with the record's position)
+/// and only *header* lines must be UTF-8 (ids become strings). CRLF
+/// and whitespace-only lines are tolerated anywhere; a header with no
+/// residues is rejected as [`FastaError::EmptyRecord`] mid-stream or
+/// [`FastaError::Truncated`] at end-of-input.
 pub fn read_fasta<R: BufRead>(
-    reader: R,
+    mut reader: R,
     alphabet: &'static Alphabet,
 ) -> Result<Vec<Sequence>, FastaError> {
     let mut out = Vec::new();
     let mut cur_id: Option<(String, usize)> = None;
     let mut cur_body: Vec<u8> = Vec::new();
     let mut line_no = 0usize;
+    let mut raw: Vec<u8> = Vec::new();
 
-    let flush = |cur_id: &mut Option<(String, usize)>,
-                 cur_body: &mut Vec<u8>,
-                 out: &mut Vec<Sequence>|
-     -> Result<(), FastaError> {
-        if let Some((id, hline)) = cur_id.take() {
-            if cur_body.is_empty() {
-                return Err(FastaError::EmptyRecord { id, line: hline });
-            }
-            let seq =
-                Sequence::new(&id, alphabet, cur_body).map_err(|err| FastaError::BadResidue {
-                    id: id.clone(),
-                    line: hline,
-                    err,
-                })?;
-            out.push(seq);
-            cur_body.clear();
-        }
-        Ok(())
+    let build = |id: &str, hline: usize, body: &[u8]| -> Result<Sequence, FastaError> {
+        Sequence::new(id, alphabet, body).map_err(|err| FastaError::BadResidue {
+            id: id.to_string(),
+            line: hline,
+            err,
+        })
     };
 
-    for line in reader.lines() {
+    loop {
+        raw.clear();
+        if reader.read_until(b'\n', &mut raw)? == 0 {
+            break;
+        }
         line_no += 1;
-        let line = line?;
-        let line = line.trim_end_matches('\r');
-        if line.is_empty() {
+        let mut line: &[u8] = &raw;
+        while let [rest @ .., b'\n' | b'\r'] = line {
+            line = rest;
+        }
+        if line.iter().all(u8::is_ascii_whitespace) {
             continue;
         }
-        if let Some(hdr) = line.strip_prefix('>') {
-            flush(&mut cur_id, &mut cur_body, &mut out)?;
+        if let [b'>', hdr @ ..] = line {
+            if let Some((id, hline)) = cur_id.take() {
+                if cur_body.is_empty() {
+                    return Err(FastaError::EmptyRecord { id, line: hline });
+                }
+                out.push(build(&id, hline, &cur_body)?);
+                cur_body.clear();
+            }
+            let hdr =
+                core::str::from_utf8(hdr).map_err(|_| FastaError::NonUtf8 { line: line_no })?;
             let id = hdr.split_whitespace().next().unwrap_or("").to_string();
             cur_id = Some((id, line_no));
         } else {
             if cur_id.is_none() {
                 return Err(FastaError::MissingHeader { line: line_no });
             }
-            cur_body.extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+            cur_body.extend(line.iter().copied().filter(|b| !b.is_ascii_whitespace()));
         }
     }
-    flush(&mut cur_id, &mut cur_body, &mut out)?;
+    if let Some((id, hline)) = cur_id.take() {
+        if cur_body.is_empty() {
+            return Err(FastaError::Truncated { id, line: hline });
+        }
+        out.push(build(&id, hline, &cur_body)?);
+    }
     Ok(out)
 }
 
@@ -163,6 +194,51 @@ mod tests {
     fn empty_record_is_an_error() {
         let err = parse_fasta(">a\n>b\nHE\n", &PROTEIN).unwrap_err();
         assert!(matches!(err, FastaError::EmptyRecord { .. }));
+    }
+
+    #[test]
+    fn truncated_record_is_distinguished_from_an_empty_one() {
+        // Input ending right after a header (with or without its
+        // newline) is a cut-off file, not an empty record.
+        for text in [">last", ">last\n", ">ok\nHE\n>last\r\n"] {
+            match parse_fasta(text, &PROTEIN).unwrap_err() {
+                FastaError::Truncated { id, .. } => assert_eq!(id, "last", "{text:?}"),
+                other => panic!("{text:?} gave {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_utf8_header_reports_its_line() {
+        let err = read_fasta(&b">ok\nHE\n>bro\xFF\xFEken\nAG\n"[..], &PROTEIN).unwrap_err();
+        assert!(
+            matches!(err, FastaError::NonUtf8 { line: 3 }),
+            "wrong error: {err}"
+        );
+    }
+
+    #[test]
+    fn non_utf8_body_is_a_residue_error_not_an_io_error() {
+        let err = read_fasta(&b">a\nHE\xFFAG\n"[..], &PROTEIN).unwrap_err();
+        match err {
+            FastaError::BadResidue { id, err, .. } => {
+                assert_eq!(id, "a");
+                assert_eq!(err.byte, 0xFF);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_only_lines_are_blank_lines() {
+        let seqs = parse_fasta("  \t \n>a\nHE\n   \nAG\n", &PROTEIN).unwrap();
+        assert_eq!(seqs[0].text(), b"HEAG");
+    }
+
+    #[test]
+    fn final_line_without_newline_still_counts() {
+        let seqs = parse_fasta(">a\nHEAG", &PROTEIN).unwrap();
+        assert_eq!(seqs[0].text(), b"HEAG");
     }
 
     #[test]

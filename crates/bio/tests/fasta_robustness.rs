@@ -2,7 +2,7 @@
 //! round-trips arbitrary valid sequences.
 
 use aalign_bio::alphabet::PROTEIN;
-use aalign_bio::fasta::{parse_fasta, write_fasta};
+use aalign_bio::fasta::{parse_fasta, read_fasta, write_fasta, FastaError};
 use aalign_bio::Sequence;
 use proptest::prelude::*;
 
@@ -54,6 +54,74 @@ proptest! {
         let parsed = parse_fasta(std::str::from_utf8(&buf).unwrap(), &PROTEIN).unwrap();
         prop_assert_eq!(parsed, records);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw byte soup — including invalid UTF-8 — must produce a
+    /// structured `FastaError`, never a panic or a bare I/O error
+    /// about encoding.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_never_leak_utf8_io_errors(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        match read_fasta(&bytes[..], &PROTEIN) {
+            Ok(_) => {}
+            Err(FastaError::Io(e)) => {
+                prop_assert!(
+                    e.kind() != std::io::ErrorKind::InvalidData,
+                    "UTF-8 trouble must surface as NonUtf8/BadResidue, got {e}"
+                );
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Chopping a valid stream at any byte offset yields either a
+    /// shorter valid parse or a structured error — truncation can
+    /// never fabricate residues that were not in the input.
+    #[test]
+    fn truncation_at_any_offset_never_fabricates_residues(
+        cut in 0usize..64,
+    ) {
+        let full = b">one first\nHEAG\nAWGH\n>two\nPAWHEAE\n";
+        let cut = cut.min(full.len());
+        if let Ok(seqs) = read_fasta(&full[..cut], &PROTEIN) {
+            let whole = read_fasta(&full[..], &PROTEIN).unwrap();
+            for s in &seqs {
+                let orig = whole.iter().find(|w| w.id() == s.id());
+                prop_assert!(
+                    orig.is_some_and(|w| w.text().starts_with(&s.text())),
+                    "cut at {cut}: {:?} is not a prefix of the original",
+                    s.id()
+                );
+            }
+        }
+    }
+}
+
+/// The new failure taxonomy end-to-end: one mangled database file,
+/// every corruption class mapped to its precise, positioned error.
+#[test]
+fn corruption_classes_map_to_precise_errors() {
+    let fail = |bytes: &[u8]| read_fasta(bytes, &PROTEIN).unwrap_err();
+    assert!(matches!(
+        fail(b"HE\n"),
+        FastaError::MissingHeader { line: 1 }
+    ));
+    assert!(matches!(
+        fail(b">a\n>b\nHE\n"),
+        FastaError::EmptyRecord { line: 1, .. }
+    ));
+    assert!(matches!(
+        fail(b">ok\nHE\n>tail\n"),
+        FastaError::Truncated { line: 3, .. }
+    ));
+    assert!(matches!(
+        fail(b">\xC3\x28bad\nHE\n"),
+        FastaError::NonUtf8 { line: 1 }
+    ));
 }
 
 /// The shipped example matrix file parses to exactly the embedded,

@@ -83,6 +83,29 @@ pub enum AlignError {
     /// The operation was aborted via a cancellation token before it
     /// completed; partial results are discarded.
     Cancelled,
+    /// The search's deadline elapsed before the sweep finished; the
+    /// report carries the verified results of the completed subjects
+    /// and is marked partial.
+    DeadlineExceeded,
+    /// A job panicked while scoring one subject. The panic was caught
+    /// at the slot boundary: the sweep continued, every other
+    /// subject's result stays valid, and this error rides on the
+    /// report rather than failing the query.
+    WorkerPanicked {
+        /// Database index of the subject whose scoring panicked.
+        db_index: usize,
+        /// Stringified panic payload.
+        payload: String,
+    },
+    /// A pool worker thread died mid-query (its sweep output is
+    /// lost). The engine quarantines and respawns the worker before
+    /// the next query; the surviving workers' results stay valid.
+    WorkerLost {
+        /// Pool-local id of the dead worker.
+        worker_id: usize,
+        /// Stringified panic payload, when one was recovered.
+        payload: String,
+    },
 }
 
 impl core::fmt::Display for AlignError {
@@ -96,6 +119,13 @@ impl core::fmt::Display for AlignError {
                 )
             }
             Self::Cancelled => write!(f, "operation cancelled by caller"),
+            Self::DeadlineExceeded => write!(f, "search deadline exceeded; report is partial"),
+            Self::WorkerPanicked { db_index, payload } => {
+                write!(f, "worker panicked scoring subject {db_index}: {payload}")
+            }
+            Self::WorkerLost { worker_id, payload } => {
+                write!(f, "search worker {worker_id} died mid-query: {payload}")
+            }
         }
     }
 }
@@ -157,6 +187,40 @@ pub struct AlignOutput {
     pub saturated: bool,
     /// Kernel statistics.
     pub stats: RunStats,
+}
+
+/// How an [`AlignOutput`]'s score should be trusted — the tri-state
+/// behind the engine's overflow-rescue decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOutcome {
+    /// First width attempt sufficed; the score is exact.
+    Exact,
+    /// A narrow attempt saturated and the aligner's own width plan
+    /// retried wider; the final score is exact.
+    Widened {
+        /// Width escalations taken within the aligner's plan.
+        retries: u32,
+    },
+    /// Every width the policy allowed saturated: the score is a lower
+    /// bound, not the alignment score. Callers wanting the exact value
+    /// must re-run at a wider [`WidthPolicy`] — the search engine's
+    /// overflow rescue does exactly that.
+    Saturated,
+}
+
+impl AlignOutput {
+    /// Classify this result for the widen-and-retry (rescue) logic.
+    pub fn outcome(&self) -> AlignOutcome {
+        if self.saturated {
+            AlignOutcome::Saturated
+        } else if self.width_retries > 0 {
+            AlignOutcome::Widened {
+                retries: self.width_retries,
+            }
+        } else {
+            AlignOutcome::Exact
+        }
+    }
 }
 
 /// A resolved (ISA, element width, lane count) choice.

@@ -38,7 +38,8 @@ pub use config::{AlignConfig, AlignKind, GapModel, ScoreBounds, TableII};
 pub use hirschberg::hirschberg_align;
 pub use inter::{inter_align_all, inter_align_batch, InterBatchResult, InterWorkspace};
 pub use kernel::{
-    AlignError, AlignOutput, AlignScratch, Aligner, PreparedQuery, RunStats, Strategy, WidthPolicy,
+    AlignError, AlignOutcome, AlignOutput, AlignScratch, Aligner, PreparedQuery, RunStats,
+    Strategy, WidthPolicy,
 };
 pub use striped::{HybridPolicy, HybridReport, KernelResult, StrategyChoice, Workspace};
 pub use traceback::{traceback_align, Alignment};

@@ -12,7 +12,7 @@
 
 use aalign_bio::StripedProfile;
 use aalign_vec::scan::{wgt_max_scan_striped, ScanParams};
-use aalign_vec::{ScoreElem, SimdEngine, StripedLayout};
+use aalign_vec::{SaturationGuard, ScoreElem, SimdEngine, StripedLayout};
 
 use crate::config::TableII;
 
@@ -110,6 +110,15 @@ pub struct ColumnEngine<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool
     last_lane: usize,
     /// Subject characters consumed so far.
     col: usize,
+    /// Ceiling register for the per-column sticky saturation check
+    /// (local alignments track their running max, so lane overflow is
+    /// observable as it happens rather than only at finish).
+    guard: SaturationGuard<E>,
+    /// Headroom used by both the sticky guard and the finish-time
+    /// scalar check (largest single further add, plus one).
+    headroom: i32,
+    /// Sticky: set the first column any lane crosses the ceiling.
+    saturated: bool,
     /// Lazy-loop statistics.
     lazy_iters: u64,
     lazy_sweeps: u64,
@@ -161,6 +170,12 @@ impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool> ColumnEngine<'a, 
         let last_seg_off = (last_slot / E::LANES) * E::LANES;
         let last_lane = last_slot % E::LANES;
         let semi = t2.kind == crate::config::AlignKind::SemiGlobal;
+        let headroom = prof
+            .max_matrix_score()
+            .abs()
+            .max(t2.gap_up.abs())
+            .max(t2.gap_left.abs())
+            + 1;
         let v_semi = if semi {
             // The boundary column participates (subject may be
             // consumed entirely by the free prefix).
@@ -187,6 +202,9 @@ impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool> ColumnEngine<'a, 
             last_seg_off,
             last_lane,
             col: 0,
+            guard: SaturationGuard::new(eng, headroom),
+            headroom,
+            saturated: false,
             lazy_iters: 0,
             lazy_sweeps: 0,
             iterate_columns: 0,
@@ -366,21 +384,34 @@ impl<'a, E: SimdEngine, const LOCAL: bool, const AFFINE: bool> ColumnEngine<'a, 
             let last = self.eng.load(&self.ws.arr_t1[self.last_seg_off..]);
             self.v_semi = self.eng.max(self.v_semi, last);
         }
+        // Sticky saturation: local alignments carry their running max
+        // in a register, so one `influence_test` compare per column
+        // detects lane overflow as it happens. The verdict agrees with
+        // the finish-time scalar check (same ceiling), it just arrives
+        // early enough for the driver to abandon a doomed narrow run.
+        // Global/semi scores can also saturate downward (NEG_INF
+        // side); those are caught at finish as before.
+        if LOCAL && !self.saturated {
+            self.saturated = self.guard.check(self.eng, self.v_max);
+        }
+    }
+
+    /// Sticky per-column saturation verdict (local alignments only;
+    /// global/semi detect at [`finish`](Self::finish)). Once true, the
+    /// run's scores are untrusted and the caller may stop feeding
+    /// columns — the result will report `saturated` either way.
+    #[inline(always)]
+    pub fn saturated(&self) -> bool {
+        self.saturated
     }
 
     /// Finish the alignment and extract the score.
     #[inline(always)]
     pub fn finish(self) -> KernelResult {
-        let headroom = self
-            .prof
-            .max_matrix_score()
-            .abs()
-            .max(self.t2.gap_up.abs())
-            .max(self.t2.gap_left.abs())
-            + 1;
+        let headroom = self.headroom;
         let (score_elem, saturated) = if LOCAL {
             let best = self.eng.reduce_max(self.v_max).max2(E::Elem::ZERO);
-            let sat = aalign_vec::elem::near_saturation(best, headroom);
+            let sat = self.saturated || aalign_vec::elem::near_saturation(best, headroom);
             (best, sat)
         } else if self.semi {
             // Semi-global: the lane of query position m-1 in the

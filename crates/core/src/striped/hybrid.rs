@@ -142,7 +142,9 @@ pub fn hybrid_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, S
     let n = subject.len();
     // `true` while in iterate mode; scan mode runs in stride bursts.
     let mut iterating = true;
-    while i < n {
+    // Saturated runs stop early (see `ColumnEngine::saturated`): the
+    // scores are untrusted whatever the remaining columns hold.
+    while i < n && !cols.saturated() {
         if iterating {
             let sweeps = cols.iterate_column(subject[i]);
             if trace {
@@ -167,7 +169,7 @@ pub fn hybrid_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, S
         } else {
             // A burst of scan columns…
             let burst_end = (i + policy.probe_stride).min(n);
-            while i < burst_end {
+            while i < burst_end && !cols.saturated() {
                 cols.scan_column(subject[i]);
                 if trace {
                     events.push(StrategyChoice::Scan);
@@ -185,7 +187,7 @@ pub fn hybrid_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, S
                 i += 1;
             }
             // …then a probe column decides the next mode.
-            if i < n {
+            if i < n && !cols.saturated() {
                 let sweeps = cols.iterate_column(subject[i]);
                 if trace {
                     events.push(StrategyChoice::Iterate(sweeps));

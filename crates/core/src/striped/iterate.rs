@@ -47,6 +47,12 @@ pub fn iterate_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, 
                 probe: ProbeOutcome::NotProbe,
             },
         );
+        // A saturated run's scores are untrusted whatever the
+        // remaining columns hold; stop early so the width-retry (or
+        // the engine's overflow rescue) pays a prefix, not a sweep.
+        if cols.saturated() {
+            break;
+        }
     }
     cols.finish()
 }

@@ -48,6 +48,11 @@ pub fn scan_align_sink<E: SimdEngine, const LOCAL: bool, const AFFINE: bool, S: 
                 probe: ProbeOutcome::NotProbe,
             },
         );
+        // Saturated: abandon the doomed narrow run early (see
+        // `ColumnEngine::saturated`).
+        if cols.saturated() {
+            break;
+        }
     }
     cols.finish()
 }

@@ -125,6 +125,19 @@ pub enum TraceEvent {
     },
     /// One hybrid column decision (between `AlignBegin`/`AlignEnd`).
     Hybrid(HybridEvent),
+    /// A narrow-width kernel run saturated and the engine re-aligned
+    /// the subject at a wider element width (between
+    /// `AlignBegin`/`AlignEnd`; the discarded narrow run's column
+    /// events are dropped, so the envelope's columns describe only
+    /// the kept run).
+    Rescue {
+        /// Database index of the subject being rescued.
+        subject: u64,
+        /// Element width (bits) of the saturated run.
+        from_bits: u64,
+        /// Element width (bits) of the retry.
+        to_bits: u64,
+    },
     /// A worker finished aligning one database subject.
     AlignEnd {
         /// Database index of the subject.

@@ -16,6 +16,7 @@
 //! | `span_end`    | [`TraceEvent::SpanEnd`]   |
 //! | `align_begin` | [`TraceEvent::AlignBegin`]|
 //! | `col`         | [`TraceEvent::Hybrid`]    |
+//! | `rescue`      | [`TraceEvent::Rescue`]    |
 //! | `align_end`   | [`TraceEvent::AlignEnd`]  |
 //! | `query_end`   | [`TraceEvent::QueryEnd`]  |
 
@@ -83,6 +84,15 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 h.lazy_sweeps,
                 h.switched,
                 h.probe.as_str(),
+            ));
+        }
+        TraceEvent::Rescue {
+            subject,
+            from_bits,
+            to_bits,
+        } => {
+            s.push_str(&format!(
+                "{{\"ev\":\"rescue\",\"subject\":{subject},\"from_bits\":{from_bits},\"to_bits\":{to_bits}}}"
             ));
         }
         TraceEvent::AlignEnd {
@@ -391,6 +401,11 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
                 probe,
             }))
         }
+        "rescue" => Ok(TraceEvent::Rescue {
+            subject: get_u64(&map, "subject")?,
+            from_bits: get_u64(&map, "from_bits")?,
+            to_bits: get_u64(&map, "to_bits")?,
+        }),
         "align_end" => Ok(TraceEvent::AlignEnd {
             subject: get_u64(&map, "subject")?,
             score: get_i64(&map, "score")?,
@@ -454,6 +469,11 @@ mod tests {
                 switched: true,
                 probe: ProbeOutcome::NotProbe,
             }),
+            TraceEvent::Rescue {
+                subject: 0,
+                from_bits: 8,
+                to_bits: 16,
+            },
             TraceEvent::AlignEnd {
                 subject: 0,
                 score: -3,

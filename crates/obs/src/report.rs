@@ -64,6 +64,9 @@ pub struct SubjectTimeline {
     pub lazy_sweeps: u64,
     /// Iterate/scan totals the kernel reported in `align_end`.
     pub reported: (u64, u64),
+    /// Overflow rescues observed, as `(from_bits, to_bits)` widening
+    /// steps in stream order.
+    pub rescues: Vec<(u64, u64)>,
 }
 
 impl SubjectTimeline {
@@ -149,6 +152,7 @@ impl TraceReport {
                             scan_columns: 0,
                             lazy_sweeps: 0,
                             reported: (0, 0),
+                            rescues: Vec::new(),
                         },
                         prev_strategy: None,
                     });
@@ -184,6 +188,35 @@ impl TraceReport {
                         });
                         cur.prev_strategy = Some(h.strategy);
                     }
+                }
+                TraceEvent::Rescue {
+                    subject,
+                    from_bits,
+                    to_bits,
+                } => {
+                    let cur = open
+                        .as_mut()
+                        .ok_or_else(|| format!("event {i}: rescue outside align envelope"))?;
+                    let t = &mut cur.timeline;
+                    if t.subject != *subject {
+                        return Err(format!(
+                            "event {i}: rescue for subject {subject} inside \
+                             an envelope opened for subject {}",
+                            t.subject
+                        ));
+                    }
+                    // Any columns seen so far belonged to the
+                    // discarded narrow run; only the kept run must
+                    // reconcile against the `align_end` totals.
+                    t.segments.clear();
+                    t.switches = 0;
+                    t.probes_stayed = 0;
+                    t.probes_returned = 0;
+                    t.iterate_columns = 0;
+                    t.scan_columns = 0;
+                    t.lazy_sweeps = 0;
+                    cur.prev_strategy = None;
+                    t.rescues.push((*from_bits, *to_bits));
                 }
                 TraceEvent::AlignEnd {
                     subject,
@@ -263,7 +296,7 @@ impl TraceReport {
             let _ = writeln!(
                 out,
                 "subject {:>6} len {:>5} worker {:>2} score {:>7} {:>8} us  \
-                 switches {} probes +{}/-{} lazy {}{}",
+                 switches {} probes +{}/-{} lazy {}{}{}",
                 t.subject,
                 t.len,
                 t.worker,
@@ -273,6 +306,16 @@ impl TraceReport {
                 t.probes_stayed,
                 t.probes_returned,
                 t.lazy_sweeps,
+                if t.rescues.is_empty() {
+                    String::new()
+                } else {
+                    let steps: Vec<String> = t
+                        .rescues
+                        .iter()
+                        .map(|(from, to)| format!("{from}->{to}"))
+                        .collect();
+                    format!("  rescued {}", steps.join(","))
+                },
                 if t.reconciled() {
                     ""
                 } else {
@@ -409,6 +452,53 @@ mod tests {
         assert!(!report.reconciled());
         assert_eq!(report.unreconciled(), vec![4]);
         assert!(report.render(10).contains("[UNRECONCILED]"));
+    }
+
+    #[test]
+    fn rescue_resets_column_accumulators_and_is_recorded() {
+        use StrategyKind::Iterate;
+        let events = vec![
+            TraceEvent::AlignBegin {
+                subject: 7,
+                len: 2,
+                worker: 0,
+            },
+            // Columns of the saturated 8-bit run (a producer that
+            // truncates would drop these; one that doesn't must still
+            // reconcile on the kept run only).
+            col(0, Iterate, 0),
+            col(1, Iterate, 2),
+            TraceEvent::Rescue {
+                subject: 7,
+                from_bits: 8,
+                to_bits: 16,
+            },
+            col(0, Iterate, 0),
+            col(1, Iterate, 1),
+            TraceEvent::AlignEnd {
+                subject: 7,
+                score: 200,
+                iterate_columns: 2,
+                scan_columns: 0,
+                dur_us: 5,
+            },
+        ];
+        let report = TraceReport::from_events(&events).unwrap();
+        let t = &report.timelines[0];
+        assert_eq!(t.rescues, vec![(8, 16)]);
+        assert_eq!((t.iterate_columns, t.scan_columns), (2, 0));
+        assert_eq!(t.lazy_sweeps, 1, "discarded run's sweeps dropped");
+        assert!(t.reconciled());
+        assert!(report.render(5).contains("rescued 8->16"));
+
+        let orphan = vec![TraceEvent::Rescue {
+            subject: 0,
+            from_bits: 8,
+            to_bits: 16,
+        }];
+        assert!(TraceReport::from_events(&orphan)
+            .unwrap_err()
+            .contains("outside align envelope"));
     }
 
     #[test]

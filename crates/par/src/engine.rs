@@ -26,14 +26,38 @@
 //! * **Metrics** — every query produces [`SearchMetrics`]: stage wall
 //!   times, GCUPS, aggregated kernel [`RunStats`], width retries, and
 //!   per-worker load (see [`crate::metrics`]).
+//!
+//! And the fault model (see `DESIGN.md` §11) rides through every
+//! sweep:
+//!
+//! * **Panic isolation** — a panic while scoring one subject is
+//!   caught at the slot boundary; the sweep continues and the report
+//!   carries [`AlignError::WorkerPanicked`] alongside every other
+//!   subject's valid result.
+//! * **Pool self-healing** — a worker thread that dies outright is
+//!   detected, joined, and respawned before the next query
+//!   dispatches; its lost sweep surfaces as
+//!   [`AlignError::WorkerLost`] and the supervisor's drain protocol
+//!   (modeled in `tests/loom_worker_death.rs`) never hangs on the
+//!   missing completion signal.
+//! * **Deadlines** — [`SearchOptions::deadline`] bounds the query's
+//!   wall clock; on expiry the report comes back `partial` with a
+//!   verified ranking of the subjects that completed.
+//! * **Overflow rescue** — a fixed-width kernel run that saturates
+//!   its lanes is transparently re-aligned at the next wider element
+//!   width ([`SearchOptions::rescue`]).
 
 use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use aalign_bio::{SeqDatabase, Sequence};
-use aalign_core::{AlignConfig, AlignError, AlignScratch, Aligner, RunStats};
+use aalign_core::{
+    AlignConfig, AlignError, AlignScratch, Aligner, PreparedQuery, RunStats, WidthPolicy,
+};
 use aalign_obs::{CollectorSink, Histogram, TraceEvent};
 
 use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
@@ -92,6 +116,95 @@ fn erase_job<'env>(job: Box<dyn FnOnce(&mut WorkerState) + Send + 'env>) -> Job 
     unsafe { std::mem::transmute::<Box<dyn FnOnce(&mut WorkerState) + Send + 'env>, Job>(job) }
 }
 
+/// Render a panic payload for the structured error variants.
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One worker's result slot in a [`SearchEngine::run_on_pool`] call.
+enum JobSlot<O> {
+    /// Not yet written — after the drain, the worker died before its
+    /// job ran (or mid-job without reaching the catch).
+    Pending,
+    /// The job completed.
+    Done(O),
+    /// The job panicked past the sweep's own slot-level isolation
+    /// (carrying the stringified payload); the worker thread itself
+    /// survived.
+    Panicked(String),
+}
+
+/// Job-boundary fault hooks for [`SearchEngine::run_on_pool`]
+/// (compiled to a no-op without the `fault-inject` feature).
+#[derive(Clone, Copy, Default)]
+struct JobFaults<'a> {
+    #[cfg(feature = "fault-inject")]
+    plan: Option<&'a crate::fault::FaultPlan>,
+    _lt: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> JobFaults<'a> {
+    fn from_options(opts: &'a SearchOptions) -> Self {
+        let _ = opts;
+        Self {
+            #[cfg(feature = "fault-inject")]
+            plan: opts.fault_plan.as_deref(),
+            _lt: std::marker::PhantomData,
+        }
+    }
+
+    /// Scripted worker kill: fires *outside* the job-boundary catch,
+    /// so the unwind escapes through the worker's receive loop and
+    /// the thread genuinely dies — exercising the supervisor's
+    /// disconnect drain and the pool's respawn path.
+    fn maybe_kill(&self, worker_slot: usize) {
+        let _ = worker_slot;
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = self.plan {
+            plan.maybe_kill(worker_slot);
+        }
+    }
+}
+
+/// Sticky wall-clock deadline shared by one query's workers.
+///
+/// The first worker to observe expiry trips the internal token, so
+/// every later poll (on any worker) is a cheap atomic load instead of
+/// a clock read, and expiry is monotone — it can never un-expire.
+struct DeadlineGuard {
+    at: Instant,
+    tripped: CancelToken,
+}
+
+impl DeadlineGuard {
+    /// `None` when `budget` overflows the clock (treated as "no
+    /// deadline" — such a budget can never elapse anyway).
+    fn new(from: Instant, budget: Duration) -> Option<Self> {
+        from.checked_add(budget).map(|at| Self {
+            at,
+            tripped: CancelToken::new(),
+        })
+    }
+
+    /// Polled at shard boundaries, like cancellation.
+    fn expired(&self) -> bool {
+        if self.tripped.is_cancelled() {
+            return true;
+        }
+        if Instant::now() >= self.at {
+            self.tripped.cancel();
+            return true;
+        }
+        false
+    }
+}
+
 struct Worker {
     sender: mpsc::Sender<Job>,
     handle: Option<JoinHandle<()>>,
@@ -148,15 +261,24 @@ fn spawn_worker(id: usize) -> Worker {
 /// assert_eq!(engine.queries_served(), 3);
 /// ```
 pub struct SearchEngine {
-    workers: Vec<Worker>,
+    /// The pool, behind a mutex so [`heal_and_senders`] can swap dead
+    /// workers out before a query dispatches.
+    ///
+    /// [`heal_and_senders`]: SearchEngine::heal_and_senders
+    pool: Mutex<Vec<Worker>>,
+    /// Pool size, fixed at construction.
+    threads: usize,
     queries_served: AtomicU64,
+    /// Workers respawned after dying mid-job (pool self-healing).
+    workers_respawned: AtomicU64,
 }
 
 impl std::fmt::Debug for SearchEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SearchEngine")
-            .field("threads", &self.workers.len())
+            .field("threads", &self.threads)
             .field("queries_served", &self.queries_served)
+            .field("workers_respawned", &self.workers_respawned)
             .finish()
     }
 }
@@ -187,6 +309,17 @@ struct SweepShared<'a> {
     /// ([`SharedBatch`], loom-checked in `tests/loom_publication.rs`
     /// and `tests/loom_cancel.rs`).
     trace: Option<&'a SharedBatch<TraceEvent>>,
+    /// Wall-clock deadline, polled at shard boundaries alongside
+    /// cancellation.
+    deadline: Option<&'a DeadlineGuard>,
+    /// Maps a work slot to the database index reported in
+    /// [`AlignError::WorkerPanicked`] (identity-ish for the intra
+    /// sweep's sorted order; first-of-batch for the inter sweep).
+    db_index_of: &'a (dyn Fn(usize) -> usize + Sync),
+    /// Scripted slot-level faults (stalls, panics), when a plan is
+    /// attached.
+    #[cfg(feature = "fault-inject")]
+    fault: Option<&'a crate::fault::FaultPlan>,
 }
 
 /// Per-worker result of one sweep.
@@ -195,8 +328,15 @@ struct SweepOut {
     peak_buffered: usize,
     stats: RunStats,
     width_retries: u64,
+    rescued: u64,
+    rescue_widths: Histogram,
     latency: Histogram,
+    /// Sweep-stopping error (cancellation, deadline, or a concrete
+    /// alignment failure).
     err: Option<AlignError>,
+    /// Per-subject failures the sweep survived
+    /// ([`AlignError::WorkerPanicked`]); the sweep kept going.
+    soft: Vec<AlignError>,
     worker: WorkerMetrics,
 }
 
@@ -205,6 +345,11 @@ struct SweepOut {
 struct Tallies {
     stats: RunStats,
     width_retries: u64,
+    /// Subjects re-aligned at a wider width after lane saturation.
+    rescued: u64,
+    /// One sample per rescue attempt, keyed by the width (bits) that
+    /// saturated.
+    rescue_widths: Histogram,
     /// Pool-local id of the worker running this sweep, stamped by
     /// [`run_sweep_worker`] so slot closures can tag trace events.
     worker_id: usize,
@@ -323,11 +468,18 @@ fn run_sweep_worker(
     let mut subjects = 0usize;
     let mut residues = 0usize;
     let mut err = None;
+    let mut soft: Vec<AlignError> = Vec::new();
 
     'sweep: loop {
         if let Some(c) = shared.cancel {
             if c.is_cancelled() {
                 err = Some(AlignError::Cancelled);
+                break;
+            }
+        }
+        if let Some(d) = shared.deadline {
+            if d.expired() {
+                err = Some(AlignError::DeadlineExceeded);
                 break;
             }
         }
@@ -338,15 +490,45 @@ fn run_sweep_worker(
         let mut shard_residues = 0usize;
         for slot in start..end {
             let t_slot = Instant::now();
-            match score_slot(&mut state.scratch, slot, &mut collector, &mut tallies) {
-                Ok((s, r)) => {
+            let batch_mark = tallies.sink.events.len();
+            // AssertUnwindSafe: the catch's recovery below discards
+            // everything the panicked slot may have half-written —
+            // fresh scratch, trace batch truncated to the last
+            // complete envelope; the collector and counters only ever
+            // receive finished-subject values.
+            let scored = catch_unwind(AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = shared.fault {
+                    if let Some(pause) = plan.stall_for(slot) {
+                        std::thread::sleep(pause);
+                    }
+                    if plan.should_panic(slot) {
+                        panic!("fault-inject: panic scoring slot {slot}");
+                    }
+                }
+                score_slot(&mut state.scratch, slot, &mut collector, &mut tallies)
+            }));
+            match scored {
+                Ok(Ok((s, r))) => {
                     latency.record(u64::try_from(t_slot.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     shard_subjects += s;
                     shard_residues += r;
                 }
-                Err(e) => {
+                Ok(Err(e)) => {
                     err = Some(e);
                     break 'sweep;
+                }
+                Err(payload) => {
+                    // Panic isolation: quarantine the scratch, drop
+                    // the subject's partial trace batch, record the
+                    // failure, keep sweeping. The subject is *not*
+                    // counted as completed.
+                    state.scratch = AlignScratch::new();
+                    tallies.sink.events.truncate(batch_mark);
+                    soft.push(AlignError::WorkerPanicked {
+                        db_index: (shared.db_index_of)(slot),
+                        payload: payload_string(payload),
+                    });
                 }
             }
         }
@@ -373,8 +555,11 @@ fn run_sweep_worker(
         hits: collector.into_hits(),
         stats: tallies.stats,
         width_retries: tallies.width_retries,
+        rescued: tallies.rescued,
+        rescue_widths: tallies.rescue_widths,
         latency,
         err,
+        soft,
         worker: WorkerMetrics {
             worker_id: state.id,
             queries_on_worker: state.queries,
@@ -386,6 +571,66 @@ fn run_sweep_worker(
     }
 }
 
+/// A wider-width aligner plus its prepared profiles, built lazily on
+/// the first rescue that needs it.
+struct RescueKit {
+    aligner: Aligner,
+    prepared: PreparedQuery,
+}
+
+/// Lazily-built wider-width retry path for saturated fixed-width
+/// runs (the classic widen-and-retry idiom, lifted from the kernel's
+/// Auto ladder up to the engine so even pinned-width sweeps recover).
+///
+/// Kits are built at most once per query, under a mutex, and shared
+/// across workers via `Arc` — the non-saturating hot path never
+/// touches this type beyond one `Option` check.
+struct RescueLadder<'a> {
+    base: &'a Aligner,
+    query: &'a Sequence,
+    w16: Mutex<Option<Arc<RescueKit>>>,
+    w32: Mutex<Option<Arc<RescueKit>>>,
+}
+
+impl<'a> RescueLadder<'a> {
+    fn new(base: &'a Aligner, query: &'a Sequence) -> Self {
+        Self {
+            base,
+            query,
+            w16: Mutex::new(None),
+            w32: Mutex::new(None),
+        }
+    }
+
+    /// Widths to retry at, in order, after a `bits`-wide run
+    /// saturated. 32-bit lanes are the widest the kernels have.
+    fn widths_above(bits: u32) -> &'static [u32] {
+        match bits {
+            8 => &[16, 32],
+            16 => &[32],
+            _ => &[],
+        }
+    }
+
+    /// The kit for `bits`-wide retries, building it on first use.
+    fn kit(&self, bits: u32) -> Result<Arc<RescueKit>, AlignError> {
+        let (slot, width) = if bits == 16 {
+            (&self.w16, WidthPolicy::Fixed16)
+        } else {
+            (&self.w32, WidthPolicy::Fixed32)
+        };
+        let mut guard = slot.lock().expect("rescue ladder mutex");
+        if let Some(kit) = guard.as_ref() {
+            return Ok(Arc::clone(kit));
+        }
+        let aligner = self.base.clone().with_width(width);
+        let prepared = aligner.prepare(self.query)?;
+        let kit = Arc::new(RescueKit { aligner, prepared });
+        *guard = Some(Arc::clone(&kit));
+        Ok(kit)
+    }
+}
+
 impl SearchEngine {
     /// Spawn the worker pool. `threads == 0` uses the host's
     /// available parallelism. This is the only point at which the
@@ -393,14 +638,16 @@ impl SearchEngine {
     pub fn new(threads: usize) -> Self {
         let n = resolve_threads(threads);
         Self {
-            workers: (0..n).map(spawn_worker).collect(),
+            pool: Mutex::new((0..n).map(spawn_worker).collect()),
+            threads: n,
             queries_served: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
         }
     }
 
     /// Number of pooled worker threads.
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.threads
     }
 
     /// Queries this engine has served since construction.
@@ -410,49 +657,126 @@ impl SearchEngine {
         self.queries_served.load(Ordering::Relaxed)
     }
 
+    /// Worker threads respawned after dying mid-job, over the
+    /// engine's lifetime. Zero on a healthy engine.
+    pub fn workers_respawned(&self) -> u64 {
+        // ORDER: Relaxed — monitoring counter; respawn correctness is
+        // carried by the pool mutex, not this atomic.
+        self.workers_respawned.load(Ordering::Relaxed)
+    }
+
+    /// Quarantine-and-respawn any worker whose thread has died, then
+    /// hand back senders for the first `active` (healthy) workers.
+    ///
+    /// Runs under the pool mutex before every dispatch, so a worker
+    /// killed during query N is replaced — with the same stable id —
+    /// before query N+1 binds work to it.
+    fn heal_and_senders(&self, active: usize) -> Vec<mpsc::Sender<Job>> {
+        let mut pool = self.pool.lock().expect("pool mutex");
+        for (id, worker) in pool.iter_mut().enumerate() {
+            let dead = worker.handle.as_ref().is_none_or(JoinHandle::is_finished);
+            if dead {
+                if let Some(handle) = worker.handle.take() {
+                    let _ = handle.join();
+                }
+                *worker = spawn_worker(id);
+                // ORDER: Relaxed — monitoring counter; respawn
+                // correctness is carried by the pool mutex.
+                self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        pool.iter().take(active).map(|w| w.sender.clone()).collect()
+    }
+
     /// Run `work` on the first `active` pool workers and collect
-    /// their results in worker order, blocking until all complete.
+    /// their results in worker order, blocking until every dispatched
+    /// job has completed, panicked past its catch, or provably died
+    /// with its worker.
+    ///
+    /// Per-worker outcomes: `Ok(out)` on success, or
+    /// [`AlignError::WorkerLost`] when the job panicked at the job
+    /// boundary or its worker thread died before resolving the slot.
     fn run_on_pool<'env, O: Send + 'env>(
         &self,
         active: usize,
+        faults: JobFaults<'_>,
         work: impl Fn(&mut WorkerState) -> O + Sync + 'env,
-    ) -> Vec<O> {
-        debug_assert!(active >= 1 && active <= self.workers.len());
+    ) -> Vec<Result<O, AlignError>> {
+        debug_assert!(active >= 1 && active <= self.threads);
+        let senders = self.heal_and_senders(active);
         let work = &work;
-        let results: Mutex<Vec<Option<O>>> = Mutex::new((0..active).map(|_| None).collect());
+        let results: Mutex<Vec<JobSlot<O>>> =
+            Mutex::new((0..active).map(|_| JobSlot::Pending).collect());
         let results = &results;
         let (done_tx, done_rx) = mpsc::channel::<()>();
-        for (slot, worker) in self.workers.iter().take(active).enumerate() {
+        let mut dispatched = 0usize;
+        for (slot, sender) in senders.iter().enumerate() {
             let done_tx = done_tx.clone();
             let job: Box<dyn FnOnce(&mut WorkerState) + Send + '_> = Box::new(move |state| {
-                let out = work(state);
-                results.lock().expect("results mutex")[slot] = Some(out);
+                faults.maybe_kill(slot);
+                // AssertUnwindSafe: on panic the slot records
+                // `Panicked` and the worker's scratch — the only
+                // state a half-finished sweep could corrupt — is
+                // quarantined below; nothing partially-written is
+                // read again.
+                let out = catch_unwind(AssertUnwindSafe(|| work(state)));
+                let mut slots = results.lock().expect("results mutex");
+                match out {
+                    Ok(out) => slots[slot] = JobSlot::Done(out),
+                    Err(payload) => {
+                        state.scratch = AlignScratch::new();
+                        slots[slot] = JobSlot::Panicked(payload_string(payload));
+                    }
+                }
+                drop(slots);
                 let _ = done_tx.send(());
             });
-            worker
-                .sender
-                .send(erase_job(job))
-                .expect("search worker thread is alive");
+            // A failed send means the worker died between healing and
+            // dispatch: the job box — and the done_tx clone inside it
+            // — is dropped unrun, so it must not get a drain slot.
+            if sender.send(erase_job(job)).is_ok() {
+                dispatched += 1;
+            }
         }
         drop(done_tx);
-        for _ in 0..active {
-            // A recv error means a worker died mid-job; propagating a
-            // panic here is required for the lifetime-erasure safety
-            // argument (we must not return while jobs may be live).
-            done_rx.recv().expect("search worker panicked");
+        // Drain protocol (modeled in `tests/loom_worker_death.rs`):
+        // expect one signal per *dispatched* job, and treat channel
+        // disconnection as "every outstanding sender is gone". A
+        // worker that dies mid-job unwinds through its recv loop,
+        // dropping its job's `done_tx` clone; once every clone is
+        // dropped — each job either signalled or was destroyed — recv
+        // returns Err and the loop exits. This can never hang, and it
+        // upholds the lifetime-erasure SAFETY contract above: no job
+        // can still touch the caller's borrows after the drain.
+        let mut remaining = dispatched;
+        while remaining > 0 {
+            match done_rx.recv() {
+                Ok(()) => remaining -= 1,
+                Err(_) => break,
+            }
         }
-        let collected: Vec<O> = results
-            .lock()
-            .expect("results mutex")
+        let mut slots = results.lock().expect("results mutex");
+        slots
             .iter_mut()
-            .map(|slot| slot.take().expect("worker result missing"))
-            .collect();
-        collected
+            .enumerate()
+            .map(
+                |(worker_id, slot)| match std::mem::replace(slot, JobSlot::Pending) {
+                    JobSlot::Done(out) => Ok(out),
+                    JobSlot::Panicked(payload) => {
+                        Err(AlignError::WorkerLost { worker_id, payload })
+                    }
+                    JobSlot::Pending => Err(AlignError::WorkerLost {
+                        worker_id,
+                        payload: "worker thread died before finishing its job".to_string(),
+                    }),
+                },
+            )
+            .collect()
     }
 
     /// How many workers a sweep with `slots` work items engages.
     fn active_for(&self, slots: usize) -> usize {
-        self.workers.len().min(slots.max(1))
+        self.threads.min(slots.max(1))
     }
 
     /// Align `query` against every subject of `db` using the pooled
@@ -491,7 +815,12 @@ impl SearchEngine {
         }
 
         let order = db.sorted_by_length_desc();
+        let deadline = opts
+            .deadline
+            .and_then(|budget| DeadlineGuard::new(t_total, budget));
         let shared_ctx = (WorkIndex::new(), ProgressCounters::new());
+        let order_ref = &order;
+        let db_index_of = move |slot: usize| order_ref[slot];
         let shared = SweepShared {
             index: &shared_ctx.0,
             completed: &shared_ctx.1,
@@ -502,28 +831,90 @@ impl SearchEngine {
             cancel: opts.cancel.as_ref(),
             progress: opts.progress.as_ref(),
             trace: trace.as_ref(),
+            deadline: deadline.as_ref(),
+            db_index_of: &db_index_of,
+            #[cfg(feature = "fault-inject")]
+            fault: opts.fault_plan.as_deref(),
         };
         let order = &order;
         let prepared = &prepared;
         let tracing = trace.is_some();
-        let score_slot = |scratch: &mut AlignScratch,
-                          slot: usize,
-                          collector: &mut Collector,
-                          tallies: &mut Tallies|
-         -> Result<(usize, usize), AlignError> {
+        let ladder = opts.rescue.then(|| RescueLadder::new(aligner, query));
+        let ladder = ladder.as_ref();
+        #[cfg(feature = "fault-inject")]
+        let fault = opts.fault_plan.as_deref();
+        let score_slot = move |scratch: &mut AlignScratch,
+                               slot: usize,
+                               collector: &mut Collector,
+                               tallies: &mut Tallies|
+              -> Result<(usize, usize), AlignError> {
             let db_index = order[slot];
             let subject = db.get(db_index);
-            let out = if tracing {
+            let t_align = Instant::now();
+            // `col_mark` tracks where the current kernel run's column
+            // events start, so a rescue can drop the discarded run's
+            // columns while keeping the subject's envelope open.
+            let mut col_mark = tallies.sink.events.len();
+            if tracing {
                 // One contiguous batch per subject: envelope plus the
                 // kernel's per-column events, buffered worker-locally.
-                let t_align = Instant::now();
                 tallies.sink.events.push(TraceEvent::AlignBegin {
                     subject: db_index as u64,
                     len: subject.len() as u64,
                     worker: tallies.worker_id as u64,
                 });
-                let out =
-                    aligner.align_prepared_sink(prepared, subject, scratch, &mut tallies.sink)?;
+                col_mark = tallies.sink.events.len();
+            }
+            let mut out = if tracing {
+                aligner.align_prepared_sink(prepared, subject, scratch, &mut tallies.sink)?
+            } else {
+                aligner.align_prepared(prepared, subject, scratch)?
+            };
+            #[cfg(feature = "fault-inject")]
+            if let Some(plan) = fault {
+                if plan.should_saturate(slot) {
+                    out.saturated = true;
+                }
+            }
+            if out.saturated {
+                // Overflow rescue: the fixed-width run's lanes
+                // saturated (sticky influence test in the kernel);
+                // re-align at each wider width until one holds the
+                // score exactly. The rescued run's result replaces
+                // the saturated one wholesale — stats, trace columns,
+                // and score all describe the kept run.
+                if let Some(ladder) = ladder {
+                    for &to_bits in RescueLadder::widths_above(out.elem_bits) {
+                        let from_bits = out.elem_bits;
+                        let kit = ladder.kit(to_bits)?;
+                        tallies.rescue_widths.record(u64::from(from_bits));
+                        if tracing {
+                            tallies.sink.events.truncate(col_mark);
+                            tallies.sink.events.push(TraceEvent::Rescue {
+                                subject: db_index as u64,
+                                from_bits: u64::from(from_bits),
+                                to_bits: u64::from(to_bits),
+                            });
+                            col_mark = tallies.sink.events.len();
+                            out = kit.aligner.align_prepared_sink(
+                                &kit.prepared,
+                                subject,
+                                scratch,
+                                &mut tallies.sink,
+                            )?;
+                        } else {
+                            out = kit
+                                .aligner
+                                .align_prepared(&kit.prepared, subject, scratch)?;
+                        }
+                        if !out.saturated {
+                            tallies.rescued += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+            if tracing {
                 tallies.sink.events.push(TraceEvent::AlignEnd {
                     subject: db_index as u64,
                     score: i64::from(out.score),
@@ -531,10 +922,7 @@ impl SearchEngine {
                     scan_columns: out.stats.scan_columns as u64,
                     dur_us: elapsed_us(t_align),
                 });
-                out
-            } else {
-                aligner.align_prepared(prepared, subject, scratch)?
-            };
+            }
             tallies.stats.merge(&out.stats);
             tallies.width_retries += u64::from(out.width_retries);
             collector.offer(Hit {
@@ -553,7 +941,7 @@ impl SearchEngine {
             });
         }
         let t_sweep = Instant::now();
-        let outs = self.run_on_pool(active, |state| {
+        let outs = self.run_on_pool(active, JobFaults::from_options(opts), |state| {
             run_sweep_worker(&shared, state, &score_slot)
         });
         let sweep = t_sweep.elapsed();
@@ -567,7 +955,6 @@ impl SearchEngine {
 
         self.finish(
             query.len(),
-            db.len(),
             active,
             outs,
             opts.top_n,
@@ -625,7 +1012,13 @@ impl SearchEngine {
         let t2 = cfg.table2();
         let order = db.sorted_by_length_desc();
         let batches: Vec<&[usize]> = order.chunks(INTER_BATCH).collect();
+        let deadline = opts
+            .deadline
+            .and_then(|budget| DeadlineGuard::new(t_total, budget));
         let shared_ctx = (WorkIndex::new(), ProgressCounters::new());
+        let batches_ref = &batches;
+        // A panicked inter slot reports its batch's first subject.
+        let db_index_of = move |slot: usize| batches_ref[slot].first().copied().unwrap_or(0);
         let shared = SweepShared {
             index: &shared_ctx.0,
             completed: &shared_ctx.1,
@@ -636,6 +1029,10 @@ impl SearchEngine {
             cancel: opts.cancel.as_ref(),
             progress: opts.progress.as_ref(),
             trace: trace.as_ref(),
+            deadline: deadline.as_ref(),
+            db_index_of: &db_index_of,
+            #[cfg(feature = "fault-inject")]
+            fault: opts.fault_plan.as_deref(),
         };
         let batches = &batches;
         let score_slot = |_scratch: &mut AlignScratch,
@@ -667,7 +1064,7 @@ impl SearchEngine {
             });
         }
         let t_sweep = Instant::now();
-        let outs = self.run_on_pool(active, |state| {
+        let outs = self.run_on_pool(active, JobFaults::from_options(opts), |state| {
             run_sweep_worker(&shared, state, &score_slot)
         });
         let sweep = t_sweep.elapsed();
@@ -681,7 +1078,6 @@ impl SearchEngine {
 
         self.finish(
             query.len(),
-            db.len(),
             active,
             outs,
             opts.top_n,
@@ -695,29 +1091,48 @@ impl SearchEngine {
     }
 
     /// Merge per-worker sweeps into a ranked report with metrics.
-    #[allow(clippy::too_many_arguments)]
+    ///
+    /// Error precedence: a concrete alignment failure fails the whole
+    /// query (as does cancellation); everything survivable — lost
+    /// workers, per-subject panics, an expired deadline — lands in
+    /// [`SearchReport::errors`] with `partial` set, alongside the
+    /// valid results of every subject that completed.
     fn finish(
         &self,
         query_len: usize,
-        db_len: usize,
         active: usize,
-        outs: Vec<SweepOut>,
+        outs: Vec<Result<SweepOut, AlignError>>,
         top_n: usize,
         times: StageTimes,
         trace: Option<SharedBatch<TraceEvent>>,
     ) -> Result<SearchReport, AlignError> {
+        let mut errors: Vec<AlignError> = Vec::new();
+        let mut results: Vec<SweepOut> = Vec::with_capacity(outs.len());
+        for out in outs {
+            match out {
+                Ok(out) => results.push(out),
+                // WorkerLost: that worker's sweep output is gone, but
+                // the query survives on the other workers' results.
+                Err(lost) => errors.push(lost),
+            }
+        }
         // A concrete failure (bad subject alphabet, …) outranks the
         // cancellations it may have triggered in sibling workers.
         let mut cancelled = false;
-        for out in &outs {
+        let mut deadline_hit = false;
+        for out in &results {
             match &out.err {
                 Some(AlignError::Cancelled) => cancelled = true,
+                Some(AlignError::DeadlineExceeded) => deadline_hit = true,
                 Some(other) => return Err(other.clone()),
                 None => {}
             }
         }
         if cancelled {
             return Err(AlignError::Cancelled);
+        }
+        if deadline_hit {
+            errors.push(AlignError::DeadlineExceeded);
         }
 
         let t_merge = Instant::now();
@@ -729,19 +1144,26 @@ impl SearchEngine {
         }
         let mut kernel_stats = RunStats::default();
         let mut width_retries = 0u64;
+        let mut rescued = 0u64;
+        let mut rescue_widths = Histogram::new();
         let mut peak_hits_buffered = 0usize;
         let mut latency = Histogram::new();
         let mut worker_load = Histogram::new();
-        let mut per_worker = Vec::with_capacity(outs.len());
+        let mut per_worker = Vec::with_capacity(results.len());
+        let mut subjects = 0usize;
         let mut total_residues = 0usize;
-        let mut hits: Vec<Hit> = Vec::with_capacity(outs.iter().map(|o| o.hits.len()).sum());
-        for out in outs {
+        let mut hits: Vec<Hit> = Vec::with_capacity(results.iter().map(|o| o.hits.len()).sum());
+        for mut out in results {
             kernel_stats.merge(&out.stats);
             width_retries += out.width_retries;
+            rescued += out.rescued;
+            rescue_widths.merge(&out.rescue_widths);
             peak_hits_buffered += out.peak_buffered;
             latency.merge(&out.latency);
             worker_load.record(out.worker.residues as u64);
+            subjects += out.worker.subjects;
             total_residues += out.worker.residues;
+            errors.append(&mut out.soft);
             per_worker.push(out.worker);
             hits.extend(out.hits);
         }
@@ -750,6 +1172,7 @@ impl SearchEngine {
             hits.truncate(top_n);
         }
         let merge = t_merge.elapsed();
+        let partial = !errors.is_empty();
 
         // ORDER: Relaxed — counting only; query results travel
         // through run_on_pool's completion channel, not this counter.
@@ -773,7 +1196,7 @@ impl SearchEngine {
         Ok(SearchReport {
             hits,
             threads_used: active,
-            subjects: db_len,
+            subjects,
             total_residues,
             metrics: SearchMetrics {
                 prepare: times.prepare,
@@ -784,12 +1207,17 @@ impl SearchEngine {
                 gcups: SearchMetrics::derive_gcups(cells, times.sweep),
                 kernel_stats,
                 width_retries,
+                rescued,
+                rescue_widths,
+                workers_respawned: self.workers_respawned(),
                 peak_hits_buffered,
                 latency,
                 worker_load,
                 per_worker,
             },
             trace_events,
+            partial,
+            errors,
         })
     }
 }
@@ -803,11 +1231,14 @@ struct StageTimes {
 
 impl Drop for SearchEngine {
     fn drop(&mut self) {
-        for worker in self.workers.drain(..) {
+        let workers = std::mem::take(&mut *self.pool.lock().expect("pool mutex"));
+        for worker in workers {
             let Worker { sender, handle } = worker;
             // Disconnecting the channel ends the worker's recv loop.
             drop(sender);
             if let Some(handle) = handle {
+                // A worker killed mid-job joins with its panic
+                // payload; shutdown ignores it either way.
                 let _ = handle.join();
             }
         }

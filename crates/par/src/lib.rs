@@ -21,6 +21,8 @@
 //! engine; results are identical either way.
 
 pub mod engine;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod metrics;
 pub mod pipeline;
 pub mod protocol;
@@ -28,6 +30,8 @@ pub mod search;
 pub(crate) mod sync;
 
 pub use engine::SearchEngine;
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
 pub use pipeline::{search_pipeline, PipelineHit, PipelineOptions, PipelineReport};
 pub use search::{search_database, search_database_inter, Hit, SearchOptions, SearchReport};

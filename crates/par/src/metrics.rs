@@ -136,6 +136,21 @@ pub struct SearchMetrics {
     pub kernel_stats: RunStats,
     /// Total i16→i32 width escalations taken during the sweep.
     pub width_retries: u64,
+    /// Subjects whose fixed-width kernel run saturated and were
+    /// transparently re-aligned at a wider element width (see
+    /// [`SearchOptions::rescue`]).
+    ///
+    /// [`SearchOptions::rescue`]: crate::SearchOptions::rescue
+    pub rescued: u64,
+    /// Histogram of the element widths (in bits) that saturated and
+    /// triggered a rescue — one sample per rescue attempt, keyed by
+    /// the width that overflowed, so `8` dominating means the 8-bit
+    /// lane budget is too tight for this database.
+    pub rescue_widths: Histogram,
+    /// Worker threads the engine has respawned over its lifetime
+    /// after a death mid-job (pool self-healing). Zero on a healthy
+    /// engine.
+    pub workers_respawned: u64,
     /// Peak number of hits buffered across all workers — bounded by
     /// `workers × top_n` when `top_n > 0` (streaming top-k), `O(db)`
     /// only when every hit was requested.
@@ -188,15 +203,19 @@ impl SearchMetrics {
         let _ = writeln!(
             s,
             "kernel: {} iterate / {} scan columns, {} switches, \
-             {} lazy iters, {} lazy sweeps, {} width retries, peak {} hits buffered",
+             {} lazy iters, {} lazy sweeps, {} width retries, {} rescued, peak {} hits buffered",
             k.iterate_columns,
             k.scan_columns,
             k.switches_to_scan,
             k.lazy_iters,
             k.lazy_sweeps,
             self.width_retries,
+            self.rescued,
             self.peak_hits_buffered,
         );
+        if self.workers_respawned > 0 {
+            let _ = writeln!(s, "pool: {} workers respawned", self.workers_respawned);
+        }
         if !self.latency.is_empty() {
             let us = |ns: u64| ns as f64 / 1e3;
             let _ = writeln!(
@@ -258,9 +277,13 @@ impl SearchMetrics {
         );
         let _ = write!(
             s,
-            "\"width_retries\":{},\"peak_hits_buffered\":{},\"latency_ns\":{},\
+            "\"width_retries\":{},\"rescued\":{},\"rescue_width_bits\":{},\
+             \"workers_respawned\":{},\"peak_hits_buffered\":{},\"latency_ns\":{},\
              \"worker_load_residues\":{},\"workers\":[",
             self.width_retries,
+            self.rescued,
+            self.rescue_widths.to_json(),
+            self.workers_respawned,
             self.peak_hits_buffered,
             self.latency.to_json(),
             self.worker_load.to_json(),
@@ -355,6 +378,16 @@ impl SearchMetrics {
             "aalign_width_retries_total",
             "i16-to-i32 width escalations.",
             self.width_retries as f64,
+        );
+        gauge(
+            "aalign_rescued_total",
+            "Subjects re-aligned at a wider width after lane saturation.",
+            self.rescued as f64,
+        );
+        gauge(
+            "aalign_workers_respawned_total",
+            "Worker threads respawned after dying mid-job.",
+            self.workers_respawned as f64,
         );
         gauge(
             "aalign_peak_hits_buffered",
@@ -475,6 +508,9 @@ mod tests {
             "\"cells\"",
             "\"gcups\"",
             "\"kernel\"",
+            "\"rescued\"",
+            "\"rescue_width_bits\"",
+            "\"workers_respawned\"",
             "\"latency_ns\"",
             "\"worker_load_residues\"",
             "\"workers\"",
@@ -492,6 +528,8 @@ mod tests {
         for series in [
             "aalign_sweep_seconds",
             "aalign_gcups",
+            "aalign_rescued_total",
+            "aalign_workers_respawned_total",
             "aalign_kernel_iterate_columns_total",
             "aalign_work_item_seconds_bucket",
             "aalign_work_item_seconds_count 4",

@@ -48,6 +48,11 @@ pub struct PipelineOptions {
     /// length (see the `ablation_inter` bench); raise this if you
     /// swap in a SIMD-gather inter engine.
     pub inter_threshold: f64,
+    /// Wall-clock budget for the stage-1 sweep (see
+    /// [`SearchOptions::deadline`]); on expiry the pipeline report
+    /// comes back [`partial`](PipelineReport::partial) with the
+    /// completed subjects' statistics.
+    pub deadline: Option<std::time::Duration>,
     /// Cooperative cancellation, honored in every stage.
     pub cancel: Option<CancelToken>,
     /// Sweep progress callback (runs on worker threads).
@@ -66,6 +71,7 @@ impl Default for PipelineOptions {
             traceback_top: 5,
             stats: aalign_bio::stats::BLOSUM62_GAPPED_11_1,
             inter_threshold: 0.0,
+            deadline: None,
             cancel: None,
             progress: None,
             trace: false,
@@ -109,6 +115,12 @@ impl PipelineOptions {
         self
     }
 
+    /// Give the stage-1 sweep a wall-clock budget.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
     /// Attach a cancellation token.
     pub fn cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
@@ -138,6 +150,7 @@ impl std::fmt::Debug for PipelineOptions {
             .field("max_evalue", &self.max_evalue)
             .field("traceback_top", &self.traceback_top)
             .field("inter_threshold", &self.inter_threshold)
+            .field("deadline", &self.deadline)
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
             .field("trace", &self.trace)
@@ -178,6 +191,13 @@ pub struct PipelineReport {
     /// The stage-1 sweep's structured trace when
     /// [`PipelineOptions::trace`] was set (empty otherwise).
     pub trace_events: Vec<aalign_obs::TraceEvent>,
+    /// True when the stage-1 sweep did not cover the whole database
+    /// (deadline expiry, per-subject panic, or a lost worker); the
+    /// hits and statistics describe the subjects that completed.
+    pub partial: bool,
+    /// The survivable failures behind a partial sweep (see
+    /// [`SearchReport::errors`](crate::SearchReport::errors)).
+    pub errors: Vec<AlignError>,
 }
 
 impl SearchEngine {
@@ -194,6 +214,7 @@ impl SearchEngine {
         search_opts.cancel = opts.cancel.clone();
         search_opts.progress = opts.progress.clone();
         search_opts.trace = opts.trace;
+        search_opts.deadline = opts.deadline;
         let (report, sweep_mode) = if !db.is_empty() && db.stats().mean_len < opts.inter_threshold {
             (self.search_inter(cfg, query, db, &search_opts)?, "inter")
         } else {
@@ -241,6 +262,8 @@ impl SearchEngine {
             sweep_mode,
             metrics: report.metrics,
             trace_events,
+            partial: report.partial,
+            errors: report.errors,
         })
     }
 }

@@ -36,7 +36,7 @@ pub struct Hit {
 /// `#[non_exhaustive]`: construct through [`SearchOptions::new`] so
 /// the engine can grow fields (cancellation, progress, and shard size
 /// were added this way) without breaking callers.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 #[non_exhaustive]
 pub struct SearchOptions {
     /// Worker thread count for the one-shot drivers
@@ -64,10 +64,48 @@ pub struct SearchOptions {
     /// sweeps route the kernels through their no-op-sink
     /// monomorphization.
     pub trace: bool,
+    /// Automatically re-align a subject whose fixed-width kernel run
+    /// saturated its lanes at the next wider element width (on by
+    /// default). Each rescue is counted in
+    /// [`SearchMetrics::rescued`] and, when tracing, surfaces as a
+    /// `rescue` event inside the subject's align envelope. Costs one
+    /// branch per subject on the non-saturating path.
+    ///
+    /// [`SearchMetrics::rescued`]: crate::SearchMetrics::rescued
+    pub rescue: bool,
+    /// Wall-clock budget for the query, measured from entry into the
+    /// search call. When it expires mid-sweep the engine stops
+    /// binding new subjects and returns a [`SearchReport`] with
+    /// [`partial`](SearchReport::partial) set: the hits are a correct
+    /// ranking of the subjects that *did* complete, never a wrong
+    /// score. `None` (the default) never times out.
+    pub deadline: Option<std::time::Duration>,
+    /// Scripted faults for this query (`fault-inject` feature only;
+    /// see [`FaultPlan`](crate::FaultPlan)).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            top_n: 0,
+            shard: 0,
+            cancel: None,
+            progress: None,
+            trace: false,
+            rescue: true,
+            deadline: None,
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
+        }
+    }
 }
 
 impl SearchOptions {
-    /// Default options: all cores, every hit, per-subject binding.
+    /// Default options: all cores, every hit, per-subject binding,
+    /// saturation rescue on, no deadline.
     pub fn new() -> Self {
         Self::default()
     }
@@ -111,6 +149,26 @@ impl SearchOptions {
         self.trace = on;
         self
     }
+
+    /// Enable or disable automatic saturation rescue (on by default).
+    pub fn rescue(mut self, on: bool) -> Self {
+        self.rescue = on;
+        self
+    }
+
+    /// Give the query a wall-clock budget; on expiry the report comes
+    /// back [`partial`](SearchReport::partial) instead of erroring.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Attach a scripted fault plan (`fault-inject` feature only).
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_plan(mut self, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 impl std::fmt::Debug for SearchOptions {
@@ -122,6 +180,8 @@ impl std::fmt::Debug for SearchOptions {
             .field("cancel", &self.cancel.is_some())
             .field("progress", &self.progress.is_some())
             .field("trace", &self.trace)
+            .field("rescue", &self.rescue)
+            .field("deadline", &self.deadline)
             .finish()
     }
 }
@@ -146,6 +206,21 @@ pub struct SearchReport {
     /// `aalign_obs::TraceReport::from_events` to reconstruct the
     /// hybrid decision timeline.
     pub trace_events: Vec<TraceEvent>,
+    /// True when the sweep did not cover the whole database — a
+    /// deadline expired, a worker panicked on a subject, or a worker
+    /// thread died. The hits are still a correct ranking of every
+    /// subject that completed; [`errors`](SearchReport::errors) says
+    /// what was lost.
+    pub partial: bool,
+    /// Structured per-subject/per-worker failures the sweep survived
+    /// (e.g. [`AlignError::WorkerPanicked`],
+    /// [`AlignError::WorkerLost`], [`AlignError::DeadlineExceeded`]).
+    /// Empty on a clean, complete sweep.
+    ///
+    /// [`AlignError::WorkerPanicked`]: aalign_core::AlignError::WorkerPanicked
+    /// [`AlignError::WorkerLost`]: aalign_core::AlignError::WorkerLost
+    /// [`AlignError::DeadlineExceeded`]: aalign_core::AlignError::DeadlineExceeded
+    pub errors: Vec<AlignError>,
 }
 
 /// Align `query` against every subject in `db` with `aligner`'s
@@ -308,15 +383,23 @@ mod tests {
             .shard(4)
             .cancel(token)
             .on_progress(|_| {})
-            .trace(true);
+            .trace(true)
+            .rescue(false)
+            .deadline(std::time::Duration::from_millis(250));
         assert_eq!(opts.threads, 8);
         assert_eq!(opts.top_n, 20);
         assert_eq!(opts.shard, 4);
         assert!(opts.cancel.is_some());
         assert!(opts.progress.is_some());
         assert!(opts.trace);
+        assert!(!opts.rescue);
+        assert_eq!(opts.deadline, Some(std::time::Duration::from_millis(250)));
         let dbg = format!("{opts:?}");
         assert!(dbg.contains("threads: 8"), "{dbg}");
+        assert!(dbg.contains("rescue: false"), "{dbg}");
+        // Rescue is on unless explicitly turned off.
+        assert!(SearchOptions::new().rescue);
+        assert_eq!(SearchOptions::new().deadline, None);
     }
 }
 

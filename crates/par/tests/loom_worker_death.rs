@@ -1,0 +1,177 @@
+//! Loom suite: the engine's job-drain protocol under worker death.
+//!
+//! `SearchEngine::run_on_pool` must never hang: the supervisor counts
+//! one completion signal per dispatched job, and a worker that dies
+//! mid-job can never send one. The protocol survives because every
+//! dispatched job holds a clone of the signal sender, and *both* exit
+//! paths release it — a finishing job signals then drops its clone, a
+//! dying worker drops its job (and clone) unrun while unwinding. So
+//! the supervisor's receive loop either gets a signal or, once every
+//! clone is gone, a disconnect; blocking forever would require a
+//! sender that is neither used nor dropped, which no schedule allows.
+//!
+//! These models check the counting argument itself, exhaustively over
+//! interleavings: whenever the supervisor can observe "all senders
+//! released" (the disconnect), every dispatched job is already
+//! accounted for — signalled (`Done`/`Panicked` slot) or provably
+//! dead (slot still `Pending`, mapped to `WorkerLost` on collection).
+//! A mid-flight observation never over-counts, and each slot resolves
+//! exactly once.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p aalign-par`.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// Slot states, mirroring `engine::JobSlot`.
+const PENDING: usize = 0;
+const DONE: usize = 1;
+const PANICKED: usize = 2;
+
+/// The drain-protocol state visible to the supervisor: per-job slots,
+/// a completion-signal tally (the mpsc queue), a dead-job tally, and
+/// the number of live sender clones (disconnect = zero).
+struct Protocol {
+    slots: Mutex<Vec<usize>>,
+    signals: AtomicUsize,
+    dead: AtomicUsize,
+    senders: AtomicUsize,
+}
+
+impl Protocol {
+    fn new(dispatched: usize) -> Self {
+        Self {
+            slots: Mutex::new(vec![PENDING; dispatched]),
+            signals: AtomicUsize::new(0),
+            dead: AtomicUsize::new(0),
+            senders: AtomicUsize::new(dispatched),
+        }
+    }
+
+    /// A job that runs to completion: resolve the slot, signal, then
+    /// release the sender clone — the same order as the engine (the
+    /// `done_tx.send` precedes the job box drop).
+    fn finish_job(&self, slot: usize, outcome: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        assert_eq!(slots[slot], PENDING, "a slot must resolve exactly once");
+        slots[slot] = outcome;
+        drop(slots);
+        self.signals.fetch_add(1, Ordering::SeqCst);
+        self.senders.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A worker dying mid-job: no slot write, no signal — unwinding
+    /// drops the job box, which accounts the death and releases the
+    /// sender clone.
+    fn die(&self) {
+        self.dead.fetch_add(1, Ordering::SeqCst);
+        self.senders.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// What the supervisor may conclude at any instant. Loads senders
+    /// *first*: if it reads zero, every job's signal-or-death update
+    /// is already visible, so the tallies must cover every dispatched
+    /// job — the disconnect can never strand one.
+    fn check_observation(&self, dispatched: usize) {
+        let alive = self.senders.load(Ordering::SeqCst);
+        let accounted = self.signals.load(Ordering::SeqCst) + self.dead.load(Ordering::SeqCst);
+        if alive == 0 {
+            assert_eq!(
+                accounted, dispatched,
+                "disconnect with a stranded job: the drain would miscount"
+            );
+        } else {
+            assert!(accounted <= dispatched, "a job was accounted twice");
+        }
+    }
+
+    /// The supervisor's receive loop, replayed against the final
+    /// state: consume buffered signals while any remain, exit on
+    /// disconnect otherwise. Panics on the one state that would block
+    /// a real `recv` forever — the property under test.
+    fn drain(&self, dispatched: usize) -> usize {
+        let mut remaining = dispatched;
+        let mut received = 0;
+        while remaining > 0 {
+            if received < self.signals.load(Ordering::SeqCst) {
+                received += 1;
+                remaining -= 1;
+            } else if self.senders.load(Ordering::SeqCst) == 0 {
+                break; // recv() -> Err(Disconnected)
+            } else {
+                panic!("drain would block: no signal, yet senders remain");
+            }
+        }
+        remaining
+    }
+}
+
+#[test]
+fn worker_death_disconnects_instead_of_stranding_the_drain() {
+    loom::model(|| {
+        let p = Arc::new(Protocol::new(2));
+        let finisher = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.finish_job(0, DONE))
+        };
+        let dier = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.die())
+        };
+        // Supervisor races both workers: any observable state must
+        // already satisfy the accounting invariant.
+        p.check_observation(2);
+        finisher.join().unwrap();
+        dier.join().unwrap();
+        // Quiescent: the receive loop terminates with exactly the
+        // dead job unreceived, and collection maps its Pending slot
+        // to WorkerLost.
+        assert_eq!(p.drain(2), 1, "exactly the dead job goes unsignalled");
+        let slots = p.slots.lock().unwrap();
+        assert_eq!(*slots, vec![DONE, PENDING]);
+    });
+}
+
+#[test]
+fn job_boundary_panic_still_signals_and_resolves_its_slot_once() {
+    loom::model(|| {
+        let p = Arc::new(Protocol::new(2));
+        let panicker = {
+            let p = Arc::clone(&p);
+            // A panic caught at the job boundary is a *completion*:
+            // the slot records the payload and the signal still goes
+            // out, so the sweep keeps running.
+            thread::spawn(move || p.finish_job(1, PANICKED))
+        };
+        p.finish_job(0, DONE);
+        panicker.join().unwrap();
+        assert_eq!(p.drain(2), 0, "both jobs signalled despite the panic");
+        let slots = p.slots.lock().unwrap();
+        assert_eq!(*slots, vec![DONE, PANICKED]);
+    });
+}
+
+#[test]
+fn every_worker_dying_cannot_hang_the_supervisor() {
+    loom::model(|| {
+        let p = Arc::new(Protocol::new(2));
+        let a = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.die())
+        };
+        let b = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.die())
+        };
+        p.check_observation(2);
+        a.join().unwrap();
+        b.join().unwrap();
+        // Zero signals ever arrive; the drain must still exit (via
+        // disconnect) with every job unreceived, not block.
+        assert_eq!(p.drain(2), 2);
+        let slots = p.slots.lock().unwrap();
+        assert_eq!(*slots, vec![PENDING, PENDING]);
+    });
+}

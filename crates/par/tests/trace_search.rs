@@ -18,7 +18,7 @@
 use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
 use aalign_bio::{SeqDatabase, Sequence};
-use aalign_core::{AlignConfig, Aligner, GapModel, Strategy};
+use aalign_core::{AlignConfig, Aligner, GapModel, Strategy, WidthPolicy};
 use aalign_obs::{TraceEvent, TraceReport};
 use aalign_par::{search_pipeline, PipelineOptions, SearchEngine, SearchOptions};
 
@@ -262,4 +262,58 @@ fn traced_topk_matches_untraced_topk() {
             .unwrap();
         assert_eq!(plain.hits, traced.hits, "top_n={top_n}");
     }
+}
+
+/// When a lane-saturated subject is rescued at a wider width, the
+/// traced sweep must (a) stay bit-identical to the untraced one, (b)
+/// emit a `Rescue` marker inside the subject's envelope with the
+/// discarded narrow run's columns dropped, and (c) still reconcile —
+/// the timelines explain exactly the kept attempt's `RunStats`.
+#[test]
+fn rescued_sweep_traces_identically_and_reconciles() {
+    // An all-W self-alignment saturates 8-bit lanes (W·W = 11 in
+    // BLOSUM62), forcing an 8→16 rescue for that one subject.
+    let w = Sequence::protein("w100", &[b'W'; 100]).unwrap();
+    let mut seqs = swissprot_like_db(3901, 12).sequences().to_vec();
+    seqs.push(w.clone());
+    let db = SeqDatabase::new(seqs);
+    let narrow = aligner().with_width(WidthPolicy::Fixed8);
+    let engine = SearchEngine::new(2);
+    let plain = engine
+        .search(&narrow, &w, &db, &SearchOptions::new())
+        .unwrap();
+    let traced = engine
+        .search(&narrow, &w, &db, &SearchOptions::new().trace(true))
+        .unwrap();
+    assert!(plain.metrics.rescued >= 1 && traced.metrics.rescued >= 1);
+    assert_eq!(traced.hits, plain.hits, "rescue must not break equivalence");
+    assert_eq!(traced.metrics.kernel_stats, plain.metrics.kernel_stats);
+    assert_eq!(traced.metrics.rescued, plain.metrics.rescued);
+    let w_subject = (db.len() - 1) as u64;
+    let rescue = traced
+        .trace_events
+        .iter()
+        .find_map(|ev| match ev {
+            TraceEvent::Rescue {
+                subject,
+                from_bits,
+                to_bits,
+            } if *subject == w_subject => Some((*from_bits, *to_bits)),
+            _ => None,
+        })
+        .expect("the saturating subject must carry a Rescue marker");
+    assert_eq!(rescue, (8, 16), "one step up the ladder suffices");
+    // The discarded narrow attempt's per-column events must not leak:
+    // the stream still reconciles against the kept run's stats.
+    let tr = TraceReport::from_events(&traced.trace_events).unwrap();
+    assert!(tr.reconciled(), "{tr:?}");
+    // And the rescue survives the JSONL round trip like any event.
+    let mut buf = Vec::new();
+    let mut w = aalign_obs::TraceWriter::new(&mut buf);
+    w.write_all(&traced.trace_events).unwrap();
+    let _ = w.finish().unwrap();
+    let back = aalign_obs::read_events(std::io::BufReader::new(buf.as_slice()))
+        .map_err(|(line, e)| format!("line {line}: {e}"))
+        .unwrap();
+    assert_eq!(back, traced.trace_events);
 }

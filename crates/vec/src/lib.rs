@@ -42,6 +42,7 @@ pub mod elem;
 pub mod emu;
 pub mod engine;
 pub mod layout;
+pub mod saturate;
 pub mod scan;
 
 #[cfg(target_arch = "x86_64")]
@@ -56,3 +57,4 @@ pub use elem::ScoreElem;
 pub use emu::EmuEngine;
 pub use engine::SimdEngine;
 pub use layout::StripedLayout;
+pub use saturate::SaturationGuard;

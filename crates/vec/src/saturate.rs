@@ -1,0 +1,100 @@
+//! Sticky lane-saturation detection.
+//!
+//! Narrow-lane kernels can overflow; [`elem::near_saturation`] is the
+//! scalar end-of-run check the width-fallback logic has always used.
+//! [`SaturationGuard`] is its vector twin: an `influence_test`-style
+//! compare ([`SimdEngine::any_gt`]) of a running-maximum register
+//! against the saturation ceiling `MAX_SCORE - headroom`, cheap enough
+//! to run once per column. The column engine keeps the verdict
+//! *sticky* — once any lane has crossed the ceiling the whole run is
+//! untrusted and can be abandoned early, which is what makes the
+//! engine-level overflow rescue (retry the pair at the next wider
+//! lane width, the SSW/SWPS3 idiom) affordable: a doomed 8-bit run
+//! costs a prefix, not a full sweep.
+
+use crate::elem::ScoreElem;
+use crate::engine::SimdEngine;
+
+/// Precomputed ceiling register for per-column saturation checks.
+///
+/// `check` returns true iff some lane of `v` is at or above
+/// `MAX_SCORE - headroom` — exactly the set of scores
+/// [`near_saturation`](crate::elem::near_saturation) distrusts, so a
+/// sticky per-column verdict agrees with the finish-time scalar check
+/// whenever the run completes.
+#[derive(Clone, Copy)]
+pub struct SaturationGuard<E: SimdEngine> {
+    /// Lanes hold `ceiling - 1`; `any_gt` against it tests `>= ceiling`.
+    below_ceiling: E::Vec,
+}
+
+impl<E: SimdEngine> core::fmt::Debug for SaturationGuard<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SaturationGuard").finish_non_exhaustive()
+    }
+}
+
+impl<E: SimdEngine> SaturationGuard<E> {
+    /// Guard for element type `E::Elem` with `headroom` (the largest
+    /// single further add the run could perform, matching the
+    /// argument of [`crate::elem::near_saturation`]).
+    #[inline(always)]
+    pub fn new(eng: E, headroom: i32) -> Self {
+        let ceiling = E::Elem::MAX_SCORE.to_i32() - headroom;
+        Self {
+            below_ceiling: eng.splat(E::Elem::from_i32_sat(ceiling - 1)),
+        }
+    }
+
+    /// True iff any lane of `v` has reached the saturation ceiling.
+    #[inline(always)]
+    pub fn check(self, eng: E, v: E::Vec) -> bool {
+        eng.any_gt(v, self.below_ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::near_saturation;
+    use crate::emu::EmuEngine;
+
+    #[test]
+    fn guard_agrees_with_scalar_near_saturation_i8() {
+        let eng = EmuEngine::<i8, 32>::new();
+        for headroom in [1, 12, 100] {
+            let guard = SaturationGuard::new(eng, headroom);
+            for score in [-128i8, -1, 0, 50, 100, 114, 115, 116, 126, 127] {
+                let v = eng.splat(score);
+                assert_eq!(
+                    guard.check(eng, v),
+                    near_saturation(score, headroom),
+                    "score {score} headroom {headroom}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guard_agrees_with_scalar_near_saturation_i16() {
+        let eng = EmuEngine::<i16, 16>::new();
+        let guard = SaturationGuard::new(eng, 11);
+        for score in [0i16, 30_000, i16::MAX - 12, i16::MAX - 11, i16::MAX] {
+            assert_eq!(
+                guard.check(eng, eng.splat(score)),
+                near_saturation(score, 11),
+                "score {score}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_hot_lane_trips_the_guard() {
+        let eng = EmuEngine::<i16, 16>::new();
+        let guard = SaturationGuard::new(eng, 11);
+        let mut lanes = [0i16; 16];
+        assert!(!guard.check(eng, eng.load(&lanes)));
+        lanes[7] = i16::MAX - 5;
+        assert!(guard.check(eng, eng.load(&lanes)), "single hot lane");
+    }
+}

@@ -70,6 +70,7 @@ const USAGE: &str = "usage:
   aalign search  --query <fa> --db <fa> [--top N] [--threads N]
                  [--open N] [--ext N] [--strategy ...] [--inter] [--stats]
                  [--trace-out <jsonl>] [--metrics-format text|json|prom]
+                 [--timeout MS] [--no-rescue] [--fault-plan <spec>]
   aalign trace-report --trace <jsonl> [--subjects N]
   aalign gen-db  --count N [--seed N] [--mean-len N] --out <fa>
   aalign codegen --input <file> [--open N] [--ext N] [--out <rs>]
@@ -188,10 +189,32 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
-    let opts = SearchOptions::new()
+    let mut opts = SearchOptions::new()
         .threads(flags.get_usize("--threads", 0)?)
         .top_n(flags.get_usize("--top", 10)?)
-        .trace(trace_out.is_some());
+        .trace(trace_out.is_some())
+        .rescue(!flags.has("--no-rescue"));
+    if let Some(ms) = flags.get("--timeout") {
+        let ms: u64 = ms.parse().map_err(|_| "--timeout expects milliseconds")?;
+        opts = opts.deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(spec) = flags.get("--fault-plan") {
+        #[cfg(feature = "fault-inject")]
+        {
+            let plan =
+                aalign::par::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            opts = opts.fault_plan(std::sync::Arc::new(plan));
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = spec;
+            return Err(
+                "--fault-plan needs a build with the `fault-inject` feature \
+                 (cargo build --features fault-inject)"
+                    .to_string(),
+            );
+        }
+    }
     let report = if flags.has("--inter") {
         aalign::par::search_database_inter(aligner.config(), &query, &db, opts)
     } else {
@@ -216,6 +239,21 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         report.metrics.total.as_secs_f64(),
         report.metrics.gcups
     );
+    if report.metrics.rescued > 0 {
+        println!(
+            "rescued {} lane-saturated subject(s) at a wider width",
+            report.metrics.rescued
+        );
+    }
+    if report.partial {
+        eprintln!(
+            "warning: partial results — {} error(s) during the sweep:",
+            report.errors.len()
+        );
+        for e in &report.errors {
+            eprintln!("  - {e}");
+        }
+    }
     match flags.get("--metrics-format") {
         None => {
             if flags.has("--stats") {

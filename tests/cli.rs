@@ -354,3 +354,104 @@ fn missing_required_flag_fails() {
     let out = aalign().args(["pair", "--query"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn search_with_zero_timeout_reports_partial_results() {
+    let dir = std::env::temp_dir().join("aalign_cli_timeout");
+    std::fs::create_dir_all(&dir).unwrap();
+    write_fasta(&dir.join("q.fa"), &[("q", "HEAGAWGHEE")]);
+    write_fasta(
+        &dir.join("db.fa"),
+        &[("a", "PAWHEAE"), ("b", "HEAGAWGHEE"), ("c", "MKVLAARND")],
+    );
+    let out = aalign()
+        .args([
+            "search",
+            "--query",
+            dir.join("q.fa").to_str().unwrap(),
+            "--db",
+            dir.join("db.fa").to_str().unwrap(),
+            "--timeout",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "a deadline is a degraded mode, not a failure: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("partial results"), "{err}");
+    assert!(err.contains("deadline"), "{err}");
+}
+
+#[test]
+fn search_rescues_a_saturating_subject_at_fixed8() {
+    let dir = std::env::temp_dir().join("aalign_cli_rescue");
+    std::fs::create_dir_all(&dir).unwrap();
+    let w = "W".repeat(100);
+    write_fasta(&dir.join("q.fa"), &[("q", w.as_str())]);
+    write_fasta(
+        &dir.join("db.fa"),
+        &[("hot", w.as_str()), ("cold", "PAWHEAE")],
+    );
+    let qpath = dir.join("q.fa");
+    let dbpath = dir.join("db.fa");
+    let common = [
+        "search",
+        "--query",
+        qpath.to_str().unwrap(),
+        "--db",
+        dbpath.to_str().unwrap(),
+        "--width",
+        "8",
+    ];
+    let out = aalign().args(common).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // W·W = 11 in BLOSUM62: the exact 100-residue self-match score is
+    // 1100, far past i8 — only the rescue path can print it.
+    assert!(text.contains("rescued 1 lane-saturated subject"), "{text}");
+    assert!(text.contains("score   1100"), "{text}");
+    // Opting out keeps the clamped narrow score and says nothing.
+    let out = aalign().args(common).arg("--no-rescue").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(!text.contains("rescued"), "{text}");
+    assert!(!text.contains("score   1100"), "{text}");
+}
+
+#[test]
+fn fault_plan_flag_requires_the_feature_or_a_valid_spec() {
+    let dir = std::env::temp_dir().join("aalign_cli_faultplan");
+    std::fs::create_dir_all(&dir).unwrap();
+    write_fasta(&dir.join("q.fa"), &[("q", "HEAGAWGHEE")]);
+    write_fasta(&dir.join("db.fa"), &[("a", "PAWHEAE")]);
+    let out = aalign()
+        .args([
+            "search",
+            "--query",
+            dir.join("q.fa").to_str().unwrap(),
+            "--db",
+            dir.join("db.fa").to_str().unwrap(),
+            "--fault-plan",
+            "panic@0",
+        ])
+        .output()
+        .unwrap();
+    let err = String::from_utf8(out.stderr).unwrap();
+    if cfg!(feature = "fault-inject") {
+        // Plan accepted: the scripted panic surfaces as a partial
+        // report, not a crash.
+        assert!(out.status.success(), "{err}");
+        assert!(err.contains("partial results"), "{err}");
+    } else {
+        assert!(!out.status.success());
+        assert!(err.contains("fault-inject"), "{err}");
+    }
+}
