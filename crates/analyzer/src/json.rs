@@ -1,0 +1,126 @@
+//! Minimal JSON emission for the analyzer CLI's `--json` mode.
+//!
+//! The workspace deliberately carries no serialization dependency, so
+//! this is a small hand-rolled writer: string escaping per RFC 8259
+//! plus a builder for objects and arrays. The schema every subcommand
+//! emits is stable:
+//!
+//! ```json
+//! {
+//!   "pass": "<check|range|audit|concurrency|conformance>",
+//!   "ok": true,
+//!   ...pass-specific fields...
+//! }
+//! ```
+//!
+//! Pass-specific payloads only ever *add* fields; existing field
+//! names and types are a compatibility contract for the CI jobs that
+//! parse them.
+
+use std::fmt::Write as _;
+
+/// Escape a string per RFC 8259 and wrap it in quotes.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An object under construction. Values passed to [`Obj::raw`] must
+/// already be valid JSON (numbers, booleans, nested objects/arrays).
+#[derive(Debug, Default)]
+pub struct Obj {
+    fields: Vec<String>,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string-valued field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push(format!("{}:{}", string(key), string(value)));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push(format!("{}:{}", string(key), value));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn num(mut self, key: &str, value: i64) -> Self {
+        self.fields.push(format!("{}:{}", string(key), value));
+        self
+    }
+
+    /// Add a field whose value is pre-rendered JSON.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.fields.push(format!("{}:{}", string(key), value));
+        self
+    }
+
+    /// Render the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.fields.join(","))
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Render a JSON array of (escaped) strings.
+pub fn string_array<'a, I: IntoIterator<Item = &'a str>>(items: I) -> String {
+    array(items.into_iter().map(string))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(string("γ ≤ P"), "\"γ ≤ P\"");
+    }
+
+    #[test]
+    fn objects_and_arrays_compose() {
+        let doc = Obj::new()
+            .str("pass", "audit")
+            .bool("ok", true)
+            .num("count", 3)
+            .raw("items", &string_array(["a", "b"]))
+            .build();
+        assert_eq!(
+            doc,
+            r#"{"pass":"audit","ok":true,"count":3,"items":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert_eq!(Obj::new().build(), "{}");
+    }
+}

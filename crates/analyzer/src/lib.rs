@@ -31,17 +31,37 @@
 //!   complement the loom model-checking suites, which explore
 //!   interleavings but not memory orderings.
 //!
+//! * [`conformance`] — the kernel conformance prover: symbolic
+//!   max-plus execution of the recurrence AST proving the
+//!   Eq.(2)→Eq.(3–6) rewrite is score-preserving (gap-family
+//!   unrolling, result-max completeness, wavefront legality), derived
+//!   lemmas for the striped-permutation transform and the lazy-F
+//!   correction bound (≤ P sweeps), and the `ScoreBounds`-conditioned
+//!   premises under which the rescue ladder is bit-exact — each a
+//!   machine-readable [`conformance::Obligation`] with caret
+//!   diagnostics on failure. The pass also runs the
+//!   bounded-exhaustive differential harness
+//!   (`aalign_core::conformance`) and pins the obligation inventory
+//!   plus harness coverage in `conformance_baseline.txt`.
+//!
 //! The `aalign-analyzer` binary exposes the passes as `check`,
-//! `range`, `audit` and `concurrency` subcommands; each pass is also
-//! exercised as ordinary `#[test]`s so `cargo test` runs the whole
-//! suite.
+//! `range`, `audit`, `concurrency` and `conformance` subcommands
+//! (all support `--json` for machine-readable output); each pass is
+//! also exercised as ordinary `#[test]`s so `cargo test` runs the
+//! whole suite.
 
 pub mod audit;
 pub mod concurrency;
+pub mod conformance;
 pub mod dataflow;
+pub mod json;
 pub mod range;
 
 pub use audit::{audit_dir, audit_source, AuditReport};
 pub use concurrency::{scan_dirs, scan_source, ConcurrencyReport};
+pub use conformance::{
+    prove_kernel, run_conformance_pass, verify_spec, ConformancePass, KernelProof, Obligation,
+    ObligationStatus, ProveError,
+};
 pub use dataflow::{verify_dataflow, DataflowReport, Diagnostic};
 pub use range::{analyze_range, RangeReport};

@@ -6,7 +6,13 @@
 //!                        --open N --ext N --max-query N --max-subject N
 //! aalign-analyzer audit  [DIR] [--offline] [--print-baseline]
 //! aalign-analyzer concurrency  [DIR...] [--print-baseline]
+//! aalign-analyzer conformance  [FILE | --builtin NAME]
+//!                              [--print-baseline] [--mutate SEED]
 //! ```
+//!
+//! Every subcommand accepts `--json` for machine-readable output
+//! (stable schema: a single object with `"pass"` and `"ok"` fields
+//! plus pass-specific payload).
 //!
 //! Exit codes: 0 = all checks pass, 1 = a pass rejected something,
 //! 2 = usage error.
@@ -16,12 +22,14 @@ use std::process::ExitCode;
 
 use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
 use aalign_analyzer::concurrency::{default_concurrency_dirs, scan_dirs, CONCURRENCY_BASELINE};
+use aalign_analyzer::conformance::{run_conformance_pass, ConformancePass, CONFORMANCE_BASELINE};
 use aalign_analyzer::range::analyze_range;
-use aalign_analyzer::verify_dataflow;
+use aalign_analyzer::{json, verify_dataflow, DataflowReport};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::SubstMatrix;
 use aalign_codegen::emit::GapBindings;
-use aalign_codegen::{analyze, parse_program};
+use aalign_codegen::{analyze, parse_program, KernelSpec};
+use aalign_core::conformance::{run_harness, ConformanceReport, HarnessOptions, Mutation};
 
 const USAGE: &str = "\
 aalign-analyzer — static verification for AAlign kernels
@@ -33,6 +41,10 @@ USAGE:
                            [--max-query N] [--max-subject N]
     aalign-analyzer audit  [DIR] [--offline] [--print-baseline]
     aalign-analyzer concurrency  [DIR...] [--print-baseline]
+    aalign-analyzer conformance  [FILE | --builtin NAME | --builtin all]
+                                 [--print-baseline] [--mutate SEED]
+
+    All subcommands accept --json for machine-readable output.
 
 BUILTINS: sw-affine (alg1), nw-affine, sw-linear, nw-linear
 
@@ -44,7 +56,11 @@ matrix and reports score intervals and the minimal safe lane width.
 contracts, unsafe-count baseline); it reads only the local tree, so
 --offline is accepted for CI clarity but changes nothing.
 `concurrency` lints the concurrent crates' atomics discipline (ORDER
-justifications, SeqCst/Relaxed rules, exact inventory baseline).";
+justifications, SeqCst/Relaxed rules, exact inventory baseline).
+`conformance` proves the Eq.(2) equivalence obligations for each
+kernel symbolically, then runs the bounded-exhaustive differential
+harness against paradigm_dp; --mutate SEED perturbs one max/gap term
+and *requires* the harness to catch it (the self-test has teeth).";
 
 fn builtin(name: &str) -> Option<(&'static str, &'static str)> {
     match name {
@@ -59,8 +75,9 @@ fn builtin(name: &str) -> Option<(&'static str, &'static str)> {
 const ALL_BUILTINS: [&str; 4] = ["sw-affine", "nw-affine", "sw-linear", "nw-linear"];
 
 /// Resolve the common `[FILE | --builtin NAME]` source selector.
-/// Returns (display name, source text) pairs.
-fn resolve_sources(args: &[String]) -> Result<Vec<(String, String)>, String> {
+/// Returns (display name, source text) pairs, and whether the default
+/// set was used (baselines are only checked against defaults).
+fn resolve_sources(args: &[String]) -> Result<(Vec<(String, String)>, bool), String> {
     let mut i = 0;
     let mut out = Vec::new();
     while i < args.len() {
@@ -90,38 +107,44 @@ fn resolve_sources(args: &[String]) -> Result<Vec<(String, String)>, String> {
             }
         }
     }
-    if out.is_empty() {
+    let is_default = out.is_empty();
+    if is_default {
         // Default: verify every builtin.
         for b in ALL_BUILTINS {
             let (label, src) = builtin(b).unwrap();
             out.push((label.to_string(), src.to_string()));
         }
     }
-    Ok(out)
+    Ok((out, is_default))
 }
 
-/// Parse + classify + dataflow-verify one kernel source. Prints
-/// span-carrying diagnostics on failure.
-fn check_one(name: &str, src: &str) -> bool {
-    let prog = match parse_program(src) {
-        Ok(p) => p,
-        Err(e) => {
-            let span = e.span();
-            let (line, col) = span.line_col(src);
-            eprintln!("{name}: parse error: {e}\n  --> {line}:{col}");
-            return false;
-        }
-    };
-    let spec = match analyze(&prog) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{name}: paradigm classification failed:");
-            eprintln!("{}", e.render(src));
-            return false;
-        }
-    };
+/// Parse + classify + dataflow-verify one kernel source. `Err` carries
+/// the full rendered diagnostic.
+fn check_kernel(name: &str, src: &str) -> Result<(KernelSpec, DataflowReport), String> {
+    let prog = parse_program(src).map_err(|e| {
+        let span = e.span();
+        let (line, col) = span.line_col(src);
+        format!("{name}: parse error: {e}\n  --> {line}:{col}")
+    })?;
+    let spec = analyze(&prog)
+        .map_err(|e| format!("{name}: paradigm classification failed:\n{}", e.render(src)))?;
     match verify_dataflow(&prog) {
-        Ok(report) => {
+        Ok(report) => Ok((spec, report)),
+        Err(diags) => {
+            let mut msg = format!("{name}: dataflow verification FAILED:");
+            for d in &diags {
+                msg.push('\n');
+                msg.push_str(&d.render(src));
+            }
+            Err(msg)
+        }
+    }
+}
+
+/// Text-mode wrapper: prints the outcome, returns pass/fail.
+fn check_one(name: &str, src: &str) -> bool {
+    match check_kernel(name, src) {
+        Ok((spec, report)) => {
             println!(
                 "{name}: OK — {} ({} tables, {} dependencies, all within the \
                  anti-diagonal wavefront)",
@@ -131,30 +154,61 @@ fn check_one(name: &str, src: &str) -> bool {
             );
             true
         }
-        Err(diags) => {
-            eprintln!("{name}: dataflow verification FAILED:");
-            for d in &diags {
-                eprintln!("{}", d.render(src));
-            }
+        Err(msg) => {
+            eprintln!("{msg}");
             false
         }
     }
 }
 
-fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
-    let sources = resolve_sources(args)?;
-    let mut ok = true;
-    for (name, src) in &sources {
-        ok &= check_one(name, src);
-    }
-    Ok(if ok {
+fn exit(ok: bool) -> ExitCode {
+    if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
-    })
+    }
 }
 
-fn cmd_range(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_check(args: &[String], as_json: bool) -> Result<ExitCode, String> {
+    let (sources, _) = resolve_sources(args)?;
+    let mut ok = true;
+    let mut kernels = Vec::new();
+    for (name, src) in &sources {
+        if as_json {
+            let obj = match check_kernel(name, src) {
+                Ok((spec, report)) => json::Obj::new()
+                    .str("name", name)
+                    .bool("ok", true)
+                    .str("label", &spec.label())
+                    .num("tables", report.tables.len() as i64)
+                    .num("dependencies", report.deps.len() as i64),
+                Err(msg) => {
+                    ok = false;
+                    json::Obj::new()
+                        .str("name", name)
+                        .bool("ok", false)
+                        .str("error", &msg)
+                }
+            };
+            kernels.push(obj.build());
+        } else {
+            ok &= check_one(name, src);
+        }
+    }
+    if as_json {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("pass", "check")
+                .bool("ok", ok)
+                .raw("kernels", &json::array(kernels))
+                .build()
+        );
+    }
+    Ok(exit(ok))
+}
+
+fn cmd_range(args: &[String], as_json: bool) -> Result<ExitCode, String> {
     let mut matrix_name = "blosum62".to_string();
     let mut open = -12i32;
     let mut ext = -2i32;
@@ -210,40 +264,79 @@ fn cmd_range(args: &[String]) -> Result<ExitCode, String> {
         other => return Err(format!("unknown matrix `{other}` (blosum62|dna)")),
     };
 
-    let sources = resolve_sources(&rest)?;
+    let (sources, _) = resolve_sources(&rest)?;
     let mut ok = true;
+    let mut kernels = Vec::new();
     for (name, src) in &sources {
-        if !check_one(name, src) {
-            ok = false;
-            continue;
-        }
-        let prog = parse_program(src).expect("checked above");
-        let spec = analyze(&prog).expect("checked above");
+        let checked = check_kernel(name, src);
+        let (spec, _) = match checked {
+            Ok(pair) => pair,
+            Err(msg) => {
+                ok = false;
+                if as_json {
+                    kernels.push(
+                        json::Obj::new()
+                            .str("name", name)
+                            .bool("ok", false)
+                            .str("error", &msg)
+                            .build(),
+                    );
+                } else {
+                    eprintln!("{msg}");
+                }
+                continue;
+            }
+        };
         let bind = GapBindings {
             gap_open: open,
             gap_ext: ext,
         };
         match analyze_range(&spec, bind, matrix, max_query, max_subject) {
             Ok(report) => {
-                println!("{report}");
-                if report.overflows_i32() {
-                    ok = false;
+                let fits = !report.overflows_i32();
+                ok &= fits;
+                if as_json {
+                    kernels.push(
+                        json::Obj::new()
+                            .str("name", name)
+                            .bool("ok", fits)
+                            .str("report", &report.to_string())
+                            .build(),
+                    );
+                } else {
+                    println!("{report}");
                 }
             }
             Err(e) => {
-                eprintln!("{name}: cannot bind gap constants: {e}");
                 ok = false;
+                if as_json {
+                    kernels.push(
+                        json::Obj::new()
+                            .str("name", name)
+                            .bool("ok", false)
+                            .str("error", &format!("cannot bind gap constants: {e}"))
+                            .build(),
+                    );
+                } else {
+                    eprintln!("{name}: cannot bind gap constants: {e}");
+                }
             }
         }
     }
-    Ok(if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    if as_json {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("pass", "range")
+                .bool("ok", ok)
+                .raw("kernels", &json::array(kernels))
+                .build()
+        );
+    }
+    Ok(exit(ok))
 }
 
-fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_audit(args: &[String], as_json: bool) -> Result<ExitCode, String> {
     let mut dir: Option<PathBuf> = None;
     let mut print_baseline = false;
     for a in args {
@@ -263,37 +356,68 @@ fn cmd_audit(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    let mut ok = report.is_clean();
+    let baseline_problems = if is_default {
+        report.check_baseline(VEC_BASELINE)
+    } else {
+        Vec::new()
+    };
+    ok &= baseline_problems.is_empty();
+
+    if as_json {
+        let files = report.files.iter().map(|f| {
+            json::Obj::new()
+                .str("file", &f.file)
+                .num("unsafe", f.unsafe_count as i64)
+                .build()
+        });
+        let findings: Vec<String> = report
+            .findings
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("pass", "audit")
+                .bool("ok", ok)
+                .raw("files", &json::array(files))
+                .raw(
+                    "findings",
+                    &json::string_array(findings.iter().map(String::as_str))
+                )
+                .raw(
+                    "baseline_problems",
+                    &json::string_array(baseline_problems.iter().map(String::as_str))
+                )
+                .build()
+        );
+        return Ok(exit(ok));
+    }
+
     for f in &report.files {
         println!("{:14} {:3} unsafe", f.file, f.unsafe_count);
     }
-    let mut ok = true;
     if !report.is_clean() {
-        ok = false;
         eprintln!("\n{} finding(s):", report.findings.len());
         for f in &report.findings {
             eprintln!("  {f}");
         }
     }
     if is_default {
-        let problems = report.check_baseline(VEC_BASELINE);
-        if problems.is_empty() {
+        if baseline_problems.is_empty() {
             println!("baseline: OK");
         } else {
-            ok = false;
             eprintln!("\nbaseline violations:");
-            for p in &problems {
+            for p in &baseline_problems {
                 eprintln!("  {p}");
             }
         }
     }
-    Ok(if ok {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    Ok(exit(ok))
 }
 
-fn cmd_concurrency(args: &[String]) -> Result<ExitCode, String> {
+fn cmd_concurrency(args: &[String], as_json: bool) -> Result<ExitCode, String> {
     let mut dirs: Vec<(String, PathBuf)> = Vec::new();
     let mut print_baseline = false;
     for a in args {
@@ -322,41 +446,266 @@ fn cmd_concurrency(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
+    let mut ok = report.is_clean();
+    let baseline_problems = if is_default {
+        report.check_baseline(CONCURRENCY_BASELINE)
+    } else {
+        Vec::new()
+    };
+    ok &= baseline_problems.is_empty();
+
+    if as_json {
+        let findings: Vec<String> = report
+            .findings
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("pass", "concurrency")
+                .bool("ok", ok)
+                .num("sites", report.sites.len() as i64)
+                .raw(
+                    "findings",
+                    &json::string_array(findings.iter().map(String::as_str))
+                )
+                .raw(
+                    "baseline_problems",
+                    &json::string_array(baseline_problems.iter().map(String::as_str))
+                )
+                .build()
+        );
+        return Ok(exit(ok));
+    }
+
     println!(
         "{} atomic site(s) across {} dir(s)",
         report.sites.len(),
         dirs.len()
     );
     print!("{}", report.baseline_text());
-    let mut ok = true;
     if !report.is_clean() {
-        ok = false;
         eprintln!("\n{} finding(s):", report.findings.len());
         for f in &report.findings {
             eprintln!("  {f}");
         }
     }
     if is_default {
-        let problems = report.check_baseline(CONCURRENCY_BASELINE);
-        if problems.is_empty() {
+        if baseline_problems.is_empty() {
             println!("baseline: OK");
         } else {
-            ok = false;
             eprintln!("\nbaseline drift:");
-            for p in &problems {
+            for p in &baseline_problems {
                 eprintln!("  {p}");
             }
         }
     }
-    Ok(if ok {
-        ExitCode::SUCCESS
+    Ok(exit(ok))
+}
+
+/// Render one harness report as a JSON object string.
+fn harness_json(h: &ConformanceReport) -> String {
+    let configs = h.configs.iter().map(|c| {
+        let violations = json::string_array(c.violations.iter().map(String::as_str));
+        let mismatches: Vec<String> = c
+            .mismatches
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        json::Obj::new()
+            .str("config", &c.config)
+            .num("pairs", c.pairs as i64)
+            .num("mismatches", c.mismatch_count as i64)
+            .raw(
+                "mismatch_samples",
+                &json::string_array(mismatches.iter().map(String::as_str)),
+            )
+            .raw("violations", &violations)
+            .build()
+    });
+    let mut obj = json::Obj::new()
+        .bool("bit_exact", h.is_bit_exact())
+        .num("checks", h.total_checks() as i64)
+        .num("mismatches", h.total_mismatches() as i64)
+        .raw("configs", &json::array(configs));
+    if let Some(m) = &h.mutation {
+        obj = obj.str("mutation", m);
+    }
+    obj.build()
+}
+
+/// Render the proof obligations as JSON.
+fn proofs_json(pass: &ConformancePass) -> String {
+    let kernels = pass.proofs.iter().map(|p| {
+        let obligations = p.obligations.iter().map(|o| {
+            json::Obj::new()
+                .str("id", o.id)
+                .str("status", o.status.word())
+                .str("claim", &o.claim)
+                .raw(
+                    "premises",
+                    &json::string_array(o.premises.iter().map(String::as_str)),
+                )
+                .str("detail", &o.detail)
+                .build()
+        });
+        json::Obj::new()
+            .str("name", &p.kernel)
+            .str("label", &p.label)
+            .bool("discharged", p.is_discharged())
+            .raw("obligations", &json::array(obligations))
+            .build()
+    });
+    json::array(kernels)
+}
+
+fn cmd_conformance(args: &[String], as_json: bool) -> Result<ExitCode, String> {
+    let mut print_baseline = false;
+    let mut mutate: Option<u64> = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--print-baseline" => {
+                print_baseline = true;
+                i += 1;
+            }
+            "--mutate" => {
+                let seed = args.get(i + 1).ok_or("--mutate needs a seed (u64)")?;
+                mutate = Some(
+                    seed.parse()
+                        .map_err(|_| format!("--mutate: `{seed}` is not a u64 seed"))?,
+                );
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let (sources, is_default) = resolve_sources(&rest)?;
+
+    // Mutation self-test: perturb one max/gap term on the kernel side
+    // and *require* the harness to catch it.
+    if let Some(seed) = mutate {
+        let mutation = Mutation::from_seed(seed);
+        let opts = HarnessOptions {
+            mutation: Some(mutation),
+            ..HarnessOptions::ci()
+        };
+        let report = run_harness(&opts);
+        let caught = !report.is_bit_exact();
+        if as_json {
+            println!(
+                "{}",
+                json::Obj::new()
+                    .str("pass", "conformance")
+                    .bool("ok", caught)
+                    .str("mode", "mutation-self-test")
+                    .num("seed", seed as i64)
+                    .str("mutation", mutation.name())
+                    .bool("caught", caught)
+                    .raw("harness", &harness_json(&report))
+                    .build()
+            );
+        } else {
+            println!("{}", report.summary());
+            if caught {
+                println!(
+                    "mutation `{}` (seed {seed}): CAUGHT — {} mismatch(es); the harness has teeth",
+                    mutation.name(),
+                    report.total_mismatches()
+                );
+            } else {
+                eprintln!(
+                    "mutation `{}` (seed {seed}): NOT caught — the harness is blind to this \
+                     perturbation",
+                    mutation.name()
+                );
+            }
+        }
+        return Ok(exit(caught));
+    }
+
+    let pass = match run_conformance_pass(&sources) {
+        Ok(p) => p,
+        Err((name, e)) => return Err(format!("{name}: {e}")),
+    };
+
+    if print_baseline {
+        print!("{}", pass.baseline_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut ok = pass.is_clean();
+    let baseline_problems = if is_default {
+        pass.check_baseline(CONFORMANCE_BASELINE)
     } else {
-        ExitCode::FAILURE
-    })
+        Vec::new()
+    };
+    ok &= baseline_problems.is_empty();
+
+    if as_json {
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("pass", "conformance")
+                .bool("ok", ok)
+                .raw("kernels", &proofs_json(&pass))
+                .raw("harness", &harness_json(&pass.harness))
+                .raw(
+                    "baseline_problems",
+                    &json::string_array(baseline_problems.iter().map(String::as_str))
+                )
+                .build()
+        );
+        return Ok(exit(ok));
+    }
+
+    for (proof, (_, src)) in pass.proofs.iter().zip(&sources) {
+        println!("{} ({}):", proof.kernel, proof.label);
+        for o in &proof.obligations {
+            for (k, line) in o.render(src).lines().enumerate() {
+                println!("  {}{line}", if k == 0 { "" } else { "  " });
+            }
+        }
+    }
+    println!("{}", pass.harness.summary());
+    for c in &pass.harness.configs {
+        for m in &c.mismatches {
+            eprintln!("  mismatch: {m}");
+        }
+        for v in &c.violations {
+            eprintln!("  violation: {v}");
+        }
+    }
+    if is_default {
+        if baseline_problems.is_empty() {
+            println!("baseline: OK");
+        } else {
+            eprintln!("\nbaseline drift:");
+            for p in &baseline_problems {
+                eprintln!("  {p}");
+            }
+        }
+    }
+    println!(
+        "conformance: {}",
+        if ok {
+            "all obligations discharged"
+        } else {
+            "FAILED"
+        }
+    );
+    Ok(exit(ok))
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -365,10 +714,11 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
-        "check" => cmd_check(rest),
-        "range" => cmd_range(rest),
-        "audit" => cmd_audit(rest),
-        "concurrency" => cmd_concurrency(rest),
+        "check" => cmd_check(rest, as_json),
+        "range" => cmd_range(rest, as_json),
+        "audit" => cmd_audit(rest, as_json),
+        "concurrency" => cmd_concurrency(rest, as_json),
+        "conformance" => cmd_conformance(rest, as_json),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -35,21 +35,33 @@ impl core::fmt::Display for BindError {
 
 impl std::error::Error for BindError {}
 
+impl GapBindings {
+    /// Validate these bindings under the paper's convention (see the
+    /// [`GapBindings`] type docs): `gap_ext < 0` **strictly** (a
+    /// non-negative extension makes unbounded gaps free), and for
+    /// affine kernels θ ≤ 0 **inclusive** — the θ = 0 boundary
+    /// (`gap_open == gap_ext`) is the legal degenerate-to-linear
+    /// edge, accepted everywhere these bindings are consumed.
+    pub fn theta_check(&self, affine: bool) -> Result<(), BindError> {
+        if self.gap_ext >= 0 {
+            return Err(BindError::NonNegativeExtension(self.gap_ext));
+        }
+        if affine && self.theta() > 0 {
+            return Err(BindError::PositiveTheta(self.theta()));
+        }
+        Ok(())
+    }
+}
+
 /// Bind constants and produce the runnable configuration.
 pub fn spec_to_config(
     spec: &KernelSpec,
     bind: GapBindings,
     matrix: &SubstMatrix,
 ) -> Result<AlignConfig, BindError> {
-    if bind.gap_ext >= 0 {
-        return Err(BindError::NonNegativeExtension(bind.gap_ext));
-    }
+    bind.theta_check(spec.affine)?;
     let gap = if spec.affine {
-        let theta = bind.gap_open - bind.gap_ext;
-        if theta > 0 {
-            return Err(BindError::PositiveTheta(theta));
-        }
-        GapModel::affine(theta, bind.gap_ext)
+        GapModel::affine(bind.theta(), bind.gap_ext)
     } else {
         GapModel::linear(bind.gap_ext)
     };
@@ -123,6 +135,71 @@ mod tests {
             let cfg = spec_to_config(&spec, bind(), &BLOSUM62).unwrap();
             assert_eq!(cfg.label(), label);
         }
+    }
+
+    /// The θ = 0 boundary (`gap_open == gap_ext`) is legal: the
+    /// affine system degenerates to linear, and the degenerate config
+    /// scores identically to the genuinely linear one.
+    #[test]
+    fn theta_zero_boundary_accepted_and_degenerates_to_linear() {
+        let spec = analyze(&parse_program(crate::ALG1_SMITH_WATERMAN_AFFINE).unwrap()).unwrap();
+        let edge = GapBindings {
+            gap_open: -2,
+            gap_ext: -2,
+        };
+        assert_eq!(edge.theta(), 0);
+        assert_eq!(edge.theta_check(true), Ok(()));
+        let cfg = spec_to_config(&spec, edge, &BLOSUM62).unwrap();
+        assert_eq!(cfg.gap, GapModel::affine(0, -2));
+
+        let linear = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        let mut rng = seeded_rng(77);
+        let q = named_query(&mut rng, 60);
+        let s = PairSpec::new(Level::Md, Level::Md)
+            .generate(&mut rng, &q)
+            .subject;
+        assert_eq!(
+            paradigm_dp(&cfg, &q, &s).score,
+            paradigm_dp(&linear, &q, &s).score,
+            "θ = 0 affine must score exactly like linear"
+        );
+    }
+
+    /// The two `BindError` checks treat their boundaries
+    /// consistently: extension is strict (0 rejected — free unbounded
+    /// gaps), θ is inclusive (0 accepted — the degenerate edge).
+    #[test]
+    fn boundary_strictness_is_consistent() {
+        for affine in [false, true] {
+            assert_eq!(
+                GapBindings {
+                    gap_open: -2,
+                    gap_ext: 0
+                }
+                .theta_check(affine),
+                Err(BindError::NonNegativeExtension(0)),
+                "ext = 0 must be rejected (affine={affine})"
+            );
+        }
+        // θ = 0 accepted for affine; θ only matters when affine.
+        assert_eq!(
+            GapBindings {
+                gap_open: -3,
+                gap_ext: -3
+            }
+            .theta_check(true),
+            Ok(())
+        );
+        // A positive θ is rejected for affine but irrelevant for
+        // linear kernels (GAP_OPEN is unused there).
+        let pos = GapBindings {
+            gap_open: -1,
+            gap_ext: -5,
+        };
+        assert_eq!(pos.theta_check(true), Err(BindError::PositiveTheta(4)));
+        assert_eq!(pos.theta_check(false), Ok(()));
+        let spec = analyze(&parse_program(crate::SMITH_WATERMAN_LINEAR).unwrap()).unwrap();
+        assert!(spec_to_config(&spec, pos, &BLOSUM62).is_ok());
     }
 
     #[test]

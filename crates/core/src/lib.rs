@@ -25,6 +25,8 @@
 
 pub mod banded;
 pub mod config;
+#[cfg(feature = "conformance")]
+pub mod conformance;
 pub mod hirschberg;
 pub mod inter;
 pub mod kernel;

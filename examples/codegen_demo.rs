@@ -1,10 +1,12 @@
 //! Code-translation demo: the AAlign framework pipeline end to end.
 //!
 //! Takes the paper's Alg. 1 (sequential Smith-Waterman, affine gaps)
-//! as *text*, parses it, analyzes the AST per Sec. V-D, prints the
-//! extracted configuration, emits the specialized Rust kernel
-//! source, and finally runs the extracted configuration through the
-//! vector kernels to show it scores identically to a hand-built one.
+//! as *text*, parses it, analyzes the AST per Sec. V-D, proves its
+//! conformance obligations and differential-tests the bound spec
+//! ("verify, then generate" — DESIGN.md §12), prints the extracted
+//! configuration, emits the specialized Rust kernel source, and
+//! finally runs the extracted configuration through the vector
+//! kernels to show it scores identically to a hand-built one.
 //!
 //! Run: `cargo run --release --example codegen_demo`
 
@@ -14,7 +16,9 @@ use aalign::codegen::emit::GapBindings;
 use aalign::codegen::{
     analyze, emit_rust_kernel, parse_program, spec_to_config, ALG1_SMITH_WATERMAN_AFFINE,
 };
+use aalign::core::conformance::EnumBounds;
 use aalign::{AlignConfig, Aligner, GapModel, Strategy};
+use aalign_analyzer::{prove_kernel, verify_spec};
 
 fn main() {
     println!("== input sequential kernel (paper Alg. 1) ==");
@@ -50,11 +54,34 @@ fn main() {
     );
     println!();
 
-    // 3. Emit the specialized Rust kernel.
+    // 3. Verify, then generate (DESIGN.md §12): symbolically prove the
+    //    Eq.(2)→Eq.(3–6) rewrite obligations on the recurrence text,
+    //    then differential-test the bound spec against paradigm_dp over
+    //    every short DNA pair before emitting any code.
     let bindings = GapBindings {
         gap_open: -12, // the paper's GAP_OPEN = θ+β
         gap_ext: -2,   // GAP_EXT = β
     };
+    let proof = prove_kernel("alg1", ALG1_SMITH_WATERMAN_AFFINE).expect("provable");
+    println!("== conformance obligations ==");
+    for o in &proof.obligations {
+        println!("  [{}] {}", o.status.word(), o.id);
+    }
+    assert!(proof.is_discharged());
+    let bounds = EnumBounds {
+        alphabet_size: 2,
+        max_len: 3,
+    };
+    let diff = verify_spec(&spec, bindings, 2, -3, &bounds).expect("legal bindings");
+    let checks: u64 = diff.stats.iter().map(|s| s.checks).sum();
+    println!(
+        "  differential harness: {} pairs, {checks} checks, {} mismatches",
+        diff.pairs, diff.mismatch_count
+    );
+    assert!(diff.mismatch_count == 0 && diff.violations.is_empty());
+    println!();
+
+    // 4. Emit the specialized Rust kernel.
     let rust_src = emit_rust_kernel(&spec, bindings);
     println!(
         "== generated Rust kernel ({} lines) ==",
@@ -65,7 +92,7 @@ fn main() {
     }
     println!("  ... (truncated)\n");
 
-    // 4. Bind constants and run through the runtime kernels.
+    // 5. Bind constants and run through the runtime kernels.
     let cfg = spec_to_config(&spec, bindings, &BLOSUM62).expect("valid bindings");
     let hand = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
 

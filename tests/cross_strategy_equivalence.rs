@@ -80,6 +80,27 @@ proptest! {
         );
     }
 
+    /// Larger-bound literal ≡ dp, focused on the affine + global
+    /// corner: the general test above stays at length 24 because the
+    /// Eq.(2) literal scan is cubic, but affine global alignments are
+    /// where long gap chains and the U/L fold actually diverge if the
+    /// rewrite is wrong, so push those to length 64.
+    #[test]
+    fn literal_agrees_with_dp_affine_global_at_larger_lengths(
+        q in proptest::collection::vec(0u8..20, 32..=64)
+            .prop_map(|idx| Sequence::from_indices("prop", &aalign::bio::alphabet::PROTEIN, idx)),
+        s in proptest::collection::vec(0u8..20, 32..=64)
+            .prop_map(|idx| Sequence::from_indices("prop", &aalign::bio::alphabet::PROTEIN, idx)),
+        (open, ext) in (-15i32..=0, -6i32..-1),
+        kind in prop_oneof![Just(AlignKind::Global), Just(AlignKind::SemiGlobal)],
+    ) {
+        let cfg = AlignConfig::new(kind, GapModel::affine(open, ext), &BLOSUM62);
+        prop_assert_eq!(
+            paradigm_literal(&cfg, &q, &s).score,
+            paradigm_dp(&cfg, &q, &s).score
+        );
+    }
+
     #[test]
     fn auto_width_always_matches_fixed32(
         q in protein_seq(60),

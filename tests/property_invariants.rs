@@ -148,4 +148,55 @@ proptest! {
             prop_assert_eq!(out.score, gap.gap_score(q.len()));
         }
     }
+
+    /// The conformance harness's pair enumeration is deterministic
+    /// (two independent enumerations agree element-wise), canonical
+    /// (length-ascending, then lexicographic), and complete (exactly
+    /// Σ aᵏ sequences) — the properties the pinned baseline and the
+    /// bit-exact differential comparison rest on.
+    #[test]
+    fn conformance_enumeration_is_deterministic_and_canonical(
+        alphabet in 1u8..4,
+        min_len in 0usize..3,
+        extra in 0usize..3,
+    ) {
+        use aalign::core::conformance::enumerate_indices;
+        let max_len = min_len + extra;
+        let first = enumerate_indices(alphabet, min_len, max_len);
+        let second = enumerate_indices(alphabet, min_len, max_len);
+        prop_assert_eq!(&first, &second, "enumeration must be reproducible");
+        for w in first.windows(2) {
+            let ordered = w[0].len() < w[1].len()
+                || (w[0].len() == w[1].len() && w[0] < w[1]);
+            prop_assert!(ordered, "out of order: {:?} then {:?}", w[0], w[1]);
+        }
+        let want: usize = (min_len..=max_len)
+            .map(|l| (alphabet as usize).pow(l as u32))
+            .sum();
+        prop_assert_eq!(first.len(), want);
+        prop_assert!(first.iter().all(|s| s.iter().all(|&r| r < alphabet)));
+    }
+
+    /// A differential run over one configuration is itself
+    /// deterministic: identical inputs produce an identical report
+    /// (counters, skip counts, violations — everything `Eq` sees).
+    #[test]
+    fn conformance_config_reports_are_deterministic(
+        kind in prop_oneof![
+            Just(AlignKind::Local),
+            Just(AlignKind::Global),
+            Just(AlignKind::SemiGlobal),
+        ],
+        affine in any::<bool>(),
+    ) {
+        use aalign::bio::SubstMatrix;
+        use aalign::core::conformance::{run_config, EnumBounds};
+        let gap = if affine { GapModel::affine(-3, -1) } else { GapModel::linear(-2) };
+        let matrix = SubstMatrix::dna(2, -3);
+        let cfg = AlignConfig::new(kind, gap, &matrix);
+        let bounds = EnumBounds { alphabet_size: 2, max_len: 2 };
+        let a = run_config(&cfg, &bounds, None);
+        let b = run_config(&cfg, &bounds, None);
+        prop_assert_eq!(a, b);
+    }
 }

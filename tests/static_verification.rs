@@ -1,14 +1,18 @@
 //! Tier-1 wiring for the static passes in `aalign-analyzer`: every
 //! `cargo test` run verifies the builtin kernels' dataflow legality,
 //! the range analysis the runtime width policy relies on, the
-//! unsafe-SIMD audit of the backend sources, and the
-//! atomics-discipline lint over the concurrent crates — so a change
-//! that breaks a static guarantee fails the main suite, not just the
-//! analyzer's.
+//! unsafe-SIMD audit of the backend sources, the atomics-discipline
+//! lint over the concurrent crates, and the kernel conformance layer
+//! (symbolic proof obligations + the bounded-exhaustive differential
+//! harness) — so a change that breaks a static guarantee fails the
+//! main suite, not just the analyzer's.
 
 use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
 use aalign_analyzer::concurrency::{default_concurrency_dirs, scan_dirs, CONCURRENCY_BASELINE};
-use aalign_analyzer::{analyze_range, verify_dataflow};
+use aalign_analyzer::conformance::{
+    builtin_sources, run_conformance_pass, CONFORMANCE_BASELINE, UNJUSTIFIABLE_FIXTURE,
+};
+use aalign_analyzer::{analyze_range, prove_kernel, verify_dataflow, ObligationStatus};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_codegen::emit::GapBindings;
 use aalign_codegen::{analyze, parse_program};
@@ -175,4 +179,85 @@ fn concurrent_crates_stay_disciplined() {
         "atomics inventory drift:\n{}",
         problems.join("\n")
     );
+}
+
+/// Every shipped recurrence discharges its conformance obligations —
+/// the symbolic proof that the Eq.(2)→Eq.(3–6) rewrite is
+/// score-preserving — and the differential harness finds every vector
+/// kernel bit-exact against `paradigm_dp` at the CI bounds. The full
+/// inventory (obligations × kernels + harness variant coverage) is
+/// pinned, exactly like the atomics baseline.
+#[test]
+fn conformance_obligations_discharge_and_harness_is_bit_exact() {
+    let sources: Vec<(String, String)> = builtin_sources()
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    let pass = run_conformance_pass(&sources).unwrap();
+    for proof in &pass.proofs {
+        assert!(
+            proof.is_discharged(),
+            "{} has undischarged obligations:\n{}",
+            proof.kernel,
+            proof
+                .failures()
+                .iter()
+                .map(|o| format!("{}: {}", o.id, o.detail))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    assert!(
+        pass.harness.is_bit_exact(),
+        "harness mismatches: {}",
+        pass.harness.summary()
+    );
+    let drift = pass.check_baseline(CONFORMANCE_BASELINE);
+    assert!(
+        drift.is_empty(),
+        "conformance inventory drift (regenerate with `aalign-analyzer conformance \
+         --print-baseline`):\n{}",
+        drift.join("\n")
+    );
+}
+
+/// A recurrence that *classifies* fine but cannot be justified — its
+/// column-gap family opens from the previous row — must come back as
+/// a failed obligation with a caret diagnostic, not a panic.
+#[test]
+fn unjustifiable_recurrence_reports_instead_of_panicking() {
+    let proof = prove_kernel("fixture", UNJUSTIFIABLE_FIXTURE).unwrap();
+    assert!(!proof.is_discharged());
+    let col = proof
+        .obligations
+        .iter()
+        .find(|o| o.id == "eq2-col-unroll")
+        .unwrap();
+    assert_eq!(col.status, ObligationStatus::Failed);
+    let rendered = col.render(UNJUSTIFIABLE_FIXTURE);
+    assert!(
+        rendered.contains("-->") && rendered.contains('^'),
+        "{rendered}"
+    );
+}
+
+/// The mutation self-test has teeth: perturbing any single max/gap
+/// term on the kernel side must produce at least one mismatch at the
+/// CI bounds — otherwise the harness could not catch a real bug of
+/// that shape either.
+#[test]
+fn seeded_mutations_are_caught_by_the_harness() {
+    use aalign_core::conformance::{run_harness, HarnessOptions, Mutation};
+    for mutation in Mutation::ALL {
+        let opts = HarnessOptions {
+            mutation: Some(mutation),
+            ..HarnessOptions::ci()
+        };
+        let report = run_harness(&opts);
+        assert!(
+            !report.is_bit_exact(),
+            "mutation `{}` was NOT caught",
+            mutation.name()
+        );
+    }
 }
