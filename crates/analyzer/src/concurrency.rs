@@ -1,8 +1,8 @@
 //! Atomics-discipline lint (pass 4).
 //!
 //! A dependency-free, text-level pass over the concurrent crates
-//! (`crates/par/src`, `crates/obs/src`) enforcing the workspace's
-//! memory-ordering discipline:
+//! (`crates/par/src`, `crates/obs/src`, `crates/serve/src`) enforcing
+//! the workspace's memory-ordering discipline:
 //!
 //! 1. **Every atomic operation carries a justification.** A line
 //!    performing an atomic `load`/`store`/`swap`/`fetch_*`/
@@ -390,6 +390,7 @@ pub fn default_concurrency_dirs() -> Vec<(String, PathBuf)> {
     vec![
         ("par".to_string(), root.join("../par/src")),
         ("obs".to_string(), root.join("../obs/src")),
+        ("serve".to_string(), root.join("../serve/src")),
     ]
 }
 

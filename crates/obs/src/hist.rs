@@ -111,6 +111,50 @@ impl Histogram {
         }
     }
 
+    /// Exact inverse of [`bucket_upper`](Self::bucket_upper): the
+    /// bucket index whose inclusive upper bound is `upper`, or `None`
+    /// if `upper` is not a log2 bucket boundary. This is what lets a
+    /// serialized `(upper, count)` pair list be mapped back onto the
+    /// fixed bucket array losslessly.
+    pub fn bucket_index(upper: u64) -> Option<usize> {
+        match upper {
+            0 => Some(0),
+            u64::MAX => Some(64),
+            u => {
+                // upper == 2^i - 1  ⟺  upper + 1 is a power of two.
+                if u.wrapping_add(1).is_power_of_two() {
+                    Some(64 - u.leading_zeros() as usize)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Rebuild a histogram from serialized parts: occupied buckets as
+    /// `(inclusive_upper_bound, count)` pairs (the shape produced by
+    /// [`occupied`](Self::occupied)) plus the saturating `sum` and
+    /// the `max` sample. Returns `None` when an upper bound is not a
+    /// bucket boundary or the parts are inconsistent (samples with a
+    /// zero count, or `sum`/`max` nonzero on an empty histogram).
+    pub fn from_parts<I>(buckets: I, sum: u64, max: u64) -> Option<Self>
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        let mut h = Histogram::new();
+        for (upper, count) in buckets {
+            let idx = Self::bucket_index(upper)?;
+            h.counts[idx] = h.counts[idx].saturating_add(count);
+            h.count = h.count.saturating_add(count);
+        }
+        if h.count == 0 && (sum != 0 || max != 0) {
+            return None;
+        }
+        h.sum = sum;
+        h.max = max;
+        Some(h)
+    }
+
     /// Upper bound of the bucket containing the `q`-quantile
     /// (`q` clamped to `[0, 1]`); `0` for an empty histogram. The
     /// log2 buckets make this an upper estimate within 2× of the true

@@ -20,6 +20,13 @@
 //! * [`report`] — reconstruction of the hybrid decision timeline
 //!   (column ranges per strategy, switch points, probe outcomes)
 //!   from a parsed trace — the `aalign trace-report` backend.
+//! * [`wire`] — the versioned wire substrate: a full recursive
+//!   [`JsonValue`] parser/renderer (the flat [`jsonl`] format can't
+//!   express nested service documents), `schema_version` stamping
+//!   and checking, stable error envelopes, and lossless histogram
+//!   serialization. Every machine-readable surface — CLI `--metrics-format`,
+//!   the `aalign-serve` HTTP and JSON-RPC front ends — speaks this
+//!   format.
 //!
 //! The crate sits at the bottom of the dependency stack (it depends
 //! on nothing), so `aalign-core` can emit events from inside the
@@ -31,9 +38,11 @@ pub mod hist;
 pub mod jsonl;
 pub mod report;
 pub mod sink;
+pub mod wire;
 
 pub use event::{HybridEvent, ProbeOutcome, StrategyKind, TraceEvent};
 pub use hist::Histogram;
 pub use jsonl::{event_to_json, parse_line, read_events, ParseError, TraceWriter};
 pub use report::{StrategySegment, SubjectTimeline, TraceReport};
 pub use sink::{CollectorSink, NullSink, SharedCollector, TraceSink};
+pub use wire::{JsonValue, WireError, SCHEMA_VERSION};

@@ -1209,6 +1209,9 @@ impl SearchEngine {
                 width_retries,
                 rescued,
                 rescue_widths,
+                // Batching happens above the engine: a serving
+                // dispatcher stamps the follower count post-hoc.
+                coalesced: 0,
                 workers_respawned: self.workers_respawned(),
                 peak_hits_buffered,
                 latency,

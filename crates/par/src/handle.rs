@@ -1,0 +1,127 @@
+//! Engine-sharing façade: a cheaply clonable, thread-safe handle to
+//! one [`SearchEngine`].
+//!
+//! The CLI, the batch pipeline, and the `aalign-serve` dispatcher all
+//! construct their engine through this one type, so there is a single
+//! code path from "requested thread count" to "running pool" — the
+//! per-call-site plumbing the one-shot helpers used to duplicate.
+//!
+//! [`EngineHandle`] is `Clone + Send + Sync` (an `Arc` around the
+//! engine, which is itself `Sync`), so a server can hand one clone to
+//! every connection thread while they all share the same worker pool,
+//! scratch buffers, and lifetime counters. It derefs to
+//! [`SearchEngine`], so every engine method is available directly:
+//!
+//! ```
+//! use aalign_par::{EngineHandle, SearchOptions};
+//! use aalign_core::{AlignConfig, Aligner, GapModel};
+//! use aalign_bio::matrices::BLOSUM62;
+//! use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+//!
+//! let engine = EngineHandle::new(2);
+//! let worker = engine.clone(); // shares the same pool
+//! let mut rng = seeded_rng(1);
+//! let query = named_query(&mut rng, 40);
+//! let db = swissprot_like_db(2, 8);
+//! let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62));
+//! let report = worker.search(&aligner, &query, &db, &SearchOptions::new()).unwrap();
+//! assert_eq!(report.hits.len(), 8);
+//! ```
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::engine::{resolve_threads, SearchEngine, INTER_BATCH};
+
+/// Clonable, `Send + Sync` handle to a shared [`SearchEngine`].
+///
+/// All clones drive the same worker pool; the pool shuts down when
+/// the last clone drops. See the [module docs](self) for the sharing
+/// model.
+#[derive(Debug, Clone)]
+pub struct EngineHandle {
+    inner: Arc<SearchEngine>,
+}
+
+impl EngineHandle {
+    /// Spin up a pool of `threads` workers (0 = available
+    /// parallelism) and wrap it in a shared handle.
+    pub fn new(threads: usize) -> Self {
+        Self::from(SearchEngine::new(resolve_threads(threads)))
+    }
+
+    /// Handle sized for a single run over `work_items` work items:
+    /// `threads` is resolved (0 = available parallelism) and then
+    /// capped at `work_items`, so a one-shot search over a tiny
+    /// database never spawns idle workers. This is the construction
+    /// path the one-shot helpers ([`search_database`],
+    /// [`search_pipeline`], …) and the CLI share.
+    ///
+    /// [`search_database`]: crate::search_database
+    /// [`search_pipeline`]: crate::search_pipeline
+    pub fn transient(threads: usize, work_items: usize) -> Self {
+        Self::from(SearchEngine::new(
+            resolve_threads(threads).min(work_items.max(1)),
+        ))
+    }
+
+    /// Handle sized for a one-shot *inter-sequence* sweep over a
+    /// database of `subjects`: work items are the engine's 16-subject
+    /// lane batches, so the pool is capped at the batch count rather
+    /// than the subject count.
+    pub fn transient_inter(threads: usize, subjects: usize) -> Self {
+        Self::transient(threads, subjects.div_ceil(INTER_BATCH))
+    }
+
+    /// Borrow the underlying engine (equivalent to deref).
+    pub fn engine(&self) -> &SearchEngine {
+        &self.inner
+    }
+}
+
+impl From<SearchEngine> for EngineHandle {
+    fn from(engine: SearchEngine) -> Self {
+        Self {
+            inner: Arc::new(engine),
+        }
+    }
+}
+
+impl Deref for EngineHandle {
+    type Target = SearchEngine;
+
+    fn deref(&self) -> &SearchEngine {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_is_send_sync_and_clonable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<EngineHandle>();
+    }
+
+    #[test]
+    fn transient_caps_pool_at_work_items() {
+        assert_eq!(EngineHandle::transient(8, 3).threads(), 3);
+        assert_eq!(EngineHandle::transient(2, 100).threads(), 2);
+        // Empty work still gets one worker (errors must surface).
+        assert_eq!(EngineHandle::transient(4, 0).threads(), 1);
+        // Inter mode counts lane batches, not subjects.
+        assert_eq!(
+            EngineHandle::transient_inter(8, INTER_BATCH * 2).threads(),
+            2
+        );
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = EngineHandle::new(2);
+        let b = a.clone();
+        assert!(std::ptr::eq(a.engine(), b.engine()));
+    }
+}

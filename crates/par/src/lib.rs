@@ -18,20 +18,32 @@
 //!
 //! One-shot helpers ([`search_database`], [`search_database_inter`],
 //! [`search_pipeline`]) are thin wrappers that build a transient
-//! engine; results are identical either way.
+//! engine through the shared [`EngineHandle`] construction path;
+//! results are identical either way. Long-lived consumers (the CLI's
+//! repeated queries, `aalign-serve`) hold an [`EngineHandle`] — a
+//! `Clone + Send + Sync` `Arc` façade over the engine — so every
+//! layer shares one pool through one code path.
+//!
+//! The [`wire`] module is the versioned JSON wire format for
+//! [`Hit`], [`SearchMetrics`], [`SearchReport`], and
+//! `AlignError` — the single representation shared by the CLI's
+//! machine-readable output and the serve front ends.
 
 pub mod engine;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod handle;
 pub mod metrics;
 pub mod pipeline;
 pub mod protocol;
 pub mod search;
 pub(crate) mod sync;
+pub mod wire;
 
 pub use engine::SearchEngine;
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
+pub use handle::EngineHandle;
 pub use metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
 pub use pipeline::{search_pipeline, PipelineHit, PipelineOptions, PipelineReport};
 pub use search::{search_database, search_database_inter, Hit, SearchOptions, SearchReport};

@@ -147,6 +147,12 @@ pub struct SearchMetrics {
     /// the width that overflowed, so `8` dominating means the 8-bit
     /// lane budget is too tight for this database.
     pub rescue_widths: Histogram,
+    /// Other requests that coalesced onto this query's prepared
+    /// profile instead of running their own sweep. Always `0` for
+    /// direct engine calls; a serving dispatcher
+    /// (`aalign-serve`) stamps the follower count here before fanning
+    /// the shared report out, so batching is observable per response.
+    pub coalesced: u64,
     /// Worker threads the engine has respawned over its lifetime
     /// after a death mid-job (pool self-healing). Zero on a healthy
     /// engine.
@@ -216,6 +222,13 @@ impl SearchMetrics {
         if self.workers_respawned > 0 {
             let _ = writeln!(s, "pool: {} workers respawned", self.workers_respawned);
         }
+        if self.coalesced > 0 {
+            let _ = writeln!(
+                s,
+                "batching: {} request(s) coalesced onto this query profile",
+                self.coalesced
+            );
+        }
         if !self.latency.is_empty() {
             let us = |ns: u64| ns as f64 / 1e3;
             let _ = writeln!(
@@ -244,66 +257,17 @@ impl SearchMetrics {
         s
     }
 
-    /// Render as a single JSON object (durations in microseconds,
-    /// histograms as compact summaries). Machine-readable counterpart
-    /// of [`summary`](SearchMetrics::summary); the CLI's
-    /// `--metrics-format json`.
+    /// Render as a single versioned JSON object (durations in
+    /// microseconds, histograms with lossless bucket detail).
+    /// Machine-readable counterpart of
+    /// [`summary`](SearchMetrics::summary); the CLI's
+    /// `--metrics-format json`. This is exactly
+    /// [`wire::metrics_to_wire`](crate::wire::metrics_to_wire)
+    /// rendered — the same document the `aalign-serve` front ends
+    /// return — and it decodes back via
+    /// [`wire::metrics_from_wire`](crate::wire::metrics_from_wire).
     pub fn to_json(&self) -> String {
-        use std::fmt::Write as _;
-        let us = |d: Duration| d.as_micros();
-        let k = &self.kernel_stats;
-        let mut s = String::new();
-        let _ = write!(
-            s,
-            "{{\"prepare_us\":{},\"sweep_us\":{},\"merge_us\":{},\"total_us\":{},\
-             \"cells\":{},\"gcups\":{:.4},",
-            us(self.prepare),
-            us(self.sweep),
-            us(self.merge),
-            us(self.total),
-            self.cells,
-            self.gcups,
-        );
-        let _ = write!(
-            s,
-            "\"kernel\":{{\"lazy_iters\":{},\"lazy_sweeps\":{},\"iterate_columns\":{},\
-             \"scan_columns\":{},\"switches_to_scan\":{},\"probes_stayed\":{}}},",
-            k.lazy_iters,
-            k.lazy_sweeps,
-            k.iterate_columns,
-            k.scan_columns,
-            k.switches_to_scan,
-            k.probes_stayed,
-        );
-        let _ = write!(
-            s,
-            "\"width_retries\":{},\"rescued\":{},\"rescue_width_bits\":{},\
-             \"workers_respawned\":{},\"peak_hits_buffered\":{},\"latency_ns\":{},\
-             \"worker_load_residues\":{},\"workers\":[",
-            self.width_retries,
-            self.rescued,
-            self.rescue_widths.to_json(),
-            self.workers_respawned,
-            self.peak_hits_buffered,
-            self.latency.to_json(),
-            self.worker_load.to_json(),
-        );
-        for (i, w) in self.per_worker.iter().enumerate() {
-            let _ = write!(
-                s,
-                "{}{{\"id\":{},\"subjects\":{},\"residues\":{},\"busy_us\":{},\
-                 \"scratch_bytes\":{},\"queries_on_worker\":{}}}",
-                if i == 0 { "" } else { "," },
-                w.worker_id,
-                w.subjects,
-                w.residues,
-                us(w.busy),
-                w.scratch_bytes,
-                w.queries_on_worker,
-            );
-        }
-        let _ = write!(s, "]}}");
-        s
+        crate::wire::metrics_to_wire(self).render()
     }
 
     /// Render in the Prometheus text exposition format (gauges for
@@ -383,6 +347,11 @@ impl SearchMetrics {
             "aalign_rescued_total",
             "Subjects re-aligned at a wider width after lane saturation.",
             self.rescued as f64,
+        );
+        gauge(
+            "aalign_coalesced_total",
+            "Requests coalesced onto this query's prepared profile.",
+            self.coalesced as f64,
         );
         gauge(
             "aalign_workers_respawned_total",
@@ -501,6 +470,8 @@ mod tests {
         let j = populated().to_json();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         for key in [
+            "\"schema_version\"",
+            "\"coalesced\"",
             "\"prepare_us\"",
             "\"sweep_us\"",
             "\"merge_us\"",
@@ -529,6 +500,7 @@ mod tests {
             "aalign_sweep_seconds",
             "aalign_gcups",
             "aalign_rescued_total",
+            "aalign_coalesced_total",
             "aalign_workers_respawned_total",
             "aalign_kernel_iterate_columns_total",
             "aalign_work_item_seconds_bucket",

@@ -22,7 +22,8 @@ use aalign_bio::{SeqDatabase, Sequence};
 use aalign_core::traceback::{traceback_align, Alignment};
 use aalign_core::{AlignConfig, AlignError, Aligner, Strategy};
 
-use crate::engine::{resolve_threads, SearchEngine};
+use crate::engine::SearchEngine;
+use crate::handle::EngineHandle;
 use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress};
 use crate::search::SearchOptions;
 
@@ -276,8 +277,7 @@ pub fn search_pipeline(
     db: &SeqDatabase,
     opts: PipelineOptions,
 ) -> Result<PipelineReport, AlignError> {
-    let pool = resolve_threads(opts.threads).min(db.len().max(1));
-    SearchEngine::new(pool).pipeline(cfg, query, db, &opts)
+    EngineHandle::transient(opts.threads, db.len()).pipeline(cfg, query, db, &opts)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 //! Everything that makes the multithreaded sweep *correct* — the
 //! sharded dynamic work binding, the cross-worker progress counters,
 //! and the per-worker trace-batch publication — lives here as three
-//! small types built on [`crate::sync`]. The engine composes them in
+//! small types built on `crate::sync`. The engine composes them in
 //! `run_sweep_worker`; the loom suites (`tests/loom_*.rs`, run with
 //! `RUSTFLAGS="--cfg loom" cargo test -p aalign-par`) compose them
 //! the same way and exhaustively explore the interleavings, checking:

@@ -1,12 +1,12 @@
 //! The dynamic-binding database search: options, reports, and the
-//! one-shot drivers (thin wrappers over [`SearchEngine`]).
+//! one-shot drivers (thin wrappers over [`SearchEngine`](crate::SearchEngine)).
 
 use aalign_bio::SeqDatabase;
 use aalign_bio::Sequence;
 use aalign_core::{AlignError, Aligner};
 use aalign_obs::TraceEvent;
 
-use crate::engine::{resolve_threads, SearchEngine, INTER_BATCH};
+use crate::handle::EngineHandle;
 use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress};
 
 /// One database hit.
@@ -40,7 +40,7 @@ pub struct Hit {
 #[non_exhaustive]
 pub struct SearchOptions {
     /// Worker thread count for the one-shot drivers
-    /// (0 = available parallelism). A persistent [`SearchEngine`]
+    /// (0 = available parallelism). A persistent [`SearchEngine`](crate::SearchEngine)
     /// uses its own pool size instead.
     pub threads: usize,
     /// Keep only the best `top_n` hits (0 = keep every hit). When
@@ -247,9 +247,9 @@ pub struct SearchReport {
 /// (the paper's dynamic binding); each worker owns one scratch
 /// buffer set, so the hot loop does not allocate.
 ///
-/// This is a one-shot convenience over [`SearchEngine`]: it spins a
+/// This is a one-shot convenience over [`SearchEngine`](crate::SearchEngine): it spins a
 /// transient pool up and down per call. To serve many queries, hold a
-/// [`SearchEngine`] and call [`SearchEngine::search`] — same results,
+/// [`SearchEngine`](crate::SearchEngine) and call [`SearchEngine::search`](crate::SearchEngine::search) — same results,
 /// zero per-query thread and allocation setup.
 pub fn search_database(
     aligner: &Aligner,
@@ -257,8 +257,7 @@ pub fn search_database(
     db: &SeqDatabase,
     opts: SearchOptions,
 ) -> Result<SearchReport, AlignError> {
-    let pool = resolve_threads(opts.threads).min(db.len().max(1));
-    SearchEngine::new(pool).search(aligner, query, db, &opts)
+    EngineHandle::transient(opts.threads, db.len()).search(aligner, query, db, &opts)
 }
 
 /// Inter-sequence database search (extension): batches of 16
@@ -266,16 +265,14 @@ pub fn search_database(
 /// wins for databases of short sequences. Results are identical to
 /// [`search_database`]; only the vectorization axis differs.
 ///
-/// One-shot wrapper over [`SearchEngine::search_inter`].
+/// One-shot wrapper over [`SearchEngine::search_inter`](crate::SearchEngine::search_inter).
 pub fn search_database_inter(
     cfg: &aalign_core::AlignConfig,
     query: &Sequence,
     db: &SeqDatabase,
     opts: SearchOptions,
 ) -> Result<SearchReport, AlignError> {
-    let batches = db.len().div_ceil(INTER_BATCH).max(1);
-    let pool = resolve_threads(opts.threads).min(batches);
-    SearchEngine::new(pool).search_inter(cfg, query, db, &opts)
+    EngineHandle::transient_inter(opts.threads, db.len()).search_inter(cfg, query, db, &opts)
 }
 
 #[cfg(test)]

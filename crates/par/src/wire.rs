@@ -1,0 +1,324 @@
+//! Versioned wire conversions for the search types: one stable JSON
+//! shape for [`Hit`], [`SearchMetrics`], [`SearchReport`], and
+//! [`AlignError`], shared verbatim by the CLI's `--metrics-format
+//! json`, partial-result reporting on stderr, and the `aalign-serve`
+//! HTTP / JSON-RPC front ends.
+//!
+//! Conventions (see [`aalign_obs::wire`]):
+//!
+//! * Top-level documents ([`metrics_to_wire`], [`report_to_wire`])
+//!   carry `"schema_version": 1` as their first key and are rejected
+//!   on re-read when the version differs.
+//! * Errors are `{"code", "message", …detail}` objects with stable
+//!   snake_case codes ([`error_to_wire`]); the `message` text carries
+//!   no stability promise.
+//! * Durations are serialized as integer microseconds (`*_us` keys),
+//!   so round-trips are lossless at microsecond resolution.
+//! * Histograms serialize their occupied log2 buckets and rebuild
+//!   bit-identically ([`aalign_obs::wire::histogram_to_wire`]).
+//! * [`SearchReport::trace_events`] is *not* part of the wire format
+//!   — traces have their own JSONL format ([`aalign_obs::jsonl`]) —
+//!   so a decoded report always has an empty trace.
+//!
+//! The exact rendered bytes are pinned by
+//! `crates/par/tests/wire_roundtrip.rs`; changing any key is a
+//! schema change and requires a [`SCHEMA_VERSION`] bump.
+
+use std::time::Duration;
+
+use aalign_core::{AlignError, RunStats};
+pub use aalign_obs::wire::SCHEMA_VERSION;
+use aalign_obs::wire::{
+    array_field, bool_field, check_version, f64_field, field, histogram_from_wire,
+    histogram_to_wire, obj, str_field, u64_field, versioned, JsonValue, WireError,
+};
+
+use crate::metrics::{SearchMetrics, WorkerMetrics};
+use crate::search::{Hit, SearchReport};
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// `{"db_index":…,"len":…,"score":…}` — one database hit.
+pub fn hit_to_wire(h: &Hit) -> JsonValue {
+    obj(vec![
+        ("db_index", h.db_index.into()),
+        ("len", h.len.into()),
+        ("score", (h.score as i64).into()),
+    ])
+}
+
+/// Decode one hit object.
+pub fn hit_from_wire(v: &JsonValue) -> Result<Hit, WireError> {
+    Ok(Hit {
+        db_index: u64_field(v, "db_index")? as usize,
+        len: u64_field(v, "len")? as usize,
+        score: i32::try_from(aalign_obs::wire::i64_field(v, "score")?)
+            .map_err(|_| WireError::new("hit score out of i32 range"))?,
+    })
+}
+
+/// Stable machine-readable code for an [`AlignError`] variant.
+pub fn error_code(e: &AlignError) -> &'static str {
+    match e {
+        AlignError::EmptyQuery => "empty_query",
+        AlignError::AlphabetMismatch { .. } => "alphabet_mismatch",
+        AlignError::Cancelled => "cancelled",
+        AlignError::DeadlineExceeded => "deadline_exceeded",
+        AlignError::WorkerPanicked { .. } => "worker_panicked",
+        AlignError::WorkerLost { .. } => "worker_lost",
+        // `AlignError` is #[non_exhaustive]; future variants fall
+        // back to a generic code until they are given one here.
+        _ => "align_error",
+    }
+}
+
+/// `{"code":…,"message":…,…detail}` — typed error object. Variant
+/// payloads ride as extra fields (`id`, `db_index`, `worker_id`,
+/// `payload`) so consumers never parse the human message.
+pub fn error_to_wire(e: &AlignError) -> JsonValue {
+    let mut fields: Vec<(&str, JsonValue)> = vec![
+        ("code", error_code(e).into()),
+        ("message", e.to_string().into()),
+    ];
+    match e {
+        AlignError::AlphabetMismatch { id } => {
+            fields.push(("id", id.as_str().into()));
+        }
+        AlignError::WorkerPanicked { db_index, payload } => {
+            fields.push(("db_index", (*db_index).into()));
+            fields.push(("payload", payload.as_str().into()));
+        }
+        AlignError::WorkerLost { worker_id, payload } => {
+            fields.push(("worker_id", (*worker_id).into()));
+            fields.push(("payload", payload.as_str().into()));
+        }
+        _ => {}
+    }
+    obj(fields)
+}
+
+/// Decode an error object back to the typed variant (codes this
+/// build does not know decode to an error).
+pub fn error_from_wire(v: &JsonValue) -> Result<AlignError, WireError> {
+    match str_field(v, "code")? {
+        "empty_query" => Ok(AlignError::EmptyQuery),
+        "alphabet_mismatch" => Ok(AlignError::AlphabetMismatch {
+            id: str_field(v, "id")?.to_string(),
+        }),
+        "cancelled" => Ok(AlignError::Cancelled),
+        "deadline_exceeded" => Ok(AlignError::DeadlineExceeded),
+        "worker_panicked" => Ok(AlignError::WorkerPanicked {
+            db_index: u64_field(v, "db_index")? as usize,
+            payload: str_field(v, "payload")?.to_string(),
+        }),
+        "worker_lost" => Ok(AlignError::WorkerLost {
+            worker_id: u64_field(v, "worker_id")? as usize,
+            payload: str_field(v, "payload")?.to_string(),
+        }),
+        other => Err(WireError::new(format!("unknown error code {other:?}"))),
+    }
+}
+
+/// Errors array for a report / response (`[{"code":…},…]`).
+pub fn errors_to_wire(errors: &[AlignError]) -> JsonValue {
+    JsonValue::Array(errors.iter().map(error_to_wire).collect())
+}
+
+fn kernel_to_wire(k: &RunStats) -> JsonValue {
+    obj(vec![
+        ("lazy_iters", k.lazy_iters.into()),
+        ("lazy_sweeps", k.lazy_sweeps.into()),
+        ("iterate_columns", k.iterate_columns.into()),
+        ("scan_columns", k.scan_columns.into()),
+        ("switches_to_scan", k.switches_to_scan.into()),
+        ("probes_stayed", k.probes_stayed.into()),
+    ])
+}
+
+fn kernel_from_wire(v: &JsonValue) -> Result<RunStats, WireError> {
+    Ok(RunStats {
+        lazy_iters: u64_field(v, "lazy_iters")?,
+        lazy_sweeps: u64_field(v, "lazy_sweeps")?,
+        iterate_columns: u64_field(v, "iterate_columns")? as usize,
+        scan_columns: u64_field(v, "scan_columns")? as usize,
+        switches_to_scan: u64_field(v, "switches_to_scan")? as usize,
+        probes_stayed: u64_field(v, "probes_stayed")? as usize,
+    })
+}
+
+fn worker_to_wire(w: &WorkerMetrics) -> JsonValue {
+    obj(vec![
+        ("id", w.worker_id.into()),
+        ("subjects", w.subjects.into()),
+        ("residues", w.residues.into()),
+        ("busy_us", duration_us(w.busy).into()),
+        ("scratch_bytes", w.scratch_bytes.into()),
+        ("queries_on_worker", w.queries_on_worker.into()),
+    ])
+}
+
+fn worker_from_wire(v: &JsonValue) -> Result<WorkerMetrics, WireError> {
+    Ok(WorkerMetrics {
+        worker_id: u64_field(v, "id")? as usize,
+        subjects: u64_field(v, "subjects")? as usize,
+        residues: u64_field(v, "residues")? as usize,
+        busy: Duration::from_micros(u64_field(v, "busy_us")?),
+        scratch_bytes: u64_field(v, "scratch_bytes")? as usize,
+        queries_on_worker: u64_field(v, "queries_on_worker")?,
+    })
+}
+
+/// Versioned metrics document — the single source of truth behind
+/// [`SearchMetrics::to_json`] and the server's per-response metrics.
+pub fn metrics_to_wire(m: &SearchMetrics) -> JsonValue {
+    versioned(vec![
+        ("prepare_us", duration_us(m.prepare).into()),
+        ("sweep_us", duration_us(m.sweep).into()),
+        ("merge_us", duration_us(m.merge).into()),
+        ("total_us", duration_us(m.total).into()),
+        ("cells", m.cells.into()),
+        ("gcups", m.gcups.into()),
+        ("kernel", kernel_to_wire(&m.kernel_stats)),
+        ("width_retries", m.width_retries.into()),
+        ("rescued", m.rescued.into()),
+        ("rescue_width_bits", histogram_to_wire(&m.rescue_widths)),
+        ("coalesced", m.coalesced.into()),
+        ("workers_respawned", m.workers_respawned.into()),
+        ("peak_hits_buffered", m.peak_hits_buffered.into()),
+        ("latency_ns", histogram_to_wire(&m.latency)),
+        ("worker_load_residues", histogram_to_wire(&m.worker_load)),
+        (
+            "workers",
+            JsonValue::Array(m.per_worker.iter().map(worker_to_wire).collect()),
+        ),
+    ])
+}
+
+/// Decode a metrics document (version-checked; lossless at
+/// microsecond duration resolution).
+pub fn metrics_from_wire(v: &JsonValue) -> Result<SearchMetrics, WireError> {
+    check_version(v)?;
+    Ok(SearchMetrics {
+        prepare: Duration::from_micros(u64_field(v, "prepare_us")?),
+        sweep: Duration::from_micros(u64_field(v, "sweep_us")?),
+        merge: Duration::from_micros(u64_field(v, "merge_us")?),
+        total: Duration::from_micros(u64_field(v, "total_us")?),
+        cells: u64_field(v, "cells")?,
+        gcups: f64_field(v, "gcups")?,
+        kernel_stats: kernel_from_wire(field(v, "kernel")?)?,
+        width_retries: u64_field(v, "width_retries")?,
+        rescued: u64_field(v, "rescued")?,
+        rescue_widths: histogram_from_wire(field(v, "rescue_width_bits")?)?,
+        coalesced: u64_field(v, "coalesced")?,
+        workers_respawned: u64_field(v, "workers_respawned")?,
+        peak_hits_buffered: u64_field(v, "peak_hits_buffered")? as usize,
+        latency: histogram_from_wire(field(v, "latency_ns")?)?,
+        worker_load: histogram_from_wire(field(v, "worker_load_residues")?)?,
+        per_worker: array_field(v, "workers")?
+            .iter()
+            .map(worker_from_wire)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+/// Versioned report document: hits, counters, partial flag, typed
+/// errors, and the full metrics block. Trace events are excluded by
+/// design (they have their own JSONL format).
+pub fn report_to_wire(r: &SearchReport) -> JsonValue {
+    versioned(vec![
+        ("partial", r.partial.into()),
+        ("threads_used", r.threads_used.into()),
+        ("subjects", r.subjects.into()),
+        ("total_residues", r.total_residues.into()),
+        (
+            "hits",
+            JsonValue::Array(r.hits.iter().map(hit_to_wire).collect()),
+        ),
+        ("errors", errors_to_wire(&r.errors)),
+        ("metrics", metrics_to_wire(&r.metrics)),
+    ])
+}
+
+/// Decode a report document (version-checked; `trace_events` comes
+/// back empty).
+pub fn report_from_wire(v: &JsonValue) -> Result<SearchReport, WireError> {
+    check_version(v)?;
+    Ok(SearchReport {
+        partial: bool_field(v, "partial")?,
+        threads_used: u64_field(v, "threads_used")? as usize,
+        subjects: u64_field(v, "subjects")? as usize,
+        total_residues: u64_field(v, "total_residues")? as usize,
+        hits: array_field(v, "hits")?
+            .iter()
+            .map(hit_from_wire)
+            .collect::<Result<Vec<_>, _>>()?,
+        errors: array_field(v, "errors")?
+            .iter()
+            .map(error_from_wire)
+            .collect::<Result<Vec<_>, _>>()?,
+        metrics: metrics_from_wire(field(v, "metrics")?)?,
+        trace_events: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_are_stable_and_round_trip() {
+        let samples = vec![
+            AlignError::EmptyQuery,
+            AlignError::AlphabetMismatch { id: "Q1".into() },
+            AlignError::Cancelled,
+            AlignError::DeadlineExceeded,
+            AlignError::WorkerPanicked {
+                db_index: 7,
+                payload: "boom".into(),
+            },
+            AlignError::WorkerLost {
+                worker_id: 2,
+                payload: "killed".into(),
+            },
+        ];
+        let codes: Vec<&str> = samples.iter().map(error_code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "empty_query",
+                "alphabet_mismatch",
+                "cancelled",
+                "deadline_exceeded",
+                "worker_panicked",
+                "worker_lost",
+            ]
+        );
+        for e in samples {
+            let wire = error_to_wire(&e);
+            let back = error_from_wire(&JsonValue::parse(&wire.render()).unwrap()).unwrap();
+            assert_eq!(back, e, "{}", wire.render());
+        }
+    }
+
+    #[test]
+    fn hit_round_trips_including_negative_scores() {
+        for score in [i32::MIN, -3, 0, 7, i32::MAX] {
+            let h = Hit {
+                db_index: 42,
+                len: 900,
+                score,
+            };
+            let back =
+                hit_from_wire(&JsonValue::parse(&hit_to_wire(&h).render()).unwrap()).unwrap();
+            assert_eq!(back, h);
+        }
+    }
+
+    #[test]
+    fn unknown_error_code_is_rejected() {
+        let v = JsonValue::parse(r#"{"code":"quantum_flux","message":"?"}"#).unwrap();
+        assert!(error_from_wire(&v).is_err());
+    }
+}

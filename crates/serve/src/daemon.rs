@@ -1,0 +1,186 @@
+//! Daemon lifecycle: bind a front end, run until SIGTERM/SIGINT (or
+//! a shutdown request), then drain gracefully.
+//!
+//! Graceful drain means: stop admitting ([`Dispatcher::begin_drain`]
+//! — new requests get a typed `draining` refusal), let every
+//! in-flight request finish, stop the accept loop, and only then
+//! exit. [`run_daemon`] returns `0` for a clean drain and `1` when
+//! the drain timeout expired with work still in flight.
+//!
+//! [`Dispatcher::begin_drain`]: crate::Dispatcher::begin_drain
+
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::dispatch::Dispatcher;
+use crate::http::serve_http;
+use crate::rpc::serve_stdio;
+
+/// Which transport the daemon speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// HTTP/JSON on a TCP listener.
+    Http,
+    /// Line-delimited JSON-RPC on stdin/stdout.
+    Stdio,
+}
+
+/// Daemon settings (transport, bind address, drain budget).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DaemonOptions {
+    /// Transport to serve.
+    pub front_end: FrontEnd,
+    /// Bind address for [`FrontEnd::Http`]; port 0 picks a free port
+    /// (the chosen address is announced on stdout).
+    pub addr: String,
+    /// How long to wait for in-flight requests during drain before
+    /// giving up and exiting dirty.
+    pub drain_timeout: Duration,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self {
+            front_end: FrontEnd::Http,
+            addr: "127.0.0.1:7691".to_string(),
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+impl DaemonOptions {
+    /// Select the transport.
+    pub fn front_end(mut self, fe: FrontEnd) -> Self {
+        self.front_end = fe;
+        self
+    }
+
+    /// Set the HTTP bind address.
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Set the drain budget.
+    pub fn drain_timeout(mut self, d: Duration) -> Self {
+        self.drain_timeout = d;
+        self
+    }
+}
+
+/// Minimal signal latch: SIGTERM/SIGINT set a flag the daemon loop
+/// polls. No allocation or locking happens in the handler.
+pub mod signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // The C library's `signal(2)`; std links libc on every
+        // supported platform. Used instead of sigaction to stay
+        // declaration-only.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // ORDER: Release — pairs with the Acquire in `terminated` so
+        // the poller sees the store; the only async-signal-safe
+        // action taken.
+        TERM.store(true, Ordering::Release);
+    }
+
+    /// Install the SIGTERM/SIGINT latch. Idempotent.
+    pub fn install() {
+        // SAFETY: `signal` is the libc function with its documented
+        // signature; `on_term` is an `extern "C" fn(i32)` whose body
+        // is a single atomic store, which is async-signal-safe. The
+        // returned previous handler is intentionally discarded.
+        let handler = on_term as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// True once SIGTERM or SIGINT has been received.
+    pub fn terminated() -> bool {
+        // ORDER: Acquire — pairs with the Release store in `on_term`.
+        TERM.load(Ordering::Acquire)
+    }
+
+    /// Reset the latch (tests only; a real daemon exits instead).
+    pub fn reset() {
+        // ORDER: Release — same discipline as the handler's store.
+        TERM.store(false, Ordering::Release);
+    }
+}
+
+/// Run the daemon until a termination signal or shutdown request,
+/// then drain. Returns the process exit code: `0` after a clean
+/// drain, `1` if in-flight requests outlived `drain_timeout`.
+pub fn run_daemon(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i32> {
+    signal::install();
+    match opts.front_end {
+        FrontEnd::Http => run_http(dispatcher, opts),
+        FrontEnd::Stdio => run_stdio(dispatcher, opts),
+    }
+}
+
+fn run_http(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i32> {
+    let listener = TcpListener::bind(&opts.addr)?;
+    let addr = listener.local_addr()?;
+    // Announced on stdout so scripts (and the CI smoke test) can
+    // scrape the port when binding to :0.
+    println!("aalign-serve listening on http://{addr}");
+    io::stdout().flush()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let d = Arc::clone(&dispatcher);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || serve_http(listener, d, stop))
+    };
+
+    while !signal::terminated() && !dispatcher.is_draining() {
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    dispatcher.begin_drain();
+    let clean = dispatcher.wait_idle(opts.drain_timeout);
+    // ORDER: Release — pairs with the Acquire poll in the accept
+    // loop; set after drain so requests racing the signal still get
+    // typed `draining` refusals rather than connection resets.
+    stop.store(true, Ordering::Release);
+    accept
+        .join()
+        .map_err(|_| io::Error::other("http accept thread panicked"))??;
+    report_drain(clean);
+    Ok(i32::from(!clean))
+}
+
+fn run_stdio(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i32> {
+    // stdout is the RPC channel, so the banner goes to stderr.
+    eprintln!("aalign-serve speaking JSON-RPC on stdio");
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_stdio(stdin.lock(), stdout.lock(), &dispatcher)?;
+    dispatcher.begin_drain();
+    let clean = dispatcher.wait_idle(opts.drain_timeout);
+    report_drain(clean);
+    Ok(i32::from(!clean))
+}
+
+fn report_drain(clean: bool) {
+    if clean {
+        eprintln!("aalign-serve: drained cleanly");
+    } else {
+        eprintln!("aalign-serve: drain timeout expired with requests still in flight");
+    }
+}

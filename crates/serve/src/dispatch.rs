@@ -1,0 +1,846 @@
+//! The shared request dispatcher: one per daemon, used by every
+//! front end.
+//!
+//! Responsibilities, in request order:
+//!
+//! 1. **Drain gate** — once [`Dispatcher::begin_drain`] is called,
+//!    new requests get a typed [`ServeError::Draining`]; in-flight
+//!    requests run to completion.
+//! 2. **Tenant quotas** — at most `tenant_quota` requests in flight
+//!    per tenant label (0 = unlimited).
+//! 3. **Cancellation registry** — requests carrying an `id` can be
+//!    cancelled mid-flight via [`Dispatcher::cancel`].
+//! 4. **Admission control** — a fixed in-flight budget backed by a
+//!    bounded wait queue. A full queue (or a request whose deadline
+//!    expires while queued) gets an immediate
+//!    [`ServeError::Overloaded`]; nobody waits unboundedly.
+//! 5. **Cross-request batching** — concurrent requests with the same
+//!    query fingerprint (residues + `top_n`) coalesce onto one
+//!    engine sweep. The leader runs; followers wait on the leader's
+//!    flight and share its `Arc<SearchReport>`. The coalesced count
+//!    is stamped into the leader's `SearchMetrics::coalesced`.
+//!
+//! Lock order, where it matters: `flights` before any
+//! `Flight::state`; the admission mutex is never held across either.
+
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use aalign_bio::{SeqDatabase, Sequence};
+use aalign_core::{AlignError, Aligner};
+use aalign_obs::wire::{obj, versioned, JsonValue};
+use aalign_par::{CancelToken, EngineHandle, SearchOptions, SearchReport};
+
+use crate::wire::{SearchRequest, SearchResponse, ServeError};
+
+/// How often blocked waiters (admission queue, batch followers)
+/// re-check cancellation and deadline expiry.
+const WAIT_SLICE: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for a [`Dispatcher`]. Start from
+/// [`DispatcherConfig::default`] and override with the builder
+/// methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct DispatcherConfig {
+    /// Requests allowed to run concurrently (engine sweeps and batch
+    /// followers both count). Minimum 1.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for an in-flight slot before the
+    /// dispatcher answers `overloaded` immediately.
+    pub max_queued: usize,
+    /// Per-tenant in-flight cap; 0 disables quotas.
+    pub tenant_quota: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// How long a request without a deadline may sit in the
+    /// admission queue before it is refused as overloaded.
+    pub admission_wait: Duration,
+    /// Chaos harness: a scripted fault plan applied to every request
+    /// the dispatcher runs (worker kills, panics, stalls).
+    #[cfg(feature = "fault-inject")]
+    pub fault_plan: Option<Arc<aalign_par::FaultPlan>>,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 4,
+            max_queued: 16,
+            tenant_quota: 0,
+            default_deadline: None,
+            admission_wait: Duration::from_secs(2),
+            #[cfg(feature = "fault-inject")]
+            fault_plan: None,
+        }
+    }
+}
+
+impl DispatcherConfig {
+    /// Set the concurrent in-flight budget (clamped to at least 1).
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Set the admission queue bound.
+    pub fn max_queued(mut self, n: usize) -> Self {
+        self.max_queued = n;
+        self
+    }
+
+    /// Set the per-tenant in-flight quota (0 = unlimited).
+    pub fn tenant_quota(mut self, n: usize) -> Self {
+        self.tenant_quota = n;
+        self
+    }
+
+    /// Set the deadline for requests that do not specify one.
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.default_deadline = Some(d);
+        self
+    }
+
+    /// Set the queue-wait budget for deadline-less requests.
+    pub fn admission_wait(mut self, d: Duration) -> Self {
+        self.admission_wait = d;
+        self
+    }
+
+    /// Apply a deterministic fault plan to every request (chaos
+    /// harness).
+    #[cfg(feature = "fault-inject")]
+    pub fn fault_plan(mut self, plan: Arc<aalign_par::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Service-level counters, all monotonic.
+///
+/// Every counter is read and written with `Relaxed` loads/stores:
+/// they are statistics, never used to synchronize memory.
+#[derive(Debug, Default)]
+struct Counters {
+    requests_total: AtomicU64,
+    ok: AtomicU64,
+    partial: AtomicU64,
+    overloaded: AtomicU64,
+    draining_refused: AtomicU64,
+    quota_refused: AtomicU64,
+    cancelled: AtomicU64,
+    coalesced_total: AtomicU64,
+    bad_requests: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        // ORDER: Relaxed — independent statistic; no other data
+        // depends on this counter's value.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn read(counter: &AtomicU64) -> u64 {
+        // ORDER: Relaxed — monotonic statistic read for reporting.
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Admission bookkeeping: how many requests hold an in-flight slot
+/// and how many are parked waiting for one.
+#[derive(Debug, Default)]
+struct AdmitState {
+    inflight: usize,
+    queued: usize,
+}
+
+/// One in-progress engine sweep that followers can attach to.
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+enum FlightState {
+    /// The leader is sweeping; `followers` requests are waiting on
+    /// the result.
+    Running { followers: u64 },
+    /// The sweep finished; the shared result every waiter clones.
+    Done(Result<Arc<SearchReport>, AlignError>),
+}
+
+/// Why admission did not hand out a permit.
+enum AdmitRefusal {
+    /// Typed refusal to send back verbatim.
+    Refused(ServeError),
+    /// The request's own deadline expired while queued — answered
+    /// with a partial report, not an error.
+    Expired,
+}
+
+/// RAII in-flight slot: dropping it releases the slot and wakes both
+/// queued waiters and the drain waiter.
+struct Permit<'a> {
+    d: &'a Dispatcher,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.d.admit.lock().expect("admission lock poisoned");
+        st.inflight -= 1;
+        self.d.admit_cv.notify_all();
+        if st.inflight == 0 && st.queued == 0 {
+            self.d.idle_cv.notify_all();
+        }
+    }
+}
+
+/// RAII tenant-quota slot.
+struct TenantGuard<'a> {
+    d: &'a Dispatcher,
+    tenant: String,
+}
+
+impl Drop for TenantGuard<'_> {
+    fn drop(&mut self) {
+        let mut tenants = self.d.tenants.lock().expect("tenant lock poisoned");
+        if let Some(n) = tenants.get_mut(&self.tenant) {
+            *n -= 1;
+            if *n == 0 {
+                tenants.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+/// RAII cancellation-registry entry.
+struct CancelGuard<'a> {
+    d: &'a Dispatcher,
+    id: String,
+}
+
+impl Drop for CancelGuard<'_> {
+    fn drop(&mut self) {
+        self.d
+            .cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .remove(&self.id);
+    }
+}
+
+/// The shared dispatcher. Construct once, wrap in an [`Arc`], and
+/// hand a clone to every front end / connection thread.
+pub struct Dispatcher {
+    engine: EngineHandle,
+    aligner: Aligner,
+    db: SeqDatabase,
+    cfg: DispatcherConfig,
+    admit: Mutex<AdmitState>,
+    admit_cv: Condvar,
+    idle_cv: Condvar,
+    draining: AtomicBool,
+    tenants: Mutex<HashMap<String, usize>>,
+    flights: Mutex<HashMap<u64, Arc<Flight>>>,
+    cancels: Mutex<HashMap<String, CancelToken>>,
+    counters: Counters,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("threads", &self.engine.threads())
+            .field("subjects", &self.db.len())
+            .field("cfg", &self.cfg)
+            .field("draining", &self.is_draining())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Dispatcher {
+    /// Build a dispatcher over its own engine pool of `threads`
+    /// workers (0 = available parallelism).
+    pub fn new(aligner: Aligner, db: SeqDatabase, threads: usize, cfg: DispatcherConfig) -> Self {
+        Self::with_engine(EngineHandle::new(threads), aligner, db, cfg)
+    }
+
+    /// Build a dispatcher over an existing shared engine handle —
+    /// the same pool a CLI session or test already holds.
+    pub fn with_engine(
+        engine: EngineHandle,
+        aligner: Aligner,
+        db: SeqDatabase,
+        cfg: DispatcherConfig,
+    ) -> Self {
+        Self {
+            engine,
+            aligner,
+            db,
+            cfg,
+            admit: Mutex::new(AdmitState::default()),
+            admit_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            tenants: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+            cancels: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine this dispatcher sweeps with.
+    pub fn engine(&self) -> &EngineHandle {
+        &self.engine
+    }
+
+    /// The database being served.
+    pub fn db(&self) -> &SeqDatabase {
+        &self.db
+    }
+
+    /// Run one search request end to end: drain gate, quota,
+    /// cancellation registration, admission, then either a fresh
+    /// engine sweep or attachment to an identical in-flight one.
+    ///
+    /// Failure modes that still produced work — deadline expiry,
+    /// fault-injected worker kills — come back as `Ok` responses
+    /// with `report.partial == true`; only whole-request refusals
+    /// and whole-query failures are `Err`.
+    pub fn search(&self, req: &SearchRequest) -> Result<SearchResponse, ServeError> {
+        Counters::bump(&self.counters.requests_total);
+        let outcome = self.search_inner(req);
+        match &outcome {
+            Ok(resp) => Counters::bump(if resp.report.partial {
+                &self.counters.partial
+            } else {
+                &self.counters.ok
+            }),
+            Err(ServeError::Overloaded { .. }) => Counters::bump(&self.counters.overloaded),
+            Err(ServeError::Draining) => Counters::bump(&self.counters.draining_refused),
+            Err(ServeError::QuotaExhausted { .. }) => Counters::bump(&self.counters.quota_refused),
+            Err(ServeError::Engine(AlignError::Cancelled)) => {
+                Counters::bump(&self.counters.cancelled);
+            }
+            Err(ServeError::BadRequest(_)) => Counters::bump(&self.counters.bad_requests),
+            Err(_) => {}
+        }
+        outcome
+    }
+
+    fn search_inner(&self, req: &SearchRequest) -> Result<SearchResponse, ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::Draining);
+        }
+        let query = Sequence::protein(req.query_id.clone(), req.query.as_bytes())
+            .map_err(|e| ServeError::BadRequest(format!("invalid query: {e}")))?;
+
+        let _tenant_guard = self.claim_tenant_slot(req.tenant.as_deref())?;
+        let cancel = CancelToken::new();
+        let _cancel_guard = self.register_cancel(req.id.as_deref(), &cancel)?;
+
+        let start = Instant::now();
+        let budget = req.deadline().or(self.cfg.default_deadline);
+        let permit = match self.admit(budget, start, &cancel) {
+            Ok(permit) => permit,
+            Err(AdmitRefusal::Refused(e)) => return Err(e),
+            // The request's own deadline ran out while it was still
+            // queued: same typed answer as an engine-side expiry — a
+            // well-formed partial report, never an opaque refusal.
+            Err(AdmitRefusal::Expired) => {
+                return Ok(SearchResponse {
+                    id: req.id.clone(),
+                    batched: false,
+                    report: Arc::new(self.expired_partial()),
+                })
+            }
+        };
+
+        // Whatever the queue consumed comes out of the engine's
+        // budget, so the end-to-end deadline holds.
+        let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
+        let result = if req.no_batch {
+            self.run_leader(&query, req.top_n, remaining, &cancel, None)
+                .map(|report| SearchResponse {
+                    id: req.id.clone(),
+                    batched: false,
+                    report,
+                })
+        } else {
+            self.run_or_attach(&query, req, remaining, start, budget, &cancel)
+        };
+        drop(permit);
+        result
+    }
+
+    /// Cancel the in-flight request registered under `id`.
+    pub fn cancel(&self, id: &str) -> Result<(), ServeError> {
+        let cancels = self.cancels.lock().expect("cancel registry poisoned");
+        match cancels.get(id) {
+            Some(token) => {
+                token.cancel();
+                Ok(())
+            }
+            None => Err(ServeError::NotFound(format!(
+                "no in-flight request with id {id:?}"
+            ))),
+        }
+    }
+
+    /// Stop admitting new requests; in-flight ones run to
+    /// completion. Idempotent.
+    pub fn begin_drain(&self) {
+        // ORDER: Release — pairs with the Acquire in `is_draining` so
+        // a front end that observes the flag also observes any state
+        // written before the drain decision.
+        self.draining.store(true, Ordering::Release);
+        self.admit_cv.notify_all();
+        self.idle_cv.notify_all();
+    }
+
+    /// True once [`begin_drain`](Self::begin_drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        // ORDER: Acquire — pairs with the Release store in
+        // `begin_drain`.
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Block until no request is in flight or queued, or `timeout`
+    /// elapses. Returns true when fully idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.admit.lock().expect("admission lock poisoned");
+        while st.inflight > 0 || st.queued > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .idle_cv
+                .wait_timeout(st, (deadline - now).min(WAIT_SLICE))
+                .expect("admission lock poisoned");
+            st = next;
+        }
+        true
+    }
+
+    /// Record a request the front end rejected before dispatch
+    /// (unparseable body, bad route) so `/metrics` still sees it.
+    pub fn note_bad_request(&self) {
+        Counters::bump(&self.counters.requests_total);
+        Counters::bump(&self.counters.bad_requests);
+    }
+
+    /// Versioned health document for `GET /v1/health` and the
+    /// `health` RPC method.
+    pub fn health(&self) -> JsonValue {
+        let (inflight, queued) = {
+            let st = self.admit.lock().expect("admission lock poisoned");
+            (st.inflight, st.queued)
+        };
+        versioned(vec![
+            (
+                "status",
+                if self.is_draining() { "draining" } else { "ok" }.into(),
+            ),
+            ("inflight", inflight.into()),
+            ("queued", queued.into()),
+            ("threads", self.engine.threads().into()),
+            ("subjects", self.db.len().into()),
+            ("queries_served", self.engine.queries_served().into()),
+            ("workers_respawned", self.engine.workers_respawned().into()),
+            (
+                "uptime_ms",
+                (self.started.elapsed().as_millis() as u64).into(),
+            ),
+            (
+                "counters",
+                obj(vec![
+                    (
+                        "requests_total",
+                        Counters::read(&self.counters.requests_total).into(),
+                    ),
+                    ("ok", Counters::read(&self.counters.ok).into()),
+                    ("partial", Counters::read(&self.counters.partial).into()),
+                    (
+                        "overloaded",
+                        Counters::read(&self.counters.overloaded).into(),
+                    ),
+                    (
+                        "draining_refused",
+                        Counters::read(&self.counters.draining_refused).into(),
+                    ),
+                    (
+                        "quota_refused",
+                        Counters::read(&self.counters.quota_refused).into(),
+                    ),
+                    ("cancelled", Counters::read(&self.counters.cancelled).into()),
+                    (
+                        "coalesced_total",
+                        Counters::read(&self.counters.coalesced_total).into(),
+                    ),
+                    (
+                        "bad_requests",
+                        Counters::read(&self.counters.bad_requests).into(),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Prometheus exposition text for `GET /metrics`.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP aalign_serve_{name} {help}\n# TYPE aalign_serve_{name} counter\naalign_serve_{name} {v}\n"
+            ));
+        };
+        counter(
+            "requests_total",
+            "Requests received across all front ends.",
+            Counters::read(&self.counters.requests_total),
+        );
+        counter(
+            "requests_ok",
+            "Requests answered with a complete report.",
+            Counters::read(&self.counters.ok),
+        );
+        counter(
+            "requests_partial",
+            "Requests answered with a partial report (deadline or fault).",
+            Counters::read(&self.counters.partial),
+        );
+        counter(
+            "refused_overloaded",
+            "Requests refused by admission control.",
+            Counters::read(&self.counters.overloaded),
+        );
+        counter(
+            "refused_draining",
+            "Requests refused because the daemon was draining.",
+            Counters::read(&self.counters.draining_refused),
+        );
+        counter(
+            "refused_quota",
+            "Requests refused by per-tenant quotas.",
+            Counters::read(&self.counters.quota_refused),
+        );
+        counter(
+            "cancelled_total",
+            "Requests cancelled by the caller.",
+            Counters::read(&self.counters.cancelled),
+        );
+        counter(
+            "coalesced_total",
+            "Requests coalesced onto another request's sweep.",
+            Counters::read(&self.counters.coalesced_total),
+        );
+        counter(
+            "bad_requests_total",
+            "Malformed requests.",
+            Counters::read(&self.counters.bad_requests),
+        );
+        counter(
+            "engine_queries_served",
+            "Sweeps completed by the engine pool.",
+            self.engine.queries_served(),
+        );
+        counter(
+            "engine_workers_respawned",
+            "Workers respawned after a panic or kill.",
+            self.engine.workers_respawned(),
+        );
+        out
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn claim_tenant_slot<'d>(
+        &'d self,
+        tenant: Option<&str>,
+    ) -> Result<Option<TenantGuard<'d>>, ServeError> {
+        let (Some(tenant), quota @ 1..) = (tenant, self.cfg.tenant_quota) else {
+            return Ok(None);
+        };
+        let mut tenants = self.tenants.lock().expect("tenant lock poisoned");
+        let n = tenants.entry(tenant.to_string()).or_insert(0);
+        if *n >= quota {
+            return Err(ServeError::QuotaExhausted {
+                tenant: tenant.to_string(),
+                quota,
+            });
+        }
+        *n += 1;
+        Ok(Some(TenantGuard {
+            d: self,
+            tenant: tenant.to_string(),
+        }))
+    }
+
+    fn register_cancel<'d>(
+        &'d self,
+        id: Option<&str>,
+        token: &CancelToken,
+    ) -> Result<Option<CancelGuard<'d>>, ServeError> {
+        let Some(id) = id else { return Ok(None) };
+        let mut cancels = self.cancels.lock().expect("cancel registry poisoned");
+        match cancels.entry(id.to_string()) {
+            Entry::Occupied(_) => Err(ServeError::BadRequest(format!(
+                "request id {id:?} is already in flight"
+            ))),
+            Entry::Vacant(slot) => {
+                slot.insert(token.clone());
+                Ok(Some(CancelGuard {
+                    d: self,
+                    id: id.to_string(),
+                }))
+            }
+        }
+    }
+
+    /// Take an in-flight slot, waiting in the bounded queue if the
+    /// budget allows. Never blocks past the request's deadline (or
+    /// `admission_wait` for deadline-less requests).
+    fn admit(
+        &self,
+        budget: Option<Duration>,
+        start: Instant,
+        cancel: &CancelToken,
+    ) -> Result<Permit<'_>, AdmitRefusal> {
+        let wait_budget = budget.unwrap_or(self.cfg.admission_wait);
+        let mut st = self.admit.lock().expect("admission lock poisoned");
+        let mut queued_self = false;
+        loop {
+            if cancel.is_cancelled() {
+                if queued_self {
+                    st.queued -= 1;
+                }
+                return Err(AdmitRefusal::Refused(ServeError::Engine(
+                    AlignError::Cancelled,
+                )));
+            }
+            if self.is_draining() {
+                if queued_self {
+                    st.queued -= 1;
+                }
+                return Err(AdmitRefusal::Refused(ServeError::Draining));
+            }
+            if st.inflight < self.cfg.max_inflight {
+                st.inflight += 1;
+                if queued_self {
+                    st.queued -= 1;
+                }
+                return Ok(Permit { d: self });
+            }
+            if !queued_self {
+                if st.queued >= self.cfg.max_queued {
+                    return Err(AdmitRefusal::Refused(ServeError::Overloaded {
+                        inflight: st.inflight,
+                        queued: st.queued,
+                    }));
+                }
+                st.queued += 1;
+                queued_self = true;
+            }
+            if start.elapsed() >= wait_budget {
+                st.queued -= 1;
+                // A real deadline expiring is a partial result; the
+                // dispatcher-level patience budget running out is
+                // backpressure.
+                return Err(match budget {
+                    Some(_) => AdmitRefusal::Expired,
+                    None => AdmitRefusal::Refused(ServeError::Overloaded {
+                        inflight: st.inflight,
+                        queued: st.queued,
+                    }),
+                });
+            }
+            let (next, _) = self
+                .admit_cv
+                .wait_timeout(st, WAIT_SLICE)
+                .expect("admission lock poisoned");
+            st = next;
+        }
+    }
+
+    /// Fingerprint for cross-request batching: identical residues +
+    /// identical `top_n` means identical hit lists, so the results
+    /// are interchangeable. The query *id* is deliberately excluded
+    /// — it is a label, not an input to the sweep.
+    fn fingerprint(query: &Sequence, top_n: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        query.indices().hash(&mut h);
+        top_n.hash(&mut h);
+        h.finish()
+    }
+
+    /// Singleflight: become the leader for this fingerprint or attach
+    /// as a follower to an identical sweep already running.
+    fn run_or_attach(
+        &self,
+        query: &Sequence,
+        req: &SearchRequest,
+        remaining: Option<Duration>,
+        start: Instant,
+        budget: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> Result<SearchResponse, ServeError> {
+        let key = Self::fingerprint(query, req.top_n);
+        let existing = {
+            let mut flights = self.flights.lock().expect("flight map poisoned");
+            match flights.entry(key) {
+                Entry::Occupied(slot) => {
+                    let flight = Arc::clone(slot.get());
+                    // Register as a follower while still holding the
+                    // map lock (lock order: flights → flight.state),
+                    // so the leader cannot finish without counting us.
+                    let mut state = flight.state.lock().expect("flight poisoned");
+                    if let FlightState::Running { followers } = &mut *state {
+                        *followers += 1;
+                    }
+                    drop(state);
+                    Some(flight)
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running { followers: 0 }),
+                        cv: Condvar::new(),
+                    }));
+                    None
+                }
+            }
+        };
+
+        match existing {
+            None => {
+                let outcome = self.run_leader(query, req.top_n, remaining, cancel, Some(key));
+                Ok(SearchResponse {
+                    id: req.id.clone(),
+                    batched: false,
+                    report: outcome?,
+                })
+            }
+            Some(flight) => {
+                self.follow(&flight, start, budget, cancel)
+                    .map(|report| SearchResponse {
+                        id: req.id.clone(),
+                        batched: true,
+                        report,
+                    })
+            }
+        }
+    }
+
+    /// Run the engine sweep and publish the result to any followers.
+    /// `key` is the flight-map entry to resolve; `None` for unbatched
+    /// requests, which never touch the map.
+    fn run_leader(
+        &self,
+        query: &Sequence,
+        top_n: usize,
+        remaining: Option<Duration>,
+        cancel: &CancelToken,
+        key: Option<u64>,
+    ) -> Result<Arc<SearchReport>, ServeError> {
+        let mut opts = SearchOptions::new().top_n(top_n).cancel(cancel.clone());
+        if let Some(d) = remaining {
+            opts = opts.deadline(d);
+        }
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.cfg.fault_plan {
+            opts = opts.fault_plan(Arc::clone(plan));
+        }
+        let mut result = self.engine.search(&self.aligner, query, &self.db, &opts);
+
+        let Some(key) = key else {
+            return result.map(Arc::new).map_err(ServeError::Engine);
+        };
+        let mut flights = self.flights.lock().expect("flight map poisoned");
+        let flight = flights.remove(&key).expect("leader's flight vanished");
+        drop(flights);
+        let mut state = flight.state.lock().expect("flight poisoned");
+        let followers = match &*state {
+            FlightState::Running { followers } => *followers,
+            FlightState::Done(_) => unreachable!("only the leader resolves a flight"),
+        };
+        if let Ok(report) = &mut result {
+            report.metrics.coalesced = followers;
+        }
+        // One Arc for everyone: the leader's response and every
+        // follower's share the same allocation.
+        let shared = result.map(Arc::new);
+        *state = FlightState::Done(shared.clone());
+        drop(state);
+        flight.cv.notify_all();
+        if followers > 0 {
+            let coalesced = &self.counters.coalesced_total;
+            // ORDER: Relaxed — statistic only.
+            coalesced.fetch_add(followers, Ordering::Relaxed);
+        }
+        shared.map_err(ServeError::Engine)
+    }
+
+    /// Wait for the leader's result, honoring this follower's own
+    /// cancellation and deadline. A follower whose budget expires
+    /// before the leader finishes gets a well-formed empty *partial*
+    /// report — never a hang.
+    fn follow(
+        &self,
+        flight: &Flight,
+        start: Instant,
+        budget: Option<Duration>,
+        cancel: &CancelToken,
+    ) -> Result<Arc<SearchReport>, ServeError> {
+        let mut state = flight.state.lock().expect("flight poisoned");
+        loop {
+            match &*state {
+                FlightState::Done(Ok(report)) => return Ok(Arc::clone(report)),
+                FlightState::Done(Err(e)) => return Err(ServeError::Engine(e.clone())),
+                FlightState::Running { .. } => {
+                    if cancel.is_cancelled() {
+                        self.unfollow(&mut state);
+                        return Err(ServeError::Engine(AlignError::Cancelled));
+                    }
+                    if let Some(b) = budget {
+                        if start.elapsed() >= b {
+                            self.unfollow(&mut state);
+                            return Ok(Arc::new(self.expired_partial()));
+                        }
+                    }
+                }
+            }
+            let (next, _) = flight
+                .cv
+                .wait_timeout(state, WAIT_SLICE)
+                .expect("flight poisoned");
+            state = next;
+        }
+    }
+
+    fn unfollow(&self, state: &mut FlightState) {
+        if let FlightState::Running { followers } = state {
+            *followers = followers.saturating_sub(1);
+        }
+    }
+
+    /// The typed answer for "your deadline expired before any result
+    /// existed": same shape as an engine-side deadline expiry.
+    fn expired_partial(&self) -> SearchReport {
+        SearchReport {
+            hits: Vec::new(),
+            threads_used: self.engine.threads(),
+            subjects: self.db.len(),
+            total_residues: 0,
+            metrics: aalign_par::SearchMetrics::default(),
+            trace_events: Vec::new(),
+            partial: true,
+            errors: vec![AlignError::DeadlineExceeded],
+        }
+    }
+}

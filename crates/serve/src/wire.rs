@@ -1,0 +1,375 @@
+//! Request/response wire types for the service: the schema the HTTP
+//! and JSON-RPC front ends share.
+//!
+//! Requests decode through [`SearchRequest::from_wire`]; every
+//! response — success or failure — is a versioned document
+//! (`"schema_version": 1`). Success responses embed the standard
+//! [`report_to_wire`] shape, so a server response body and the CLI's
+//! partial-result objects are byte-compatible; failures are
+//! [`ServeError`] envelopes with stable `code` strings.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aalign_core::AlignError;
+use aalign_obs::wire::{obj, JsonValue};
+use aalign_par::wire::{error_code, error_to_wire, report_to_wire};
+use aalign_par::SearchReport;
+
+/// One search request, front-end agnostic.
+///
+/// JSON shape (only `query` is required):
+///
+/// ```json
+/// {"query": "MKVLA…", "query_id": "q1", "top_n": 10,
+///  "deadline_ms": 500, "tenant": "teamA", "id": "req-7",
+///  "no_batch": false}
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SearchRequest {
+    /// Caller-chosen request id; registers the request for
+    /// cancellation (`cancel` with the same id) and is echoed on the
+    /// response. Must be unique among in-flight requests.
+    pub id: Option<String>,
+    /// Tenant label for per-tenant in-flight quotas.
+    pub tenant: Option<String>,
+    /// Query sequence id (defaults to `"query"`; label only — it
+    /// does not affect batching).
+    pub query_id: String,
+    /// Query residues (protein, one-letter code).
+    pub query: String,
+    /// Keep only the best `top_n` hits (0 = every hit).
+    pub top_n: usize,
+    /// Per-request wall-clock budget in milliseconds. Bounds both
+    /// time queued under admission control and the engine sweep; on
+    /// expiry the response is `partial: true`, never an error.
+    pub deadline_ms: Option<u64>,
+    /// Opt this request out of cross-request batching.
+    pub no_batch: bool,
+}
+
+impl Default for SearchRequest {
+    fn default() -> Self {
+        Self {
+            id: None,
+            tenant: None,
+            query_id: "query".to_string(),
+            query: String::new(),
+            top_n: 0,
+            deadline_ms: None,
+            no_batch: false,
+        }
+    }
+}
+
+impl SearchRequest {
+    /// Request for `query` residues with defaults everywhere else.
+    pub fn new(query: impl Into<String>) -> Self {
+        Self {
+            query: query.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Requested deadline as a [`Duration`].
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+
+    /// Decode from a request document (strict: unknown fields are
+    /// ignored, wrong types are errors).
+    pub fn from_wire(v: &JsonValue) -> Result<Self, ServeError> {
+        let bad = |msg: String| ServeError::BadRequest(msg);
+        if v.as_object().is_none() {
+            return Err(bad("request must be a JSON object".to_string()));
+        }
+        let query = v
+            .get("query")
+            .and_then(|q| q.as_str())
+            .ok_or_else(|| bad("missing string field \"query\"".to_string()))?
+            .to_string();
+        let opt_str = |key: &str| -> Result<Option<String>, ServeError> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(s) => s
+                    .as_str()
+                    .map(|s| Some(s.to_string()))
+                    .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
+            }
+        };
+        let opt_u64 = |key: &str| -> Result<Option<u64>, ServeError> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(n) => n
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| bad(format!("field {key:?} must be a non-negative integer"))),
+            }
+        };
+        let opt_bool = |key: &str| -> Result<bool, ServeError> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(false),
+                Some(b) => b
+                    .as_bool()
+                    .ok_or_else(|| bad(format!("field {key:?} must be a boolean"))),
+            }
+        };
+        Ok(Self {
+            id: opt_str("id")?,
+            tenant: opt_str("tenant")?,
+            query_id: opt_str("query_id")?.unwrap_or_else(|| "query".to_string()),
+            query,
+            top_n: opt_u64("top_n")?.unwrap_or(0) as usize,
+            deadline_ms: opt_u64("deadline_ms")?,
+            no_batch: opt_bool("no_batch")?,
+        })
+    }
+
+    /// Encode as a request document (the inverse of
+    /// [`from_wire`](Self::from_wire); handy for clients and tests).
+    pub fn to_wire(&self) -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = vec![("query", self.query.as_str().into())];
+        if self.query_id != "query" {
+            fields.push(("query_id", self.query_id.as_str().into()));
+        }
+        if let Some(id) = &self.id {
+            fields.push(("id", id.as_str().into()));
+        }
+        if let Some(t) = &self.tenant {
+            fields.push(("tenant", t.as_str().into()));
+        }
+        if self.top_n > 0 {
+            fields.push(("top_n", self.top_n.into()));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms", ms.into()));
+        }
+        if self.no_batch {
+            fields.push(("no_batch", true.into()));
+        }
+        obj(fields)
+    }
+}
+
+/// A completed search: the shared report plus response metadata.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// Echo of the request id, when one was given.
+    pub id: Option<String>,
+    /// True when this request coalesced onto another request's query
+    /// profile instead of running its own sweep (the leader's
+    /// response has `batched: false` but a nonzero
+    /// `metrics.coalesced`).
+    pub batched: bool,
+    /// The search report — shared (`Arc`) across every coalesced
+    /// response.
+    pub report: Arc<SearchReport>,
+}
+
+impl SearchResponse {
+    /// Versioned response document: the standard report shape
+    /// ([`report_to_wire`]) with `id` and `batched` spliced in after
+    /// `schema_version`.
+    pub fn to_wire(&self) -> JsonValue {
+        let report = report_to_wire(&self.report);
+        let JsonValue::Object(mut fields) = report else {
+            unreachable!("report_to_wire returns an object");
+        };
+        let mut extra: Vec<(String, JsonValue)> = Vec::new();
+        if let Some(id) = &self.id {
+            extra.push(("id".to_string(), id.as_str().into()));
+        }
+        extra.push(("batched".to_string(), self.batched.into()));
+        // schema_version stays first.
+        fields.splice(1..1, extra);
+        JsonValue::Object(fields)
+    }
+}
+
+/// Why the service refused or failed a request. Every variant has a
+/// stable wire `code` and an HTTP status; none of them is ever a bare
+/// 500.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request document was malformed.
+    BadRequest(String),
+    /// Admission control refused the request: the in-flight budget
+    /// and the bounded queue are both full, or a deadline-less
+    /// request out-waited the dispatcher's admission budget. (A
+    /// request whose *own* deadline expires while queued gets a
+    /// `partial: true` report instead.)
+    Overloaded {
+        /// Requests currently running.
+        inflight: usize,
+        /// Requests currently queued for admission.
+        queued: usize,
+    },
+    /// The daemon is draining: in-flight requests are completing, new
+    /// ones are refused.
+    Draining,
+    /// The tenant's in-flight quota is already fully used.
+    QuotaExhausted {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// The configured per-tenant in-flight limit.
+        quota: usize,
+    },
+    /// Unknown route / method / cancellation target.
+    NotFound(String),
+    /// The engine failed the query as a whole (empty query, alphabet
+    /// mismatch, cancellation). Partial failures — deadline expiry,
+    /// worker kills — are *not* errors: they come back as successful
+    /// `partial: true` responses.
+    Engine(AlignError),
+}
+
+impl ServeError {
+    /// Stable machine-readable code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::Draining => "draining",
+            ServeError::QuotaExhausted { .. } => "quota_exhausted",
+            ServeError::NotFound(_) => "not_found",
+            ServeError::Engine(e) => error_code(e),
+        }
+    }
+
+    /// HTTP status line for this error.
+    pub fn http_status(&self) -> (u16, &'static str) {
+        match self {
+            ServeError::BadRequest(_) => (400, "Bad Request"),
+            ServeError::Overloaded { .. } => (429, "Too Many Requests"),
+            ServeError::Draining => (503, "Service Unavailable"),
+            ServeError::QuotaExhausted { .. } => (429, "Too Many Requests"),
+            ServeError::NotFound(_) => (404, "Not Found"),
+            ServeError::Engine(_) => (422, "Unprocessable Entity"),
+        }
+    }
+
+    /// Versioned error envelope:
+    /// `{"schema_version":1,"error":{"code":…,"message":…,…detail}}`.
+    pub fn to_wire(&self) -> JsonValue {
+        let inner = match self {
+            ServeError::Engine(e) => error_to_wire(e),
+            ServeError::Overloaded { inflight, queued } => obj(vec![
+                ("code", self.code().into()),
+                ("message", self.to_string().into()),
+                ("inflight", (*inflight).into()),
+                ("queued", (*queued).into()),
+            ]),
+            ServeError::QuotaExhausted { tenant, quota } => obj(vec![
+                ("code", self.code().into()),
+                ("message", self.to_string().into()),
+                ("tenant", tenant.as_str().into()),
+                ("quota", (*quota).into()),
+            ]),
+            _ => obj(vec![
+                ("code", self.code().into()),
+                ("message", self.to_string().into()),
+            ]),
+        };
+        aalign_obs::wire::versioned(vec![("error", inner)])
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { inflight, queued } => write!(
+                f,
+                "overloaded: {inflight} in flight, {queued} queued; retry later or raise the deadline"
+            ),
+            ServeError::Draining => write!(f, "daemon is draining; new requests are refused"),
+            ServeError::QuotaExhausted { tenant, quota } => {
+                write!(f, "tenant {tenant:?} already has {quota} request(s) in flight")
+            }
+            ServeError::NotFound(what) => write!(f, "not found: {what}"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aalign_obs::wire::str_field;
+
+    #[test]
+    fn request_round_trips() {
+        let mut req = SearchRequest::new("MKVLA");
+        req.id = Some("r1".into());
+        req.tenant = Some("teamA".into());
+        req.top_n = 5;
+        req.deadline_ms = Some(250);
+        req.no_batch = true;
+        let doc = req.to_wire().render();
+        let back = SearchRequest::from_wire(&JsonValue::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back.query, "MKVLA");
+        assert_eq!(back.id.as_deref(), Some("r1"));
+        assert_eq!(back.tenant.as_deref(), Some("teamA"));
+        assert_eq!(back.top_n, 5);
+        assert_eq!(back.deadline_ms, Some(250));
+        assert!(back.no_batch);
+    }
+
+    #[test]
+    fn request_requires_a_query_string() {
+        for doc in [
+            "{}",
+            "{\"query\":7}",
+            "[1]",
+            "{\"query\":\"A\",\"top_n\":\"x\"}",
+        ] {
+            let v = JsonValue::parse(doc).unwrap();
+            assert!(
+                matches!(SearchRequest::from_wire(&v), Err(ServeError::BadRequest(_))),
+                "{doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_envelopes_carry_stable_codes_and_statuses() {
+        let cases: Vec<(ServeError, &str, u16)> = vec![
+            (ServeError::BadRequest("x".into()), "bad_request", 400),
+            (
+                ServeError::Overloaded {
+                    inflight: 4,
+                    queued: 8,
+                },
+                "overloaded",
+                429,
+            ),
+            (ServeError::Draining, "draining", 503),
+            (
+                ServeError::QuotaExhausted {
+                    tenant: "t".into(),
+                    quota: 2,
+                },
+                "quota_exhausted",
+                429,
+            ),
+            (ServeError::NotFound("/nope".into()), "not_found", 404),
+            (
+                ServeError::Engine(AlignError::EmptyQuery),
+                "empty_query",
+                422,
+            ),
+        ];
+        for (err, code, status) in cases {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.http_status().0, status);
+            let wire = err.to_wire();
+            aalign_obs::wire::check_version(&wire).unwrap();
+            assert_eq!(str_field(wire.get("error").unwrap(), "code").unwrap(), code);
+        }
+    }
+}

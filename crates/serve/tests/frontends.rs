@@ -1,0 +1,313 @@
+//! Front-end conformance: the HTTP and stdio JSON-RPC transports
+//! speak the same versioned wire schema over one dispatcher.
+
+use std::io::{BufReader, Cursor, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aalign_bio::matrices::BLOSUM62;
+use aalign_bio::synth::{named_query, seeded_rng, swissprot_like_db};
+use aalign_core::{AlignConfig, Aligner, GapModel};
+use aalign_obs::wire::JsonValue;
+use aalign_serve::http::serve_http;
+use aalign_serve::rpc::serve_stdio;
+use aalign_serve::{Dispatcher, DispatcherConfig};
+
+fn dispatcher() -> Arc<Dispatcher> {
+    let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62));
+    Arc::new(Dispatcher::new(
+        aligner,
+        swissprot_like_db(7, 40),
+        2,
+        DispatcherConfig::default(),
+    ))
+}
+
+fn query_text() -> String {
+    let mut rng = seeded_rng(1);
+    String::from_utf8(named_query(&mut rng, 60).text()).unwrap()
+}
+
+struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<std::io::Result<()>>,
+}
+
+impl HttpServer {
+    fn start(d: Arc<Dispatcher>) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || serve_http(listener, d, stop))
+        };
+        Self { addr, stop, handle }
+    }
+
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().unwrap().unwrap();
+    }
+}
+
+/// Raw HTTP/1.1 round trip; returns (status code, parsed JSON body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {response}"));
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, payload)
+}
+
+/// Drive the JSON-RPC loop with a scripted session; returns one
+/// parsed response per request line.
+fn rpc(d: &Dispatcher, lines: &[String]) -> Vec<JsonValue> {
+    let input = lines.join("\n");
+    let mut out = Vec::new();
+    serve_stdio(BufReader::new(Cursor::new(input)), &mut out, d).unwrap();
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| JsonValue::parse(l).expect("every response line is JSON"))
+        .collect()
+}
+
+#[test]
+fn http_health_search_and_metrics_round_trip() {
+    let d = dispatcher();
+    let server = HttpServer::start(Arc::clone(&d));
+
+    let (status, body) = http(server.addr, "GET", "/v1/health", None);
+    assert_eq!(status, 200);
+    let health = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        health.get("schema_version").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(health.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(health.get("subjects").and_then(JsonValue::as_u64), Some(40));
+
+    let req = format!(
+        "{{\"query\":\"{}\",\"top_n\":5,\"id\":\"http-1\"}}",
+        query_text()
+    );
+    let (status, body) = http(server.addr, "POST", "/v1/search", Some(&req));
+    assert_eq!(status, 200, "{body}");
+    let report = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        report.get("schema_version").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(report.get("id").and_then(|v| v.as_str()), Some("http-1"));
+    assert_eq!(
+        report.get("batched").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        report.get("partial").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        report.get("hits").and_then(|h| h.as_array()).unwrap().len(),
+        5
+    );
+    // The embedded report decodes through the shared wire layer —
+    // the HTTP body *is* the canonical schema.
+    aalign_par::wire::report_from_wire(&report).unwrap();
+
+    let (status, metrics) = http(server.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(metrics.contains("# TYPE aalign_serve_requests_total counter"));
+
+    server.shutdown();
+}
+
+#[test]
+fn http_error_paths_are_typed_never_opaque() {
+    let d = dispatcher();
+    let server = HttpServer::start(Arc::clone(&d));
+
+    // Unknown route.
+    let (status, body) = http(server.addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let err = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str()),
+        Some("not_found")
+    );
+
+    // Unparseable body.
+    let (status, body) = http(server.addr, "POST", "/v1/search", Some("{not json"));
+    assert_eq!(status, 400);
+    let err = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str()),
+        Some("bad_request")
+    );
+
+    // Engine-level whole-query failure: typed 422, not a 500.
+    let (status, body) = http(server.addr, "POST", "/v1/search", Some("{\"query\":\"\"}"));
+    assert_eq!(status, 422);
+    let err = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str()),
+        Some("empty_query")
+    );
+
+    // Cancelling an unknown id.
+    let (status, _) = http(
+        server.addr,
+        "POST",
+        "/v1/cancel",
+        Some("{\"id\":\"ghost\"}"),
+    );
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn http_shutdown_drains_and_refuses_new_requests() {
+    let d = dispatcher();
+    let server = HttpServer::start(Arc::clone(&d));
+
+    let (status, body) = http(server.addr, "POST", "/v1/shutdown", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "{body}");
+
+    let req = format!("{{\"query\":\"{}\"}}", query_text());
+    let (status, body) = http(server.addr, "POST", "/v1/search", Some(&req));
+    assert_eq!(status, 503);
+    let err = JsonValue::parse(&body).unwrap();
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str()),
+        Some("draining")
+    );
+    assert!(d.wait_idle(Duration::from_secs(5)));
+    server.shutdown();
+}
+
+#[test]
+fn rpc_session_mirrors_http_semantics() {
+    let d = dispatcher();
+    let q = query_text();
+    let responses = rpc(
+        &d,
+        &[
+            r#"{"jsonrpc":"2.0","id":1,"method":"health"}"#.to_string(),
+            format!(
+                r#"{{"jsonrpc":"2.0","id":2,"method":"search","params":{{"query":"{q}","top_n":5}}}}"#
+            ),
+            r#"{"jsonrpc":"2.0","id":3,"method":"search","params":{"query":""}}"#.to_string(),
+            r#"{"jsonrpc":"2.0","id":4,"method":"nope"}"#.to_string(),
+            "{garbage".to_string(),
+            r#"{"jsonrpc":"2.0","id":5,"method":"cancel","params":{"id":"ghost"}}"#.to_string(),
+            r#"{"jsonrpc":"2.0","id":6,"method":"shutdown"}"#.to_string(),
+            format!(r#"{{"jsonrpc":"2.0","id":7,"method":"search","params":{{"query":"{q}"}}}}"#),
+        ],
+    );
+    assert_eq!(responses.len(), 8);
+
+    let result = |i: usize| responses[i].get("result").unwrap();
+    let error_code = |i: usize| {
+        responses[i]
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(JsonValue::as_i64)
+            .unwrap()
+    };
+
+    assert_eq!(result(0).get("status").and_then(|s| s.as_str()), Some("ok"));
+
+    let report = result(1);
+    assert_eq!(
+        report.get("schema_version").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        report.get("hits").and_then(|h| h.as_array()).unwrap().len(),
+        5
+    );
+    aalign_par::wire::report_from_wire(report).unwrap();
+
+    assert_eq!(error_code(2), -32004, "engine failure");
+    assert_eq!(error_code(3), -32601, "method not found");
+    assert_eq!(error_code(4), -32700, "parse error");
+    assert_eq!(error_code(5), -32005, "unknown cancel id");
+    assert_eq!(
+        result(6).get("draining").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(error_code(7), -32002, "draining refusal");
+    // The typed envelope rides along in error.data.
+    assert_eq!(
+        responses[7]
+            .get("error")
+            .and_then(|e| e.get("data"))
+            .and_then(|d| d.get("error"))
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str()),
+        Some("draining")
+    );
+}
+
+#[test]
+fn both_front_ends_return_byte_identical_reports() {
+    // Same dispatcher state, same query ⇒ the HTTP response body and
+    // the JSON-RPC `result` must match field for field (ids differ
+    // by design, so neither request sets one).
+    let q = query_text();
+    let d = dispatcher();
+    let server = HttpServer::start(Arc::clone(&d));
+    let req = format!("{{\"query\":\"{q}\",\"top_n\":3}}");
+    let (status, http_body) = http(server.addr, "POST", "/v1/search", Some(&req));
+    assert_eq!(status, 200);
+    server.shutdown();
+
+    let d = dispatcher();
+    let responses = rpc(
+        &d,
+        &[format!(
+            r#"{{"jsonrpc":"2.0","id":1,"method":"search","params":{{"query":"{q}","top_n":3}}}}"#
+        )],
+    );
+    let rpc_report = responses[0].get("result").unwrap();
+
+    let http_report = JsonValue::parse(&http_body).unwrap();
+    let strip_timings = |v: &JsonValue| {
+        let a = aalign_par::wire::report_from_wire(v).unwrap();
+        (a.hits, a.subjects, a.total_residues, a.partial)
+    };
+    assert_eq!(strip_timings(&http_report), strip_timings(rpc_report));
+}

@@ -1,6 +1,6 @@
 //! Sticky lane-saturation detection.
 //!
-//! Narrow-lane kernels can overflow; [`elem::near_saturation`] is the
+//! Narrow-lane kernels can overflow; [`near_saturation`](crate::elem::near_saturation) is the
 //! scalar end-of-run check the width-fallback logic has always used.
 //! [`SaturationGuard`] is its vector twin: an `influence_test`-style
 //! compare ([`SimdEngine::any_gt`]) of a running-maximum register

@@ -8,7 +8,7 @@
 use aalign::bio::synth::{named_query, seeded_rng, swissprot_like_db, Level, PairSpec};
 use aalign::bio::{matrices::BLOSUM62, SeqDatabase};
 use aalign::core::traceback::traceback_align;
-use aalign::par::{search_database, SearchOptions};
+use aalign::par::{EngineHandle, SearchOptions};
 use aalign::{AlignConfig, Aligner, GapModel, Strategy};
 
 fn main() {
@@ -45,13 +45,13 @@ fn main() {
     let aligner = Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62))
         .with_strategy(Strategy::Hybrid);
 
-    let report = search_database(
-        &aligner,
-        &query,
-        &db,
-        SearchOptions::new().threads(0 /* all cores */).top_n(5),
-    )
-    .unwrap();
+    // A persistent engine handle: the pool spins up once and could
+    // serve any number of follow-up queries (the CLI and
+    // `aalign-serve` hold one of these too).
+    let engine = EngineHandle::new(0 /* all cores */);
+    let report = engine
+        .search(&aligner, &query, &db, &SearchOptions::new().top_n(5))
+        .unwrap();
 
     println!(
         "searched {} subjects on {} threads in {:.2}s ({:.2} GCUPS)\n",

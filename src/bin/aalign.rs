@@ -4,6 +4,7 @@
 //!
 //! * `pair`         — align two FASTA sequences (scores + optional traceback)
 //! * `search`       — align a query against a FASTA database, multithreaded
+//! * `serve`        — run the alignment daemon (HTTP/JSON or stdio JSON-RPC)
 //! * `trace-report` — render the hybrid decision timeline from a trace
 //! * `gen-db`       — generate a synthetic swiss-prot-like database
 //! * `codegen`      — analyze a sequential paradigm kernel and emit Rust
@@ -30,7 +31,7 @@ use aalign::bio::synth::swissprot_like_db;
 use aalign::bio::Sequence;
 use aalign::codegen::emit::GapBindings;
 use aalign::core::traceback::traceback_align;
-use aalign::par::{search_database, SearchOptions};
+use aalign::par::{EngineHandle, SearchOptions};
 use aalign::vec::IsaSupport;
 use aalign::{AlignConfig, Aligner, GapModel, Strategy, WidthPolicy};
 
@@ -44,6 +45,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "pair" => cmd_pair(rest),
         "search" => cmd_search(rest),
+        "serve" => cmd_serve(rest),
         "trace-report" => cmd_trace_report(rest),
         "gen-db" => cmd_gen_db(rest),
         "codegen" => cmd_codegen(rest),
@@ -71,6 +73,11 @@ const USAGE: &str = "usage:
                  [--open N] [--ext N] [--strategy ...] [--inter] [--stats]
                  [--trace-out <jsonl>] [--metrics-format text|json|prom]
                  [--timeout MS] [--no-rescue] [--fault-plan <spec>]
+  aalign serve   --db <fa> [--addr HOST:PORT] [--stdio] [--threads N]
+                 [--open N] [--ext N] [--strategy ...]
+                 [--max-inflight N] [--max-queued N] [--tenant-quota N]
+                 [--default-timeout MS] [--drain-timeout MS]
+                 [--fault-plan <spec>]
   aalign trace-report --trace <jsonl> [--subjects N]
   aalign gen-db  --count N [--seed N] [--mean-len N] --out <fa>
   aalign codegen --input <file> [--open N] [--ext N] [--out <rs>]
@@ -190,7 +197,6 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         );
     }
     let mut opts = SearchOptions::new()
-        .threads(flags.get_usize("--threads", 0)?)
         .top_n(flags.get_usize("--top", 10)?)
         .trace(trace_out.is_some())
         .rescue(!flags.has("--no-rescue"));
@@ -215,10 +221,18 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             );
         }
     }
+    // The CLI shares the server's construction path: an
+    // `EngineHandle` sized for this one sweep.
+    let threads = flags.get_usize("--threads", 0)?;
     let report = if flags.has("--inter") {
-        aalign::par::search_database_inter(aligner.config(), &query, &db, opts)
+        EngineHandle::transient_inter(threads, db.len()).search_inter(
+            aligner.config(),
+            &query,
+            &db,
+            &opts,
+        )
     } else {
-        search_database(&aligner, &query, &db, opts)
+        EngineHandle::transient(threads, db.len()).search(&aligner, &query, &db, &opts)
     }
     .map_err(|e| e.to_string())?;
     if let Some(path) = trace_out {
@@ -245,15 +259,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             report.metrics.rescued
         );
     }
-    if report.partial {
-        eprintln!(
-            "warning: partial results — {} error(s) during the sweep:",
-            report.errors.len()
-        );
-        for e in &report.errors {
-            eprintln!("  - {e}");
-        }
-    }
+    warn_partial(&report);
     match flags.get("--metrics-format") {
         None => {
             if flags.has("--stats") {
@@ -286,6 +292,83 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Shared partial-result reporting: a human-readable warning plus
+/// the same versioned wire object a `serve` front end returns for a
+/// deadline-expired or fault-interrupted request, so scripts can
+/// parse one shape regardless of where the search ran.
+fn warn_partial(report: &aalign::par::SearchReport) {
+    if !report.partial {
+        return;
+    }
+    eprintln!(
+        "warning: partial results — {} error(s) during the sweep:",
+        report.errors.len()
+    );
+    for e in &report.errors {
+        eprintln!("  - {e}");
+    }
+    eprintln!("{}", aalign::par::wire::report_to_wire(report).render());
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let db_path = flags.get("--db").ok_or("--db required")?;
+    let f = File::open(db_path).map_err(|e| format!("{db_path}: {e}"))?;
+    let db = aalign::bio::SeqDatabase::from_fasta(BufReader::new(f), &PROTEIN)
+        .map_err(|e| format!("{db_path}: {e}"))?;
+    let aligner = build_aligner(&flags)?;
+
+    let mut cfg = aalign::serve::DispatcherConfig::default()
+        .max_inflight(flags.get_usize("--max-inflight", 4)?)
+        .max_queued(flags.get_usize("--max-queued", 16)?)
+        .tenant_quota(flags.get_usize("--tenant-quota", 0)?);
+    if let Some(ms) = flags.get("--default-timeout") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| "--default-timeout expects milliseconds")?;
+        cfg = cfg.default_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(spec) = flags.get("--fault-plan") {
+        #[cfg(feature = "fault-inject")]
+        {
+            let plan =
+                aalign::par::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            cfg = cfg.fault_plan(std::sync::Arc::new(plan));
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = spec;
+            return Err(
+                "--fault-plan needs a build with the `fault-inject` feature \
+                 (cargo build --features fault-inject)"
+                    .to_string(),
+            );
+        }
+    }
+
+    let drain_ms: u64 = match flags.get("--drain-timeout") {
+        None => 30_000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| "--drain-timeout expects milliseconds")?,
+    };
+    let opts = aalign::serve::DaemonOptions::default()
+        .front_end(if flags.has("--stdio") {
+            aalign::serve::FrontEnd::Stdio
+        } else {
+            aalign::serve::FrontEnd::Http
+        })
+        .addr(flags.get("--addr").unwrap_or("127.0.0.1:7691"))
+        .drain_timeout(std::time::Duration::from_millis(drain_ms));
+
+    let threads = flags.get_usize("--threads", 0)?;
+    let dispatcher = std::sync::Arc::new(aalign::serve::Dispatcher::new(aligner, db, threads, cfg));
+    match aalign::serve::run_daemon(dispatcher, &opts).map_err(|e| e.to_string())? {
+        0 => Ok(()),
+        _ => Err("drain timeout expired with requests still in flight".to_string()),
+    }
 }
 
 /// Parse a JSONL trace (as written by `search --trace-out`) and

@@ -57,3 +57,9 @@ pub mod par {
 pub mod obs {
     pub use aalign_obs::*;
 }
+
+/// Alignment as a service: the dispatcher (batching, admission
+/// control, drain) and the HTTP / stdio JSON-RPC front ends.
+pub mod serve {
+    pub use aalign_serve::*;
+}

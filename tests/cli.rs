@@ -384,6 +384,167 @@ fn search_with_zero_timeout_reports_partial_results() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("partial results"), "{err}");
     assert!(err.contains("deadline"), "{err}");
+    // The CLI emits the same versioned partial wire object a serve
+    // front end returns for a deadline-expired request.
+    let wire = err
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("partial reports include the wire document");
+    assert!(wire.contains("\"schema_version\":1"), "{wire}");
+    assert!(wire.contains("\"partial\":true"), "{wire}");
+    assert!(wire.contains("\"code\":\"deadline_exceeded\""), "{wire}");
+}
+
+#[test]
+fn serve_http_smoke_search_then_graceful_shutdown() {
+    use std::io::{BufRead, BufReader, Read};
+
+    let dir = std::env::temp_dir().join("aalign_cli_serve_http");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    assert!(aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "30",
+            "--seed",
+            "3",
+            "--out",
+            db.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let mut daemon = aalign()
+        .args([
+            "serve",
+            "--db",
+            db.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The daemon announces its bound address on stdout.
+    let mut stdout = BufReader::new(daemon.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .trim()
+        .rsplit("http://")
+        .next()
+        .expect("banner names the listen address")
+        .to_string();
+
+    let http = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status = response
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|c| c.parse().ok())
+            .unwrap();
+        let payload = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, payload)
+    };
+
+    let (status, body) = http("GET", "/v1/health", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema_version\":1"), "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, body) = http(
+        "POST",
+        "/v1/search",
+        "{\"query\":\"MKVLAARNDWHEAGAWGHEE\",\"top_n\":3}",
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"schema_version\":1"), "{body}");
+    assert!(body.contains("\"partial\":false"), "{body}");
+    assert!(body.contains("\"hits\":["), "{body}");
+
+    // Graceful shutdown over the wire: the process drains and exits 0.
+    let (status, body) = http("POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "{body}");
+    let out = daemon.wait_with_output().unwrap();
+    assert!(out.status.success(), "daemon must exit clean after drain");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("drained cleanly"), "{err}");
+}
+
+#[test]
+fn serve_stdio_smoke_json_rpc_round_trip() {
+    let dir = std::env::temp_dir().join("aalign_cli_serve_stdio");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    assert!(aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "20",
+            "--seed",
+            "4",
+            "--out",
+            db.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let mut daemon = aalign()
+        .args([
+            "serve",
+            "--db",
+            db.to_str().unwrap(),
+            "--stdio",
+            "--threads",
+            "2",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = daemon.stdin.take().unwrap();
+    let search = r#"{"jsonrpc":"2.0","id":1,"method":"search","params":{"query":"MKVLAARNDWHEAGAWGHEE","top_n":2}}"#;
+    let health = r#"{"jsonrpc":"2.0","id":2,"method":"health"}"#;
+    writeln!(stdin, "{search}").unwrap();
+    writeln!(stdin, "{health}").unwrap();
+    drop(stdin); // EOF ends the session; the daemon drains and exits.
+
+    let out = daemon.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"jsonrpc\":\"2.0\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"schema_version\":1"), "{}", lines[0]);
+    assert!(lines[0].contains("\"hits\":["), "{}", lines[0]);
+    assert!(lines[1].contains("\"status\":\"ok\""), "{}", lines[1]);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("drained cleanly"));
 }
 
 #[test]
