@@ -614,21 +614,7 @@ impl<'a> Parser<'a> {
                         Some(b't') => out.push('\t'),
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            if self.pos + 4 >= self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = &self.input[self.pos + 1..self.pos + 5];
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            // Surrogate pairs are not reassembled;
-                            // our writers never emit them.
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("bad \\u codepoint"))?,
-                            );
-                            self.pos += 4;
-                        }
+                        Some(b'u') => out.push(self.unicode_escape()?),
                         _ => return Err(self.err("unknown escape")),
                     }
                     self.pos += 1;
@@ -641,6 +627,51 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Decode one `\u` escape. Entered with `self.pos` on the `u`,
+    /// exits on the last consumed hex digit. Reassembles UTF-16
+    /// surrogate pairs (`\ud83d\ude00` → U+1F600), which standard
+    /// encoders must emit for non-BMP characters; lone surrogates
+    /// are errors.
+    fn unicode_escape(&mut self) -> Result<char, WireError> {
+        let high = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&high) {
+            return Err(self.err("unpaired low surrogate in \\u escape"));
+        }
+        if !(0xD800..=0xDBFF).contains(&high) {
+            return char::from_u32(high).ok_or_else(|| self.err("bad \\u codepoint"));
+        }
+        // High surrogate: the next escape must carry the low half.
+        if self.bytes.get(self.pos + 1) != Some(&b'\\')
+            || self.bytes.get(self.pos + 2) != Some(&b'u')
+        {
+            return Err(self.err("unpaired high surrogate in \\u escape"));
+        }
+        self.pos += 2;
+        let low = self.hex4()?;
+        if !(0xDC00..=0xDFFF).contains(&low) {
+            return Err(self.err("bad low surrogate in \\u escape"));
+        }
+        let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+        char::from_u32(code).ok_or_else(|| self.err("bad \\u codepoint"))
+    }
+
+    /// Read the 4 hex digits of a `\u` escape. Entered with
+    /// `self.pos` on the `u`, exits on the last digit. Validated on
+    /// the byte level first: an escape that is truncated or runs into
+    /// a multibyte UTF-8 character is a typed error, never a
+    /// non-boundary slice panic.
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        let hex = match self.bytes.get(self.pos + 1..self.pos + 5) {
+            Some(hex) if hex.iter().all(u8::is_ascii_hexdigit) => hex,
+            _ => return Err(self.err("bad \\u escape")),
+        };
+        let code = hex.iter().fold(0u32, |acc, &b| {
+            (acc << 4) | (b as char).to_digit(16).expect("ascii hex digit")
+        });
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<JsonValue, WireError> {
@@ -791,5 +822,36 @@ mod tests {
         let s = "tab\there \\ quote\" ctrl\u{1} unicode\u{e9}";
         let v = JsonValue::Str(s.to_string());
         assert_eq!(JsonValue::parse(&v.render()).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_are_errors_not_panics() {
+        // Regression: the 4-byte "hex" window after `\u` straddling a
+        // multibyte UTF-8 character used to panic on a non-boundary
+        // slice — one such JSON-RPC line crashed the stdio daemon.
+        for bad in [
+            "\"\\u123\u{e9}\"",   // window cuts into a 2-byte char
+            "\"\\u12\"",          // terminated mid-escape
+            "\"\\u12",            // input ends mid-escape
+            "\"\\uZZZZ\"",        // not hex
+            "\"\\ud83d\"",        // unpaired high surrogate
+            "\"\\ude00\"",        // unpaired low surrogate
+            "\"\\ud83d\\u0041\"", // high surrogate + non-surrogate
+            "\"\\ud83dxx\"",      // high surrogate, no second escape
+            "\"\\ud83d\\n\"",     // high surrogate, wrong escape kind
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_to_non_bmp_chars() {
+        // Standard JSON encoders must escape non-BMP characters as
+        // UTF-16 surrogate pairs; ids and tenant labels produced by
+        // such encoders have to parse.
+        let v = JsonValue::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{1f600}"));
+        let v = JsonValue::parse("\"a\\uD83D\\uDE00z\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\u{1f600}z\u{e9}"));
     }
 }

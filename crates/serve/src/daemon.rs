@@ -9,15 +9,15 @@
 //!
 //! [`Dispatcher::begin_drain`]: crate::Dispatcher::begin_drain
 
-use std::io::{self, Write};
+use std::io::{self, BufRead, Write};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use crate::dispatch::Dispatcher;
 use crate::http::serve_http;
-use crate::rpc::serve_stdio;
+use crate::rpc::respond_line;
 
 /// Which transport the daemon speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -168,12 +168,65 @@ fn run_http(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i32
 fn run_stdio(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i32> {
     // stdout is the RPC channel, so the banner goes to stderr.
     eprintln!("aalign-serve speaking JSON-RPC on stdio");
-    let stdin = io::stdin();
+
+    // Reading and handling live on different threads: a blocked
+    // stdin read must not stall drain. The latch handler is
+    // installed with signal(2), which on glibc carries SA_RESTART —
+    // a read parked in BufRead would be transparently restarted and
+    // a single-threaded loop would never observe SIGTERM until EOF.
+    // So a worker only reads and the main loop handles requests
+    // while polling the latch between lines.
+    let (tx, rx) = mpsc::channel::<io::Result<String>>();
+    let reader = std::thread::Builder::new()
+        .name("aalign-stdio-reader".to_string())
+        .spawn(move || {
+            let stdin = io::stdin();
+            for line in stdin.lock().lines() {
+                let stop = line.is_err();
+                if tx.send(line).is_err() || stop {
+                    break;
+                }
+            }
+            // Dropping `tx` tells the main loop stdin hit EOF.
+        })?;
+
     let stdout = io::stdout();
-    serve_stdio(stdin.lock(), stdout.lock(), &dispatcher)?;
+    let mut out = stdout.lock();
+    let io_outcome: io::Result<()> = loop {
+        if signal::terminated() {
+            break Ok(());
+        }
+        match rx.recv_timeout(Duration::from_millis(30)) {
+            Ok(Ok(line)) => {
+                // Requests run synchronously here, so by the time the
+                // loop exits every response has been written; drain
+                // below finds the dispatcher already idle.
+                if let Some(response) = respond_line(&line, &dispatcher) {
+                    let wrote = out
+                        .write_all(response.as_bytes())
+                        .and_then(|()| out.write_all(b"\n"))
+                        .and_then(|()| out.flush());
+                    if let Err(e) = wrote {
+                        break Err(e);
+                    }
+                }
+            }
+            Ok(Err(e)) => break Err(e),
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break Ok(()),
+        }
+    };
+
     dispatcher.begin_drain();
     let clean = dispatcher.wait_idle(opts.drain_timeout);
+    // After a signal the reader may still be parked in a stdin read;
+    // it holds nothing worth joining for, and process exit reclaims
+    // it. Join only once it finished on its own (EOF).
+    if reader.is_finished() {
+        let _ = reader.join();
+    }
     report_drain(clean);
+    io_outcome?;
     Ok(i32::from(!clean))
 }
 

@@ -19,6 +19,9 @@
 //!    engine sweep. The leader runs; followers wait on the leader's
 //!    flight and share its `Arc<SearchReport>`. The coalesced count
 //!    is stamped into the leader's `SearchMetrics::coalesced`.
+//!    Cancellation stays per-request: a follower whose leader was
+//!    cancelled re-runs the query itself instead of inheriting the
+//!    leader's cancellation.
 //!
 //! Lock order, where it matters: `flights` before any
 //! `Flight::state`; the admission mutex is never held across either.
@@ -171,6 +174,16 @@ enum FlightState {
     Running { followers: u64 },
     /// The sweep finished; the shared result every waiter clones.
     Done(Result<Arc<SearchReport>, AlignError>),
+}
+
+/// What a follower saw when its leader's flight resolved.
+enum FollowOutcome {
+    /// The leader finished; this is its shared report.
+    Report(Arc<SearchReport>),
+    /// The leader's *caller* cancelled it. That decision belongs to
+    /// the leader's request alone, so the follower retries instead of
+    /// inheriting the cancellation.
+    LeaderCancelled,
 }
 
 /// Why admission did not hand out a permit.
@@ -361,10 +374,10 @@ impl Dispatcher {
             }
         };
 
-        // Whatever the queue consumed comes out of the engine's
-        // budget, so the end-to-end deadline holds.
-        let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
         let result = if req.no_batch {
+            // Whatever the queue consumed comes out of the engine's
+            // budget, so the end-to-end deadline holds.
+            let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
             self.run_leader(&query, req.top_n, remaining, &cancel, None)
                 .map(|report| SearchResponse {
                     id: req.id.clone(),
@@ -372,7 +385,7 @@ impl Dispatcher {
                     report,
                 })
         } else {
-            self.run_or_attach(&query, req, remaining, start, budget, &cancel)
+            self.run_or_attach(&query, req, start, budget, &cancel)
         };
         drop(permit);
         result
@@ -681,58 +694,69 @@ impl Dispatcher {
     }
 
     /// Singleflight: become the leader for this fingerprint or attach
-    /// as a follower to an identical sweep already running.
+    /// as a follower to an identical sweep already running. Loops
+    /// because a follower whose leader was cancelled must not inherit
+    /// that cancellation — it retries as (or re-attaches behind) a
+    /// fresh leader, still bounded by its own deadline.
     fn run_or_attach(
         &self,
         query: &Sequence,
         req: &SearchRequest,
-        remaining: Option<Duration>,
         start: Instant,
         budget: Option<Duration>,
         cancel: &CancelToken,
     ) -> Result<SearchResponse, ServeError> {
         let key = Self::fingerprint(query, req.top_n);
-        let existing = {
-            let mut flights = self.flights.lock().expect("flight map poisoned");
-            match flights.entry(key) {
-                Entry::Occupied(slot) => {
-                    let flight = Arc::clone(slot.get());
-                    // Register as a follower while still holding the
-                    // map lock (lock order: flights → flight.state),
-                    // so the leader cannot finish without counting us.
-                    let mut state = flight.state.lock().expect("flight poisoned");
-                    if let FlightState::Running { followers } = &mut *state {
-                        *followers += 1;
+        loop {
+            let existing = {
+                let mut flights = self.flights.lock().expect("flight map poisoned");
+                match flights.entry(key) {
+                    Entry::Occupied(slot) => {
+                        let flight = Arc::clone(slot.get());
+                        // Register as a follower while still holding
+                        // the map lock (lock order: flights →
+                        // flight.state), so the leader cannot finish
+                        // without counting us.
+                        let mut state = flight.state.lock().expect("flight poisoned");
+                        if let FlightState::Running { followers } = &mut *state {
+                            *followers += 1;
+                        }
+                        drop(state);
+                        Some(flight)
                     }
-                    drop(state);
-                    Some(flight)
+                    Entry::Vacant(slot) => {
+                        slot.insert(Arc::new(Flight {
+                            state: Mutex::new(FlightState::Running { followers: 0 }),
+                            cv: Condvar::new(),
+                        }));
+                        None
+                    }
                 }
-                Entry::Vacant(slot) => {
-                    slot.insert(Arc::new(Flight {
-                        state: Mutex::new(FlightState::Running { followers: 0 }),
-                        cv: Condvar::new(),
-                    }));
-                    None
-                }
-            }
-        };
+            };
 
-        match existing {
-            None => {
-                let outcome = self.run_leader(query, req.top_n, remaining, cancel, Some(key));
-                Ok(SearchResponse {
-                    id: req.id.clone(),
-                    batched: false,
-                    report: outcome?,
-                })
-            }
-            Some(flight) => {
-                self.follow(&flight, start, budget, cancel)
-                    .map(|report| SearchResponse {
+            match existing {
+                None => {
+                    // Whatever queueing and following consumed comes
+                    // out of the engine's budget, so the end-to-end
+                    // deadline holds.
+                    let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
+                    let outcome = self.run_leader(query, req.top_n, remaining, cancel, Some(key));
+                    return Ok(SearchResponse {
                         id: req.id.clone(),
-                        batched: true,
-                        report,
-                    })
+                        batched: false,
+                        report: outcome?,
+                    });
+                }
+                Some(flight) => match self.follow(&flight, start, budget, cancel)? {
+                    FollowOutcome::Report(report) => {
+                        return Ok(SearchResponse {
+                            id: req.id.clone(),
+                            batched: true,
+                            report,
+                        })
+                    }
+                    FollowOutcome::LeaderCancelled => continue,
+                },
             }
         }
     }
@@ -789,18 +813,28 @@ impl Dispatcher {
     /// Wait for the leader's result, honoring this follower's own
     /// cancellation and deadline. A follower whose budget expires
     /// before the leader finishes gets a well-formed empty *partial*
-    /// report — never a hang.
+    /// report — never a hang. A leader cancelled by *its* caller
+    /// yields [`FollowOutcome::LeaderCancelled`] so the follower can
+    /// retry rather than fail someone else's cancellation.
     fn follow(
         &self,
         flight: &Flight,
         start: Instant,
         budget: Option<Duration>,
         cancel: &CancelToken,
-    ) -> Result<Arc<SearchReport>, ServeError> {
+    ) -> Result<FollowOutcome, ServeError> {
         let mut state = flight.state.lock().expect("flight poisoned");
         loop {
             match &*state {
-                FlightState::Done(Ok(report)) => return Ok(Arc::clone(report)),
+                FlightState::Done(Ok(report)) => {
+                    return Ok(FollowOutcome::Report(Arc::clone(report)))
+                }
+                FlightState::Done(Err(AlignError::Cancelled)) => {
+                    return Ok(FollowOutcome::LeaderCancelled)
+                }
+                // Any other leader failure is a property of the query
+                // itself (same inputs, same outcome), so sharing it
+                // with followers is correct.
                 FlightState::Done(Err(e)) => return Err(ServeError::Engine(e.clone())),
                 FlightState::Running { .. } => {
                     if cancel.is_cancelled() {
@@ -810,7 +844,7 @@ impl Dispatcher {
                     if let Some(b) = budget {
                         if start.elapsed() >= b {
                             self.unfollow(&mut state);
-                            return Ok(Arc::new(self.expired_partial()));
+                            return Ok(FollowOutcome::Report(Arc::new(self.expired_partial())));
                         }
                     }
                 }

@@ -14,7 +14,7 @@
 //!
 //! [`SearchRequest`]: crate::wire::SearchRequest
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -27,6 +27,15 @@ use crate::wire::{SearchRequest, ServeError};
 
 /// Largest accepted request body; larger bodies get `413`.
 const MAX_BODY: usize = 1 << 20;
+
+/// Longest accepted request line or single header line; longer lines
+/// get `431`. Bounds how much a hostile client can make the daemon
+/// buffer before `Content-Length` is even known.
+const MAX_HEADER_LINE: usize = 8 << 10;
+
+/// Cap on the total header section (all lines together), so an
+/// endless stream of tiny headers is refused too.
+const MAX_HEADER_BYTES: usize = 32 << 10;
 
 /// Per-connection socket timeout: a stalled client cannot pin a
 /// connection thread forever.
@@ -88,6 +97,17 @@ fn handle_connection(stream: TcpStream, d: &Dispatcher) -> io::Result<()> {
                 413,
                 "Payload Too Large",
                 &ServeError::BadRequest(format!("request body exceeds {MAX_BODY} bytes")),
+            );
+        }
+        Err(RequestError::HeadersTooLarge) => {
+            d.note_bad_request();
+            return write_error(
+                &mut out,
+                431,
+                "Request Header Fields Too Large",
+                &ServeError::BadRequest(format!(
+                    "request line or headers exceed {MAX_HEADER_BYTES} bytes"
+                )),
             );
         }
         Err(RequestError::Malformed(msg)) => {
@@ -173,8 +193,10 @@ fn parse_cancel(body: &[u8]) -> Result<String, ServeError> {
         .ok_or_else(|| ServeError::BadRequest("missing string field \"id\"".to_string()))
 }
 
+#[derive(Debug)]
 enum RequestError {
     TooLarge,
+    HeadersTooLarge,
     Malformed(String),
     Io(io::Error),
 }
@@ -185,13 +207,37 @@ impl From<io::Error> for RequestError {
     }
 }
 
-/// Parse `METHOD PATH HTTP/1.x`, the headers we care about
-/// (`Content-Length`), and exactly that many body bytes.
-fn read_request(reader: &mut impl BufRead) -> Result<(String, String, Vec<u8>), RequestError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(RequestError::Malformed("empty request".to_string()));
+/// Read one newline-terminated line of at most `max` bytes. Returns
+/// `None` at EOF. The `take` bound means at most `max + 1` bytes are
+/// ever buffered, however long the client keeps streaming — an
+/// unbounded line is a typed `431`, not memory growth.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    max: usize,
+) -> Result<Option<String>, RequestError> {
+    let mut buf = Vec::new();
+    reader
+        .by_ref()
+        .take(max as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if buf.is_empty() {
+        return Ok(None);
     }
+    if buf.len() > max {
+        return Err(RequestError::HeadersTooLarge);
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| RequestError::Malformed("header line is not UTF-8".to_string()))
+}
+
+/// Parse `METHOD PATH HTTP/1.x`, the headers we care about
+/// (`Content-Length`), and exactly that many body bytes. Request
+/// line, individual header lines, and the header section as a whole
+/// are all length-capped before the body cap even applies.
+fn read_request(reader: &mut impl BufRead) -> Result<(String, String, Vec<u8>), RequestError> {
+    let line = read_line_bounded(reader, MAX_HEADER_LINE)?
+        .ok_or_else(|| RequestError::Malformed("empty request".to_string()))?;
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m.to_string(), p.to_string()),
@@ -203,12 +249,13 @@ fn read_request(reader: &mut impl BufRead) -> Result<(String, String, Vec<u8>), 
         }
     };
     let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(RequestError::Malformed(
-                "connection closed mid-headers".to_string(),
-            ));
+        let header = read_line_bounded(reader, MAX_HEADER_LINE)?
+            .ok_or_else(|| RequestError::Malformed("connection closed mid-headers".to_string()))?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(RequestError::HeadersTooLarge);
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -254,4 +301,53 @@ fn write_body(
     )?;
     out.write_all(body)?;
     out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<(String, String, Vec<u8>), RequestError> {
+        read_request(&mut BufReader::new(Cursor::new(raw.to_vec())))
+    }
+
+    #[test]
+    fn normal_requests_parse() {
+        let (method, path, body) =
+            parse(b"POST /v1/search HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/v1/search");
+        assert_eq!(body, b"hi");
+    }
+
+    #[test]
+    fn oversized_header_lines_are_refused_not_buffered() {
+        // One header line past the cap: typed refusal, and never more
+        // than MAX_HEADER_LINE + 1 bytes buffered.
+        let mut raw = b"GET /v1/health HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.resize(raw.len() + MAX_HEADER_LINE + 10, b'a');
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(RequestError::HeadersTooLarge)));
+
+        // An oversized request line is refused the same way.
+        let mut raw = b"GET /".to_vec();
+        raw.resize(raw.len() + MAX_HEADER_LINE + 10, b'x');
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(RequestError::HeadersTooLarge)));
+    }
+
+    #[test]
+    fn unbounded_header_count_is_refused() {
+        // Many small headers whose sum passes the section cap.
+        let mut raw = b"GET /v1/health HTTP/1.1\r\n".to_vec();
+        for i in 0..u64::MAX {
+            raw.extend_from_slice(format!("X-{i}: y\r\n").as_bytes());
+            if raw.len() > MAX_HEADER_BYTES + 1024 {
+                break;
+            }
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(RequestError::HeadersTooLarge)));
+    }
 }

@@ -42,16 +42,24 @@ fn rpc_code(e: &ServeError) -> i64 {
 /// Requests are handled sequentially on the calling thread.
 pub fn serve_stdio<R: BufRead, W: Write>(input: R, mut out: W, d: &Dispatcher) -> io::Result<()> {
     for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+        if let Some(response) = respond_line(&line?, d) {
+            out.write_all(response.as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
         }
-        let response = handle_line(&line, d);
-        out.write_all(response.render().as_bytes())?;
-        out.write_all(b"\n")?;
-        out.flush()?;
     }
     Ok(())
+}
+
+/// Handle one line of a JSON-RPC session: `None` for blank lines,
+/// otherwise the rendered response object to write back. The daemon
+/// loop uses this directly so reading (worker thread) and handling
+/// (signal-polling main loop) can live on different threads.
+pub fn respond_line(line: &str, d: &Dispatcher) -> Option<String> {
+    if line.trim().is_empty() {
+        return None;
+    }
+    Some(handle_line(line, d).render())
 }
 
 fn handle_line(line: &str, d: &Dispatcher) -> JsonValue {

@@ -243,6 +243,46 @@ fn cancellation_by_request_id_stops_an_inflight_search() {
 }
 
 #[test]
+fn cancelling_the_leader_does_not_cancel_coalesced_followers() {
+    let d = dispatcher(1, BIG_DB, DispatcherConfig::default().max_inflight(8));
+    let q = query_text(15, 150);
+    let leader = {
+        let d = Arc::clone(&d);
+        let mut req = SearchRequest::new(q.clone());
+        req.id = Some("leader".to_string());
+        thread::spawn(move || d.search(&req))
+    };
+    wait_inflight(&d, 1);
+    let follower = {
+        let d = Arc::clone(&d);
+        let q = q.clone();
+        thread::spawn(move || d.search(&SearchRequest::new(q)))
+    };
+    wait_inflight(&d, 2);
+    // Give the second request a beat to attach to the leader's
+    // flight before the leader is cancelled out from under it.
+    thread::sleep(Duration::from_millis(50));
+    d.cancel("leader").unwrap();
+
+    // The cancelled caller gets the cancellation…
+    let err = leader.join().unwrap().unwrap_err();
+    assert_eq!(err, ServeError::Engine(AlignError::Cancelled));
+    // …but the coalesced request re-runs the sweep and completes.
+    let resp = follower.join().unwrap().unwrap();
+    assert!(!resp.report.partial, "follower must not inherit the cancel");
+    assert!(!resp.report.hits.is_empty());
+
+    // Exactly one request was cancelled, per the counters.
+    let cancelled = d
+        .health()
+        .get("counters")
+        .and_then(|c| c.get("cancelled"))
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    assert_eq!(cancelled, 1);
+}
+
+#[test]
 fn duplicate_inflight_request_ids_are_rejected() {
     let d = dispatcher(1, BIG_DB, DispatcherConfig::default().max_inflight(4));
     let first = {

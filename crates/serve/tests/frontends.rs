@@ -196,6 +196,31 @@ fn http_error_paths_are_typed_never_opaque() {
 }
 
 #[test]
+fn endless_header_stream_gets_a_431_not_memory_growth() {
+    let d = dispatcher();
+    let server = HttpServer::start(Arc::clone(&d));
+
+    let mut stream = TcpStream::connect(server.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(stream, "GET /v1/health HTTP/1.1\r\nX-Pad: ").unwrap();
+    // A never-terminated header line one byte past the 8 KiB cap
+    // (counting the "X-Pad: " prefix): the daemon must answer as soon
+    // as the cap is hit, without waiting for the line to end. Sending
+    // exactly to the cap keeps the close clean — no unread bytes, no
+    // RST racing the response.
+    stream
+        .write_all(&vec![b'a'; (8 << 10) + 1 - "X-Pad: ".len()])
+        .unwrap();
+
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+    server.shutdown();
+}
+
+#[test]
 fn http_shutdown_drains_and_refuses_new_requests() {
     let d = dispatcher();
     let server = HttpServer::start(Arc::clone(&d));
