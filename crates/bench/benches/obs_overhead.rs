@@ -11,13 +11,17 @@
 //! enabled collector costs, since that path is allowed to pay for
 //! what it records.
 //!
+//! The same budget covers the serve stack's always-on flight
+//! recorder: one ring `record()` per alignment-sized unit of work
+//! must also stay under 1%, or "always on" would be a lie.
+//!
 //! Usage: `cargo bench -p aalign-bench --bench obs_overhead`
 
 use aalign_bench::harness::{gcups, time_min};
 use aalign_bio::matrices::BLOSUM62;
 use aalign_bio::synth::{named_query, seeded_rng};
 use aalign_core::{AlignConfig, AlignScratch, Aligner, GapModel, Strategy};
-use aalign_obs::{CollectorSink, NullSink};
+use aalign_obs::{CollectorSink, FlightEvent, FlightRecorder, NullSink, StageKind};
 
 fn main() {
     // `cargo bench` invokes every harness=false bench with --bench;
@@ -101,6 +105,49 @@ fn main() {
         worst < 0.01,
         "disabled tracing must cost <1% over the raw kernel path, measured {:+.2}%",
         worst * 100.0
+    );
+
+    // Flight recorder: the serve dispatcher records a handful of
+    // stage events per request into an always-on lock-free ring.
+    // Guard the per-event cost the same way: one record() per
+    // alignment must not move the needle.
+    let al = Aligner::new(cfg).with_strategy(Strategy::Hybrid);
+    let pq = al.prepare(&q).unwrap();
+    let mut scratch = AlignScratch::new();
+    let t_base = time_min(
+        || {
+            let _ = al.align_prepared(&pq, &s, &mut scratch).unwrap();
+        },
+        warmup,
+        reps,
+    );
+    let rec = FlightRecorder::new();
+    let mut n = 0u64;
+    let t_flight = time_min(
+        || {
+            let out = al.align_prepared(&pq, &s, &mut scratch).unwrap();
+            n += 1;
+            rec.record(FlightEvent {
+                at_us: n,
+                request: n,
+                stage: StageKind::Sweep,
+                dur_us: u64::from(out.score.unsigned_abs()),
+                ref_request: 0,
+            });
+        },
+        warmup,
+        reps,
+    );
+    let flight_overhead = t_flight.as_secs_f64() / t_base.as_secs_f64() - 1.0;
+    println!(
+        "\nflight-recorder record() per alignment: {:+.2}% (budget 1%, {} events recorded)",
+        flight_overhead * 100.0,
+        rec.recorded(),
+    );
+    assert!(
+        flight_overhead < 0.01,
+        "always-on flight recording must cost <1% per request, measured {:+.2}%",
+        flight_overhead * 100.0
     );
     println!("OK");
 }

@@ -1,0 +1,187 @@
+//! `perf_gate` — perf-trajectory gate for bench envelopes.
+//!
+//! Compares a freshly measured bench document against the checked-in
+//! baseline under `results/` and fails (exit 1) when performance
+//! regressed beyond the tolerance band:
+//!
+//! * latency fields (`*_us`, `*_ns`) must satisfy
+//!   `fresh <= baseline * factor` — unless the fresh value is below
+//!   the absolute floor, where run-to-run noise dominates and no
+//!   regression claim is meaningful;
+//! * rate fields (`throughput_rps`, `gcups`) must satisfy
+//!   `fresh * factor >= baseline`.
+//!
+//! The default factor is deliberately loose (8×): CI machines are
+//! shared and noisy, and the gate exists to catch *trajectory*
+//! mistakes — an accidentally quadratic queue, a lock held across a
+//! sweep — not single-digit-percent drift. Tighten with `--factor`
+//! for controlled hardware.
+//!
+//! Rows are matched by their `source` field; a baseline row missing
+//! from the fresh document is an error (coverage must not silently
+//! shrink), while a fresh row missing from the baseline is reported
+//! but tolerated (new metrics appear before their baselines do).
+//!
+//! Usage:
+//! ```text
+//! perf_gate --baseline results/BENCH_serve_latency.json \
+//!           --fresh /tmp/fresh.json [--factor 8] [--floor-us 20000]
+//! ```
+
+use std::process::ExitCode;
+
+use aalign_obs::wire::JsonValue;
+
+fn arg(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Numeric view of a field (integers and floats both gate).
+fn num(v: &JsonValue) -> Option<f64> {
+    v.as_f64().or_else(|| v.as_u64().map(|n| n as f64))
+}
+
+fn str_of<'a>(v: &'a JsonValue, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(|s| s.as_str())
+}
+
+/// Validate the envelope shape shared by `BENCH_*.json` documents:
+/// versioned, named, with a non-empty `rows` array of objects that
+/// carry a `source` label.
+fn validate(doc: &JsonValue, path: &str) -> Result<Vec<JsonValue>, String> {
+    aalign_obs::wire::check_version(doc).map_err(|e| format!("{path}: {e}"))?;
+    if str_of(doc, "bench").is_none() {
+        return Err(format!("{path}: missing string field \"bench\""));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: missing array field \"rows\""))?;
+    if rows.is_empty() {
+        return Err(format!("{path}: \"rows\" is empty — nothing was measured"));
+    }
+    for row in rows {
+        if str_of(row, "source").is_none() {
+            return Err(format!("{path}: row without a \"source\" label: {row:?}"));
+        }
+    }
+    Ok(rows.to_vec())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(violations) => {
+            eprintln!("perf_gate: {violations} violation(s) beyond the tolerance band");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf_gate: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<usize, String> {
+    let baseline_path = arg(args, "--baseline").ok_or("--baseline <json> required")?;
+    let fresh_path = arg(args, "--fresh").ok_or("--fresh <json> required")?;
+    let factor: f64 = match arg(args, "--factor") {
+        None => 8.0,
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|f| *f >= 1.0)
+            .ok_or("--factor expects a number >= 1")?,
+    };
+    let floor_us: f64 = match arg(args, "--floor-us") {
+        None => 20_000.0,
+        Some(v) => v.parse().map_err(|_| "--floor-us expects a number")?,
+    };
+
+    let baseline = load(&baseline_path)?;
+    let fresh = load(&fresh_path)?;
+    let base_rows = validate(&baseline, &baseline_path)?;
+    let fresh_rows = validate(&fresh, &fresh_path)?;
+    let (base_bench, fresh_bench) = (
+        str_of(&baseline, "bench").unwrap().to_string(),
+        str_of(&fresh, "bench").unwrap().to_string(),
+    );
+    if base_bench != fresh_bench {
+        return Err(format!(
+            "bench mismatch: baseline is {base_bench:?}, fresh is {fresh_bench:?}"
+        ));
+    }
+
+    println!("perf_gate: {base_bench} — factor {factor}×, latency floor {floor_us}µs");
+    let mut violations = 0usize;
+    for base_row in &base_rows {
+        let source = str_of(base_row, "source").unwrap();
+        let Some(fresh_row) = fresh_rows
+            .iter()
+            .find(|r| str_of(r, "source") == Some(source))
+        else {
+            println!("  FAIL {source}: row missing from fresh document");
+            violations += 1;
+            continue;
+        };
+        let Some(fields) = base_row.as_object() else {
+            continue;
+        };
+        for (key, base_val) in fields {
+            let Some(base_n) = num(base_val) else {
+                continue;
+            };
+            let Some(fresh_n) = fresh_row.get(key).and_then(num) else {
+                println!("  FAIL {source}.{key}: field missing from fresh document");
+                violations += 1;
+                continue;
+            };
+            let lat_key = key.ends_with("_us") || key.ends_with("_ns");
+            let rate_key = key == "throughput_rps" || key == "gcups";
+            if lat_key {
+                // Convert the floor into this field's unit.
+                let floor = if key.ends_with("_ns") {
+                    floor_us * 1000.0
+                } else {
+                    floor_us
+                };
+                if fresh_n > base_n * factor && fresh_n > floor {
+                    println!(
+                        "  FAIL {source}.{key}: {fresh_n:.0} > {base_n:.0} × {factor} (baseline)"
+                    );
+                    violations += 1;
+                } else {
+                    println!("  ok   {source}.{key}: {fresh_n:.0} (baseline {base_n:.0})");
+                }
+            } else if rate_key {
+                if fresh_n * factor < base_n {
+                    println!(
+                        "  FAIL {source}.{key}: {fresh_n:.2} < {base_n:.2} / {factor} (baseline)"
+                    );
+                    violations += 1;
+                } else {
+                    println!("  ok   {source}.{key}: {fresh_n:.2} (baseline {base_n:.2})");
+                }
+            }
+        }
+    }
+    for fresh_row in &fresh_rows {
+        let source = str_of(fresh_row, "source").unwrap();
+        if !base_rows
+            .iter()
+            .any(|r| str_of(r, "source") == Some(source))
+        {
+            println!("  note {source}: new row with no baseline yet (not gated)");
+        }
+    }
+    Ok(violations)
+}

@@ -67,6 +67,82 @@ impl ProbeOutcome {
     }
 }
 
+/// A request-lifecycle stage inside the serve stack. One request
+/// produces one [`TraceEvent::Stage`] per stage it passes through:
+/// `parse → queue → (batch_wait | sweep → merge) → respond`.
+/// Coalesced followers skip `sweep`/`merge` and instead record
+/// `batch_wait` referencing the leader that ran the sweep for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Front-end wire parsing (HTTP body / JSON-RPC line → request).
+    Parse,
+    /// Time spent in the bounded admission queue.
+    Queue,
+    /// A coalesced follower waiting on its leader's sweep.
+    BatchWait,
+    /// The engine sweep (prepare + align + rank).
+    Sweep,
+    /// Merging per-worker results into the final report.
+    Merge,
+    /// Rendering and writing the response back to the client.
+    Respond,
+}
+
+impl StageKind {
+    /// Every stage, in lifecycle order (used by exporters).
+    pub const ALL: [StageKind; 6] = [
+        StageKind::Parse,
+        StageKind::Queue,
+        StageKind::BatchWait,
+        StageKind::Sweep,
+        StageKind::Merge,
+        StageKind::Respond,
+    ];
+
+    /// Stable wire name (used by the JSONL format).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageKind::Parse => "parse",
+            StageKind::Queue => "queue",
+            StageKind::BatchWait => "batch_wait",
+            StageKind::Sweep => "sweep",
+            StageKind::Merge => "merge",
+            StageKind::Respond => "respond",
+        }
+    }
+
+    /// Inverse of [`as_str`](StageKind::as_str).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "parse" => Some(StageKind::Parse),
+            "queue" => Some(StageKind::Queue),
+            "batch_wait" => Some(StageKind::BatchWait),
+            "sweep" => Some(StageKind::Sweep),
+            "merge" => Some(StageKind::Merge),
+            "respond" => Some(StageKind::Respond),
+            _ => None,
+        }
+    }
+
+    /// Dense code for compact in-memory encodings (flight recorder
+    /// slots). Inverse is [`from_code`](Self::from_code).
+    pub fn code(self) -> u8 {
+        match self {
+            StageKind::Parse => 0,
+            StageKind::Queue => 1,
+            StageKind::BatchWait => 2,
+            StageKind::Sweep => 3,
+            StageKind::Merge => 4,
+            StageKind::Respond => 5,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Self> {
+        StageKind::ALL.get(code as usize).copied()
+    }
+}
+
 /// One per-column decision of the hybrid kernel — the event the whole
 /// subsystem exists to surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,6 +234,23 @@ pub enum TraceEvent {
         /// Ranked hits returned.
         hits: u64,
     },
+    /// A request-lifecycle stage completed inside the serve stack.
+    /// Unlike the engine events above, stage events carry the
+    /// originating `request` id so a JSONL stream interleaving many
+    /// concurrent requests stays attributable.
+    Stage {
+        /// Request id assigned at the front end (never 0).
+        request: u64,
+        /// Which stage completed.
+        stage: StageKind,
+        /// Microseconds since the recorder's epoch at completion.
+        at_us: u64,
+        /// Stage duration in microseconds.
+        dur_us: u64,
+        /// For `batch_wait`: the request id of the leader whose sweep
+        /// this request coalesced onto. 0 everywhere else.
+        ref_request: u64,
+    },
 }
 
 #[cfg(test)]
@@ -178,6 +271,12 @@ mod tests {
         }
         assert_eq!(StrategyKind::parse("neither"), None);
         assert_eq!(ProbeOutcome::parse("maybe"), None);
+        for s in StageKind::ALL {
+            assert_eq!(StageKind::parse(s.as_str()), Some(s));
+            assert_eq!(StageKind::from_code(s.code()), Some(s));
+        }
+        assert_eq!(StageKind::parse("warp"), None);
+        assert_eq!(StageKind::from_code(6), None);
     }
 
     #[test]

@@ -175,6 +175,27 @@ impl Histogram {
         self.max
     }
 
+    /// Median estimate: [`quantile`](Self::quantile)`(0.50)`.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate: [`quantile`](Self::quantile)`(0.90)`.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate: [`quantile`](Self::quantile)`(0.99)`.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate:
+    /// [`quantile`](Self::quantile)`(0.999)`.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Occupied buckets as `(inclusive_upper_bound, count)` pairs.
     pub fn occupied(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts
@@ -207,17 +228,19 @@ impl Histogram {
         out
     }
 
-    /// Compact JSON summary object (count/sum/max/mean/p50/p90/p99).
+    /// Compact JSON summary object
+    /// (count/sum/max/mean/p50/p90/p99/p999).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
             self.count,
             self.sum,
             self.max,
             self.mean(),
-            self.quantile(0.50),
-            self.quantile(0.90),
-            self.quantile(0.99),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.p999(),
         )
     }
 }
@@ -304,8 +327,24 @@ mod tests {
         let mut h = Histogram::new();
         h.record(10);
         let j = h.to_json();
-        for key in ["count", "sum", "max", "mean", "p50", "p90", "p99"] {
+        for key in ["count", "sum", "max", "mean", "p50", "p90", "p99", "p999"] {
             assert!(j.contains(&format!("\"{key}\"")), "{key} missing in {j}");
         }
+    }
+
+    #[test]
+    fn named_quantile_accessors_match_quantile() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), h.quantile(0.50));
+        assert_eq!(h.p90(), h.quantile(0.90));
+        assert_eq!(h.p99(), h.quantile(0.99));
+        assert_eq!(h.p999(), h.quantile(0.999));
+        // The tail quantiles are ordered and land at/above the body.
+        assert!(h.p50() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max_value());
     }
 }

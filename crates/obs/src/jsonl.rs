@@ -19,12 +19,13 @@
 //! | `rescue`      | [`TraceEvent::Rescue`]    |
 //! | `align_end`   | [`TraceEvent::AlignEnd`]  |
 //! | `query_end`   | [`TraceEvent::QueryEnd`]  |
+//! | `stage`       | [`TraceEvent::Stage`]     |
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use crate::event::{HybridEvent, ProbeOutcome, StrategyKind, TraceEvent};
+use crate::event::{HybridEvent, ProbeOutcome, StageKind, StrategyKind, TraceEvent};
 
 /// Escape a string for inclusion in a JSON string literal.
 fn escape_into(out: &mut String, s: &str) {
@@ -109,6 +110,18 @@ pub fn event_to_json(event: &TraceEvent) -> String {
         TraceEvent::QueryEnd { at_us, hits } => {
             s.push_str(&format!(
                 "{{\"ev\":\"query_end\",\"at_us\":{at_us},\"hits\":{hits}}}"
+            ));
+        }
+        TraceEvent::Stage {
+            request,
+            stage,
+            at_us,
+            dur_us,
+            ref_request,
+        } => {
+            s.push_str(&format!(
+                "{{\"ev\":\"stage\",\"request\":{request},\"stage\":\"{}\",\"at_us\":{at_us},\"dur_us\":{dur_us},\"ref_request\":{ref_request}}}",
+                stage.as_str(),
             ));
         }
     }
@@ -417,6 +430,18 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, ParseError> {
             at_us: get_u64(&map, "at_us")?,
             hits: get_u64(&map, "hits")?,
         }),
+        "stage" => {
+            let stage_name = get_str(&map, "stage")?;
+            let stage = StageKind::parse(stage_name)
+                .ok_or_else(|| ParseError::BadValue("stage", stage_name.to_string()))?;
+            Ok(TraceEvent::Stage {
+                request: get_u64(&map, "request")?,
+                stage,
+                at_us: get_u64(&map, "at_us")?,
+                dur_us: get_u64(&map, "dur_us")?,
+                ref_request: get_u64(&map, "ref_request")?,
+            })
+        }
         other => Ok(Err(ParseError::UnknownEvent(other.to_string()))?),
     }
 }
@@ -490,6 +515,20 @@ mod tests {
                 at_us: 101,
                 hits: 3,
             },
+            TraceEvent::Stage {
+                request: 41,
+                stage: StageKind::BatchWait,
+                at_us: 207,
+                dur_us: 88,
+                ref_request: 40,
+            },
+            TraceEvent::Stage {
+                request: 40,
+                stage: StageKind::Sweep,
+                at_us: 205,
+                dur_us: 90,
+                ref_request: 0,
+            },
         ]
     }
 
@@ -540,6 +579,10 @@ mod tests {
         assert!(matches!(
             parse_line("{\"ev\":\"query_end\",\"at_us\":-5,\"hits\":0}"),
             Err(ParseError::MissingField("at_us"))
+        ));
+        assert!(matches!(
+            parse_line("{\"ev\":\"stage\",\"request\":1,\"stage\":\"warp\",\"at_us\":0,\"dur_us\":0,\"ref_request\":0}"),
+            Err(ParseError::BadValue("stage", _))
         ));
         assert!(matches!(
             parse_line("{\"ev\":\"query_end\",\"at_us\":1,\"hits\":0} tail"),

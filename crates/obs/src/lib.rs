@@ -20,6 +20,11 @@
 //! * [`report`] — reconstruction of the hybrid decision timeline
 //!   (column ranges per strategy, switch points, probe outcomes)
 //!   from a parsed trace — the `aalign trace-report` backend.
+//! * [`flight`] — the always-on flight recorder: a fixed-capacity,
+//!   lock-free ring of the last N request-stage events, readable at
+//!   any moment (post-mortem dumps on dirty drain or worker loss,
+//!   `GET /debug/flight` while healthy) and cheap enough to leave
+//!   enabled in production.
 //! * [`wire`] — the versioned wire substrate: a full recursive
 //!   [`JsonValue`] parser/renderer (the flat [`jsonl`] format can't
 //!   express nested service documents), `schema_version` stamping
@@ -34,13 +39,15 @@
 //! metrics without cycles.
 
 pub mod event;
+pub mod flight;
 pub mod hist;
 pub mod jsonl;
 pub mod report;
 pub mod sink;
 pub mod wire;
 
-pub use event::{HybridEvent, ProbeOutcome, StrategyKind, TraceEvent};
+pub use event::{HybridEvent, ProbeOutcome, StageKind, StrategyKind, TraceEvent};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use hist::Histogram;
 pub use jsonl::{event_to_json, parse_line, read_events, ParseError, TraceWriter};
 pub use report::{StrategySegment, SubjectTimeline, TraceReport};

@@ -123,6 +123,10 @@ impl TraceReport {
                     report.hits = *hits;
                 }
                 TraceEvent::SpanBegin { .. } => {}
+                // Serve-stack stage events interleave freely with the
+                // engine envelope and carry no kernel decisions; the
+                // per-query timeline ignores them.
+                TraceEvent::Stage { .. } => {}
                 TraceEvent::SpanEnd { span, dur_us, .. } => {
                     report.spans.push((span.clone(), *dur_us));
                 }

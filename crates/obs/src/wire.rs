@@ -436,9 +436,10 @@ pub fn histogram_to_wire(h: &Histogram) -> JsonValue {
         ("sum", h.sum().into()),
         ("max", h.max_value().into()),
         ("mean", h.mean().into()),
-        ("p50", h.quantile(0.50).into()),
-        ("p90", h.quantile(0.90).into()),
-        ("p99", h.quantile(0.99).into()),
+        ("p50", h.p50().into()),
+        ("p90", h.p90().into()),
+        ("p99", h.p99().into()),
+        ("p999", h.p999().into()),
         ("buckets", JsonValue::Array(buckets)),
     ])
 }
@@ -805,6 +806,27 @@ mod tests {
         let empty = Histogram::new();
         let back = histogram_from_wire(&histogram_to_wire(&empty)).unwrap();
         assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn histogram_summaries_survive_the_wire_bit_identically() {
+        // The quantile summaries (p50/p90/p99/p999) are derived from
+        // the buckets on output and ignored on input. Because the
+        // buckets round-trip losslessly, re-encoding the decoded
+        // histogram must reproduce the exact same document bytes —
+        // summaries included.
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 2, 7, 7, 7, 100, 5_000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let first = histogram_to_wire(&h).render();
+        let back = histogram_from_wire(&JsonValue::parse(&first).unwrap()).unwrap();
+        let second = histogram_to_wire(&back).render();
+        assert_eq!(first, second);
+        for key in ["\"p50\":", "\"p90\":", "\"p99\":", "\"p999\":"] {
+            assert!(first.contains(key), "{key} missing in {first}");
+        }
+        assert_eq!(back.p999(), h.p999());
     }
 
     #[test]

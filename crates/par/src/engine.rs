@@ -1209,9 +1209,13 @@ impl SearchEngine {
                 width_retries,
                 rescued,
                 rescue_widths,
-                // Batching happens above the engine: a serving
-                // dispatcher stamps the follower count post-hoc.
+                // Batching and admission happen above the engine: a
+                // serving dispatcher stamps the follower count and
+                // the stage-wait histograms post-hoc.
                 coalesced: 0,
+                queue_wait: Histogram::new(),
+                batch_wait: Histogram::new(),
+                request_e2e: Histogram::new(),
                 workers_respawned: self.workers_respawned(),
                 peak_hits_buffered,
                 latency,

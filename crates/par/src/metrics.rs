@@ -161,6 +161,20 @@ pub struct SearchMetrics {
     /// `workers × top_n` when `top_n > 0` (streaming top-k), `O(db)`
     /// only when every hit was requested.
     pub peak_hits_buffered: usize,
+    /// Log2 histogram (nanoseconds) of time this request spent in a
+    /// serving dispatcher's bounded admission queue before the sweep
+    /// started. Always empty for direct engine calls; `aalign-serve`
+    /// stamps the leader's wait here before fanning the report out.
+    pub queue_wait: Histogram,
+    /// Log2 histogram (nanoseconds) of time coalesced follower
+    /// requests spent waiting on this query's sweep. Always empty
+    /// for direct engine calls; stamped by a serving dispatcher.
+    pub batch_wait: Histogram,
+    /// Log2 histogram (nanoseconds) of dispatcher-side end-to-end
+    /// request latency (admission through report publication).
+    /// Always empty for direct engine calls; stamped by a serving
+    /// dispatcher.
+    pub request_e2e: Histogram,
     /// Log2 histogram of per-work-item sweep latency in nanoseconds
     /// (one sample per subject on the intra sweep, per batch on the
     /// inter sweep), merged across workers.
@@ -363,6 +377,21 @@ impl SearchMetrics {
             "Peak hits buffered across workers.",
             self.peak_hits_buffered as f64,
         );
+        s.push_str(
+            &self
+                .queue_wait
+                .prom_lines("aalign_queue_wait_seconds", 1e-9),
+        );
+        s.push_str(
+            &self
+                .batch_wait
+                .prom_lines("aalign_batch_wait_seconds", 1e-9),
+        );
+        s.push_str(
+            &self
+                .request_e2e
+                .prom_lines("aalign_request_e2e_seconds", 1e-9),
+        );
         s.push_str(&self.latency.prom_lines("aalign_work_item_seconds", 1e-9));
         s.push_str(
             &self
@@ -482,6 +511,9 @@ mod tests {
             "\"rescued\"",
             "\"rescue_width_bits\"",
             "\"workers_respawned\"",
+            "\"queue_wait_ns\"",
+            "\"batch_wait_ns\"",
+            "\"request_e2e_ns\"",
             "\"latency_ns\"",
             "\"worker_load_residues\"",
             "\"workers\"",
@@ -506,6 +538,9 @@ mod tests {
             "aalign_work_item_seconds_bucket",
             "aalign_work_item_seconds_count 4",
             "aalign_worker_load_residues_count 2",
+            "aalign_queue_wait_seconds_count",
+            "aalign_batch_wait_seconds_count",
+            "aalign_request_e2e_seconds_count",
             "le=\"+Inf\"",
         ] {
             assert!(p.contains(series), "{series} missing from:\n{p}");

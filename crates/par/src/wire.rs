@@ -187,6 +187,9 @@ pub fn metrics_to_wire(m: &SearchMetrics) -> JsonValue {
         ("coalesced", m.coalesced.into()),
         ("workers_respawned", m.workers_respawned.into()),
         ("peak_hits_buffered", m.peak_hits_buffered.into()),
+        ("queue_wait_ns", histogram_to_wire(&m.queue_wait)),
+        ("batch_wait_ns", histogram_to_wire(&m.batch_wait)),
+        ("request_e2e_ns", histogram_to_wire(&m.request_e2e)),
         ("latency_ns", histogram_to_wire(&m.latency)),
         ("worker_load_residues", histogram_to_wire(&m.worker_load)),
         (
@@ -194,6 +197,16 @@ pub fn metrics_to_wire(m: &SearchMetrics) -> JsonValue {
             JsonValue::Array(m.per_worker.iter().map(worker_to_wire).collect()),
         ),
     ])
+}
+
+/// Optional histogram field: absent decodes as empty, so documents
+/// written before the field existed still parse within the same
+/// schema version.
+fn optional_histogram(v: &JsonValue, key: &str) -> Result<aalign_obs::Histogram, WireError> {
+    match v.get(key) {
+        Some(h) => histogram_from_wire(h),
+        None => Ok(aalign_obs::Histogram::default()),
+    }
 }
 
 /// Decode a metrics document (version-checked; lossless at
@@ -214,6 +227,9 @@ pub fn metrics_from_wire(v: &JsonValue) -> Result<SearchMetrics, WireError> {
         coalesced: u64_field(v, "coalesced")?,
         workers_respawned: u64_field(v, "workers_respawned")?,
         peak_hits_buffered: u64_field(v, "peak_hits_buffered")? as usize,
+        queue_wait: optional_histogram(v, "queue_wait_ns")?,
+        batch_wait: optional_histogram(v, "batch_wait_ns")?,
+        request_e2e: optional_histogram(v, "request_e2e_ns")?,
         latency: histogram_from_wire(field(v, "latency_ns")?)?,
         worker_load: histogram_from_wire(field(v, "worker_load_residues")?)?,
         per_worker: array_field(v, "workers")?

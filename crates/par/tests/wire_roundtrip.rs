@@ -53,6 +53,9 @@ fn real_search_report_round_trips_losslessly() {
     assert_eq!(b.latency, m.latency, "histogram buckets bit-exact");
     assert_eq!(b.worker_load, m.worker_load);
     assert_eq!(b.rescue_widths, m.rescue_widths);
+    assert_eq!(b.queue_wait, m.queue_wait);
+    assert_eq!(b.batch_wait, m.batch_wait);
+    assert_eq!(b.request_e2e, m.request_e2e);
     assert_eq!(b.per_worker.len(), m.per_worker.len());
     for (bw, mw) in b.per_worker.iter().zip(&m.per_worker) {
         assert_eq!(bw.worker_id, mw.worker_id);
@@ -97,15 +100,42 @@ fn metrics_schema_v1_is_pinned() {
         "\"scan_columns\":0,\"switches_to_scan\":0,\"probes_stayed\":0},",
         "\"width_retries\":0,\"rescued\":0,",
         "\"rescue_width_bits\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
-        "\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]},",
+        "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
         "\"coalesced\":0,\"workers_respawned\":0,\"peak_hits_buffered\":0,",
+        "\"queue_wait_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
+        "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
+        "\"batch_wait_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
+        "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
+        "\"request_e2e_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
+        "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
         "\"latency_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
-        "\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]},",
+        "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
         "\"worker_load_residues\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
-        "\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]},",
+        "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
         "\"workers\":[]}",
     );
     assert_eq!(metrics_to_wire(&m).render(), expected);
+}
+
+#[test]
+fn pre_stage_histogram_documents_still_decode() {
+    // The stage-wait histograms (queue_wait_ns / batch_wait_ns /
+    // request_e2e_ns) were added within schema v1: a document written
+    // before they existed must still decode, with the new fields
+    // coming back empty.
+    let mut doc = metrics_to_wire(&aalign_par::SearchMetrics::default()).render();
+    for key in ["queue_wait_ns", "batch_wait_ns", "request_e2e_ns"] {
+        let needle = format!(
+            "\"{key}\":{{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,\
+             \"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]}},"
+        );
+        assert!(doc.contains(&needle), "{key} not found in {doc}");
+        doc = doc.replace(&needle, "");
+    }
+    let back = metrics_from_wire(&JsonValue::parse(&doc).unwrap()).unwrap();
+    assert!(back.queue_wait.is_empty());
+    assert!(back.batch_wait.is_empty());
+    assert!(back.request_e2e.is_empty());
 }
 
 #[test]

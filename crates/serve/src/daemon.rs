@@ -161,7 +161,7 @@ fn run_http(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i32
     accept
         .join()
         .map_err(|_| io::Error::other("http accept thread panicked"))??;
-    report_drain(clean);
+    report_drain(clean, &dispatcher);
     Ok(i32::from(!clean))
 }
 
@@ -225,15 +225,18 @@ fn run_stdio(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i3
     if reader.is_finished() {
         let _ = reader.join();
     }
-    report_drain(clean);
+    report_drain(clean, &dispatcher);
     io_outcome?;
     Ok(i32::from(!clean))
 }
 
-fn report_drain(clean: bool) {
+fn report_drain(clean: bool, dispatcher: &Dispatcher) {
     if clean {
         eprintln!("aalign-serve: drained cleanly");
     } else {
         eprintln!("aalign-serve: drain timeout expired with requests still in flight");
+        // Post-mortem: the last stage events show what the stuck
+        // requests were doing.
+        dispatcher.dump_flight("dirty drain");
     }
 }

@@ -23,8 +23,19 @@
 //!    cancelled re-runs the query itself instead of inheriting the
 //!    leader's cancellation.
 //!
+//! 6. **Request-scoped tracing** — every request gets a dense
+//!    `request_id`; each lifecycle stage (parse → queue →
+//!    batch-wait → sweep → merge → respond) is recorded into an
+//!    always-on [`FlightRecorder`] ring and aggregated into
+//!    per-stage histograms surfaced on `/metrics` and in `health()`.
+//!    A coalesced follower's `batch_wait` event references the
+//!    leader's request id, so a flight dump reconstructs who rode on
+//!    whose sweep.
+//!
 //! Lock order, where it matters: `flights` before any
-//! `Flight::state`; the admission mutex is never held across either.
+//! `Flight::state`; the admission mutex is never held across either;
+//! the stage-histogram mutex is leaf-level (nothing is acquired
+//! under it).
 
 use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
@@ -35,7 +46,8 @@ use std::time::{Duration, Instant};
 
 use aalign_bio::{SeqDatabase, Sequence};
 use aalign_core::{AlignError, Aligner};
-use aalign_obs::wire::{obj, versioned, JsonValue};
+use aalign_obs::wire::{histogram_to_wire, obj, versioned, JsonValue};
+use aalign_obs::{FlightEvent, FlightRecorder, Histogram, StageKind};
 use aalign_par::{CancelToken, EngineHandle, SearchOptions, SearchReport};
 
 use crate::wire::{SearchRequest, SearchResponse, ServeError};
@@ -162,10 +174,55 @@ struct AdmitState {
     queued: usize,
 }
 
+/// Service-level per-stage latency aggregates (nanoseconds), one
+/// histogram per lifecycle stage plus end-to-end. Leaf-level lock:
+/// recorded after a stage completes, never held across anything.
+#[derive(Debug, Default)]
+struct StageHists {
+    parse: Histogram,
+    queue: Histogram,
+    batch_wait: Histogram,
+    sweep: Histogram,
+    merge: Histogram,
+    respond: Histogram,
+    e2e: Histogram,
+}
+
+impl StageHists {
+    fn for_stage(&mut self, stage: StageKind) -> &mut Histogram {
+        match stage {
+            StageKind::Parse => &mut self.parse,
+            StageKind::Queue => &mut self.queue,
+            StageKind::BatchWait => &mut self.batch_wait,
+            StageKind::Sweep => &mut self.sweep,
+            StageKind::Merge => &mut self.merge,
+            StageKind::Respond => &mut self.respond,
+        }
+    }
+}
+
+/// Saturating nanosecond reading for histogram recording.
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Per-request trace context threaded through the sweep path: the
+/// request id, how long admission took (stamped into the leader's
+/// report), and when the request arrived (for `request_e2e`).
+#[derive(Debug, Clone, Copy)]
+struct TraceCtx {
+    rid: u64,
+    queue_wait: Duration,
+    e2e_start: Instant,
+}
+
 /// One in-progress engine sweep that followers can attach to.
 struct Flight {
     state: Mutex<FlightState>,
     cv: Condvar,
+    /// Request id of the leader running this sweep; followers stamp
+    /// it as `ref_request` on their `batch_wait` stage events.
+    leader: u64,
 }
 
 enum FlightState {
@@ -262,6 +319,9 @@ pub struct Dispatcher {
     cancels: Mutex<HashMap<String, CancelToken>>,
     counters: Counters,
     started: Instant,
+    request_seq: AtomicU64,
+    flight_rec: FlightRecorder,
+    stage_hists: Mutex<StageHists>,
 }
 
 impl std::fmt::Debug for Dispatcher {
@@ -304,6 +364,9 @@ impl Dispatcher {
             cancels: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             started: Instant::now(),
+            request_seq: AtomicU64::new(0),
+            flight_rec: FlightRecorder::new(),
+            stage_hists: Mutex::new(StageHists::default()),
         }
     }
 
@@ -317,6 +380,49 @@ impl Dispatcher {
         &self.db
     }
 
+    /// Allocate the next request id: dense, unique, never 0. Front
+    /// ends call this once per request so parse-stage timing can be
+    /// attributed before the request document even decodes.
+    pub fn next_request_id(&self) -> u64 {
+        // ORDER: Relaxed — the id only needs to be unique and
+        // monotone; nothing synchronizes through it.
+        self.request_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The always-on flight recorder (last N stage events), for
+    /// `GET /debug/flight` and post-mortem dumps.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight_rec
+    }
+
+    /// Record one completed lifecycle stage for `request`: into the
+    /// flight-recorder ring and the service-level stage histogram.
+    /// `ref_request` is the leader's id for `batch_wait` stages, 0
+    /// otherwise.
+    pub fn record_stage(&self, request: u64, stage: StageKind, dur: Duration, ref_request: u64) {
+        self.flight_rec.record(FlightEvent {
+            at_us: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            request,
+            stage,
+            dur_us: u64::try_from(dur.as_micros()).unwrap_or(u64::MAX),
+            ref_request,
+        });
+        let mut hists = self.stage_hists.lock().expect("stage histograms poisoned");
+        hists.for_stage(stage).record(dur_ns(dur));
+    }
+
+    /// Dump the flight recorder to stderr, labelled with why. Called
+    /// on dirty drain and when a request provoked a worker respawn.
+    pub fn dump_flight(&self, why: &str) {
+        let dump = self.flight_rec.dump_jsonl();
+        eprintln!(
+            "aalign-serve: flight recorder dump ({why}; {} event(s) retained, {} recorded):",
+            dump.lines().count(),
+            self.flight_rec.recorded(),
+        );
+        eprint!("{dump}");
+    }
+
     /// Run one search request end to end: drain gate, quota,
     /// cancellation registration, admission, then either a fresh
     /// engine sweep or attachment to an identical in-flight one.
@@ -326,8 +432,30 @@ impl Dispatcher {
     /// with `report.partial == true`; only whole-request refusals
     /// and whole-query failures are `Err`.
     pub fn search(&self, req: &SearchRequest) -> Result<SearchResponse, ServeError> {
+        self.search_traced(req, self.next_request_id())
+    }
+
+    /// [`search`](Self::search) under a caller-assigned request id —
+    /// the front ends allocate the id before parsing so the parse
+    /// stage is attributable, then hand it in here. Tracing changes
+    /// nothing about the result: same hits, same report, plus stage
+    /// events in the flight recorder.
+    pub fn search_traced(
+        &self,
+        req: &SearchRequest,
+        request_id: u64,
+    ) -> Result<SearchResponse, ServeError> {
         Counters::bump(&self.counters.requests_total);
-        let outcome = self.search_inner(req);
+        let e2e_start = Instant::now();
+        let respawned_before = self.engine.workers_respawned();
+        let outcome = self.search_inner(req, request_id);
+        {
+            let mut hists = self.stage_hists.lock().expect("stage histograms poisoned");
+            hists.e2e.record(dur_ns(e2e_start.elapsed()));
+        }
+        if self.engine.workers_respawned() > respawned_before {
+            self.dump_flight(&format!("worker respawned during request {request_id}"));
+        }
         match &outcome {
             Ok(resp) => Counters::bump(if resp.report.partial {
                 &self.counters.partial
@@ -346,7 +474,7 @@ impl Dispatcher {
         outcome
     }
 
-    fn search_inner(&self, req: &SearchRequest) -> Result<SearchResponse, ServeError> {
+    fn search_inner(&self, req: &SearchRequest, rid: u64) -> Result<SearchResponse, ServeError> {
         if self.is_draining() {
             return Err(ServeError::Draining);
         }
@@ -368,24 +496,34 @@ impl Dispatcher {
             Err(AdmitRefusal::Expired) => {
                 return Ok(SearchResponse {
                     id: req.id.clone(),
+                    request_id: rid,
                     batched: false,
                     report: Arc::new(self.expired_partial()),
                 })
             }
+        };
+        // Queue wait: everything between arrival and holding a slot.
+        let queue_wait = start.elapsed();
+        self.record_stage(rid, StageKind::Queue, queue_wait, 0);
+        let trace = TraceCtx {
+            rid,
+            queue_wait,
+            e2e_start: start,
         };
 
         let result = if req.no_batch {
             // Whatever the queue consumed comes out of the engine's
             // budget, so the end-to-end deadline holds.
             let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
-            self.run_leader(&query, req.top_n, remaining, &cancel, None)
+            self.run_leader(&query, req.top_n, remaining, &cancel, None, trace)
                 .map(|report| SearchResponse {
                     id: req.id.clone(),
+                    request_id: rid,
                     batched: false,
                     report,
                 })
         } else {
-            self.run_or_attach(&query, req, start, budget, &cancel)
+            self.run_or_attach(&query, req, start, budget, &cancel, trace)
         };
         drop(permit);
         result
@@ -503,6 +641,22 @@ impl Dispatcher {
                     ),
                 ]),
             ),
+            // Lossless per-stage aggregates (nanoseconds): the same
+            // histogram wire shape the metrics documents use, so a
+            // client (e.g. `aalign loadgen`) can decode them with
+            // `histogram_from_wire` and read exact quantiles.
+            ("stages", {
+                let h = self.stage_hists.lock().expect("stage histograms poisoned");
+                obj(vec![
+                    ("parse_ns", histogram_to_wire(&h.parse)),
+                    ("queue_wait_ns", histogram_to_wire(&h.queue)),
+                    ("batch_wait_ns", histogram_to_wire(&h.batch_wait)),
+                    ("sweep_ns", histogram_to_wire(&h.sweep)),
+                    ("merge_ns", histogram_to_wire(&h.merge)),
+                    ("respond_ns", histogram_to_wire(&h.respond)),
+                    ("e2e_ns", histogram_to_wire(&h.e2e)),
+                ])
+            }),
         ])
     }
 
@@ -569,6 +723,78 @@ impl Dispatcher {
             "Workers respawned after a panic or kill.",
             self.engine.workers_respawned(),
         );
+        counter(
+            "flight_events_recorded",
+            "Stage events written to the flight recorder.",
+            self.flight_rec.recorded(),
+        );
+
+        // Point-in-time gauges.
+        let (inflight, queued) = {
+            let st = self.admit.lock().expect("admission lock poisoned");
+            (st.inflight, st.queued)
+        };
+        let mut gauge = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP aalign_serve_{name} {help}\n# TYPE aalign_serve_{name} gauge\naalign_serve_{name} {v}\n"
+            ));
+        };
+        gauge(
+            "inflight",
+            "Requests currently holding an in-flight slot.",
+            inflight as u64,
+        );
+        gauge(
+            "queued",
+            "Requests currently parked in the admission queue.",
+            queued as u64,
+        );
+        {
+            let tenants = self.tenants.lock().expect("tenant lock poisoned");
+            let mut rows: Vec<(&String, &usize)> = tenants.iter().collect();
+            rows.sort();
+            out.push_str(
+                "# HELP aalign_serve_tenant_inflight Requests in flight per tenant label.\n\
+                 # TYPE aalign_serve_tenant_inflight gauge\n",
+            );
+            for (tenant, n) in rows {
+                let label = tenant.replace('\\', "\\\\").replace('"', "\\\"");
+                out.push_str(&format!(
+                    "aalign_serve_tenant_inflight{{tenant=\"{label}\"}} {n}\n"
+                ));
+            }
+        }
+
+        // Per-stage latency summaries (seconds, from the nanosecond
+        // log2 histograms — quantiles are bucket upper bounds).
+        let h = self.stage_hists.lock().expect("stage histograms poisoned");
+        let stages: [(&str, &Histogram); 7] = [
+            ("parse", &h.parse),
+            ("queue_wait", &h.queue),
+            ("batch_wait", &h.batch_wait),
+            ("sweep", &h.sweep),
+            ("merge", &h.merge),
+            ("respond", &h.respond),
+            ("e2e", &h.e2e),
+        ];
+        for (stage, hist) in stages {
+            let name = format!("aalign_serve_stage_{stage}_seconds");
+            out.push_str(&format!(
+                "# HELP {name} Stage latency for the {stage} request stage.\n# TYPE {name} summary\n"
+            ));
+            for (label, v) in [
+                ("0.5", hist.p50()),
+                ("0.99", hist.p99()),
+                ("0.999", hist.p999()),
+            ] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    v as f64 * 1e-9
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n", hist.sum() as f64 * 1e-9));
+            out.push_str(&format!("{name}_count {}\n", hist.count()));
+        }
         out
     }
 
@@ -705,6 +931,7 @@ impl Dispatcher {
         start: Instant,
         budget: Option<Duration>,
         cancel: &CancelToken,
+        trace: TraceCtx,
     ) -> Result<SearchResponse, ServeError> {
         let key = Self::fingerprint(query, req.top_n);
         loop {
@@ -728,6 +955,7 @@ impl Dispatcher {
                         slot.insert(Arc::new(Flight {
                             state: Mutex::new(FlightState::Running { followers: 0 }),
                             cv: Condvar::new(),
+                            leader: trace.rid,
                         }));
                         None
                     }
@@ -740,23 +968,38 @@ impl Dispatcher {
                     // out of the engine's budget, so the end-to-end
                     // deadline holds.
                     let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
-                    let outcome = self.run_leader(query, req.top_n, remaining, cancel, Some(key));
+                    let outcome =
+                        self.run_leader(query, req.top_n, remaining, cancel, Some(key), trace);
                     return Ok(SearchResponse {
                         id: req.id.clone(),
+                        request_id: trace.rid,
                         batched: false,
                         report: outcome?,
                     });
                 }
-                Some(flight) => match self.follow(&flight, start, budget, cancel)? {
-                    FollowOutcome::Report(report) => {
-                        return Ok(SearchResponse {
-                            id: req.id.clone(),
-                            batched: true,
-                            report,
-                        })
+                Some(flight) => {
+                    let waited = Instant::now();
+                    match self.follow(&flight, start, budget, cancel)? {
+                        FollowOutcome::Report(report) => {
+                            // The follower's whole wait rode on the
+                            // leader's sweep: one batch_wait stage
+                            // event referencing the leader.
+                            self.record_stage(
+                                trace.rid,
+                                StageKind::BatchWait,
+                                waited.elapsed(),
+                                flight.leader,
+                            );
+                            return Ok(SearchResponse {
+                                id: req.id.clone(),
+                                request_id: trace.rid,
+                                batched: true,
+                                report,
+                            });
+                        }
+                        FollowOutcome::LeaderCancelled => continue,
                     }
-                    FollowOutcome::LeaderCancelled => continue,
-                },
+                }
             }
         }
     }
@@ -771,6 +1014,7 @@ impl Dispatcher {
         remaining: Option<Duration>,
         cancel: &CancelToken,
         key: Option<u64>,
+        trace: TraceCtx,
     ) -> Result<Arc<SearchReport>, ServeError> {
         let mut opts = SearchOptions::new().top_n(top_n).cancel(cancel.clone());
         if let Some(d) = remaining {
@@ -780,7 +1024,20 @@ impl Dispatcher {
         if let Some(plan) = &self.cfg.fault_plan {
             opts = opts.fault_plan(Arc::clone(plan));
         }
+        let sweep_started = Instant::now();
         let mut result = self.engine.search(&self.aligner, query, &self.db, &opts);
+        self.record_stage(trace.rid, StageKind::Sweep, sweep_started.elapsed(), 0);
+        if let Ok(report) = &mut result {
+            self.record_stage(trace.rid, StageKind::Merge, report.metrics.merge, 0);
+            // Stage waits ride on the report while the leader still
+            // owns it exclusively — followers only ever see the
+            // sealed Arc.
+            report.metrics.queue_wait.record(dur_ns(trace.queue_wait));
+            report
+                .metrics
+                .request_e2e
+                .record(dur_ns(trace.e2e_start.elapsed()));
+        }
 
         let Some(key) = key else {
             return result.map(Arc::new).map_err(ServeError::Engine);

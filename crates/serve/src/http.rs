@@ -4,13 +4,19 @@
 //! One thread per connection, `Connection: close` on every response.
 //! Routes:
 //!
-//! | route              | body                         | reply                         |
-//! |--------------------|------------------------------|-------------------------------|
-//! | `GET /v1/health`   | —                            | versioned health JSON         |
-//! | `GET /metrics`     | —                            | Prometheus text               |
-//! | `POST /v1/search`  | [`SearchRequest`] JSON       | versioned report / error      |
-//! | `POST /v1/cancel`  | `{"id": "…"}`                | `{"cancelled": "…"}` / 404    |
-//! | `POST /v1/shutdown`| —                            | `{"draining": true}`          |
+//! | route               | body                         | reply                         |
+//! |---------------------|------------------------------|-------------------------------|
+//! | `GET /v1/health`    | —                            | versioned health JSON         |
+//! | `GET /metrics`      | —                            | Prometheus text               |
+//! | `GET /debug/flight` | —                            | flight-recorder dump (JSONL)  |
+//! | `POST /v1/search`   | [`SearchRequest`] JSON       | versioned report / error      |
+//! | `POST /v1/cancel`   | `{"id": "…"}`                | `{"cancelled": "…"}` / 404    |
+//! | `POST /v1/shutdown` | —                            | `{"draining": true}`          |
+//!
+//! Every search is traced: the connection thread allocates the
+//! request id before parsing, so `parse` and `respond` stage timings
+//! land in the flight recorder alongside the dispatcher's own
+//! queue/sweep stages.
 //!
 //! [`SearchRequest`]: crate::wire::SearchRequest
 
@@ -18,9 +24,10 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aalign_obs::wire::{versioned, JsonValue};
+use aalign_obs::StageKind;
 
 use crate::dispatch::Dispatcher;
 use crate::wire::{SearchRequest, ServeError};
@@ -126,20 +133,39 @@ fn handle_connection(stream: TcpStream, d: &Dispatcher) -> io::Result<()> {
             "text/plain; version=0.0.4",
             d.prometheus().as_bytes(),
         ),
-        ("POST", "/v1/search") => match parse_search(&body) {
-            Ok(req) => match d.search(&req) {
-                Ok(resp) => write_json(&mut out, 200, "OK", &resp.to_wire().render()),
+        ("GET", "/debug/flight") => write_body(
+            &mut out,
+            200,
+            "OK",
+            "application/x-ndjson",
+            d.flight().dump_jsonl().as_bytes(),
+        ),
+        ("POST", "/v1/search") => {
+            let rid = d.next_request_id();
+            let parse_started = Instant::now();
+            match parse_search(&body) {
+                Ok(req) => {
+                    d.record_stage(rid, StageKind::Parse, parse_started.elapsed(), 0);
+                    match d.search_traced(&req, rid) {
+                        Ok(resp) => {
+                            let respond_started = Instant::now();
+                            let outcome = write_json(&mut out, 200, "OK", &resp.to_wire().render());
+                            d.record_stage(rid, StageKind::Respond, respond_started.elapsed(), 0);
+                            outcome
+                        }
+                        Err(e) => {
+                            let (code, reason) = e.http_status();
+                            write_error(&mut out, code, reason, &e)
+                        }
+                    }
+                }
                 Err(e) => {
+                    d.note_bad_request();
                     let (code, reason) = e.http_status();
                     write_error(&mut out, code, reason, &e)
                 }
-            },
-            Err(e) => {
-                d.note_bad_request();
-                let (code, reason) = e.http_status();
-                write_error(&mut out, code, reason, &e)
             }
-        },
+        }
         ("POST", "/v1/cancel") => match parse_cancel(&body) {
             Ok(id) => match d.cancel(&id) {
                 Ok(()) => write_json(

@@ -15,8 +15,10 @@
 //! [`SearchRequest`]: crate::wire::SearchRequest
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 use aalign_obs::wire::{obj, JsonValue};
+use aalign_obs::StageKind;
 
 use crate::dispatch::Dispatcher;
 use crate::wire::{SearchRequest, ServeError};
@@ -78,16 +80,31 @@ fn handle_line(line: &str, d: &Dispatcher) -> JsonValue {
     let params = doc.get("params").cloned().unwrap_or(JsonValue::Null);
 
     match method {
-        "search" => match SearchRequest::from_wire(&params) {
-            Ok(req) => match d.search(&req) {
-                Ok(resp) => result_response(id, resp.to_wire()),
-                Err(e) => serve_error_response(id, &e),
-            },
-            Err(e) => {
-                d.note_bad_request();
-                serve_error_response(id, &e)
+        "search" => {
+            let rid = d.next_request_id();
+            let parse_started = Instant::now();
+            match SearchRequest::from_wire(&params) {
+                Ok(req) => {
+                    d.record_stage(rid, StageKind::Parse, parse_started.elapsed(), 0);
+                    match d.search_traced(&req, rid) {
+                        Ok(resp) => {
+                            // The respond stage here is response
+                            // serialization; the line write happens
+                            // on the daemon loop.
+                            let respond_started = Instant::now();
+                            let wire = resp.to_wire();
+                            d.record_stage(rid, StageKind::Respond, respond_started.elapsed(), 0);
+                            result_response(id, wire)
+                        }
+                        Err(e) => serve_error_response(id, &e),
+                    }
+                }
+                Err(e) => {
+                    d.note_bad_request();
+                    serve_error_response(id, &e)
+                }
             }
-        },
+        }
         "health" => result_response(id, d.health()),
         "metrics" => result_response(
             id,

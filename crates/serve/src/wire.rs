@@ -158,6 +158,10 @@ impl SearchRequest {
 pub struct SearchResponse {
     /// Echo of the request id, when one was given.
     pub id: Option<String>,
+    /// Server-assigned trace id: the same id every stage event for
+    /// this request carries in the flight recorder, so a response
+    /// can be correlated with `GET /debug/flight` output.
+    pub request_id: u64,
     /// True when this request coalesced onto another request's query
     /// profile instead of running its own sweep (the leader's
     /// response has `batched: false` but a nonzero
@@ -170,8 +174,8 @@ pub struct SearchResponse {
 
 impl SearchResponse {
     /// Versioned response document: the standard report shape
-    /// ([`report_to_wire`]) with `id` and `batched` spliced in after
-    /// `schema_version`.
+    /// ([`report_to_wire`]) with `id`, `request_id` (when nonzero),
+    /// and `batched` spliced in after `schema_version`.
     pub fn to_wire(&self) -> JsonValue {
         let report = report_to_wire(&self.report);
         let JsonValue::Object(mut fields) = report else {
@@ -180,6 +184,9 @@ impl SearchResponse {
         let mut extra: Vec<(String, JsonValue)> = Vec::new();
         if let Some(id) = &self.id {
             extra.push(("id".to_string(), id.as_str().into()));
+        }
+        if self.request_id != 0 {
+            extra.push(("request_id".to_string(), self.request_id.into()));
         }
         extra.push(("batched".to_string(), self.batched.into()));
         // schema_version stays first.

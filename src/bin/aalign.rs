@@ -5,6 +5,7 @@
 //! * `pair`         — align two FASTA sequences (scores + optional traceback)
 //! * `search`       — align a query against a FASTA database, multithreaded
 //! * `serve`        — run the alignment daemon (HTTP/JSON or stdio JSON-RPC)
+//! * `loadgen`      — drive a running daemon and report latency quantiles
 //! * `trace-report` — render the hybrid decision timeline from a trace
 //! * `gen-db`       — generate a synthetic swiss-prot-like database
 //! * `codegen`      — analyze a sequential paradigm kernel and emit Rust
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
         "pair" => cmd_pair(rest),
         "search" => cmd_search(rest),
         "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "trace-report" => cmd_trace_report(rest),
         "gen-db" => cmd_gen_db(rest),
         "codegen" => cmd_codegen(rest),
@@ -78,6 +80,8 @@ const USAGE: &str = "usage:
                  [--max-inflight N] [--max-queued N] [--tenant-quota N]
                  [--default-timeout MS] [--drain-timeout MS]
                  [--fault-plan <spec>]
+  aalign loadgen --addr HOST:PORT [--concurrency N] [--duration-ms N]
+                 [--seed N] [--top N] [--queries N] [--out <json>]
   aalign trace-report --trace <jsonl> [--subjects N]
   aalign gen-db  --count N [--seed N] [--mean-len N] --out <fa>
   aalign codegen --input <file> [--open N] [--ext N] [--out <rs>]
@@ -369,6 +373,244 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         0 => Ok(()),
         _ => Err("drain timeout expired with requests still in flight".to_string()),
     }
+}
+
+/// Drive a running daemon with a deterministic seeded query mix and
+/// emit a `serve_latency` bench envelope: client-side end-to-end
+/// quantiles plus the server's lossless stage histograms scraped
+/// from `/v1/health`. The output is what CI's perf gate diffs
+/// against `results/BENCH_serve_latency.json`.
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use aalign::obs::wire::{histogram_from_wire, obj, versioned, JsonValue};
+    use aalign::obs::Histogram;
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let flags = Flags { args };
+    let addr = flags.get("--addr").ok_or("--addr required")?.to_string();
+    let concurrency = flags.get_usize("--concurrency", 4)?.max(1);
+    let duration_ms = flags.get_usize("--duration-ms", 2000)? as u64;
+    let seed = flags.get_usize("--seed", 42)? as u64;
+    let top_n = flags.get_usize("--top", 5)?;
+    let n_queries = flags.get_usize("--queries", 6)?.max(1);
+
+    // A deliberately small deterministic pool: concurrent workers
+    // collide on identical queries, so the run exercises the
+    // dispatcher's coalescing path as well as fresh sweeps.
+    let mut rng = aalign::bio::synth::seeded_rng(seed);
+    let pool: Vec<String> = (0..n_queries)
+        .map(|i| {
+            let len = 40 + (i % 4) * 15;
+            String::from_utf8(aalign::bio::synth::named_query(&mut rng, len).text()).unwrap()
+        })
+        .collect();
+
+    /// One request over its own connection (`Connection: close` is
+    /// the daemon's policy); returns (status, body).
+    fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        use std::io::{Read as _, Write as _};
+        let mut stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .map_err(|e| e.to_string())?;
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .map_err(|e| e.to_string())?;
+        let status: u16 = response
+            .strip_prefix("HTTP/1.1 ")
+            .and_then(|r| r.split_whitespace().next())
+            .and_then(|c| c.parse().ok())
+            .ok_or("response missing an HTTP/1.1 status line")?;
+        let payload = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        Ok((status, payload))
+    }
+
+    #[derive(Default)]
+    struct WorkerStats {
+        hist: Histogram, // client-observed end-to-end, microseconds
+        sent: u64,
+        ok: u64,
+        partial: u64,
+        batched: u64,
+        overloaded: u64,
+        errors: u64,
+    }
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_millis(duration_ms);
+    let mut handles = Vec::new();
+    for w in 0..concurrency {
+        let addr = addr.clone();
+        let pool = pool.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut s = WorkerStats::default();
+            let mut i = w;
+            while Instant::now() < deadline {
+                let q = &pool[i % pool.len()];
+                i += 1;
+                let body = format!("{{\"query\":\"{q}\",\"top_n\":{top_n}}}");
+                let t0 = Instant::now();
+                let outcome = http(&addr, "POST", "/v1/search", &body);
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                s.sent += 1;
+                match outcome {
+                    Ok((200, body)) => match JsonValue::parse(&body) {
+                        Ok(doc) => {
+                            s.hist.record(us);
+                            if doc.get("partial").and_then(JsonValue::as_bool) == Some(true) {
+                                s.partial += 1;
+                            } else {
+                                s.ok += 1;
+                            }
+                            if doc.get("batched").and_then(JsonValue::as_bool) == Some(true) {
+                                s.batched += 1;
+                            }
+                        }
+                        Err(_) => s.errors += 1,
+                    },
+                    Ok((429, _)) => s.overloaded += 1,
+                    Ok((_, _)) | Err(_) => s.errors += 1,
+                }
+            }
+            s
+        }));
+    }
+    let mut total = WorkerStats::default();
+    for h in handles {
+        let s = h.join().map_err(|_| "loadgen worker panicked")?;
+        total.hist.merge(&s.hist);
+        total.sent += s.sent;
+        total.ok += s.ok;
+        total.partial += s.partial;
+        total.batched += s.batched;
+        total.overloaded += s.overloaded;
+        total.errors += s.errors;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let completed = total.ok + total.partial;
+    if completed == 0 {
+        return Err(format!(
+            "no requests completed against {addr} ({} sent, {} overloaded, {} errors)",
+            total.sent, total.overloaded, total.errors
+        ));
+    }
+    let throughput = completed as f64 / elapsed;
+
+    // The server's own per-stage aggregates, losslessly decoded from
+    // the health document's histogram wire shape.
+    let (status, health_body) = http(&addr, "GET", "/v1/health", "")?;
+    if status != 200 {
+        return Err(format!("GET /v1/health returned {status}"));
+    }
+    let health = JsonValue::parse(&health_body).map_err(|e| format!("health: {e}"))?;
+    let stages = health
+        .get("stages")
+        .ok_or("health document has no \"stages\" — daemon too old for loadgen?")?;
+    let server_hist = |key: &str| -> Result<Histogram, String> {
+        histogram_from_wire(
+            stages
+                .get(key)
+                .ok_or_else(|| format!("health stages missing {key:?}"))?,
+        )
+        .map_err(|e| format!("stage {key}: {e}"))
+    };
+
+    // One row per latency source. `scale` converts the histogram's
+    // native unit to microseconds (client records µs, server ns).
+    let row = |source: &str, h: &Histogram, scale: u64, rps: Option<f64>| -> JsonValue {
+        let mut fields: Vec<(&str, JsonValue)> = vec![
+            ("source", source.into()),
+            ("count", h.count().into()),
+            ("p50_us", (h.p50() / scale).into()),
+            ("p99_us", (h.p99() / scale).into()),
+            ("p999_us", (h.p999() / scale).into()),
+            ("max_us", (h.max_value() / scale).into()),
+        ];
+        if let Some(rps) = rps {
+            fields.push(("throughput_rps", rps.into()));
+        }
+        obj(fields)
+    };
+    let rows = JsonValue::Array(vec![
+        row("client_e2e", &total.hist, 1, Some(throughput)),
+        row(
+            "server_queue_wait",
+            &server_hist("queue_wait_ns")?,
+            1000,
+            None,
+        ),
+        row(
+            "server_batch_wait",
+            &server_hist("batch_wait_ns")?,
+            1000,
+            None,
+        ),
+        row("server_sweep", &server_hist("sweep_ns")?, 1000, None),
+        row("server_e2e", &server_hist("e2e_ns")?, 1000, None),
+    ]);
+
+    let doc = versioned(vec![
+        ("bench", "serve_latency".into()),
+        (
+            "env",
+            obj(vec![
+                ("concurrency", concurrency.into()),
+                ("duration_ms", duration_ms.into()),
+                ("seed", seed.into()),
+                ("top_n", top_n.into()),
+                ("query_pool", pool.len().into()),
+                (
+                    "server_threads",
+                    health.get("threads").cloned().unwrap_or(JsonValue::Null),
+                ),
+                (
+                    "server_subjects",
+                    health.get("subjects").cloned().unwrap_or(JsonValue::Null),
+                ),
+            ]),
+        ),
+        (
+            "counters",
+            obj(vec![
+                ("sent", total.sent.into()),
+                ("ok", total.ok.into()),
+                ("partial", total.partial.into()),
+                ("batched", total.batched.into()),
+                ("overloaded", total.overloaded.into()),
+                ("errors", total.errors.into()),
+            ]),
+        ),
+        ("rows", rows),
+    ]);
+    let rendered = doc.render();
+    eprintln!(
+        "loadgen: {} sent, {} ok, {} partial, {} batched, {} overloaded, {} errors \
+         in {elapsed:.2}s ({throughput:.1} req/s; client p50 {}µs p99 {}µs)",
+        total.sent,
+        total.ok,
+        total.partial,
+        total.batched,
+        total.overloaded,
+        total.errors,
+        total.hist.p50(),
+        total.hist.p99(),
+    );
+    match flags.get("--out") {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n").map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
 }
 
 /// Parse a JSONL trace (as written by `search --trace-out`) and
