@@ -44,13 +44,26 @@
 //!   (`aalign_core::conformance`) and pins the obligation inventory
 //!   plus harness coverage in `conformance_baseline.txt`.
 //!
+//! * [`certify`] — the saturation-certificate prover: interval
+//!   abstract interpretation over the recurrence wavefronts proving —
+//!   per (matrix, gap model, length bounds, lane width) — that every
+//!   intermediate DP cell, *including the kernel's saturation-detection
+//!   headroom*, stays strictly inside the saturating range, or a
+//!   caret-diagnosed denial naming the violating recurrence term and
+//!   the tightest length bound that would certify. The verdicts are
+//!   the same [`aalign_core::certify::WidthCertificate`]s the runtime
+//!   width selection consumes; the shipped inventory is pinned in
+//!   `certify_baseline.txt`, and a seeded mutation self-test keeps
+//!   the prover honest.
+//!
 //! The `aalign-analyzer` binary exposes the passes as `check`,
-//! `range`, `audit`, `concurrency` and `conformance` subcommands
-//! (all support `--json` for machine-readable output); each pass is
-//! also exercised as ordinary `#[test]`s so `cargo test` runs the
-//! whole suite.
+//! `range`, `audit`, `concurrency`, `conformance` and `certify`
+//! subcommands (all support `--json` for machine-readable output);
+//! each pass is also exercised as ordinary `#[test]`s so `cargo test`
+//! runs the whole suite.
 
 pub mod audit;
+pub mod certify;
 pub mod concurrency;
 pub mod conformance;
 pub mod dataflow;
@@ -58,6 +71,10 @@ pub mod json;
 pub mod range;
 
 pub use audit::{audit_dir, audit_source, AuditReport};
+pub use certify::{
+    analyze_certify, run_certify_pass, run_mutation_self_test, CertMutation, CertifyPass,
+    CertifyReport, MutationVerdict,
+};
 pub use concurrency::{scan_dirs, scan_source, ConcurrencyReport};
 pub use conformance::{
     prove_kernel, run_conformance_pass, verify_spec, ConformancePass, KernelProof, Obligation,

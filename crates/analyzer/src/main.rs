@@ -8,6 +8,10 @@
 //! aalign-analyzer concurrency  [DIR...] [--print-baseline]
 //! aalign-analyzer conformance  [FILE | --builtin NAME]
 //!                              [--print-baseline] [--mutate SEED]
+//! aalign-analyzer certify  [FILE | --builtin NAME] [--matrix blosum62|dna]
+//!                          [--open N] [--ext N]
+//!                          [--max-query N] [--max-subject N]
+//!                          [--print-baseline] [--mutate SEED]
 //! ```
 //!
 //! Every subcommand accepts `--json` for machine-readable output
@@ -21,6 +25,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use aalign_analyzer::audit::{audit_dir, default_vec_src_dir, VEC_BASELINE};
+use aalign_analyzer::certify::{
+    analyze_certify, run_certify_pass, run_mutation_self_test, CertMutation, CertifyReport,
+    CERTIFY_BASELINE,
+};
 use aalign_analyzer::concurrency::{default_concurrency_dirs, scan_dirs, CONCURRENCY_BASELINE};
 use aalign_analyzer::conformance::{run_conformance_pass, ConformancePass, CONFORMANCE_BASELINE};
 use aalign_analyzer::range::analyze_range;
@@ -43,6 +51,10 @@ USAGE:
     aalign-analyzer concurrency  [DIR...] [--print-baseline]
     aalign-analyzer conformance  [FILE | --builtin NAME | --builtin all]
                                  [--print-baseline] [--mutate SEED]
+    aalign-analyzer certify  [FILE | --builtin NAME] [--matrix blosum62|dna]
+                             [--open N] [--ext N]
+                             [--max-query N] [--max-subject N]
+                             [--print-baseline] [--mutate SEED]
 
     All subcommands accept --json for machine-readable output.
 
@@ -60,7 +72,13 @@ justifications, SeqCst/Relaxed rules, exact inventory baseline).
 `conformance` proves the Eq.(2) equivalence obligations for each
 kernel symbolically, then runs the bounded-exhaustive differential
 harness against paradigm_dp; --mutate SEED perturbs one max/gap term
-and *requires* the harness to catch it (the self-test has teeth).";
+and *requires* the harness to catch it (the self-test has teeth).
+`certify` runs the saturation-certificate prover: with no source it
+proves the shipped configuration inventory (pinned baseline); with a
+source and gap/matrix/length flags it certifies that one config per
+lane width, rendering caret diagnostics for denials; --mutate SEED
+perturbs every certified config and requires the prover to deny the
+mutant at the previously granted width.";
 
 fn builtin(name: &str) -> Option<(&'static str, &'static str)> {
     match name {
@@ -702,6 +720,296 @@ fn cmd_conformance(args: &[String], as_json: bool) -> Result<ExitCode, String> {
     Ok(exit(ok))
 }
 
+/// Render one certify report as a JSON object string.
+fn certify_json(r: &CertifyReport, src: Option<&str>) -> String {
+    let certs = r.certificates.iter().map(|c| {
+        let mut obj = json::Obj::new()
+            .num("lane_bits", i64::from(c.lane_bits))
+            .bool("granted", c.granted)
+            .num("fingerprint", c.fingerprint as i64)
+            .str("summary", &c.summary())
+            .num("t_lo", c.bounds.t_lo)
+            .num("t_hi", c.bounds.t_hi)
+            .num("ul_lo", c.bounds.ul_lo)
+            .num("ul_hi", c.bounds.ul_hi)
+            .num("headroom", c.bounds.headroom);
+        if let Some(d) = &c.denial {
+            let mut den = json::Obj::new()
+                .str("term", d.term.name())
+                .str("table", d.table)
+                .num("wavefront", d.wavefront as i64)
+                .num("value", d.value)
+                .num("limit", d.limit);
+            if let Some(len) = d.max_safe_len {
+                den = den.num("max_safe_len", len as i64);
+            }
+            if let Some(w) = &d.witness {
+                den = den.raw(
+                    "witness",
+                    &json::Obj::new()
+                        .str("query_letter", &(w.query_letter as char).to_string())
+                        .str("subject_letter", &(w.subject_letter as char).to_string())
+                        .num("len", w.len as i64)
+                        .num("min_score", w.min_score)
+                        .build(),
+                );
+            }
+            obj = obj.raw("denial", &den.build());
+        }
+        obj.build()
+    });
+    let mut obj = json::Obj::new()
+        .str("label", &r.label)
+        .str("matrix", &r.matrix)
+        .num("max_query", r.max_query as i64)
+        .num("max_subject", r.max_subject as i64)
+        .bool("certifiable", r.is_certifiable())
+        .raw("certificates", &json::array(certs));
+    if let Some(bits) = r.narrowest_granted() {
+        obj = obj.num("narrowest_granted", i64::from(bits));
+    }
+    if let Some(src) = src {
+        obj = obj.str("report", &r.render(src));
+    }
+    obj.build()
+}
+
+fn cmd_certify(args: &[String], as_json: bool) -> Result<ExitCode, String> {
+    let mut matrix_name = "blosum62".to_string();
+    let mut open = -12i32;
+    let mut ext = -2i32;
+    let mut max_query = 1024usize;
+    let mut max_subject = 1024usize;
+    let mut print_baseline = false;
+    let mut mutate: Option<u64> = None;
+    let mut rest = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |j: usize| -> Result<&String, String> {
+            args.get(j)
+                .ok_or_else(|| format!("{} needs a value", args[j - 1]))
+        };
+        match args[i].as_str() {
+            "--matrix" => {
+                matrix_name = take(i + 1)?.clone();
+                i += 2;
+            }
+            "--open" => {
+                open = take(i + 1)?.parse().map_err(|_| "--open: not an integer")?;
+                i += 2;
+            }
+            "--ext" => {
+                ext = take(i + 1)?.parse().map_err(|_| "--ext: not an integer")?;
+                i += 2;
+            }
+            "--max-query" => {
+                max_query = take(i + 1)?
+                    .parse()
+                    .map_err(|_| "--max-query: not a length")?;
+                i += 2;
+            }
+            "--max-subject" => {
+                max_subject = take(i + 1)?
+                    .parse()
+                    .map_err(|_| "--max-subject: not a length")?;
+                i += 2;
+            }
+            "--print-baseline" => {
+                print_baseline = true;
+                i += 1;
+            }
+            "--mutate" => {
+                let seed = take(i + 1)?;
+                mutate = Some(
+                    seed.parse()
+                        .map_err(|_| format!("--mutate: `{seed}` is not a u64 seed"))?,
+                );
+                i += 2;
+            }
+            _ => {
+                rest.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+
+    // Mutation self-test: perturb every certified shipped config and
+    // *require* the prover to deny the mutant.
+    if let Some(seed) = mutate {
+        let mutation = CertMutation::from_seed(seed);
+        let verdicts = run_mutation_self_test(mutation).map_err(|e| e.to_string())?;
+        let ok = !verdicts.is_empty() && verdicts.iter().all(|v| v.rejected);
+        if as_json {
+            let rows = verdicts.iter().map(|v| {
+                json::Obj::new()
+                    .str("label", &v.label)
+                    .str("matrix", &v.matrix)
+                    .num("lane_bits", i64::from(v.lane_bits))
+                    .bool("rejected", v.rejected)
+                    .build()
+            });
+            println!(
+                "{}",
+                json::Obj::new()
+                    .str("pass", "certify")
+                    .bool("ok", ok)
+                    .str("mode", "mutation-self-test")
+                    .num("seed", seed as i64)
+                    .str("mutation", mutation.name())
+                    .raw("verdicts", &json::array(rows))
+                    .build()
+            );
+        } else {
+            for v in &verdicts {
+                println!(
+                    "mutation `{}` on {} vs {} at i{}: {}",
+                    mutation.name(),
+                    v.label,
+                    v.matrix,
+                    v.lane_bits,
+                    if v.rejected {
+                        "REJECTED (prover has teeth)"
+                    } else {
+                        "granted — the prover is blind to this perturbation"
+                    }
+                );
+            }
+        }
+        return Ok(exit(ok));
+    }
+
+    // Ad-hoc mode: a source selector plus config flags certifies one
+    // configuration. Default mode proves the shipped inventory and
+    // checks the pinned baseline.
+    if !rest.is_empty() {
+        let dna;
+        let matrix: &SubstMatrix = match matrix_name.as_str() {
+            "blosum62" => &BLOSUM62,
+            "dna" => {
+                dna = SubstMatrix::dna(2, -3);
+                &dna
+            }
+            other => return Err(format!("unknown matrix `{other}` (blosum62|dna)")),
+        };
+        let (sources, _) = resolve_sources(&rest)?;
+        let mut ok = true;
+        let mut kernels = Vec::new();
+        for (name, src) in &sources {
+            let (spec, _) = match check_kernel(name, src) {
+                Ok(pair) => pair,
+                Err(msg) => {
+                    ok = false;
+                    if as_json {
+                        kernels.push(
+                            json::Obj::new()
+                                .str("name", name)
+                                .bool("ok", false)
+                                .str("error", &msg)
+                                .build(),
+                        );
+                    } else {
+                        eprintln!("{msg}");
+                    }
+                    continue;
+                }
+            };
+            let bind = GapBindings {
+                gap_open: open,
+                gap_ext: ext,
+            };
+            match analyze_certify(&spec, bind, matrix, max_query, max_subject) {
+                Ok(report) => {
+                    ok &= report.is_certifiable();
+                    if as_json {
+                        kernels.push(certify_json(&report, Some(src)));
+                    } else {
+                        println!("{}", report.render(src));
+                    }
+                }
+                Err(e) => {
+                    ok = false;
+                    if as_json {
+                        kernels.push(
+                            json::Obj::new()
+                                .str("name", name)
+                                .bool("ok", false)
+                                .str("error", &format!("cannot bind gap constants: {e}"))
+                                .build(),
+                        );
+                    } else {
+                        eprintln!("{name}: cannot bind gap constants: {e}");
+                    }
+                }
+            }
+        }
+        if as_json {
+            println!(
+                "{}",
+                json::Obj::new()
+                    .str("pass", "certify")
+                    .bool("ok", ok)
+                    .raw("kernels", &json::array(kernels))
+                    .build()
+            );
+        }
+        return Ok(exit(ok));
+    }
+
+    let pass = run_certify_pass().map_err(|e| e.to_string())?;
+
+    if print_baseline {
+        print!("{}", pass.baseline_text());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut ok = pass.is_certified();
+    let baseline_problems = pass.check_baseline(CERTIFY_BASELINE);
+    ok &= baseline_problems.is_empty();
+
+    if as_json {
+        let reports = pass.reports.iter().map(|r| certify_json(r, None));
+        println!(
+            "{}",
+            json::Obj::new()
+                .str("pass", "certify")
+                .bool("ok", ok)
+                .raw("configs", &json::array(reports))
+                .raw(
+                    "baseline_problems",
+                    &json::string_array(baseline_problems.iter().map(String::as_str))
+                )
+                .build()
+        );
+        return Ok(exit(ok));
+    }
+
+    for (report, ship) in pass
+        .reports
+        .iter()
+        .zip(aalign_analyzer::certify::shipped_configs())
+    {
+        println!("{}\n", report.render(ship.source));
+    }
+    if baseline_problems.is_empty() {
+        println!("baseline: OK");
+    } else {
+        eprintln!("baseline drift:");
+        for p in &baseline_problems {
+            eprintln!("  {p}");
+        }
+    }
+    println!(
+        "certify: {}",
+        if ok {
+            "every shipped configuration has a proven rescue-free width"
+        } else {
+            "FAILED"
+        }
+    );
+    Ok(exit(ok))
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let as_json = args.iter().any(|a| a == "--json");
@@ -719,6 +1027,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(rest, as_json),
         "concurrency" => cmd_concurrency(rest, as_json),
         "conformance" => cmd_conformance(rest, as_json),
+        "certify" => cmd_certify(rest, as_json),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -336,8 +336,14 @@ impl ScoreBounds {
         // and never above it (Eq. 3–4 only subtract).
         let ul_max = t_max;
         let ul_min = t_min - (theta + beta);
-        // Sentinel + bias margin, both directions.
-        let headroom = 2 * (gamma_pos + theta + beta + 2);
+        // Sentinel + bias margin, both directions. The kernel's
+        // saturation-detection margin is `|max matrix entry| + 1`
+        // (striped/columns.rs) even when every entry is negative —
+        // `gamma_pos` alone under-covers an all-negative matrix, so
+        // the magnitude of the extreme entry participates too
+        // (keeps `fits` at least as strict as the certify prover).
+        let gamma_hr = (cfg.matrix.max_score().abs() as i64).max(gamma_pos);
+        let headroom = 2 * (gamma_hr + theta + beta + 2);
         Self {
             t_min,
             t_max,
@@ -477,6 +483,67 @@ mod tests {
         let cfg = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
         // A perfect 100-long W match scores 1100 < bound.
         assert!(cfg.score_bound(100, 100) >= 1100);
+    }
+
+    #[test]
+    fn headroom_covers_kernel_detection_margin() {
+        // The striped kernels reserve `|max matrix entry| + 1` of
+        // detection margin (columns.rs). `headroom` must dominate it
+        // for every matrix shape, or `fits` could approve a width the
+        // kernel immediately rescues out of.
+        use aalign_bio::{alphabet::DNA, SubstMatrix};
+        let cases = [
+            ("all-max", SubstMatrix::new("all-max", &DNA, vec![11; 25])),
+            ("all-neg", SubstMatrix::new("all-neg", &DNA, vec![-127; 25])),
+            ("dna", SubstMatrix::dna(2, -3)),
+            ("blosum62", BLOSUM62.clone()),
+        ];
+        let gaps = [
+            GapModel::affine(-10, -2),
+            GapModel::affine(0, -1), // θ-boundary: zero-open affine
+            GapModel::linear(-1),    // minimal extension
+        ];
+        for (name, matrix) in &cases {
+            for gap in gaps {
+                let cfg = AlignConfig::local(gap, matrix);
+                let t2 = cfg.table2();
+                let kernel_margin = (matrix.max_score().abs())
+                    .max(t2.gap_up.abs())
+                    .max(t2.gap_left.abs()) as i64
+                    + 1;
+                let b = cfg.score_bounds(64, 64);
+                assert!(
+                    b.headroom >= kernel_margin,
+                    "{name}/{gap:?}: headroom {} < kernel margin {kernel_margin}",
+                    b.headroom
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_negative_matrix_does_not_fit_i8() {
+        // Regression for the historic `fits`/prover divergence: with
+        // entries of −127 the i8 detection threshold is negative, so
+        // rescue fires on every local input — `fits(8)` must say no.
+        use aalign_bio::{alphabet::DNA, SubstMatrix};
+        let m = SubstMatrix::new("all-neg", &DNA, vec![-127; 25]);
+        let cfg = AlignConfig::local(GapModel::linear(-1), &m);
+        let b = cfg.score_bounds(10, 10);
+        assert!(!b.fits(8));
+        assert!(b.fits(16));
+        assert_eq!(b.min_lane_bits(), Some(16));
+    }
+
+    #[test]
+    fn theta_boundary_affine_fits_like_linear() {
+        // affine(0, β) and linear(β) derive identical Table II
+        // constants, so their bounds and width verdicts must agree.
+        let a = AlignConfig::local(GapModel::affine(0, -2), &BLOSUM62);
+        let l = AlignConfig::local(GapModel::linear(-2), &BLOSUM62);
+        let (ba, bl) = (a.score_bounds(100, 100), l.score_bounds(100, 100));
+        assert_eq!(ba, bl);
+        assert_eq!(a.table2().gap_up, l.table2().gap_up);
     }
 
     #[test]

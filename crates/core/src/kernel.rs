@@ -18,6 +18,9 @@ use aalign_obs::{CollectorSink, NullSink, TraceSink};
 use aalign_vec::detect::{Isa, IsaSupport};
 use aalign_vec::{EmuEngine, SimdEngine};
 
+use std::sync::Arc;
+
+use crate::certify::{config_fingerprint, CertificateStore};
 use crate::config::{AlignConfig, TableII};
 use crate::scalar::scalar_column_align;
 use crate::striped::{
@@ -734,6 +737,7 @@ pub struct Aligner {
     width: WidthPolicy,
     isa: Option<Isa>,
     hybrid: Option<HybridPolicy>,
+    certs: Option<Arc<CertificateStore>>,
 }
 
 impl Aligner {
@@ -745,6 +749,7 @@ impl Aligner {
             width: WidthPolicy::default(),
             isa: None,
             hybrid: None,
+            certs: None,
         }
     }
 
@@ -774,6 +779,51 @@ impl Aligner {
         self
     }
 
+    /// Install externally produced width certificates
+    /// ([`mod@crate::certify`]). Width selection then prefers a covering
+    /// granted certificate over the per-call closed-form
+    /// recomputation, and the `Auto` ladder starts at i8 when the
+    /// narrow lane is proven rescue-free.
+    ///
+    /// # Panics
+    /// Panics when the store's fingerprint does not match this
+    /// aligner's configuration — a mismatched certificate is an
+    /// install-time programming error, never a runtime condition.
+    pub fn with_certificates(mut self, store: CertificateStore) -> Self {
+        assert!(
+            store.matches(config_fingerprint(&self.cfg)),
+            "certificate fingerprint does not match the aligner's configuration"
+        );
+        self.certs = Some(Arc::new(store));
+        self
+    }
+
+    /// Run the certificate prover over this aligner's own
+    /// configuration for the given length bounds and install the
+    /// result — the one-stop form of [`with_certificates`]
+    /// (fingerprints match by construction).
+    ///
+    /// [`with_certificates`]: Self::with_certificates
+    pub fn with_certified_bounds(self, max_query: usize, max_subject: usize) -> Self {
+        let store = CertificateStore::compute(&self.cfg, max_query, max_subject);
+        self.with_certificates(store)
+    }
+
+    /// The installed certificate store, when any.
+    pub fn certificates(&self) -> Option<&CertificateStore> {
+        self.certs.as_deref()
+    }
+
+    /// Narrowest lane width proven rescue-free for an `m`-long query
+    /// against an `n`-long subject, or 0 when no installed
+    /// certificate covers the pair. This is what the search engine
+    /// stamps into `SearchMetrics::certified_width`.
+    pub fn certified_width(&self, m: usize, n: usize) -> u32 {
+        self.certs
+            .as_deref()
+            .map_or(0, |store| store.narrowest_granted(m, n))
+    }
+
     /// The configuration this aligner runs.
     pub fn config(&self) -> &AlignConfig {
         &self.cfg
@@ -791,17 +841,28 @@ impl Aligner {
     /// Can a `bits`-wide element provably hold every intermediate
     /// value of aligning an `m`-long query to an `n`-long subject?
     ///
-    /// Delegates to the [`ScoreBounds`](crate::config::ScoreBounds)
-    /// interval analysis — the same pass `aalign-analyzer range`
-    /// reports offline. Local scores are bounded by
-    /// `min(m,n)·max_match` regardless of total lengths; global
-    /// magnitudes grow with `m + n` (boundary gap ramps and
-    /// all-mismatch paths). 32-bit lanes pass unconditionally here:
-    /// they are the widest the kernels have, and their own ceiling is
-    /// only exceeded by inputs `align()` could never buffer.
+    /// A covering granted certificate ([`with_certificates`]) answers
+    /// first: the prover's cell-level verdict is checked once, ahead
+    /// of time, and is never less precise than the closed forms.
+    /// Otherwise this delegates to the
+    /// [`ScoreBounds`](crate::config::ScoreBounds) interval analysis —
+    /// the same pass `aalign-analyzer range` reports offline. Local
+    /// scores are bounded by `min(m,n)·max_match` regardless of total
+    /// lengths; global magnitudes grow with `m + n` (boundary gap
+    /// ramps and all-mismatch paths). 32-bit lanes pass
+    /// unconditionally here: they are the widest the kernels have, and
+    /// their own ceiling is only exceeded by inputs `align()` could
+    /// never buffer.
+    ///
+    /// [`with_certificates`]: Self::with_certificates
     fn narrow_ok(&self, bits: u32, m: usize, n: usize) -> bool {
         if bits >= 32 {
             return true;
+        }
+        if let Some(store) = self.certs.as_deref() {
+            if store.grants(bits, m, n) {
+                return true;
+            }
         }
         self.cfg.score_bounds(m, n).fits(bits)
     }
@@ -826,11 +887,22 @@ impl Aligner {
                         self.narrow_ok(16, query_len, query_len)
                     }
                 };
-                if try_narrow {
-                    vec![16, 32]
-                } else {
-                    vec![32]
+                let mut plan = Vec::with_capacity(3);
+                // i8 enters the ladder only with proof: a granted
+                // certificate accepting this query length (subjects
+                // are re-gated per call against the same store).
+                if self
+                    .certs
+                    .as_deref()
+                    .is_some_and(|store| store.grants_for_query(8, query_len))
+                {
+                    plan.push(8);
                 }
+                if try_narrow {
+                    plan.push(16);
+                }
+                plan.push(32);
+                plan
             }
         }
     }
@@ -934,8 +1006,9 @@ impl Aligner {
         .into_iter()
         .flatten()
         .collect();
-        // Attempt order: narrow before wide (8 only when explicitly
-        // requested, in which case it is the only entry).
+        // Attempt order: narrow before wide. i8 participates when
+        // explicitly requested (Fixed8) or when a width certificate
+        // proved it rescue-free for this query (Auto ladder).
         let mut order = attempts;
         order.sort_unstable();
 
@@ -1296,6 +1369,7 @@ mod avx512bw_dispatch_tests {
     use crate::paradigm::paradigm_dp;
     use aalign_bio::matrices::BLOSUM62;
     use aalign_bio::synth::{named_query, seeded_rng};
+    use aalign_bio::SubstMatrix;
 
     #[test]
     fn i16_on_512bit_platform_uses_bw_engine_when_present() {
@@ -1348,6 +1422,52 @@ mod avx512bw_dispatch_tests {
                 .unwrap();
             assert_eq!(out.score, want, "{policy:?}");
         }
+    }
+
+    fn dna_seq(id: &str, len: usize, phase: usize) -> Sequence {
+        let text: Vec<u8> = (0..len).map(|i| b"ACGT"[(i * 7 + phase) % 4]).collect();
+        Sequence::dna(id, &text).unwrap()
+    }
+
+    #[test]
+    fn certified_auto_ladder_starts_at_i8_and_stays_exact() {
+        // A granted i8 certificate puts 8 at the head of the Auto
+        // ladder; within the certified bounds the narrow run must
+        // neither saturate nor retry, and the score is exact.
+        let cfg = AlignConfig::local(GapModel::affine(-5, -2), &SubstMatrix::dna(2, -3));
+        let aligner = Aligner::new(cfg.clone()).with_certified_bounds(48, 1000);
+        assert_eq!(aligner.certified_width(48, 1000), 8);
+        let q = dna_seq("q", 48, 0);
+        let s = dna_seq("s", 1000, 1);
+        let out = aligner.align(&q, &s).unwrap();
+        assert_eq!(out.elem_bits, 8, "{}", out.backend);
+        assert!(!out.saturated);
+        assert_eq!(out.width_retries, 0);
+        assert_eq!(out.score, paradigm_dp(&cfg, &q, &s).score);
+        // The same aligner without certificates never schedules i8.
+        let plain = Aligner::new(cfg.clone()).align(&q, &s).unwrap();
+        assert_eq!(plain.elem_bits, 16);
+        assert_eq!(plain.score, out.score);
+    }
+
+    #[test]
+    fn certified_width_respects_bounds() {
+        let cfg = AlignConfig::local(GapModel::affine(-5, -2), &SubstMatrix::dna(2, -3));
+        let aligner = Aligner::new(cfg.clone()).with_certified_bounds(48, 1000);
+        assert_eq!(aligner.certified_width(48, 500), 8);
+        // Outside the certified bounds: no covering certificate.
+        assert_eq!(aligner.certified_width(49, 1000), 0);
+        assert_eq!(Aligner::new(cfg).certified_width(48, 1000), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint")]
+    fn mismatched_certificates_are_rejected_at_install() {
+        use crate::certify::CertificateStore;
+        let dna = AlignConfig::local(GapModel::affine(-5, -2), &SubstMatrix::dna(2, -3));
+        let store = CertificateStore::compute(&dna, 48, 1000);
+        let protein = AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62);
+        let _ = Aligner::new(protein).with_certificates(store);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!
 //! * [`config`] — the paradigm's parameters and the Table II
 //!   derivation.
+//! * [`mod@certify`] — the saturation-certificate prover: per-wavefront
+//!   interval abstract interpretation proving a lane width
+//!   rescue-free (consumed by [`kernel`] width selection).
 //! * [`paradigm`] — executable ground truth: Eq. (2) literally, and
 //!   the Eq. (3–6) dynamic program.
 //! * [`scalar`] — the optimized sequential baseline (Fig. 9).
@@ -24,6 +27,7 @@
 //!   extension; the paper reports scores only).
 
 pub mod banded;
+pub mod certify;
 pub mod config;
 #[cfg(feature = "conformance")]
 pub mod conformance;
@@ -36,6 +40,10 @@ pub mod striped;
 pub mod traceback;
 
 pub use banded::{banded_align, banded_align_auto, banded_align_certified, BandedScore};
+pub use certify::{
+    certify, config_fingerprint, CertTerm, CertificateStore, CrossedBound, Denial,
+    WidthCertificate, Witness,
+};
 pub use config::{AlignConfig, AlignKind, GapModel, ScoreBounds, TableII};
 pub use hirschberg::hirschberg_align;
 pub use inter::{inter_align_all, inter_align_batch, InterBatchResult, InterWorkspace};

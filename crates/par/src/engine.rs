@@ -953,6 +953,12 @@ impl SearchEngine {
             });
         }
 
+        // Widest-claim stamp: the narrowest width a certificate on
+        // the aligner proves rescue-free for this query against the
+        // *longest* database subject (every shorter subject is then
+        // covered too). 0 when no certificate applies.
+        let max_subject = db.sequences().iter().map(Sequence::len).max().unwrap_or(0);
+        let certified_width = aligner.certified_width(query.len(), max_subject);
         self.finish(
             query.len(),
             active,
@@ -963,6 +969,7 @@ impl SearchEngine {
                 prepare,
                 sweep,
             },
+            certified_width,
             trace,
         )
     }
@@ -1086,6 +1093,9 @@ impl SearchEngine {
                 prepare,
                 sweep,
             },
+            // The inter path takes a bare config (no aligner), so no
+            // certificate store is in scope to consult.
+            0,
             trace,
         )
     }
@@ -1097,6 +1107,7 @@ impl SearchEngine {
     /// workers, per-subject panics, an expired deadline — lands in
     /// [`SearchReport::errors`] with `partial` set, alongside the
     /// valid results of every subject that completed.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         query_len: usize,
@@ -1104,6 +1115,7 @@ impl SearchEngine {
         outs: Vec<Result<SweepOut, AlignError>>,
         top_n: usize,
         times: StageTimes,
+        certified_width: u32,
         trace: Option<SharedBatch<TraceEvent>>,
     ) -> Result<SearchReport, AlignError> {
         let mut errors: Vec<AlignError> = Vec::new();
@@ -1209,6 +1221,7 @@ impl SearchEngine {
                 width_retries,
                 rescued,
                 rescue_widths,
+                certified_width,
                 // Batching and admission happen above the engine: a
                 // serving dispatcher stamps the follower count and
                 // the stage-wait histograms post-hoc.

@@ -147,6 +147,13 @@ pub struct SearchMetrics {
     /// the width that overflowed, so `8` dominating means the 8-bit
     /// lane budget is too tight for this database.
     pub rescue_widths: Histogram,
+    /// Narrowest lane width (in bits) a saturation certificate proved
+    /// rescue-free for this query against every subject in the
+    /// database, or `0` when the engine's aligner has no covering
+    /// certificate installed (see `aalign_core::certify`). Non-zero
+    /// means the rescue ladder is provably idle at that width —
+    /// `rescued` must be 0 whenever the sweep ran at it.
+    pub certified_width: u32,
     /// Other requests that coalesced onto this query's prepared
     /// profile instead of running their own sweep. Always `0` for
     /// direct engine calls; a serving dispatcher
@@ -233,6 +240,13 @@ impl SearchMetrics {
             self.rescued,
             self.peak_hits_buffered,
         );
+        if self.certified_width > 0 {
+            let _ = writeln!(
+                s,
+                "certified: i{} proven rescue-free for this query/database",
+                self.certified_width
+            );
+        }
         if self.workers_respawned > 0 {
             let _ = writeln!(s, "pool: {} workers respawned", self.workers_respawned);
         }
@@ -363,6 +377,11 @@ impl SearchMetrics {
             self.rescued as f64,
         );
         gauge(
+            "aalign_certified_width_bits",
+            "Narrowest lane width proven rescue-free (0 = no certificate).",
+            self.certified_width as f64,
+        );
+        gauge(
             "aalign_coalesced_total",
             "Requests coalesced onto this query's prepared profile.",
             self.coalesced as f64,
@@ -465,6 +484,7 @@ mod tests {
             merge: Duration::from_micros(45),
             total: Duration::from_millis(4),
             cells: 1_000_000,
+            certified_width: 8,
             per_worker: vec![
                 WorkerMetrics {
                     worker_id: 0,
@@ -510,6 +530,7 @@ mod tests {
             "\"kernel\"",
             "\"rescued\"",
             "\"rescue_width_bits\"",
+            "\"certified_width\"",
             "\"workers_respawned\"",
             "\"queue_wait_ns\"",
             "\"batch_wait_ns\"",
@@ -532,6 +553,7 @@ mod tests {
             "aalign_sweep_seconds",
             "aalign_gcups",
             "aalign_rescued_total",
+            "aalign_certified_width_bits 8",
             "aalign_coalesced_total",
             "aalign_workers_respawned_total",
             "aalign_kernel_iterate_columns_total",

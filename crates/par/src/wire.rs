@@ -184,6 +184,7 @@ pub fn metrics_to_wire(m: &SearchMetrics) -> JsonValue {
         ("width_retries", m.width_retries.into()),
         ("rescued", m.rescued.into()),
         ("rescue_width_bits", histogram_to_wire(&m.rescue_widths)),
+        ("certified_width", m.certified_width.into()),
         ("coalesced", m.coalesced.into()),
         ("workers_respawned", m.workers_respawned.into()),
         ("peak_hits_buffered", m.peak_hits_buffered.into()),
@@ -209,6 +210,15 @@ fn optional_histogram(v: &JsonValue, key: &str) -> Result<aalign_obs::Histogram,
     }
 }
 
+/// Optional counter field: absent decodes as 0 (same additive-field
+/// convention as [`optional_histogram`]).
+fn optional_u64(v: &JsonValue, key: &str) -> Result<u64, WireError> {
+    match v.get(key) {
+        Some(_) => u64_field(v, key),
+        None => Ok(0),
+    }
+}
+
 /// Decode a metrics document (version-checked; lossless at
 /// microsecond duration resolution).
 pub fn metrics_from_wire(v: &JsonValue) -> Result<SearchMetrics, WireError> {
@@ -224,6 +234,7 @@ pub fn metrics_from_wire(v: &JsonValue) -> Result<SearchMetrics, WireError> {
         width_retries: u64_field(v, "width_retries")?,
         rescued: u64_field(v, "rescued")?,
         rescue_widths: histogram_from_wire(field(v, "rescue_width_bits")?)?,
+        certified_width: optional_u64(v, "certified_width")? as u32,
         coalesced: u64_field(v, "coalesced")?,
         workers_respawned: u64_field(v, "workers_respawned")?,
         peak_hits_buffered: u64_field(v, "peak_hits_buffered")? as usize,

@@ -53,6 +53,7 @@ fn real_search_report_round_trips_losslessly() {
     assert_eq!(b.latency, m.latency, "histogram buckets bit-exact");
     assert_eq!(b.worker_load, m.worker_load);
     assert_eq!(b.rescue_widths, m.rescue_widths);
+    assert_eq!(b.certified_width, m.certified_width);
     assert_eq!(b.queue_wait, m.queue_wait);
     assert_eq!(b.batch_wait, m.batch_wait);
     assert_eq!(b.request_e2e, m.request_e2e);
@@ -101,6 +102,7 @@ fn metrics_schema_v1_is_pinned() {
         "\"width_retries\":0,\"rescued\":0,",
         "\"rescue_width_bits\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
         "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
+        "\"certified_width\":0,",
         "\"coalesced\":0,\"workers_respawned\":0,\"peak_hits_buffered\":0,",
         "\"queue_wait_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
         "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
@@ -136,6 +138,17 @@ fn pre_stage_histogram_documents_still_decode() {
     assert!(back.queue_wait.is_empty());
     assert!(back.batch_wait.is_empty());
     assert!(back.request_e2e.is_empty());
+}
+
+#[test]
+fn pre_certified_width_documents_still_decode() {
+    // `certified_width` was added within schema v1; absent decodes
+    // as 0 (no certificate), same additive-field convention as the
+    // stage-wait histograms.
+    let mut doc = metrics_to_wire(&aalign_par::SearchMetrics::default()).render();
+    doc = doc.replace("\"certified_width\":0,", "");
+    let back = metrics_from_wire(&JsonValue::parse(&doc).unwrap()).unwrap();
+    assert_eq!(back.certified_width, 0);
 }
 
 #[test]

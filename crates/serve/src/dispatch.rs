@@ -344,12 +344,28 @@ impl Dispatcher {
 
     /// Build a dispatcher over an existing shared engine handle —
     /// the same pool a CLI session or test already holds.
+    ///
+    /// Certificates are loaded at startup: if the aligner does not
+    /// already carry a [certificate store](aalign_core::CertificateStore),
+    /// one is proven here against the database's length bounds, so
+    /// every admitted request runs with statically certified width
+    /// selection and `health()` can report which lane widths are
+    /// proven rescue-free.
     pub fn with_engine(
         engine: EngineHandle,
         aligner: Aligner,
         db: SeqDatabase,
         cfg: DispatcherConfig,
     ) -> Self {
+        let aligner = if aligner.certificates().is_none() && !db.is_empty() {
+            // Queries arrive per request with unknown length; the
+            // subject bound caps them too (longer queries simply fall
+            // outside the certificate and use dynamic ScoreBounds).
+            let max_len = db.stats().max_len;
+            aligner.with_certified_bounds(max_len, max_len)
+        } else {
+            aligner
+        };
         Self {
             engine,
             aligner,
@@ -603,6 +619,32 @@ impl Dispatcher {
             ("queued", queued.into()),
             ("threads", self.engine.threads().into()),
             ("subjects", self.db.len().into()),
+            // Saturation certificates proven at startup: which lane
+            // widths are statically rescue-free for queries/subjects
+            // within the database's length bounds.
+            (
+                "certified",
+                match self.aligner.certificates() {
+                    Some(store) => {
+                        let bound = store.certificates().first();
+                        obj(vec![
+                            (
+                                "granted_widths",
+                                JsonValue::Array(
+                                    store
+                                        .granted_widths()
+                                        .into_iter()
+                                        .map(JsonValue::from)
+                                        .collect(),
+                                ),
+                            ),
+                            ("max_query", bound.map_or(0, |c| c.max_query).into()),
+                            ("max_subject", bound.map_or(0, |c| c.max_subject).into()),
+                        ])
+                    }
+                    None => JsonValue::Null,
+                },
+            ),
             ("queries_served", self.engine.queries_served().into()),
             ("workers_respawned", self.engine.workers_respawned().into()),
             (

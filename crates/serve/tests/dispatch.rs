@@ -405,3 +405,28 @@ fn zero_deadline_requests_complete_with_partial_reports_under_load() {
     }
     assert_eq!(done.load(Ordering::Relaxed), 6);
 }
+
+#[test]
+fn startup_certificates_surface_in_health_and_reports() {
+    // The dispatcher proves width certificates against the database's
+    // length bounds at construction; health advertises them and every
+    // sweep stamps the certified width into its metrics.
+    let d = dispatcher(1, 20, DispatcherConfig::default());
+    let health = d.health();
+    let cert = health.get("certified").expect("health carries certified");
+    let widths = cert
+        .get("granted_widths")
+        .and_then(JsonValue::as_array)
+        .expect("granted_widths is an array");
+    // BLOSUM62 with affine(-10,-2) over realistic protein lengths:
+    // i8 saturates, i16 is provably rescue-free.
+    let widths: Vec<u64> = widths.iter().filter_map(JsonValue::as_u64).collect();
+    assert!(widths.contains(&16), "i16 must be certified: {widths:?}");
+    assert!(!widths.contains(&8), "i8 must be denied here: {widths:?}");
+    let max_subject = cert.get("max_subject").and_then(JsonValue::as_u64).unwrap();
+    assert_eq!(max_subject as usize, db(20).stats().max_len);
+
+    let resp = d.search(&SearchRequest::new(query_text(33, 120))).unwrap();
+    assert_eq!(resp.report.metrics.certified_width, 16);
+    assert_eq!(resp.report.metrics.rescued, 0);
+}
