@@ -109,6 +109,19 @@ pub enum AlignError {
         /// Stringified panic payload, when one was recovered.
         payload: String,
     },
+    /// A shard-supervisor child process could not produce a result
+    /// for this query (crashed and exhausted its retry, timed out,
+    /// or was circuit-broken). The merged report stays valid for the
+    /// surviving shards; this error names the exact database range
+    /// `[start, end)` the answer does not cover.
+    ShardLost {
+        /// Supervisor-local shard index.
+        shard: usize,
+        /// First database index of the uncovered range (inclusive).
+        start: usize,
+        /// Past-the-end database index of the uncovered range.
+        end: usize,
+    },
 }
 
 impl core::fmt::Display for AlignError {
@@ -128,6 +141,12 @@ impl core::fmt::Display for AlignError {
             }
             Self::WorkerLost { worker_id, payload } => {
                 write!(f, "search worker {worker_id} died mid-query: {payload}")
+            }
+            Self::ShardLost { shard, start, end } => {
+                write!(
+                    f,
+                    "shard {shard} lost; database range [{start}, {end}) is uncovered"
+                )
             }
         }
     }

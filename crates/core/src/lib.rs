@@ -25,6 +25,8 @@
 //!   and the public [`Aligner`] API.
 //! * [`traceback`] — scalar alignment-path reconstruction (an
 //!   extension; the paper reports scores only).
+//! * [`retry`] — capped exponential backoff with deterministic
+//!   jitter, shared by every supervisor/retry loop above this crate.
 
 pub mod banded;
 pub mod certify;
@@ -35,6 +37,7 @@ pub mod hirschberg;
 pub mod inter;
 pub mod kernel;
 pub mod paradigm;
+pub mod retry;
 pub mod scalar;
 pub mod striped;
 pub mod traceback;
@@ -51,5 +54,6 @@ pub use kernel::{
     AlignError, AlignOutcome, AlignOutput, AlignScratch, Aligner, PreparedQuery, RunStats,
     Strategy, WidthPolicy,
 };
+pub use retry::Backoff;
 pub use striped::{HybridPolicy, HybridReport, KernelResult, StrategyChoice, Workspace};
 pub use traceback::{traceback_align, Alignment};

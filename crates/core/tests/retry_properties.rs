@@ -1,0 +1,117 @@
+//! Properties of the shared backoff policy (`aalign_core::retry`).
+//!
+//! The shard supervisor trusts three things about [`Backoff`] when it
+//! brings dead children back: the delays it sleeps grow (no respawn
+//! storm), never exceed the configured cap (bounded recovery
+//! latency), and replay exactly under one seed (chaos runs are
+//! reproducible). Each property is pinned here over randomized
+//! `(base, cap, jitter, seed)` tuples.
+
+use core::time::Duration;
+
+use aalign_core::retry::Backoff;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Monotone until cap: while the envelope is still doubling, the
+    /// jittered delays never decrease. (Subtractive jitter ≤ 50% of
+    /// the envelope cannot undercut the previous attempt once the
+    /// envelope has doubled past it.)
+    #[test]
+    fn delays_are_monotone_until_the_cap(
+        base_ms in 1u64..500,
+        cap_mult in 1u64..64,
+        jitter in 0u32..=50,
+        seed in 0u64..u64::MAX,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms * cap_mult);
+        let mut b = Backoff::seeded(base, cap, seed).with_jitter_pct(jitter);
+        let mut prev: Option<Duration> = None;
+        for _ in 0..12 {
+            let saturated = b.saturated();
+            let d = b.next().unwrap();
+            if let Some(p) = prev {
+                if !saturated {
+                    prop_assert!(
+                        d >= p,
+                        "delay shrank below a pre-cap predecessor: {p:?} -> {d:?}"
+                    );
+                }
+            }
+            prev = Some(d);
+            if saturated {
+                break;
+            }
+        }
+    }
+
+    /// Jitter bounded: every delay sits inside
+    /// `[envelope·(1 − j/100), envelope]`, and therefore never
+    /// exceeds the cap.
+    #[test]
+    fn every_delay_is_inside_the_jitter_band(
+        base_ms in 1u64..500,
+        cap_mult in 1u64..64,
+        jitter in 0u32..=50,
+        seed in 0u64..u64::MAX,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms * cap_mult);
+        let mut b = Backoff::seeded(base, cap, seed).with_jitter_pct(jitter);
+        for n in 0..16u32 {
+            let env = b.envelope(n);
+            let d = b.next().unwrap();
+            let floor_ms = env.as_millis() as u64 - env.as_millis() as u64 * u64::from(jitter) / 100;
+            prop_assert!(d <= env, "attempt {n}: {d:?} above envelope {env:?}");
+            prop_assert!(d <= cap.max(Duration::from_millis(1)), "attempt {n}: {d:?} above cap");
+            prop_assert!(
+                d.as_millis() as u64 >= floor_ms,
+                "attempt {n}: {d:?} below jitter floor {floor_ms}ms (envelope {env:?})"
+            );
+        }
+    }
+
+    /// Deterministic per seed: two iterators built from the same
+    /// parameters emit identical sequences; a different seed (with
+    /// nonzero jitter and a wide envelope) is allowed to differ.
+    #[test]
+    fn sequences_replay_exactly_per_seed(
+        base_ms in 1u64..500,
+        cap_mult in 1u64..64,
+        jitter in 0u32..=50,
+        seed in 0u64..u64::MAX,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms * cap_mult);
+        let a: Vec<_> = Backoff::seeded(base, cap, seed)
+            .with_jitter_pct(jitter)
+            .take(20)
+            .collect();
+        let b: Vec<_> = Backoff::seeded(base, cap, seed)
+            .with_jitter_pct(jitter)
+            .take(20)
+            .collect();
+        prop_assert_eq!(&a, &b);
+    }
+}
+
+/// The supervisor's actual respawn policy (50 ms base, 2 s cap):
+/// attempt delays double, then plateau at the cap band. A plain
+/// deterministic pin alongside the properties.
+#[test]
+fn supervisor_policy_shape() {
+    let mut b = Backoff::seeded(Duration::from_millis(50), Duration::from_secs(2), 42);
+    let delays: Vec<u64> = (0..10)
+        .map(|_| b.next().unwrap().as_millis() as u64)
+        .collect();
+    // Envelopes: 50 100 200 400 800 1600 2000 2000 …
+    for (n, d) in delays.iter().enumerate() {
+        let env = [50u64, 100, 200, 400, 800, 1600, 2000, 2000, 2000, 2000][n];
+        assert!(*d <= env, "attempt {n}: {d} > {env}");
+        assert!(*d >= env - env / 5, "attempt {n}: {d} < floor of {env}");
+    }
+    assert!(b.saturated());
+}

@@ -72,6 +72,12 @@ impl ProbeOutcome {
 /// `parse → queue → (batch_wait | sweep → merge) → respond`.
 /// Coalesced followers skip `sweep`/`merge` and instead record
 /// `batch_wait` referencing the leader that ran the sweep for them.
+///
+/// The `Shard*` kinds are shard-*supervisor* lifecycle events
+/// (`aalign-shard`), not per-request stages: `request` carries the
+/// query sequence number when one was in flight (0 for background
+/// lifecycle like heartbeat-driven respawns) and `ref_request`
+/// carries the shard index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StageKind {
     /// Front-end wire parsing (HTTP body / JSON-RPC line → request).
@@ -86,17 +92,30 @@ pub enum StageKind {
     Merge,
     /// Rendering and writing the response back to the client.
     Respond,
+    /// A shard child process was (re)spawned and passed readiness.
+    ShardSpawn,
+    /// A shard child's death was detected (crash, EOF, failed ping).
+    ShardExit,
+    /// A query's shard request was retried on a respawned child.
+    ShardRetry,
+    /// A shard's circuit breaker tripped: the shard is marked dead
+    /// and its range reported uncovered until the supervisor drains.
+    ShardBreaker,
 }
 
 impl StageKind {
     /// Every stage, in lifecycle order (used by exporters).
-    pub const ALL: [StageKind; 6] = [
+    pub const ALL: [StageKind; 10] = [
         StageKind::Parse,
         StageKind::Queue,
         StageKind::BatchWait,
         StageKind::Sweep,
         StageKind::Merge,
         StageKind::Respond,
+        StageKind::ShardSpawn,
+        StageKind::ShardExit,
+        StageKind::ShardRetry,
+        StageKind::ShardBreaker,
     ];
 
     /// Stable wire name (used by the JSONL format).
@@ -108,6 +127,10 @@ impl StageKind {
             StageKind::Sweep => "sweep",
             StageKind::Merge => "merge",
             StageKind::Respond => "respond",
+            StageKind::ShardSpawn => "shard_spawn",
+            StageKind::ShardExit => "shard_exit",
+            StageKind::ShardRetry => "shard_retry",
+            StageKind::ShardBreaker => "shard_breaker",
         }
     }
 
@@ -120,6 +143,10 @@ impl StageKind {
             "sweep" => Some(StageKind::Sweep),
             "merge" => Some(StageKind::Merge),
             "respond" => Some(StageKind::Respond),
+            "shard_spawn" => Some(StageKind::ShardSpawn),
+            "shard_exit" => Some(StageKind::ShardExit),
+            "shard_retry" => Some(StageKind::ShardRetry),
+            "shard_breaker" => Some(StageKind::ShardBreaker),
             _ => None,
         }
     }
@@ -134,7 +161,24 @@ impl StageKind {
             StageKind::Sweep => 3,
             StageKind::Merge => 4,
             StageKind::Respond => 5,
+            StageKind::ShardSpawn => 6,
+            StageKind::ShardExit => 7,
+            StageKind::ShardRetry => 8,
+            StageKind::ShardBreaker => 9,
         }
+    }
+
+    /// True for the shard-supervisor lifecycle kinds, which are not
+    /// per-request latency stages (exporters that aggregate stage
+    /// duration histograms skip them).
+    pub fn is_shard_lifecycle(self) -> bool {
+        matches!(
+            self,
+            StageKind::ShardSpawn
+                | StageKind::ShardExit
+                | StageKind::ShardRetry
+                | StageKind::ShardBreaker
+        )
     }
 
     /// Inverse of [`code`](Self::code).
@@ -276,7 +320,25 @@ mod tests {
             assert_eq!(StageKind::from_code(s.code()), Some(s));
         }
         assert_eq!(StageKind::parse("warp"), None);
-        assert_eq!(StageKind::from_code(6), None);
+        assert_eq!(StageKind::from_code(StageKind::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn shard_lifecycle_kinds_are_flagged() {
+        let lifecycle: Vec<StageKind> = StageKind::ALL
+            .into_iter()
+            .filter(|s| s.is_shard_lifecycle())
+            .collect();
+        assert_eq!(
+            lifecycle,
+            vec![
+                StageKind::ShardSpawn,
+                StageKind::ShardExit,
+                StageKind::ShardRetry,
+                StageKind::ShardBreaker,
+            ]
+        );
+        assert!(!StageKind::Sweep.is_shard_lifecycle());
     }
 
     #[test]

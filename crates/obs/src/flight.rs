@@ -356,7 +356,7 @@ mod tests {
                     r.record(FlightEvent {
                         at_us: request * 3,
                         request,
-                        stage: StageKind::ALL[(request % 6) as usize],
+                        stage: StageKind::ALL[(request as usize) % StageKind::ALL.len()],
                         dur_us: request * 7,
                         ref_request: request * 11,
                     });
@@ -372,7 +372,10 @@ mod tests {
                         assert_eq!(e.at_us, e.request * 3, "torn event {e:?}");
                         assert_eq!(e.dur_us, e.request * 7, "torn event {e:?}");
                         assert_eq!(e.ref_request, e.request * 11, "torn event {e:?}");
-                        assert_eq!(e.stage, StageKind::ALL[(e.request % 6) as usize]);
+                        assert_eq!(
+                            e.stage,
+                            StageKind::ALL[(e.request as usize) % StageKind::ALL.len()]
+                        );
                         seen += 1;
                     }
                 }

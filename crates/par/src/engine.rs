@@ -60,7 +60,9 @@ use aalign_core::{
 };
 use aalign_obs::{CollectorSink, Histogram, TraceEvent};
 
-use crate::metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
+use crate::metrics::{
+    CancelToken, ProgressFn, SearchMetrics, SearchProgress, ShardOutcome, WorkerMetrics,
+};
 use crate::protocol::{ProgressCounters, SharedBatch, WorkIndex};
 use crate::search::{Hit, SearchOptions, SearchReport};
 use crate::sync::atomic::{AtomicU64, Ordering};
@@ -387,7 +389,13 @@ fn ranks_ahead(a: &Hit, b: &Hit) -> bool {
 }
 
 /// Sort hits into the final rank order (score desc, db index asc).
-pub(crate) fn rank_hits(hits: &mut [Hit]) {
+///
+/// This is *the* rank order: every engine path and the shard
+/// supervisor's cross-process merge (`aalign-shard`) use it, which is
+/// what makes an N-shard merge bit-identical to a single-process
+/// sweep — equal scores always tie-break on the (rebased) database
+/// index.
+pub fn rank_hits(hits: &mut [Hit]) {
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
 }
 
@@ -1230,6 +1238,10 @@ impl SearchEngine {
                 batch_wait: Histogram::new(),
                 request_e2e: Histogram::new(),
                 workers_respawned: self.workers_respawned(),
+                // Sharding happens above the engine too: the shard
+                // supervisor stamps the per-shard outcome on merged
+                // reports.
+                shards: ShardOutcome::default(),
                 peak_hits_buffered,
                 latency,
                 worker_load,

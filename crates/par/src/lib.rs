@@ -40,10 +40,12 @@ pub mod search;
 pub(crate) mod sync;
 pub mod wire;
 
-pub use engine::SearchEngine;
+pub use engine::{rank_hits, SearchEngine};
 #[cfg(feature = "fault-inject")]
 pub use fault::FaultPlan;
 pub use handle::EngineHandle;
-pub use metrics::{CancelToken, ProgressFn, SearchMetrics, SearchProgress, WorkerMetrics};
+pub use metrics::{
+    CancelToken, ProgressFn, SearchMetrics, SearchProgress, ShardOutcome, WorkerMetrics,
+};
 pub use pipeline::{search_pipeline, PipelineHit, PipelineOptions, PipelineReport};
 pub use search::{search_database, search_database_inter, Hit, SearchOptions, SearchReport};

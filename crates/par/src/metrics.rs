@@ -109,6 +109,41 @@ pub struct WorkerMetrics {
     pub scratch_bytes: usize,
 }
 
+/// Per-shard outcome accounting for one query routed through a shard
+/// supervisor (`aalign-shard`). All-zero (the [`Default`]) for
+/// single-process searches; a supervisor stamps it on the merged
+/// report so degraded answers are distinguishable from complete ones
+/// without diffing hit lists.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardOutcome {
+    /// Shards that answered this query (possibly after a retry).
+    pub ok: u64,
+    /// Shards that produced no answer — crashed and exhausted the
+    /// retry, or already circuit-broken. Each failed shard also
+    /// contributes an `AlignError::ShardLost` naming its uncovered
+    /// range.
+    pub failed: u64,
+    /// Shards whose request was re-sent once on a respawned child.
+    /// A retried shard still counts under `ok` or `failed`.
+    pub retried: u64,
+    /// Shards (a subset of `failed`) that missed the query deadline
+    /// rather than dying.
+    pub timed_out: u64,
+}
+
+impl ShardOutcome {
+    /// Shards this query was fanned out to.
+    pub fn total(&self) -> u64 {
+        self.ok + self.failed
+    }
+
+    /// True when no supervisor touched this report (the default).
+    pub fn is_unsharded(&self) -> bool {
+        *self == ShardOutcome::default()
+    }
+}
+
 /// Per-query metrics attached to every [`SearchReport`] /
 /// [`PipelineReport`].
 ///
@@ -164,6 +199,11 @@ pub struct SearchMetrics {
     /// after a death mid-job (pool self-healing). Zero on a healthy
     /// engine.
     pub workers_respawned: u64,
+    /// Shard-supervisor outcome accounting for this query. All-zero
+    /// for single-process searches; stamped by `aalign-shard` on
+    /// merged reports (`shards_ok/failed/retried/timed_out` on the
+    /// wire).
+    pub shards: ShardOutcome,
     /// Peak number of hits buffered across all workers — bounded by
     /// `workers × top_n` when `top_n > 0` (streaming top-k), `O(db)`
     /// only when every hit was requested.
@@ -255,6 +295,13 @@ impl SearchMetrics {
                 s,
                 "batching: {} request(s) coalesced onto this query profile",
                 self.coalesced
+            );
+        }
+        if !self.shards.is_unsharded() {
+            let _ = writeln!(
+                s,
+                "shards: {} ok, {} failed ({} timed out), {} retried",
+                self.shards.ok, self.shards.failed, self.shards.timed_out, self.shards.retried,
             );
         }
         if !self.latency.is_empty() {
@@ -396,6 +443,26 @@ impl SearchMetrics {
             "Peak hits buffered across workers.",
             self.peak_hits_buffered as f64,
         );
+        gauge(
+            "aalign_shards_ok",
+            "Shards that answered this query (0 = unsharded).",
+            self.shards.ok as f64,
+        );
+        gauge(
+            "aalign_shards_failed",
+            "Shards that produced no answer for this query.",
+            self.shards.failed as f64,
+        );
+        gauge(
+            "aalign_shards_retried",
+            "Shards retried once on a respawned child.",
+            self.shards.retried as f64,
+        );
+        gauge(
+            "aalign_shards_timed_out",
+            "Failed shards that missed the query deadline.",
+            self.shards.timed_out as f64,
+        );
         s.push_str(
             &self
                 .queue_wait
@@ -453,6 +520,21 @@ mod tests {
     }
 
     #[test]
+    fn shard_outcome_summary_line_is_conditional() {
+        let quiet = SearchMetrics::default().summary();
+        assert!(!quiet.contains("shards:"), "{quiet}");
+        let m = populated();
+        let s = m.summary();
+        assert!(
+            s.contains("shards: 3 ok, 1 failed (0 timed out), 1 retried"),
+            "{s}"
+        );
+        assert_eq!(m.shards.total(), 4);
+        assert!(!m.shards.is_unsharded());
+        assert!(SearchMetrics::default().shards.is_unsharded());
+    }
+
+    #[test]
     fn summary_mentions_every_stage() {
         let m = SearchMetrics {
             per_worker: vec![WorkerMetrics::default()],
@@ -485,6 +567,12 @@ mod tests {
             total: Duration::from_millis(4),
             cells: 1_000_000,
             certified_width: 8,
+            shards: ShardOutcome {
+                ok: 3,
+                failed: 1,
+                retried: 1,
+                timed_out: 0,
+            },
             per_worker: vec![
                 WorkerMetrics {
                     worker_id: 0,
@@ -532,6 +620,8 @@ mod tests {
             "\"rescue_width_bits\"",
             "\"certified_width\"",
             "\"workers_respawned\"",
+            "\"shards\"",
+            "\"timed_out\"",
             "\"queue_wait_ns\"",
             "\"batch_wait_ns\"",
             "\"request_e2e_ns\"",
@@ -556,6 +646,10 @@ mod tests {
             "aalign_certified_width_bits 8",
             "aalign_coalesced_total",
             "aalign_workers_respawned_total",
+            "aalign_shards_ok 3",
+            "aalign_shards_failed 1",
+            "aalign_shards_retried 1",
+            "aalign_shards_timed_out 0",
             "aalign_kernel_iterate_columns_total",
             "aalign_work_item_seconds_bucket",
             "aalign_work_item_seconds_count 4",

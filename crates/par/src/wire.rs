@@ -33,7 +33,7 @@ use aalign_obs::wire::{
     histogram_to_wire, obj, str_field, u64_field, versioned, JsonValue, WireError,
 };
 
-use crate::metrics::{SearchMetrics, WorkerMetrics};
+use crate::metrics::{SearchMetrics, ShardOutcome, WorkerMetrics};
 use crate::search::{Hit, SearchReport};
 
 fn duration_us(d: Duration) -> u64 {
@@ -68,6 +68,7 @@ pub fn error_code(e: &AlignError) -> &'static str {
         AlignError::DeadlineExceeded => "deadline_exceeded",
         AlignError::WorkerPanicked { .. } => "worker_panicked",
         AlignError::WorkerLost { .. } => "worker_lost",
+        AlignError::ShardLost { .. } => "shard_lost",
         // `AlignError` is #[non_exhaustive]; future variants fall
         // back to a generic code until they are given one here.
         _ => "align_error",
@@ -94,6 +95,11 @@ pub fn error_to_wire(e: &AlignError) -> JsonValue {
             fields.push(("worker_id", (*worker_id).into()));
             fields.push(("payload", payload.as_str().into()));
         }
+        AlignError::ShardLost { shard, start, end } => {
+            fields.push(("shard", (*shard).into()));
+            fields.push(("start", (*start).into()));
+            fields.push(("end", (*end).into()));
+        }
         _ => {}
     }
     obj(fields)
@@ -116,6 +122,11 @@ pub fn error_from_wire(v: &JsonValue) -> Result<AlignError, WireError> {
         "worker_lost" => Ok(AlignError::WorkerLost {
             worker_id: u64_field(v, "worker_id")? as usize,
             payload: str_field(v, "payload")?.to_string(),
+        }),
+        "shard_lost" => Ok(AlignError::ShardLost {
+            shard: u64_field(v, "shard")? as usize,
+            start: u64_field(v, "start")? as usize,
+            end: u64_field(v, "end")? as usize,
         }),
         other => Err(WireError::new(format!("unknown error code {other:?}"))),
     }
@@ -187,6 +198,15 @@ pub fn metrics_to_wire(m: &SearchMetrics) -> JsonValue {
         ("certified_width", m.certified_width.into()),
         ("coalesced", m.coalesced.into()),
         ("workers_respawned", m.workers_respawned.into()),
+        (
+            "shards",
+            obj(vec![
+                ("ok", m.shards.ok.into()),
+                ("failed", m.shards.failed.into()),
+                ("retried", m.shards.retried.into()),
+                ("timed_out", m.shards.timed_out.into()),
+            ]),
+        ),
         ("peak_hits_buffered", m.peak_hits_buffered.into()),
         ("queue_wait_ns", histogram_to_wire(&m.queue_wait)),
         ("batch_wait_ns", histogram_to_wire(&m.batch_wait)),
@@ -219,6 +239,21 @@ fn optional_u64(v: &JsonValue, key: &str) -> Result<u64, WireError> {
     }
 }
 
+/// Optional shard-outcome object: absent decodes as the all-zero
+/// default, so pre-supervisor documents still parse within the same
+/// schema version.
+fn optional_shards(v: &JsonValue) -> Result<ShardOutcome, WireError> {
+    match v.get("shards") {
+        Some(s) => Ok(ShardOutcome {
+            ok: u64_field(s, "ok")?,
+            failed: u64_field(s, "failed")?,
+            retried: u64_field(s, "retried")?,
+            timed_out: u64_field(s, "timed_out")?,
+        }),
+        None => Ok(ShardOutcome::default()),
+    }
+}
+
 /// Decode a metrics document (version-checked; lossless at
 /// microsecond duration resolution).
 pub fn metrics_from_wire(v: &JsonValue) -> Result<SearchMetrics, WireError> {
@@ -237,6 +272,7 @@ pub fn metrics_from_wire(v: &JsonValue) -> Result<SearchMetrics, WireError> {
         certified_width: optional_u64(v, "certified_width")? as u32,
         coalesced: u64_field(v, "coalesced")?,
         workers_respawned: u64_field(v, "workers_respawned")?,
+        shards: optional_shards(v)?,
         peak_hits_buffered: u64_field(v, "peak_hits_buffered")? as usize,
         queue_wait: optional_histogram(v, "queue_wait_ns")?,
         batch_wait: optional_histogram(v, "batch_wait_ns")?,
@@ -309,6 +345,11 @@ mod tests {
                 worker_id: 2,
                 payload: "killed".into(),
             },
+            AlignError::ShardLost {
+                shard: 1,
+                start: 250,
+                end: 500,
+            },
         ];
         let codes: Vec<&str> = samples.iter().map(error_code).collect();
         assert_eq!(
@@ -320,6 +361,7 @@ mod tests {
                 "deadline_exceeded",
                 "worker_panicked",
                 "worker_lost",
+                "shard_lost",
             ]
         );
         for e in samples {

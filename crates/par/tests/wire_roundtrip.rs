@@ -103,7 +103,9 @@ fn metrics_schema_v1_is_pinned() {
         "\"rescue_width_bits\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
         "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
         "\"certified_width\":0,",
-        "\"coalesced\":0,\"workers_respawned\":0,\"peak_hits_buffered\":0,",
+        "\"coalesced\":0,\"workers_respawned\":0,",
+        "\"shards\":{\"ok\":0,\"failed\":0,\"retried\":0,\"timed_out\":0},",
+        "\"peak_hits_buffered\":0,",
         "\"queue_wait_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
         "\"p50\":0,\"p90\":0,\"p99\":0,\"p999\":0,\"buckets\":[]},",
         "\"batch_wait_ns\":{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0,",
@@ -149,6 +151,45 @@ fn pre_certified_width_documents_still_decode() {
     doc = doc.replace("\"certified_width\":0,", "");
     let back = metrics_from_wire(&JsonValue::parse(&doc).unwrap()).unwrap();
     assert_eq!(back.certified_width, 0);
+}
+
+#[test]
+fn pre_shard_outcome_documents_still_decode() {
+    // The `shards` outcome object was added within schema v1 when the
+    // shard supervisor landed; a pre-supervisor document (no `shards`
+    // key) decodes with the all-zero default.
+    let mut doc = metrics_to_wire(&aalign_par::SearchMetrics::default()).render();
+    doc = doc.replace(
+        "\"shards\":{\"ok\":0,\"failed\":0,\"retried\":0,\"timed_out\":0},",
+        "",
+    );
+    assert!(!doc.contains("\"shards\""), "{doc}");
+    let back = metrics_from_wire(&JsonValue::parse(&doc).unwrap()).unwrap();
+    assert!(back.shards.is_unsharded());
+}
+
+#[test]
+fn shard_outcome_and_shard_lost_round_trip() {
+    let mut m = aalign_par::SearchMetrics::default();
+    m.shards.ok = 3;
+    m.shards.failed = 1;
+    m.shards.retried = 2;
+    m.shards.timed_out = 1;
+    let back =
+        metrics_from_wire(&JsonValue::parse(&metrics_to_wire(&m).render()).unwrap()).unwrap();
+    assert_eq!(back.shards, m.shards);
+
+    let e = AlignError::ShardLost {
+        shard: 2,
+        start: 500,
+        end: 750,
+    };
+    assert_eq!(
+        error_to_wire(&e).render(),
+        "{\"code\":\"shard_lost\",\
+         \"message\":\"shard 2 lost; database range [500, 750) is uncovered\",\
+         \"shard\":2,\"start\":500,\"end\":750}"
+    );
 }
 
 #[test]

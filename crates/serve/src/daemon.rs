@@ -210,6 +210,16 @@ fn run_stdio(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i3
                         break Err(e);
                     }
                 }
+                if dispatcher.is_draining() {
+                    // A `shutdown` request was just answered. Exit
+                    // without waiting for EOF — a shard supervisor
+                    // keeps the pipe open and waits for the child to
+                    // exit — but only after answering every line the
+                    // reader already queued and flushing stdout, so
+                    // the parent never reads a truncated final JSON
+                    // line.
+                    break flush_queued(&rx, &mut out, &dispatcher);
+                }
             }
             Ok(Err(e)) => break Err(e),
             Err(mpsc::RecvTimeoutError::Timeout) => {}
@@ -228,6 +238,24 @@ fn run_stdio(dispatcher: Arc<Dispatcher>, opts: &DaemonOptions) -> io::Result<i3
     report_drain(clean, &dispatcher);
     io_outcome?;
     Ok(i32::from(!clean))
+}
+
+/// Answer every line the stdio reader has already queued (late lines
+/// get typed `draining` refusals once drain has begun), then flush
+/// stdout to completion so the final reply is never truncated by
+/// process exit.
+fn flush_queued(
+    rx: &mpsc::Receiver<io::Result<String>>,
+    out: &mut impl Write,
+    dispatcher: &Dispatcher,
+) -> io::Result<()> {
+    while let Ok(Ok(line)) = rx.try_recv() {
+        if let Some(response) = respond_line(&line, dispatcher) {
+            out.write_all(response.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+    }
+    out.flush()
 }
 
 fn report_drain(clean: bool, dispatcher: &Dispatcher) {

@@ -49,6 +49,7 @@ use aalign_core::{AlignError, Aligner};
 use aalign_obs::wire::{histogram_to_wire, obj, versioned, JsonValue};
 use aalign_obs::{FlightEvent, FlightRecorder, Histogram, StageKind};
 use aalign_par::{CancelToken, EngineHandle, SearchOptions, SearchReport};
+use aalign_shard::{ShardQuery, Supervisor};
 
 use crate::wire::{SearchRequest, SearchResponse, ServeError};
 
@@ -189,14 +190,17 @@ struct StageHists {
 }
 
 impl StageHists {
-    fn for_stage(&mut self, stage: StageKind) -> &mut Histogram {
+    fn for_stage(&mut self, stage: StageKind) -> Option<&mut Histogram> {
         match stage {
-            StageKind::Parse => &mut self.parse,
-            StageKind::Queue => &mut self.queue,
-            StageKind::BatchWait => &mut self.batch_wait,
-            StageKind::Sweep => &mut self.sweep,
-            StageKind::Merge => &mut self.merge,
-            StageKind::Respond => &mut self.respond,
+            StageKind::Parse => Some(&mut self.parse),
+            StageKind::Queue => Some(&mut self.queue),
+            StageKind::BatchWait => Some(&mut self.batch_wait),
+            StageKind::Sweep => Some(&mut self.sweep),
+            StageKind::Merge => Some(&mut self.merge),
+            StageKind::Respond => Some(&mut self.respond),
+            // Shard-supervisor lifecycle events ride the flight ring
+            // but are not per-request latency stages — no histogram.
+            _ => None,
         }
     }
 }
@@ -322,6 +326,11 @@ pub struct Dispatcher {
     request_seq: AtomicU64,
     flight_rec: FlightRecorder,
     stage_hists: Mutex<StageHists>,
+    /// Sharded backend: when set, searches fan out to the
+    /// supervisor's child processes instead of this process's engine
+    /// pool (which then only serves as a fallback for health
+    /// reporting). Installed with [`Dispatcher::with_shards`].
+    shards: Option<Arc<Supervisor>>,
 }
 
 impl std::fmt::Debug for Dispatcher {
@@ -383,7 +392,24 @@ impl Dispatcher {
             request_seq: AtomicU64::new(0),
             flight_rec: FlightRecorder::new(),
             stage_hists: Mutex::new(StageHists::default()),
+            shards: None,
         }
+    }
+
+    /// Route searches through a shard supervisor instead of the
+    /// local engine pool. Batching/coalescing is bypassed on the
+    /// sharded path — the children already overlap work across
+    /// shards — and caller cancellation takes effect at the
+    /// supervisor's deadline granularity rather than mid-sweep.
+    #[must_use]
+    pub fn with_shards(mut self, sup: Arc<Supervisor>) -> Self {
+        self.shards = Some(sup);
+        self
+    }
+
+    /// The shard supervisor, when this dispatcher runs sharded.
+    pub fn shards(&self) -> Option<&Arc<Supervisor>> {
+        self.shards.as_ref()
     }
 
     /// The engine this dispatcher sweeps with.
@@ -424,7 +450,9 @@ impl Dispatcher {
             ref_request,
         });
         let mut hists = self.stage_hists.lock().expect("stage histograms poisoned");
-        hists.for_stage(stage).record(dur_ns(dur));
+        if let Some(h) = hists.for_stage(stage) {
+            h.record(dur_ns(dur));
+        }
     }
 
     /// Dump the flight recorder to stderr, labelled with why. Called
@@ -527,7 +555,19 @@ impl Dispatcher {
             e2e_start: start,
         };
 
-        let result = if req.no_batch {
+        let result = if let Some(sup) = &self.shards {
+            // Sharded dispatch: fan out to the supervisor's child
+            // processes. Never batched — the children already
+            // overlap work across shards.
+            let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
+            self.run_sharded(sup, req, remaining, trace)
+                .map(|report| SearchResponse {
+                    id: req.id.clone(),
+                    request_id: rid,
+                    batched: false,
+                    report,
+                })
+        } else if req.no_batch {
             // Whatever the queue consumed comes out of the engine's
             // budget, so the end-to-end deadline holds.
             let remaining = budget.map(|b| b.saturating_sub(start.elapsed()));
@@ -647,6 +687,20 @@ impl Dispatcher {
             ),
             ("queries_served", self.engine.queries_served().into()),
             ("workers_respawned", self.engine.workers_respawned().into()),
+            // Shard-supervisor liveness, when this daemon dispatches
+            // to child processes (`null` for single-process daemons).
+            (
+                "shards",
+                match &self.shards {
+                    Some(sup) => obj(vec![
+                        ("count", sup.shards().into()),
+                        ("live", sup.shards_live().into()),
+                        ("dead", sup.shards_dead().into()),
+                        ("respawns", sup.respawns().into()),
+                    ]),
+                    None => JsonValue::Null,
+                },
+            ),
             (
                 "uptime_ms",
                 (self.started.elapsed().as_millis() as u64).into(),
@@ -803,6 +857,38 @@ impl Dispatcher {
                 let label = tenant.replace('\\', "\\\\").replace('"', "\\\"");
                 out.push_str(&format!(
                     "aalign_serve_tenant_inflight{{tenant=\"{label}\"}} {n}\n"
+                ));
+            }
+        }
+
+        // Shard-supervisor liveness, on sharded daemons only. (The
+        // `gauge` closure's borrow of `out` ended at the tenant rows
+        // above, so these are pushed directly.)
+        if let Some(sup) = &self.shards {
+            for (name, help, v) in [
+                (
+                    "shards_total",
+                    "Database shards this daemon dispatches to.",
+                    sup.shards() as u64,
+                ),
+                (
+                    "shards_live",
+                    "Shards with a live child process right now.",
+                    sup.shards_live() as u64,
+                ),
+                (
+                    "shards_dead",
+                    "Shards whose circuit breaker has tripped.",
+                    sup.shards_dead() as u64,
+                ),
+                (
+                    "shard_respawns",
+                    "Shard children respawned after a death.",
+                    sup.respawns(),
+                ),
+            ] {
+                out.push_str(&format!(
+                    "# HELP aalign_serve_{name} {help}\n# TYPE aalign_serve_{name} gauge\naalign_serve_{name} {v}\n"
                 ));
             }
         }
@@ -1107,6 +1193,39 @@ impl Dispatcher {
             coalesced.fetch_add(followers, Ordering::Relaxed);
         }
         shared.map_err(ServeError::Engine)
+    }
+
+    /// Run one query through the shard supervisor. Degradation is
+    /// the supervisor's job (lost shards come back as `partial:
+    /// true` with `ShardLost` errors); this wrapper only adapts the
+    /// request shape and stamps the dispatcher-side stage metrics,
+    /// exactly like [`run_leader`](Self::run_leader) does for local
+    /// sweeps.
+    fn run_sharded(
+        &self,
+        sup: &Supervisor,
+        req: &SearchRequest,
+        remaining: Option<Duration>,
+        trace: TraceCtx,
+    ) -> Result<Arc<SearchReport>, ServeError> {
+        let mut q = ShardQuery::new(req.query.clone())
+            .query_id(req.query_id.clone())
+            .top_n(req.top_n);
+        if let Some(d) = remaining {
+            q = q.deadline(d);
+        }
+        let sweep_started = Instant::now();
+        let mut result = sup.search(&q);
+        self.record_stage(trace.rid, StageKind::Sweep, sweep_started.elapsed(), 0);
+        if let Ok(report) = &mut result {
+            self.record_stage(trace.rid, StageKind::Merge, report.metrics.merge, 0);
+            report.metrics.queue_wait.record(dur_ns(trace.queue_wait));
+            report
+                .metrics
+                .request_e2e
+                .record(dur_ns(trace.e2e_start.elapsed()));
+        }
+        result.map(Arc::new).map_err(ServeError::Engine)
     }
 
     /// Wait for the leader's result, honoring this follower's own

@@ -5,7 +5,9 @@
 //! in request order. Methods: `search` (params = the same
 //! [`SearchRequest`] object the HTTP front end takes), `health`,
 //! `metrics`, `cancel` (`{"id": …}`), and `shutdown` (begins drain;
-//! the loop then refuses new searches and ends at EOF).
+//! after the reply the stdio daemon flushes stdout and exits on its
+//! own — a supervisor always reads the complete final line and never
+//! has to close the pipe first).
 //!
 //! Service refusals map onto implementation-defined error codes:
 //! `overloaded` −32001, `draining` −32002, `quota_exhausted` −32003,

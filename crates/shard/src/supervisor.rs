@@ -1,0 +1,1180 @@
+//! The shard supervisor: partition, fan out, detect death, retry,
+//! degrade, merge.
+//!
+//! ## Supervision tree
+//!
+//! One [`Supervisor`] owns N [`ShardSlot`]s; each slot owns at most
+//! one live [`Worker`] child plus its health history (death
+//! timestamps inside the breaker window, backoff state, respawn
+//! schedule). Every query locks the slots in index order, dispatches
+//! to all live shards (deadline decremented by elapsed supervisor
+//! time), then collects in index order while the children compute
+//! concurrently.
+//!
+//! ## Retry / degradation state machine, per shard per query
+//!
+//! ```text
+//!          dispatch ──► answered ──────────────────────► ok
+//!             │
+//!             ├─ child died (EOF/reap) ─► respawn (backoff)
+//!             │        │                        │
+//!             │        │ breaker tripped        ├─ resend once
+//!             │        ▼ or no budget           ▼ (same request id)
+//!             │      failed ◄────────── died/timed out again
+//!             │
+//!             └─ no reply by deadline+grace ─► kill child,
+//!                                              failed (timed_out)
+//! ```
+//!
+//! A failed shard degrades the answer instead of failing it: the
+//! merged report is `partial: true`, carries an
+//! [`AlignError::ShardLost`] naming the exact uncovered `[start,
+//! end)` range, and accounts the outcome in
+//! [`SearchMetrics::shards`]. A shard that dies
+//! [`breaker_deaths`](ShardOptions::breaker_deaths) times inside
+//! [`breaker_window`](ShardOptions::breaker_window) is circuit-broken
+//! (marked dead, flight ring dumped) and the search continues on the
+//! survivors.
+//!
+//! ## Bit-exactness
+//!
+//! Children run the same engine with the same aligner configuration;
+//! each shard's hits come back shard-local and are rebased by the
+//! shard's range start, then ranked with [`aalign_par::rank_hits`] —
+//! the engine's own (score desc, db_index asc) order — and truncated
+//! to `top_n`. Merging per-shard top-k lists this way is exactly the
+//! single-process top-k.
+//!
+//! [`SearchMetrics::shards`]: aalign_par::SearchMetrics
+//! [`AlignError::ShardLost`]: aalign_core::AlignError
+
+use std::collections::VecDeque;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
+
+use aalign_bio::db::SeqDatabase;
+use aalign_bio::fasta::write_fasta;
+use aalign_bio::Sequence;
+use aalign_core::retry::Backoff;
+use aalign_core::AlignError;
+use aalign_obs::wire::{obj, JsonValue};
+use aalign_obs::{FlightEvent, FlightRecorder, StageKind};
+use aalign_par::wire::report_from_wire;
+use aalign_par::{rank_hits, SearchMetrics, SearchReport};
+
+#[cfg(feature = "fault-inject")]
+use crate::fault::ShardFaultPlan;
+use crate::worker::{RecvError, Worker, WorkerCommand};
+
+/// Supervisor policy knobs. Construct with [`ShardOptions::new`] and
+/// adjust with the builder methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ShardOptions {
+    /// Number of contiguous shards (clamped to the database size).
+    pub shards: usize,
+    /// Query budget when the caller supplies no deadline.
+    pub default_deadline: Duration,
+    /// Extra wait past a query's deadline for a child's own
+    /// `partial: true` reply to cross the pipe before the child is
+    /// declared wedged and killed.
+    pub request_grace: Duration,
+    /// Budget for a spawned child to pass its readiness `health`
+    /// ping (the child loads its shard FASTA first).
+    pub spawn_timeout: Duration,
+    /// First respawn backoff delay.
+    pub backoff_base: Duration,
+    /// Backoff delay cap.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic backoff jitter stream.
+    pub backoff_seed: u64,
+    /// Deaths inside [`breaker_window`](Self::breaker_window) that
+    /// trip a shard's circuit breaker.
+    pub breaker_deaths: u32,
+    /// Sliding window for [`breaker_deaths`](Self::breaker_deaths).
+    pub breaker_window: Duration,
+    /// Graceful-drain budget per child (shutdown RPC + SIGTERM, then
+    /// SIGKILL when it expires).
+    pub drain_grace: Duration,
+    /// Liveness monitor period (`try_wait` reap + idle `health`
+    /// ping + background respawn); `None` disables the monitor
+    /// thread — deaths are then detected on the query path only.
+    pub heartbeat: Option<Duration>,
+    /// Deterministic chaos plan (kills a chosen shard's child right
+    /// after dispatch).
+    #[cfg(feature = "fault-inject")]
+    pub fault: Option<ShardFaultPlan>,
+}
+
+impl ShardOptions {
+    /// Defaults for `shards` shards: 30 s default deadline, 2 s
+    /// grace, 30 s spawn budget, 50 ms → 2 s backoff, breaker at 3
+    /// deaths / 60 s, 5 s drain grace, 1 s heartbeat.
+    pub fn new(shards: usize) -> Self {
+        ShardOptions {
+            shards: shards.max(1),
+            default_deadline: Duration::from_secs(30),
+            request_grace: Duration::from_secs(2),
+            spawn_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            backoff_seed: 0,
+            breaker_deaths: 3,
+            breaker_window: Duration::from_secs(60),
+            drain_grace: Duration::from_secs(5),
+            heartbeat: Some(Duration::from_secs(1)),
+            #[cfg(feature = "fault-inject")]
+            fault: None,
+        }
+    }
+
+    /// Set the default per-query deadline.
+    #[must_use]
+    pub fn default_deadline(mut self, d: Duration) -> Self {
+        self.default_deadline = d;
+        self
+    }
+
+    /// Set the respawn backoff policy.
+    #[must_use]
+    pub fn backoff(mut self, base: Duration, cap: Duration, seed: u64) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self.backoff_seed = seed;
+        self
+    }
+
+    /// Set the circuit-breaker policy.
+    #[must_use]
+    pub fn breaker(mut self, deaths: u32, window: Duration) -> Self {
+        self.breaker_deaths = deaths.max(1);
+        self.breaker_window = window;
+        self
+    }
+
+    /// Set the liveness monitor period (`None` disables it).
+    #[must_use]
+    pub fn heartbeat(mut self, period: Option<Duration>) -> Self {
+        self.heartbeat = period;
+        self
+    }
+
+    /// Set the graceful-drain budget per child.
+    #[must_use]
+    pub fn drain_grace(mut self, d: Duration) -> Self {
+        self.drain_grace = d;
+        self
+    }
+
+    /// Install a deterministic chaos plan.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn fault(mut self, plan: ShardFaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+}
+
+/// One query, supervisor-level.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ShardQuery {
+    /// Query residues (protein, one-letter code).
+    pub query: String,
+    /// Query label (rides to the children as `query_id`).
+    pub query_id: String,
+    /// Keep the best `top_n` hits (0 = every hit).
+    pub top_n: usize,
+    /// Wall-clock budget; `None` uses
+    /// [`ShardOptions::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl ShardQuery {
+    /// Query with defaults (every hit, default deadline).
+    pub fn new(query: impl Into<String>) -> Self {
+        ShardQuery {
+            query: query.into(),
+            query_id: "query".to_string(),
+            top_n: 0,
+            deadline: None,
+        }
+    }
+
+    /// Set the hit budget.
+    #[must_use]
+    pub fn top_n(mut self, n: usize) -> Self {
+        self.top_n = n;
+        self
+    }
+
+    /// Set the wall-clock budget.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the query label.
+    #[must_use]
+    pub fn query_id(mut self, id: impl Into<String>) -> Self {
+        self.query_id = id.into();
+        self
+    }
+}
+
+/// Mutable per-shard state, behind the slot's mutex.
+#[derive(Debug)]
+struct SlotState {
+    worker: Option<Worker>,
+    /// Circuit-broken: no further spawns or dispatches.
+    dead: bool,
+    /// Death timestamps inside the breaker window.
+    deaths: VecDeque<Instant>,
+    /// Earliest instant the next (re)spawn may run (backoff).
+    next_respawn_at: Option<Instant>,
+    backoff: Backoff,
+    /// Children spawned into this slot over its lifetime.
+    spawned: u64,
+    /// JSON-RPC id counter for this slot's connection(s).
+    rpc_seq: u64,
+}
+
+/// One contiguous database shard.
+#[derive(Debug)]
+struct ShardSlot {
+    index: usize,
+    /// Global database range `[start, end)` this shard covers.
+    start: usize,
+    end: usize,
+    db_path: PathBuf,
+    state: Mutex<SlotState>,
+}
+
+#[derive(Debug, Default)]
+struct SupervisorStats {
+    queries: u64,
+    respawns: u64,
+}
+
+/// The shard supervisor. See the [module docs](self) for the
+/// supervision tree and state machine.
+#[derive(Debug)]
+pub struct Supervisor {
+    cmd: WorkerCommand,
+    opts: ShardOptions,
+    /// Temp directory holding the per-shard FASTA files.
+    dir: PathBuf,
+    slots: Vec<ShardSlot>,
+    recorder: Arc<FlightRecorder>,
+    started: Instant,
+    stats: Mutex<SupervisorStats>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    monitor_stop: Arc<(Mutex<bool>, Condvar)>,
+    shut: Mutex<bool>,
+    total_subjects: usize,
+    #[cfg(feature = "fault-inject")]
+    fault: Mutex<Option<ShardFaultPlan>>,
+}
+
+/// Contiguous balanced partition of `len` subjects into `n` ranges
+/// (`n` clamped to `len.max(1)`): range `i` is
+/// `[i·len/n, (i+1)·len/n)`.
+pub fn partition(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.clamp(1, len.max(1));
+    (0..n).map(|i| (i * len / n, (i + 1) * len / n)).collect()
+}
+
+impl Supervisor {
+    /// Partition `db`, write one FASTA per shard into a fresh temp
+    /// directory, spawn one child per shard, and confirm each with a
+    /// readiness `health` round trip. Fails fast if any child cannot
+    /// start. Starts the liveness monitor unless
+    /// [`ShardOptions::heartbeat`] is `None`.
+    pub fn launch(
+        db: &SeqDatabase,
+        cmd: WorkerCommand,
+        opts: ShardOptions,
+    ) -> io::Result<Arc<Supervisor>> {
+        let ranges = partition(db.len(), opts.shards);
+        let dir = fresh_shard_dir()?;
+        let mut slots = Vec::with_capacity(ranges.len());
+        for (i, &(start, end)) in ranges.iter().enumerate() {
+            let db_path = dir.join(format!("shard{i}.fa"));
+            let file = std::fs::File::create(&db_path)?;
+            write_fasta(io::BufWriter::new(file), &db.sequences()[start..end], 60)?;
+            slots.push(ShardSlot {
+                index: i,
+                start,
+                end,
+                db_path,
+                state: Mutex::new(SlotState {
+                    worker: None,
+                    dead: false,
+                    deaths: VecDeque::new(),
+                    next_respawn_at: None,
+                    backoff: Backoff::seeded(
+                        opts.backoff_base,
+                        opts.backoff_cap,
+                        opts.backoff_seed.wrapping_add(i as u64),
+                    ),
+                    spawned: 0,
+                    rpc_seq: 0,
+                }),
+            });
+        }
+        #[cfg(feature = "fault-inject")]
+        let fault = Mutex::new(opts.fault.clone());
+        let sup = Arc::new(Supervisor {
+            cmd,
+            opts,
+            dir,
+            slots,
+            recorder: Arc::new(FlightRecorder::new()),
+            started: Instant::now(),
+            stats: Mutex::new(SupervisorStats::default()),
+            monitor: Mutex::new(None),
+            monitor_stop: Arc::new((Mutex::new(false), Condvar::new())),
+            shut: Mutex::new(false),
+            total_subjects: db.len(),
+            #[cfg(feature = "fault-inject")]
+            fault,
+        });
+        for slot in &sup.slots {
+            let mut st = slot.state.lock().expect("slot state poisoned");
+            if !sup.spawn_into(slot, &mut st, Instant::now() + sup.opts.spawn_timeout) {
+                drop(st);
+                let _ = std::fs::remove_dir_all(&sup.dir);
+                return Err(io::Error::other(format!(
+                    "shard {} child failed readiness",
+                    slot.index
+                )));
+            }
+        }
+        if let Some(period) = sup.opts.heartbeat {
+            let weak = Arc::downgrade(&sup);
+            let stop = Arc::clone(&sup.monitor_stop);
+            let handle = std::thread::Builder::new()
+                .name("aalign-shard-monitor".to_string())
+                .spawn(move || monitor_loop(&weak, &stop, period))?;
+            *sup.monitor.lock().expect("monitor handle poisoned") = Some(handle);
+        }
+        Ok(sup)
+    }
+
+    /// Shard count.
+    pub fn shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Global `[start, end)` database range per shard.
+    pub fn ranges(&self) -> Vec<(usize, usize)> {
+        self.slots.iter().map(|s| (s.start, s.end)).collect()
+    }
+
+    /// Subjects across all shards.
+    pub fn subjects(&self) -> usize {
+        self.total_subjects
+    }
+
+    /// Shards with a live child right now.
+    pub fn shards_live(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| {
+                let st = s.state.lock().expect("slot state poisoned");
+                !st.dead && st.worker.is_some()
+            })
+            .count()
+    }
+
+    /// Circuit-broken shards.
+    pub fn shards_dead(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.state.lock().expect("slot state poisoned").dead)
+            .count()
+    }
+
+    /// Children respawned over the supervisor's lifetime (excludes
+    /// the initial N spawns).
+    pub fn respawns(&self) -> u64 {
+        self.stats.lock().expect("stats poisoned").respawns
+    }
+
+    /// Queries served.
+    pub fn queries_served(&self) -> u64 {
+        self.stats.lock().expect("stats poisoned").queries
+    }
+
+    /// Current child pid for a shard (tests / external chaos).
+    pub fn shard_pid(&self, shard: usize) -> Option<u32> {
+        let st = self.slots.get(shard)?.state.lock().expect("slot state");
+        st.worker.as_ref().map(Worker::pid)
+    }
+
+    /// The supervisor's flight-recorder ring (shard spawn / exit /
+    /// retry / breaker events) — servable alongside a dispatcher's
+    /// own ring on `/debug/flight`.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Dump the flight ring to stderr, labelled with why — same
+    /// format as the serve dispatcher's dump. Called automatically on
+    /// circuit-breaker trips and dirty drains.
+    pub fn dump_flight(&self, why: &str) {
+        let dump = self.recorder.dump_jsonl();
+        eprintln!(
+            "aalign-shard: flight recorder dump ({why}; {} event(s) retained, {} recorded):",
+            dump.lines().count(),
+            self.recorder.recorded(),
+        );
+        eprint!("{dump}");
+    }
+
+    fn event(&self, request: u64, stage: StageKind, dur: Duration, shard: usize) {
+        self.recorder.record(FlightEvent {
+            at_us: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            request,
+            stage,
+            dur_us: u64::try_from(dur.as_micros()).unwrap_or(u64::MAX),
+            ref_request: shard as u64,
+        });
+    }
+
+    /// Fan one query out to every live shard and merge. Degrades
+    /// rather than fails: shard loss yields `partial: true` plus
+    /// [`AlignError::ShardLost`] entries; only whole-query problems
+    /// (empty/invalid query) are `Err`.
+    pub fn search(&self, q: &ShardQuery) -> Result<SearchReport, AlignError> {
+        if q.query.is_empty() {
+            return Err(AlignError::EmptyQuery);
+        }
+        // Validate locally so a deterministic bad query never counts
+        // against shard health (every child would refuse it anyway).
+        Sequence::protein(q.query_id.as_str(), q.query.as_bytes()).map_err(|_| {
+            AlignError::AlphabetMismatch {
+                id: q.query_id.clone(),
+            }
+        })?;
+        let qid = {
+            let mut stats = self.stats.lock().expect("stats poisoned");
+            stats.queries += 1;
+            stats.queries
+        };
+        let started = Instant::now();
+        let deadline_at = started + q.deadline.unwrap_or(self.opts.default_deadline);
+        let hard_deadline = deadline_at + self.opts.request_grace;
+
+        // Lock every slot in index order for the whole query: one
+        // child serves one request at a time, so responses need no
+        // cross-query routing.
+        let mut guards: Vec<_> = self
+            .slots
+            .iter()
+            .map(|s| s.state.lock().expect("slot state poisoned"))
+            .collect();
+
+        // Phase 1: dispatch to every live shard; children compute
+        // concurrently while we collect in order below.
+        let mut pending: Vec<Option<u64>> = Vec::with_capacity(self.slots.len());
+        for (slot, st) in self.slots.iter().zip(guards.iter_mut()) {
+            pending.push(self.dispatch(slot, st, q, qid, deadline_at));
+        }
+
+        // Phase 2: collect, retrying each lost shard once.
+        let mut per_shard = Vec::with_capacity(self.slots.len());
+        for ((slot, st), rpc_id) in self.slots.iter().zip(guards.iter_mut()).zip(pending) {
+            per_shard.push(self.collect(slot, st, q, qid, rpc_id, deadline_at, hard_deadline));
+        }
+        drop(guards);
+
+        let merge_started = Instant::now();
+        Ok(merge_reports(per_shard, q.top_n, started, merge_started))
+    }
+
+    /// Dispatch the query to one shard. Returns the in-flight RPC id,
+    /// or `None` when the shard is unavailable (dead, could not
+    /// respawn inside the budget, or the budget is already spent).
+    fn dispatch(
+        &self,
+        slot: &ShardSlot,
+        st: &mut SlotState,
+        q: &ShardQuery,
+        qid: u64,
+        deadline_at: Instant,
+    ) -> Option<u64> {
+        if !self.ensure_worker(slot, st, deadline_at) {
+            return None;
+        }
+        let remaining = deadline_at.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return None;
+        }
+        st.rpc_seq += 1;
+        let rpc_id = st.rpc_seq;
+        let line = Worker::request_line(rpc_id, "search", search_params(q, qid, remaining));
+        let sent = st
+            .worker
+            .as_mut()
+            .expect("ensure_worker guarantees a worker")
+            .send_line(&line)
+            .is_ok();
+        if !sent {
+            // Write failure is a death; the collect phase retries.
+            self.record_death(slot, st, qid);
+            return Some(rpc_id);
+        }
+        self.maybe_inject_kill(slot, st);
+        Some(rpc_id)
+    }
+
+    /// Collect one shard's answer, taking the retry-once path on
+    /// child death. `rpc_id == None` means dispatch already failed.
+    #[allow(clippy::too_many_arguments)]
+    fn collect(
+        &self,
+        slot: &ShardSlot,
+        st: &mut SlotState,
+        q: &ShardQuery,
+        qid: u64,
+        rpc_id: Option<u64>,
+        deadline_at: Instant,
+        hard_deadline: Instant,
+    ) -> PerShard {
+        let mut shard = PerShard {
+            index: slot.index,
+            start: slot.start,
+            end: slot.end,
+            answer: None,
+            timed_out: false,
+            retried: false,
+        };
+        let Some(mut rpc_id) = rpc_id else {
+            return shard; // failed (unavailable / no budget)
+        };
+        let mut attempt = 0;
+        loop {
+            let outcome = match st.worker.as_mut() {
+                Some(w) => w.recv_matching(rpc_id, hard_deadline),
+                // Dispatch-time death: fall straight to the retry arm.
+                None => Err(RecvError::Closed),
+            };
+            match outcome {
+                Ok(doc) => {
+                    if let Some(result) = doc.get("result") {
+                        if let Ok(report) = report_from_wire(result) {
+                            shard.answer = Some(report);
+                            return shard;
+                        }
+                    }
+                    // A JSON-RPC error (or undecodable result) is a
+                    // deterministic refusal — no point retrying the
+                    // same request on a fresh child.
+                    return shard;
+                }
+                Err(RecvError::TimedOut) => {
+                    // No reply even after the grace period: the child
+                    // is wedged (its own deadline handling would have
+                    // produced a partial reply by now). Kill it; no
+                    // budget remains for a retry.
+                    self.record_death(slot, st, qid);
+                    shard.timed_out = true;
+                    return shard;
+                }
+                Err(_) => {
+                    // Child died. Retry once on a respawned child,
+                    // idempotent by request id.
+                    if st.worker.is_some() {
+                        self.record_death(slot, st, qid);
+                    }
+                    if attempt >= 1 || !self.ensure_worker(slot, st, deadline_at) {
+                        return shard;
+                    }
+                    attempt += 1;
+                    shard.retried = true;
+                    let remaining = deadline_at.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        shard.timed_out = true;
+                        return shard;
+                    }
+                    st.rpc_seq += 1;
+                    rpc_id = st.rpc_seq;
+                    self.event(qid, StageKind::ShardRetry, remaining, slot.index);
+                    let line =
+                        Worker::request_line(rpc_id, "search", search_params(q, qid, remaining));
+                    if st
+                        .worker
+                        .as_mut()
+                        .expect("ensure_worker guarantees a worker")
+                        .send_line(&line)
+                        .is_err()
+                    {
+                        self.record_death(slot, st, qid);
+                        return shard;
+                    }
+                    self.maybe_inject_kill(slot, st);
+                }
+            }
+        }
+    }
+
+    /// Make sure the slot has a live child: respects the breaker,
+    /// waits out the backoff window (bounded by the query budget),
+    /// then spawns and readiness-checks.
+    fn ensure_worker(&self, slot: &ShardSlot, st: &mut SlotState, deadline_at: Instant) -> bool {
+        if st.dead {
+            return false;
+        }
+        if st.worker.is_some() {
+            return true;
+        }
+        if let Some(at) = st.next_respawn_at {
+            if at > deadline_at {
+                return false; // cannot afford the backoff wait
+            }
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+        }
+        if self.spawn_into(slot, st, deadline_at) {
+            true
+        } else {
+            self.record_death(slot, st, 0);
+            false
+        }
+    }
+
+    /// Spawn a child into the slot and confirm readiness with a
+    /// `health` round trip (bounded by both the spawn budget and
+    /// `deadline_cap`).
+    fn spawn_into(&self, slot: &ShardSlot, st: &mut SlotState, deadline_cap: Instant) -> bool {
+        let begun = Instant::now();
+        let Ok(mut w) = Worker::spawn(&self.cmd, &slot.db_path) else {
+            return false;
+        };
+        st.rpc_seq += 1;
+        let ping_deadline = (begun + self.opts.spawn_timeout).min(deadline_cap);
+        if w.call(st.rpc_seq, "health", obj(vec![]), ping_deadline)
+            .is_err()
+        {
+            return false; // dropping `w` kills and reaps the child
+        }
+        st.spawned += 1;
+        if st.spawned > 1 {
+            self.stats.lock().expect("stats poisoned").respawns += 1;
+        }
+        st.worker = Some(w);
+        st.next_respawn_at = None;
+        self.event(0, StageKind::ShardSpawn, begun.elapsed(), slot.index);
+        true
+    }
+
+    /// Account one child death: reap it, schedule the backoff-delayed
+    /// respawn, and trip the breaker when the window fills. Trips
+    /// auto-dump the flight ring.
+    fn record_death(&self, slot: &ShardSlot, st: &mut SlotState, qid: u64) {
+        if let Some(mut w) = st.worker.take() {
+            w.kill_and_reap();
+        }
+        let now = Instant::now();
+        st.deaths.push_back(now);
+        while let Some(&front) = st.deaths.front() {
+            if now.duration_since(front) > self.opts.breaker_window {
+                st.deaths.pop_front();
+            } else {
+                break;
+            }
+        }
+        let delay = st.backoff.next().unwrap_or_default();
+        st.next_respawn_at = Some(now + delay);
+        self.event(qid, StageKind::ShardExit, delay, slot.index);
+        if !st.dead && st.deaths.len() >= self.opts.breaker_deaths as usize {
+            st.dead = true;
+            self.event(qid, StageKind::ShardBreaker, Duration::ZERO, slot.index);
+            self.dump_flight(&format!(
+                "circuit breaker tripped: shard {} died {} time(s) within {:?}",
+                slot.index,
+                st.deaths.len(),
+                self.opts.breaker_window
+            ));
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    fn maybe_inject_kill(&self, slot: &ShardSlot, st: &mut SlotState) {
+        let mut plan = self.fault.lock().expect("fault plan poisoned");
+        if let Some(p) = plan.as_mut() {
+            if p.should_kill(slot.index) {
+                if let Some(w) = st.worker.as_mut() {
+                    w.sigkill();
+                }
+            }
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn maybe_inject_kill(&self, _slot: &ShardSlot, _st: &mut SlotState) {}
+
+    /// One liveness pass: reap dead children, respawn when the
+    /// backoff window has passed, and `health`-ping idle children (a
+    /// busy child simply doesn't answer in time, which is not fatal —
+    /// only a closed pipe is).
+    fn monitor_tick(&self, ping_timeout: Duration) {
+        for slot in &self.slots {
+            // A held lock means a query is using this shard; skip.
+            let Ok(mut st) = slot.state.try_lock() else {
+                continue;
+            };
+            if st.dead {
+                continue;
+            }
+            match st.worker.take() {
+                Some(mut w) => {
+                    if !w.is_alive() {
+                        st.worker = Some(w);
+                        self.record_death(slot, &mut st, 0);
+                        continue;
+                    }
+                    st.rpc_seq += 1;
+                    let rpc_id = st.rpc_seq;
+                    let pinged =
+                        w.call(rpc_id, "health", obj(vec![]), Instant::now() + ping_timeout);
+                    st.worker = Some(w);
+                    match pinged {
+                        Ok(_) => {
+                            if st.deaths.is_empty() {
+                                st.backoff.reset();
+                            }
+                        }
+                        Err(e) if e.is_fatal() => self.record_death(slot, &mut st, 0),
+                        Err(_) => {} // slow, not dead
+                    }
+                }
+                None => {
+                    if st.next_respawn_at.is_none_or(|at| Instant::now() >= at)
+                        && !self.spawn_into(slot, &mut st, Instant::now() + self.opts.spawn_timeout)
+                    {
+                        self.record_death(slot, &mut st, 0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Graceful drain: stop the monitor, send each child a `shutdown`
+    /// RPC plus SIGTERM, reap with [`ShardOptions::drain_grace`],
+    /// SIGKILL stragglers, remove the shard FASTA directory. Returns
+    /// true when every child exited inside the grace period; a dirty
+    /// drain auto-dumps the flight ring. Idempotent.
+    pub fn shutdown(&self) -> bool {
+        {
+            let mut shut = self.shut.lock().expect("shutdown flag poisoned");
+            if *shut {
+                return true;
+            }
+            *shut = true;
+        }
+        {
+            let (lock, cv) = &*self.monitor_stop;
+            *lock.lock().expect("monitor stop poisoned") = true;
+            cv.notify_all();
+        }
+        if let Some(h) = self.monitor.lock().expect("monitor handle poisoned").take() {
+            let _ = h.join();
+        }
+        let mut clean = true;
+        for slot in &self.slots {
+            let mut st = slot.state.lock().expect("slot state poisoned");
+            if let Some(mut w) = st.worker.take() {
+                st.rpc_seq += 1;
+                // Best effort: the stdio daemon replies, flushes, and
+                // exits on shutdown; SIGTERM covers a child wedged
+                // mid-request.
+                let _ = w.send_line(&Worker::request_line(st.rpc_seq, "shutdown", obj(vec![])));
+                w.sigterm();
+                if !w.wait_with_grace(self.opts.drain_grace) {
+                    w.kill_and_reap();
+                    clean = false;
+                }
+            }
+        }
+        if !clean {
+            self.dump_flight("dirty drain: child outlived the grace period");
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+        clean
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn monitor_loop(sup: &Weak<Supervisor>, stop: &Arc<(Mutex<bool>, Condvar)>, period: Duration) {
+    let ping_timeout = period.min(Duration::from_secs(1));
+    loop {
+        {
+            let (lock, cv) = &**stop;
+            let guard = lock.lock().expect("monitor stop poisoned");
+            let (guard, _) = cv
+                .wait_timeout_while(guard, period, |stopped| !*stopped)
+                .expect("monitor stop poisoned");
+            if *guard {
+                return;
+            }
+        }
+        let Some(sup) = sup.upgrade() else {
+            return;
+        };
+        sup.monitor_tick(ping_timeout);
+    }
+}
+
+/// The per-shard `search` params: the same [`SearchRequest`] document
+/// the HTTP front end takes, with the supervisor's remaining budget
+/// as the deadline and `q<qid>` as the idempotent request id.
+///
+/// [`SearchRequest`]: ../serve/wire/struct.SearchRequest.html
+fn search_params(q: &ShardQuery, qid: u64, remaining: Duration) -> JsonValue {
+    let request_id = format!("q{qid}");
+    obj(vec![
+        ("query", q.query.as_str().into()),
+        ("query_id", q.query_id.as_str().into()),
+        ("id", request_id.as_str().into()),
+        ("top_n", q.top_n.into()),
+        (
+            "deadline_ms",
+            u64::try_from(remaining.as_millis())
+                .unwrap_or(u64::MAX)
+                .into(),
+        ),
+        ("no_batch", true.into()),
+    ])
+}
+
+/// One shard's outcome for one query, pre-merge.
+#[derive(Debug)]
+pub(crate) struct PerShard {
+    pub index: usize,
+    pub start: usize,
+    pub end: usize,
+    /// `Some` = answered (possibly `partial` on its own terms).
+    pub answer: Option<SearchReport>,
+    pub timed_out: bool,
+    pub retried: bool,
+}
+
+/// Merge per-shard reports into one: rebase `db_index` by each
+/// shard's range start, rank with the engine's own order, truncate to
+/// `top_n`, sum/merge the metrics, and stamp the [`ShardOutcome`] —
+/// every failed shard contributes `partial: true` plus a
+/// [`ShardLost`] error naming its uncovered range.
+///
+/// [`ShardOutcome`]: aalign_par::ShardOutcome
+/// [`ShardLost`]: aalign_core::AlignError::ShardLost
+pub(crate) fn merge_reports(
+    mut per_shard: Vec<PerShard>,
+    top_n: usize,
+    started: Instant,
+    merge_started: Instant,
+) -> SearchReport {
+    let mut hits = Vec::new();
+    let mut errors = Vec::new();
+    let mut partial = false;
+    let mut metrics = SearchMetrics::default();
+    let mut threads_used = 0;
+    let mut subjects = 0;
+    let mut total_residues = 0;
+    let mut worker_id = 0usize;
+    let mut certified: Option<u32> = Some(u32::MAX);
+
+    for shard in &mut per_shard {
+        metrics.shards.retried += u64::from(shard.retried);
+        let Some(report) = shard.answer.take() else {
+            metrics.shards.failed += 1;
+            metrics.shards.timed_out += u64::from(shard.timed_out);
+            partial = true;
+            errors.push(AlignError::ShardLost {
+                shard: shard.index,
+                start: shard.start,
+                end: shard.end,
+            });
+            certified = None;
+            continue;
+        };
+        metrics.shards.ok += 1;
+        partial |= report.partial;
+        threads_used += report.threads_used;
+        subjects += report.subjects;
+        total_residues += report.total_residues;
+        for mut hit in report.hits {
+            hit.db_index += shard.start;
+            hits.push(hit);
+        }
+        for e in report.errors {
+            errors.push(match e {
+                AlignError::WorkerPanicked { db_index, payload } => AlignError::WorkerPanicked {
+                    db_index: db_index + shard.start,
+                    payload,
+                },
+                other => other,
+            });
+        }
+        let m = report.metrics;
+        metrics.cells += m.cells;
+        metrics.kernel_stats.merge(&m.kernel_stats);
+        metrics.width_retries += m.width_retries;
+        metrics.rescued += m.rescued;
+        metrics.rescue_widths.merge(&m.rescue_widths);
+        metrics.coalesced += m.coalesced;
+        metrics.workers_respawned += m.workers_respawned;
+        metrics.peak_hits_buffered += m.peak_hits_buffered;
+        metrics.queue_wait.merge(&m.queue_wait);
+        metrics.batch_wait.merge(&m.batch_wait);
+        metrics.request_e2e.merge(&m.request_e2e);
+        metrics.latency.merge(&m.latency);
+        metrics.worker_load.merge(&m.worker_load);
+        // Shards run concurrently: stage walls aggregate as maxima.
+        metrics.prepare = metrics.prepare.max(m.prepare);
+        metrics.sweep = metrics.sweep.max(m.sweep);
+        certified = match (certified, m.certified_width) {
+            (Some(c), w) if w > 0 => Some(c.min(w)),
+            _ => None,
+        };
+        for mut w in m.per_worker {
+            w.worker_id = worker_id;
+            worker_id += 1;
+            metrics.per_worker.push(w);
+        }
+    }
+
+    rank_hits(&mut hits);
+    if top_n > 0 {
+        hits.truncate(top_n);
+    }
+    metrics.certified_width = certified.filter(|&c| c != u32::MAX).unwrap_or(0);
+    metrics.merge = merge_started.elapsed();
+    metrics.total = started.elapsed();
+    metrics.gcups = SearchMetrics::derive_gcups(metrics.cells, metrics.sweep);
+    metrics.peak_hits_buffered = metrics.peak_hits_buffered.max(hits.len());
+
+    SearchReport {
+        hits,
+        threads_used,
+        subjects,
+        total_residues,
+        metrics,
+        trace_events: Vec::new(),
+        partial,
+        errors,
+    }
+}
+
+/// A unique per-launch temp directory for the shard FASTA files.
+fn fresh_shard_dir() -> io::Result<PathBuf> {
+    static SEQ: Mutex<u64> = Mutex::new(0);
+    let seq = {
+        let mut s = SEQ.lock().expect("shard dir counter poisoned");
+        *s += 1;
+        *s
+    };
+    let dir = std::env::temp_dir().join(format!("aalign-shard-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aalign_par::Hit;
+
+    #[test]
+    fn partition_is_contiguous_balanced_and_clamped() {
+        for (len, n) in [(10, 3), (7, 4), (100, 1), (5, 8), (1, 1), (0, 4)] {
+            let ranges = partition(len, n);
+            assert!(!ranges.is_empty());
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous: {ranges:?}");
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|(s, e)| e - s).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "balanced: {sizes:?}");
+            assert!(ranges.len() <= len.max(1), "clamped: {ranges:?}");
+        }
+    }
+
+    fn empty_report() -> SearchReport {
+        SearchReport {
+            hits: Vec::new(),
+            threads_used: 0,
+            subjects: 0,
+            total_residues: 0,
+            metrics: SearchMetrics::default(),
+            trace_events: Vec::new(),
+            partial: false,
+            errors: Vec::new(),
+        }
+    }
+
+    fn shard_with_hits(index: usize, start: usize, end: usize, hits: Vec<Hit>) -> PerShard {
+        let mut report = empty_report();
+        report.hits = hits;
+        report.subjects = end - start;
+        report.threads_used = 1;
+        PerShard {
+            index,
+            start,
+            end,
+            answer: Some(report),
+            timed_out: false,
+            retried: false,
+        }
+    }
+
+    #[test]
+    fn merge_rebases_ranks_and_breaks_ties_on_global_index() {
+        let now = Instant::now();
+        // Shard-local indices; scores chosen so a cross-shard tie
+        // must break on the *rebased* global index.
+        let a = shard_with_hits(
+            0,
+            0,
+            3,
+            vec![
+                Hit {
+                    db_index: 2,
+                    len: 10,
+                    score: 50,
+                },
+                Hit {
+                    db_index: 0,
+                    len: 10,
+                    score: 80,
+                },
+            ],
+        );
+        let b = shard_with_hits(
+            1,
+            3,
+            6,
+            vec![
+                Hit {
+                    db_index: 0,
+                    len: 10,
+                    score: 80,
+                },
+                Hit {
+                    db_index: 1,
+                    len: 10,
+                    score: 20,
+                },
+            ],
+        );
+        let merged = merge_reports(vec![a, b], 3, now, now);
+        assert!(!merged.partial);
+        assert_eq!(merged.metrics.shards.ok, 2);
+        let got: Vec<(usize, i32)> = merged.hits.iter().map(|h| (h.db_index, h.score)).collect();
+        // 80@0 beats 80@3 (tie → lower global index), then 50@2.
+        assert_eq!(got, vec![(0, 80), (3, 80), (2, 50)]);
+    }
+
+    #[test]
+    fn merge_degrades_failed_shards_with_exact_uncovered_range() {
+        let now = Instant::now();
+        let ok = shard_with_hits(
+            0,
+            0,
+            5,
+            vec![Hit {
+                db_index: 1,
+                len: 9,
+                score: 33,
+            }],
+        );
+        let lost = PerShard {
+            index: 1,
+            start: 5,
+            end: 9,
+            answer: None,
+            timed_out: true,
+            retried: true,
+        };
+        let merged = merge_reports(vec![ok, lost], 0, now, now);
+        assert!(merged.partial);
+        assert_eq!(merged.metrics.shards.ok, 1);
+        assert_eq!(merged.metrics.shards.failed, 1);
+        assert_eq!(merged.metrics.shards.timed_out, 1);
+        assert_eq!(merged.metrics.shards.retried, 1);
+        assert_eq!(
+            merged.errors,
+            vec![AlignError::ShardLost {
+                shard: 1,
+                start: 5,
+                end: 9,
+            }]
+        );
+        // Survivor hits intact and rebased.
+        assert_eq!(
+            merged.hits,
+            vec![Hit {
+                db_index: 1,
+                len: 9,
+                score: 33
+            }]
+        );
+        // A failed shard voids the merged certificate.
+        assert_eq!(merged.metrics.certified_width, 0);
+    }
+
+    #[test]
+    fn merge_rebases_worker_panic_indices() {
+        let now = Instant::now();
+        let mut report = empty_report();
+        report.errors = vec![AlignError::WorkerPanicked {
+            db_index: 2,
+            payload: "boom".into(),
+        }];
+        let shard = PerShard {
+            index: 1,
+            start: 10,
+            end: 20,
+            answer: Some(report),
+            timed_out: false,
+            retried: false,
+        };
+        let merged = merge_reports(vec![shard], 0, now, now);
+        assert_eq!(
+            merged.errors,
+            vec![AlignError::WorkerPanicked {
+                db_index: 12,
+                payload: "boom".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn search_params_carry_the_idempotent_request_id() {
+        let q = ShardQuery::new("MKVLA").top_n(5).query_id("q-test");
+        let params = search_params(&q, 42, Duration::from_millis(750));
+        let doc = params.render();
+        for needle in [
+            "\"query\":\"MKVLA\"",
+            "\"query_id\":\"q-test\"",
+            "\"id\":\"q42\"",
+            "\"top_n\":5",
+            "\"deadline_ms\":750",
+            "\"no_batch\":true",
+        ] {
+            assert!(doc.contains(needle), "{needle} missing from {doc}");
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! * `pair`         — align two FASTA sequences (scores + optional traceback)
 //! * `search`       — align a query against a FASTA database, multithreaded
 //! * `serve`        — run the alignment daemon (HTTP/JSON or stdio JSON-RPC)
+//! * `shard-search` — fan a query out over N supervised child processes
+//! * `shard-bench`  — shard-supervisor latency envelope for the perf gate
 //! * `loadgen`      — drive a running daemon and report latency quantiles
 //! * `trace-report` — render the hybrid decision timeline from a trace
 //! * `gen-db`       — generate a synthetic swiss-prot-like database
@@ -47,6 +49,8 @@ fn main() -> ExitCode {
         "pair" => cmd_pair(rest),
         "search" => cmd_search(rest),
         "serve" => cmd_serve(rest),
+        "shard-search" => cmd_shard_search(rest),
+        "shard-bench" => cmd_shard_bench(rest),
         "loadgen" => cmd_loadgen(rest),
         "trace-report" => cmd_trace_report(rest),
         "gen-db" => cmd_gen_db(rest),
@@ -79,7 +83,13 @@ const USAGE: &str = "usage:
                  [--open N] [--ext N] [--strategy ...]
                  [--max-inflight N] [--max-queued N] [--tenant-quota N]
                  [--default-timeout MS] [--drain-timeout MS]
-                 [--fault-plan <spec>]
+                 [--fault-plan <spec>] [--shards N]
+  aalign shard-search --query <fa> --db <fa> --shards N [--top N]
+                 [--threads N] [--open N] [--ext N] [--strategy ...]
+                 [--timeout MS] [--metrics-format text|json|prom]
+                 [--shard-fault kill@SHARD[:N]]
+  aalign shard-bench [--count N] [--seed N] [--queries N] [--top N]
+                 [--shards-list 1,2,4] [--out <json>]
   aalign loadgen --addr HOST:PORT [--concurrency N] [--duration-ms N]
                  [--seed N] [--top N] [--queries N] [--out <json>]
   aalign trace-report --trace <jsonl> [--subjects N]
@@ -368,11 +378,269 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .drain_timeout(std::time::Duration::from_millis(drain_ms));
 
     let threads = flags.get_usize("--threads", 0)?;
-    let dispatcher = std::sync::Arc::new(aalign::serve::Dispatcher::new(aligner, db, threads, cfg));
+    // `--shards N` turns this daemon into a shard supervisor: the
+    // same front ends, but every search fans out to N child
+    // processes (spawned from this same binary) instead of the local
+    // engine pool.
+    let shards = flags.get_usize("--shards", 0)?;
+    let supervisor = if shards > 0 {
+        Some(launch_supervisor(&flags, &db, shards, None)?)
+    } else {
+        None
+    };
+    let mut dispatcher = aalign::serve::Dispatcher::new(aligner, db, threads, cfg);
+    if let Some(sup) = supervisor {
+        dispatcher = dispatcher.with_shards(sup);
+    }
+    let dispatcher = std::sync::Arc::new(dispatcher);
     match aalign::serve::run_daemon(dispatcher, &opts).map_err(|e| e.to_string())? {
         0 => Ok(()),
         _ => Err("drain timeout expired with requests still in flight".to_string()),
     }
+}
+
+/// Flags a shard child must inherit so every child scores exactly
+/// like the reference single-process engine: the aligner
+/// configuration and the per-child thread budget.
+fn child_serve_args(flags: &Flags<'_>) -> Vec<String> {
+    let mut extra = Vec::new();
+    for flag in ["--open", "--ext", "--strategy", "--width", "--threads"] {
+        if let Some(v) = flags.get(flag) {
+            extra.push(flag.to_string());
+            extra.push(v.to_string());
+        }
+    }
+    for flag in ["--linear", "--global", "--semi-global", "--no-rescue"] {
+        if flags.has(flag) {
+            extra.push(flag.to_string());
+        }
+    }
+    extra
+}
+
+/// Build and launch a [`Supervisor`](aalign::shard::Supervisor) over
+/// `db` with `shards` children spawned from this same executable.
+fn launch_supervisor(
+    flags: &Flags<'_>,
+    db: &aalign::bio::SeqDatabase,
+    shards: usize,
+    deadline: Option<std::time::Duration>,
+) -> Result<std::sync::Arc<aalign::shard::Supervisor>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let cmd = aalign::shard::WorkerCommand::serve_stdio(exe, &child_serve_args(flags));
+    let mut sopts = aalign::shard::ShardOptions::new(shards);
+    if let Some(d) = deadline {
+        sopts = sopts.default_deadline(d);
+    }
+    if let Some(spec) = flags.get("--shard-fault") {
+        #[cfg(feature = "fault-inject")]
+        {
+            let plan: aalign::shard::ShardFaultPlan =
+                spec.parse().map_err(|e| format!("--shard-fault: {e}"))?;
+            sopts = sopts.fault(plan);
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = spec;
+            return Err(
+                "--shard-fault needs a build with the `fault-inject` feature \
+                 (cargo build --features fault-inject)"
+                    .to_string(),
+            );
+        }
+    }
+    aalign::shard::Supervisor::launch(db, cmd, sopts).map_err(|e| e.to_string())
+}
+
+/// Fan one query out over a fresh shard supervisor and print the
+/// merged report in the same shape `search` prints a single-process
+/// one — same hit lines, same metrics formats — plus the shard
+/// outcome accounting.
+fn cmd_shard_search(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let query = load_first_seq(flags.get("--query").ok_or("--query required")?)?;
+    let db_path = flags.get("--db").ok_or("--db required")?;
+    let f = File::open(db_path).map_err(|e| format!("{db_path}: {e}"))?;
+    let db = aalign::bio::SeqDatabase::from_fasta(BufReader::new(f), &PROTEIN)
+        .map_err(|e| format!("{db_path}: {e}"))?;
+    let shards = flags.get_usize("--shards", 2)?;
+    let deadline = match flags.get("--timeout") {
+        None => None,
+        Some(ms) => Some(std::time::Duration::from_millis(
+            ms.parse().map_err(|_| "--timeout expects milliseconds")?,
+        )),
+    };
+    let sup = launch_supervisor(&flags, &db, shards, deadline)?;
+
+    let text = String::from_utf8(query.text()).map_err(|e| format!("query: {e}"))?;
+    let q = aalign::shard::ShardQuery::new(text)
+        .query_id(query.id())
+        .top_n(flags.get_usize("--top", 10)?);
+    let report = sup.search(&q).map_err(|e| e.to_string())?;
+
+    println!(
+        "searched {} subjects ({} residues) across {} shards in {:.2}s ({:.2} GCUPS)",
+        report.subjects,
+        report.total_residues,
+        sup.shards(),
+        report.metrics.total.as_secs_f64(),
+        report.metrics.gcups
+    );
+    let so = report.metrics.shards;
+    println!(
+        "shards: {} ok, {} failed ({} timed out), {} retried; {} respawn(s) total",
+        so.ok,
+        so.failed,
+        so.timed_out,
+        so.retried,
+        sup.respawns()
+    );
+    warn_partial(&report);
+    match flags.get("--metrics-format") {
+        None => {
+            if flags.has("--stats") {
+                print!("{}", report.metrics.summary());
+            }
+        }
+        Some("text") => print!("{}", report.metrics.summary()),
+        Some("json") => println!("{}", report.metrics.to_json()),
+        Some("prom") => print!("{}", report.metrics.to_prometheus()),
+        Some(other) => {
+            return Err(format!(
+                "unknown metrics format {other:?} (expected text, json, or prom)"
+            ))
+        }
+    }
+    let stats_params = aalign::bio::stats::BLOSUM62_GAPPED_11_1;
+    for (rank, hit) in report.hits.iter().enumerate() {
+        let bits = aalign::bio::stats::bit_score(hit.score, stats_params);
+        let ev = aalign::bio::stats::evalue(bits, query.len(), report.total_residues);
+        println!(
+            "{:>3}. {:<24} len {:>6}  score {:>6}  bits {:>7.1}  E {:.2e}",
+            rank + 1,
+            db.id(hit.db_index),
+            hit.len,
+            hit.score,
+            bits,
+            ev
+        );
+    }
+    if !sup.shutdown() {
+        eprintln!("warning: dirty drain — a shard child outlived the grace period");
+    }
+    Ok(())
+}
+
+/// Latency envelope for the shard supervisor: run a deterministic
+/// query mix at each shard count and emit the same versioned bench
+/// document shape `loadgen` emits, for CI's perf gate
+/// (`results/BENCH_shard.json`).
+fn cmd_shard_bench(args: &[String]) -> Result<(), String> {
+    use aalign::obs::wire::{obj, versioned, JsonValue};
+    use aalign::obs::Histogram;
+    use std::time::Instant;
+
+    let flags = Flags { args };
+    let count = flags.get_usize("--count", 300)?;
+    let seed = flags.get_usize("--seed", 42)? as u64;
+    let n_queries = flags.get_usize("--queries", 6)?.max(1);
+    let top_n = flags.get_usize("--top", 5)?;
+    let shard_list: Vec<usize> = flags
+        .get("--shards-list")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("--shards-list: {s:?} is not a number"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let db = swissprot_like_db(seed, count);
+    let mut rng = aalign::bio::synth::seeded_rng(seed ^ 0x5eed);
+    let queries: Vec<String> = (0..n_queries)
+        .map(|i| {
+            let len = 40 + (i % 4) * 15;
+            String::from_utf8(aalign::bio::synth::named_query(&mut rng, len).text()).unwrap()
+        })
+        .collect();
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+
+    let mut rows = Vec::new();
+    for &n in &shard_list {
+        // One engine thread per child keeps the envelope stable on
+        // small CI runners; the sharding itself is what's measured.
+        let cmd = aalign::shard::WorkerCommand::serve_stdio(
+            &exe,
+            &["--threads".to_string(), "1".to_string()],
+        );
+        let sup = aalign::shard::Supervisor::launch(&db, cmd, aalign::shard::ShardOptions::new(n))
+            .map_err(|e| format!("shards={n}: {e}"))?;
+        // Warm-up: first query pays child startup caches.
+        let _ = sup.search(&aalign::shard::ShardQuery::new(queries[0].clone()).top_n(top_n));
+        let mut hist = Histogram::new();
+        let mut partial = 0u64;
+        let started = Instant::now();
+        for q in &queries {
+            let t0 = Instant::now();
+            let report = sup
+                .search(&aalign::shard::ShardQuery::new(q.clone()).top_n(top_n))
+                .map_err(|e| format!("shards={n}: {e}"))?;
+            hist.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            partial += u64::from(report.partial);
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        let rps = queries.len() as f64 / elapsed.max(1e-9);
+        if partial > 0 {
+            return Err(format!(
+                "shards={n}: {partial} of {} bench queries came back partial",
+                queries.len()
+            ));
+        }
+        let source = format!("shards_{n}");
+        rows.push(obj(vec![
+            ("source", source.as_str().into()),
+            ("count", hist.count().into()),
+            ("p50_us", hist.p50().into()),
+            ("p99_us", hist.p99().into()),
+            ("p999_us", hist.p999().into()),
+            ("max_us", hist.max_value().into()),
+            ("throughput_rps", rps.into()),
+        ]));
+        eprintln!(
+            "shards={n}: {} queries, p50 {}µs p99 {}µs, {:.1} req/s",
+            hist.count(),
+            hist.p50(),
+            hist.p99(),
+            rps
+        );
+        if !sup.shutdown() {
+            eprintln!("warning: shards={n}: dirty drain");
+        }
+    }
+
+    let doc = versioned(vec![
+        ("bench", "shard_search".into()),
+        (
+            "env",
+            obj(vec![
+                ("db_count", count.into()),
+                ("seed", seed.into()),
+                ("queries", n_queries.into()),
+                ("top_n", top_n.into()),
+            ]),
+        ),
+        ("rows", JsonValue::Array(rows)),
+    ]);
+    let rendered = doc.render();
+    match flags.get("--out") {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n").map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
 }
 
 /// Drive a running daemon with a deterministic seeded query mix and

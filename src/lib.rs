@@ -63,3 +63,10 @@ pub mod obs {
 pub mod serve {
     pub use aalign_serve::*;
 }
+
+/// Fault-tolerant multi-process sharding: the shard supervisor,
+/// worker-child plumbing, and (with `fault-inject`) deterministic
+/// chaos plans.
+pub mod shard {
+    pub use aalign_shard::*;
+}

@@ -547,6 +547,116 @@ fn serve_stdio_smoke_json_rpc_round_trip() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("drained cleanly"));
 }
 
+/// Regression: a `shutdown` RPC must produce a complete final reply
+/// line and a clean exit *while the supervisor still holds stdin
+/// open*. (The shard supervisor relies on this — it reads the
+/// shutdown acknowledgement before sending SIGTERM, so the daemon
+/// must not wait for EOF to flush and exit.)
+#[test]
+fn serve_stdio_shutdown_flushes_reply_with_stdin_still_open() {
+    let dir = std::env::temp_dir().join("aalign_cli_stdio_shutdown");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    assert!(aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "10",
+            "--seed",
+            "9",
+            "--out",
+            db.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+
+    let mut daemon = aalign()
+        .args(["serve", "--db", db.to_str().unwrap(), "--stdio"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = daemon.stdin.take().unwrap();
+    writeln!(stdin, r#"{{"jsonrpc":"2.0","id":1,"method":"health"}}"#).unwrap();
+    writeln!(stdin, r#"{{"jsonrpc":"2.0","id":2,"method":"shutdown"}}"#).unwrap();
+    stdin.flush().unwrap();
+    // Deliberately keep `stdin` alive: the daemon must exit on its
+    // own after acknowledging shutdown, without seeing EOF first.
+    let out = daemon.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    drop(stdin); // released only after the daemon has already exited
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"status\":\"ok\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"draining\":true"), "{}", lines[1]);
+    assert!(
+        lines[1].ends_with('}'),
+        "shutdown reply must be a complete JSON line: {:?}",
+        lines[1]
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("drained cleanly"));
+}
+
+/// End-to-end chaos pin at the CLI layer: `shard-search` with an
+/// unlimited kill plan degrades to a partial answer naming the dead
+/// shard's exact uncovered range, and still exits zero.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn shard_search_cli_degrades_with_exact_uncovered_range_under_kill_plan() {
+    let dir = std::env::temp_dir().join("aalign_cli_shard_chaos");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fa");
+    let query = dir.join("q.fa");
+    assert!(aalign()
+        .args([
+            "gen-db",
+            "--count",
+            "40",
+            "--seed",
+            "3",
+            "--out",
+            db.to_str().unwrap()
+        ])
+        .status()
+        .unwrap()
+        .success());
+    write_fasta(&query, &[("q1", "MKVLAARNDWHEAGAWGHEEAEKLFTQ")]);
+
+    let out = aalign()
+        .args([
+            "shard-search",
+            "--query",
+            query.to_str().unwrap(),
+            "--db",
+            db.to_str().unwrap(),
+            "--shards",
+            "4",
+            "--top",
+            "3",
+            "--shard-fault",
+            "kill@1",
+        ])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    // 40 subjects over 4 shards → shard 1 owns exactly [10, 20).
+    assert!(
+        stderr.contains("shard 1 lost; database range [10, 20) is uncovered"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("partial results"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shards: 3 ok, 1 failed"), "{stdout}");
+}
+
 #[test]
 fn search_rescues_a_saturating_subject_at_fixed8() {
     let dir = std::env::temp_dir().join("aalign_cli_rescue");

@@ -1,0 +1,244 @@
+//! Shard-supervisor integration: N-shard answers must be
+//! bit-identical to the single-process engine, shard loss must
+//! degrade to an exactly-accounted partial answer, and chaos (child
+//! SIGKILLs mid-query) must never hang the supervisor.
+//!
+//! These tests spawn real `aalign serve --stdio` child processes via
+//! `CARGO_BIN_EXE_aalign`, so they exercise the whole stack: wire
+//! protocol, readiness pings, retry/backoff, merge, drain.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use aalign::bio::matrices::BLOSUM62;
+use aalign::bio::synth::{named_query, seeded_rng, swissprot_like_db};
+use aalign::bio::{SeqDatabase, Sequence};
+use aalign::par::{EngineHandle, Hit, SearchOptions};
+use aalign::shard::{ShardOptions, ShardQuery, Supervisor, WorkerCommand};
+use aalign::{AlignConfig, Aligner, GapModel, Strategy};
+
+/// Children run this binary's default serve aligner (local affine
+/// −10/−2 over BLOSUM62, hybrid strategy); the reference sweep must
+/// use exactly the same configuration for bit-exact comparison.
+fn reference_aligner() -> Aligner {
+    Aligner::new(AlignConfig::local(GapModel::affine(-10, -2), &BLOSUM62))
+        .with_strategy(Strategy::Hybrid)
+}
+
+fn worker_cmd() -> WorkerCommand {
+    WorkerCommand::serve_stdio(
+        env!("CARGO_BIN_EXE_aalign"),
+        &["--threads".to_string(), "1".to_string()],
+    )
+}
+
+fn reference_hits(db: &SeqDatabase, query_text: &str, top_n: usize) -> Vec<Hit> {
+    let query = Sequence::protein("query", query_text.as_bytes()).unwrap();
+    let report = EngineHandle::transient(1, db.len())
+        .search(
+            &reference_aligner(),
+            &query,
+            db,
+            &SearchOptions::new().top_n(top_n),
+        )
+        .unwrap();
+    report.hits
+}
+
+/// Run `f` on its own thread and fail loudly if it wedges — the
+/// "never hangs" half of every chaos pin.
+#[cfg_attr(not(feature = "fault-inject"), allow(dead_code))]
+fn with_watchdog<T: Send + 'static>(secs: u64, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(v) => {
+            let _ = handle.join();
+            v
+        }
+        Err(_) => panic!("watchdog: sharded search hung past {secs}s"),
+    }
+}
+
+#[test]
+fn n_shard_answers_are_bit_identical_to_the_single_process_engine() {
+    let db = swissprot_like_db(31, 50);
+    let mut rng = seeded_rng(77);
+    let queries: Vec<String> = (0..2)
+        .map(|i| String::from_utf8(named_query(&mut rng, 40 + i * 25).text()).unwrap())
+        .collect();
+
+    for shards in [1usize, 2, 4] {
+        let sup = Supervisor::launch(&db, worker_cmd(), ShardOptions::new(shards))
+            .unwrap_or_else(|e| panic!("launch {shards} shards: {e}"));
+        assert_eq!(sup.shards(), shards);
+        // `top_n = 0` (every hit) pins the full ranking including
+        // every tie; `top_n = 7` pins the truncated-merge contract.
+        for (q, top_n) in queries.iter().zip([0usize, 7]) {
+            let report = sup
+                .search(&ShardQuery::new(q.clone()).top_n(top_n))
+                .unwrap_or_else(|e| panic!("{shards}-shard search: {e}"));
+            assert!(!report.partial, "healthy shards must answer completely");
+            assert_eq!(report.subjects, db.len());
+            assert_eq!(report.metrics.shards.ok, shards as u64);
+            assert_eq!(report.metrics.shards.failed, 0);
+            // Bit-exact: same scores, same (rebased) indices, same
+            // tie order as one engine sweeping the whole database.
+            assert_eq!(
+                report.hits,
+                reference_hits(&db, q, top_n),
+                "{shards} shards, top_n {top_n}"
+            );
+        }
+        assert!(sup.shutdown(), "healthy children must drain cleanly");
+    }
+}
+
+#[test]
+fn shard_ranges_partition_the_database_contiguously() {
+    let db = swissprot_like_db(5, 23);
+    let sup = Supervisor::launch(&db, worker_cmd(), ShardOptions::new(4)).unwrap();
+    let ranges = sup.ranges();
+    assert_eq!(ranges.len(), 4);
+    assert_eq!(ranges[0].0, 0);
+    assert_eq!(ranges.last().unwrap().1, db.len());
+    for pair in ranges.windows(2) {
+        assert_eq!(pair[0].1, pair[1].0, "contiguous: {ranges:?}");
+    }
+    assert!(sup.shutdown());
+}
+
+#[cfg(feature = "fault-inject")]
+mod chaos {
+    use super::*;
+    use aalign::core::AlignError;
+    use aalign::shard::ShardFaultPlan;
+
+    /// A shard whose child is SIGKILLed on every dispatch (retry
+    /// included) is lost for the query: the merged report must be
+    /// `partial: true`, the uncovered range must be *exactly* the
+    /// dead shard's, and the survivors' hits must be bit-exact.
+    #[test]
+    fn dead_shard_reports_exactly_its_uncovered_range() {
+        with_watchdog(120, || {
+            let db = swissprot_like_db(9, 40);
+            let mut rng = seeded_rng(11);
+            let q = String::from_utf8(named_query(&mut rng, 50).text()).unwrap();
+            let victim = 1usize;
+            let opts = ShardOptions::new(4)
+                .fault(ShardFaultPlan {
+                    shard: victim,
+                    remaining: None,
+                })
+                .backoff(Duration::from_millis(5), Duration::from_millis(50), 7);
+            let sup = Supervisor::launch(&db, worker_cmd(), opts).unwrap();
+            let (lost_start, lost_end) = sup.ranges()[victim];
+
+            let report = sup.search(&ShardQuery::new(q.clone())).unwrap();
+            assert!(report.partial);
+            assert_eq!(report.metrics.shards.failed, 1);
+            assert_eq!(report.metrics.shards.ok, 3);
+            assert_eq!(report.metrics.shards.retried, 1, "one idempotent retry");
+            assert!(
+                report.errors.contains(&AlignError::ShardLost {
+                    shard: victim,
+                    start: lost_start,
+                    end: lost_end,
+                }),
+                "{:?}",
+                report.errors
+            );
+            // Survivors bit-exact: the merged hits are precisely the
+            // reference ranking with the dead shard's range removed.
+            let expected: Vec<Hit> = reference_hits(&db, &q, 0)
+                .into_iter()
+                .filter(|h| h.db_index < lost_start || h.db_index >= lost_end)
+                .collect();
+            assert_eq!(report.hits, expected);
+            sup.shutdown();
+        });
+    }
+
+    /// Sweep kills across different shards and kill budgets: every
+    /// query completes (no hang), survivors stay bit-exact, and a
+    /// single kill is always rescued by the idempotent retry.
+    #[test]
+    fn chaos_sweep_never_hangs_and_single_kills_are_rescued() {
+        with_watchdog(240, || {
+            let db = swissprot_like_db(13, 30);
+            let mut rng = seeded_rng(29);
+            let q = String::from_utf8(named_query(&mut rng, 45).text()).unwrap();
+            let expected = reference_hits(&db, &q, 0);
+
+            for victim in 0..3usize {
+                let opts = ShardOptions::new(3)
+                    .fault(ShardFaultPlan::kill_first(victim, 1))
+                    .backoff(Duration::from_millis(5), Duration::from_millis(50), 3);
+                let sup = Supervisor::launch(&db, worker_cmd(), opts).unwrap();
+                let report = sup.search(&ShardQuery::new(q.clone())).unwrap();
+                assert!(
+                    !report.partial,
+                    "a single kill of shard {victim} must be rescued by the retry: {:?}",
+                    report.errors
+                );
+                assert_eq!(report.metrics.shards.retried, 1);
+                assert_eq!(report.metrics.shards.ok, 3);
+                assert_eq!(report.hits, expected, "victim {victim}");
+                assert_eq!(sup.respawns(), 1, "one respawn served the retry");
+                sup.shutdown();
+            }
+        });
+    }
+
+    /// Repeated deaths trip the circuit breaker: the shard is marked
+    /// dead, later queries skip it immediately (degraded, not
+    /// hanging), and the survivors keep answering.
+    #[test]
+    fn breaker_trips_after_repeated_deaths_and_search_continues() {
+        with_watchdog(240, || {
+            let db = swissprot_like_db(17, 24);
+            let mut rng = seeded_rng(41);
+            let q = String::from_utf8(named_query(&mut rng, 40).text()).unwrap();
+            let opts = ShardOptions::new(2)
+                .fault(ShardFaultPlan {
+                    shard: 0,
+                    remaining: None,
+                })
+                .backoff(Duration::from_millis(5), Duration::from_millis(50), 1)
+                .breaker(2, Duration::from_secs(60))
+                .heartbeat(None); // deaths counted on the query path only
+            let sup = Supervisor::launch(&db, worker_cmd(), opts).unwrap();
+
+            // First query: dispatch kill + retry kill = 2 deaths →
+            // breaker trips during collection.
+            let first = sup.search(&ShardQuery::new(q.clone())).unwrap();
+            assert!(first.partial);
+            assert_eq!(sup.shards_dead(), 1, "breaker must have tripped");
+
+            // Later queries skip the dead shard without waiting on it.
+            let later = sup.search(&ShardQuery::new(q.clone())).unwrap();
+            assert!(later.partial);
+            assert_eq!(later.metrics.shards.failed, 1);
+            assert_eq!(
+                later.metrics.shards.retried, 0,
+                "dead shards are not retried"
+            );
+            let (s, e) = sup.ranges()[0];
+            assert!(later.errors.contains(&AlignError::ShardLost {
+                shard: 0,
+                start: s,
+                end: e
+            }));
+            // The survivor's half is still bit-exact.
+            let expected: Vec<Hit> = reference_hits(&db, &q, 0)
+                .into_iter()
+                .filter(|h| h.db_index >= e)
+                .collect();
+            assert_eq!(later.hits, expected);
+            sup.shutdown();
+        });
+    }
+}
